@@ -1,0 +1,260 @@
+// Benchmarks reproducing the paper's tables and figures as testing.B
+// harnesses, one per artifact. Custom metrics carry the quantities the
+// paper reports (per-op costs in ns, latencies in ms, throughput in
+// req/s); ns/op measures the cost of regenerating the artifact itself.
+//
+// The heavier figure benchmarks simulate hundreds of milliseconds of
+// machine time per iteration; run with -benchtime=1x (or the default
+// auto-scaling) as preferred. cmd/experiments prints the full series.
+package tableau_test
+
+import (
+	"fmt"
+	"testing"
+
+	"tableau/internal/experiments"
+	"tableau/internal/planner"
+	"tableau/internal/workload"
+)
+
+// BenchmarkFig3TableGeneration measures planner time for the paper's
+// Fig. 3 sweep points: 44 guest cores, 25% VMs, varying population and
+// latency goal.
+func BenchmarkFig3TableGeneration(b *testing.B) {
+	for _, goalMS := range []int64{1, 30, 100} {
+		for _, vms := range []int{44, 176} {
+			b.Run(fmt.Sprintf("goal=%dms/vms=%d", goalMS, vms), func(b *testing.B) {
+				specs := make([]planner.VCPUSpec, vms)
+				for i := range specs {
+					specs[i] = planner.VCPUSpec{
+						Name:        fmt.Sprintf("vm%d", i),
+						Util:        planner.Util{Num: 1, Den: 4},
+						LatencyGoal: goalMS * 1_000_000,
+						Capped:      true,
+					}
+				}
+				opts := planner.Options{Cores: 44, TableLength: planner.MaxHyperperiod}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := planner.Plan(specs, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFig4TableSize measures the serialized size (the Fig. 4
+// metric, reported as table_bytes) and encoding throughput.
+func BenchmarkFig4TableSize(b *testing.B) {
+	for _, goalMS := range []int64{1, 100} {
+		b.Run(fmt.Sprintf("goal=%dms", goalMS), func(b *testing.B) {
+			specs := make([]planner.VCPUSpec, 176)
+			for i := range specs {
+				specs[i] = planner.VCPUSpec{
+					Name:        fmt.Sprintf("vm%d", i),
+					Util:        planner.Util{Num: 1, Den: 4},
+					LatencyGoal: goalMS * 1_000_000,
+					Capped:      true,
+				}
+			}
+			res, err := planner.Plan(specs, planner.Options{Cores: 44, TableLength: planner.MaxHyperperiod})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Table.EncodedSize()), "table_bytes")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = res.Table.EncodedSize()
+			}
+		})
+	}
+}
+
+// benchHotPaths runs the I/O-intensive overhead scenario (Tables 1/2)
+// under one scheduler for b.N * 10 ms of simulated time and reports the
+// native mean cost of the reimplemented schedule and wakeup hot paths.
+func benchHotPaths(b *testing.B, kind experiments.SchedulerKind, machineCores int) {
+	sc, err := experiments.Build(experiments.ScenarioConfig{
+		GuestCores:    machineCores - 4,
+		Scheduler:     kind,
+		Capped:        kind == experiments.RTDS,
+		Background:    experiments.BGIO,
+		Seed:          7,
+		OverheadCores: machineCores,
+		Timed:         true,
+	}, workload.StressIO(100_000, 100_000, 60, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc.M.Start()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.M.Run(int64(i+1) * 10_000_000)
+	}
+	b.StopTimer()
+	if sc.Timed.Pick.Ops > 0 {
+		b.ReportMetric(sc.Timed.Pick.MeanNs(), "ns/schedule")
+	}
+	if sc.Timed.Wake.Ops > 0 {
+		b.ReportMetric(sc.Timed.Wake.MeanNs(), "ns/wakeup")
+	}
+}
+
+// BenchmarkTab1SchedulerOps measures the native hot-path costs on the
+// paper's 16-core configuration (Table 1). The ordering — Tableau's
+// lookup far below Credit's runqueue walk — is the paper's headline
+// overhead claim.
+func BenchmarkTab1SchedulerOps(b *testing.B) {
+	for _, kind := range []experiments.SchedulerKind{experiments.Credit, experiments.Credit2, experiments.RTDS, experiments.Tableau} {
+		b.Run(string(kind), func(b *testing.B) { benchHotPaths(b, kind, 16) })
+	}
+}
+
+// BenchmarkTab2SchedulerOps repeats the measurement on the 48-core
+// configuration (Table 2), where RTDS's global lock dominates.
+func BenchmarkTab2SchedulerOps(b *testing.B) {
+	for _, kind := range []experiments.SchedulerKind{experiments.Credit, experiments.Credit2, experiments.RTDS, experiments.Tableau} {
+		b.Run(string(kind), func(b *testing.B) { benchHotPaths(b, kind, 48) })
+	}
+}
+
+// BenchmarkFig5Intrinsic runs the redis-cli-style probe cell (capped,
+// I/O background) and reports the max scheduling delay per scheduler.
+func BenchmarkFig5Intrinsic(b *testing.B) {
+	for _, kind := range experiments.CappedSchedulers {
+		b.Run(string(kind), func(b *testing.B) {
+			probe := &workload.Probe{Chunk: 10_000}
+			sc, err := experiments.Build(experiments.ScenarioConfig{
+				Scheduler:  kind,
+				Capped:     true,
+				Background: experiments.BGIO,
+				Seed:       42,
+			}, probe.Program())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc.M.Start()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.M.Run(int64(i+1) * 100_000_000)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(probe.MaxDelay())/1e6, "max_delay_ms")
+		})
+	}
+}
+
+// BenchmarkFig6Ping runs the ping cell (capped, I/O background) and
+// reports average and max response latency per scheduler.
+func BenchmarkFig6Ping(b *testing.B) {
+	for _, kind := range experiments.CappedSchedulers {
+		b.Run(string(kind), func(b *testing.B) {
+			sink := &workload.PingSink{}
+			sc, err := experiments.Build(experiments.ScenarioConfig{
+				Scheduler:  kind,
+				Capped:     true,
+				Background: experiments.BGIO,
+				Seed:       42,
+			}, sink.Program())
+			if err != nil {
+				b.Fatal(err)
+			}
+			sink.Bind(sc.Vantage)
+			sc.M.Start()
+			workload.SchedulePings(sc.M, sink, 8, 10_000, 20_000_000, 42)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.M.Run(int64(i+1) * 100_000_000)
+			}
+			b.StopTimer()
+			h := sink.Latencies()
+			b.ReportMetric(h.Mean()/1e6, "avg_ms")
+			b.ReportMetric(float64(h.Max())/1e6, "max_ms")
+		})
+	}
+}
+
+// benchWeb runs one Fig. 7/8 cell for b.N * 100 ms and reports achieved
+// throughput and p99 latency.
+func benchWeb(b *testing.B, kind experiments.SchedulerKind, capped bool, bg experiments.BGKind, size int64, rate float64) {
+	srv := experiments.NewWebServer()
+	sc, err := experiments.Build(experiments.ScenarioConfig{
+		Scheduler:  kind,
+		Capped:     capped,
+		Background: bg,
+		Seed:       17,
+	}, srv.Program())
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Bind(sc.Vantage)
+	const stream = 60_000_000_000 // 60 s of offered load
+	horizon := int64(0)
+	sc.M.Start()
+	workload.RunOpenLoop(sc.M, srv, 0, rate, stream, size)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		horizon += 100_000_000
+		sc.M.Run(horizon)
+	}
+	b.StopTimer()
+	// Throughput over the window that actually had offered load: b.N
+	// scaling may push the horizon past the request stream.
+	if window := min64(horizon, stream); window > 0 {
+		b.ReportMetric(float64(srv.Completed())/(float64(window)/1e9), "req/s")
+	}
+	b.ReportMetric(float64(srv.Latencies().P99())/1e6, "p99_ms")
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkFig7Web covers one representative point per Fig. 7 row:
+// near-saturation load for each file size in the capped scenario plus
+// the uncapped 100 KiB row.
+func BenchmarkFig7Web(b *testing.B) {
+	rows := []struct {
+		name   string
+		capped bool
+		size   int64
+		rate   float64
+	}{
+		{"capped/1KiB", true, 1 << 10, 1600},
+		{"capped/100KiB", true, 100 << 10, 600},
+		{"capped/1MiB", true, 1 << 20, 120},
+		{"uncapped/100KiB", false, 100 << 10, 850},
+	}
+	for _, row := range rows {
+		for _, kind := range experiments.CappedSchedulers {
+			if !row.capped && kind == experiments.RTDS {
+				kind = experiments.Credit2
+			}
+			b.Run(row.name+"/"+string(kind), func(b *testing.B) {
+				benchWeb(b, kind, row.capped, experiments.BGIO, row.size, row.rate)
+			})
+		}
+	}
+}
+
+// BenchmarkFig8Web covers the cache-thrashing-background row.
+func BenchmarkFig8Web(b *testing.B) {
+	for _, capped := range []bool{true, false} {
+		scheds := experiments.CappedSchedulers
+		label := "capped"
+		if !capped {
+			scheds = experiments.UncappedSchedulers
+			label = "uncapped"
+		}
+		for _, kind := range scheds {
+			b.Run(fmt.Sprintf("%s/%s", label, kind), func(b *testing.B) {
+				benchWeb(b, kind, capped, experiments.BGCPU, 100<<10, 580)
+			})
+		}
+	}
+}

@@ -1,0 +1,130 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 7) from this reproduction. Each experiment prints the
+// rows the paper plots and can also write them as CSV.
+//
+// Usage:
+//
+//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation] [-csv dir]
+//
+// Quick mode (default) finishes in a few minutes on a laptop; full mode
+// approaches the paper's measurement volumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tableau/internal/experiments"
+)
+
+func main() {
+	modeFlag := flag.String("mode", "quick", "experiment scale: quick or full")
+	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation)")
+	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
+	flag.Parse()
+
+	mode, err := experiments.ParseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	want := map[string]bool{}
+	for _, name := range strings.Split(*runFlag, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	var results []*experiments.Result
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if selected("fig3") {
+		results = append(results, experiments.Fig3(mode))
+	}
+	if selected("fig4") {
+		results = append(results, experiments.Fig4(mode))
+	}
+	if selected("tab1") {
+		r, err := experiments.OverheadResult(16, mode)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	}
+	if selected("tab2") {
+		r, err := experiments.OverheadResult(48, mode)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	}
+	if selected("fig5") {
+		r, err := experiments.Fig5(mode)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	}
+	if selected("fig6") {
+		r, err := experiments.Fig6(mode)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	}
+	if selected("fig7") {
+		for _, capped := range []bool{true, false} {
+			for _, size := range []int64{1 * experiments.KiB, 100 * experiments.KiB, 1 * experiments.MiB} {
+				r, err := experiments.Fig7(capped, size, mode)
+				if err != nil {
+					fail(err)
+				}
+				results = append(results, r)
+			}
+		}
+	}
+	if selected("fig8") {
+		for _, capped := range []bool{true, false} {
+			r, err := experiments.Fig8(capped, mode)
+			if err != nil {
+				fail(err)
+			}
+			results = append(results, r)
+		}
+	}
+	if selected("level2") {
+		r, err := experiments.Level2Result(mode)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	}
+	if selected("ablation") {
+		results = append(results, experiments.AblationResult())
+	}
+
+	if len(results) == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing selected by -run %q\n", *runFlag)
+		os.Exit(2)
+	}
+	for _, r := range results {
+		r.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fail(err)
+			}
+			path := filepath.Join(*csvDir, r.Name+".csv")
+			if err := r.WriteCSV(path); err != nil {
+				fail(err)
+			}
+			fmt.Printf("   wrote %s\n\n", path)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+// Command tableau-pland runs the planner as a standalone daemon — the
+// deployment the paper sketches in Sec. 7.1, where table generation is
+// offloaded from the host to a faster, independent machine and results
+// for common VM configurations are cached centrally.
+//
+// Usage:
+//
+//	tableau-pland [-listen :7077] [-cache 256]
+//
+// API: POST /plan with a JSON body
+//
+//	{"cores": 2,
+//	 "vms": [{"name": "a", "util_num": 1, "util_den": 4,
+//	          "latency_goal_ns": 20000000, "capped": true}, ...]}
+//
+// The response carries the planning metadata and the scheduling table
+// in the dispatcher's binary format (base64). GET /healthz answers ok.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"tableau/internal/plannersvc"
+)
+
+func main() {
+	listen := flag.String("listen", ":7077", "address to listen on")
+	cacheSize := flag.Int("cache", 256, "central table-cache capacity")
+	flag.Parse()
+
+	srv := plannersvc.NewServer(*cacheSize)
+	fmt.Printf("tableau-pland listening on %s (cache capacity %d)\n", *listen, *cacheSize)
+	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+}

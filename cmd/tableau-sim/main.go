@@ -1,0 +1,133 @@
+// Command tableau-sim runs one evaluation scenario on the simulated
+// machine and reports what the vantage VM experienced. It is the
+// interactive counterpart of cmd/experiments: pick a scheduler, a
+// background workload, and a vantage benchmark, and inspect the
+// outcome.
+//
+// Usage:
+//
+//	tableau-sim -scheduler tableau -workload web -rate 800 -size 102400 \
+//	            -bg io -capped=false -duration 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tableau/internal/experiments"
+	"tableau/internal/workload"
+)
+
+func main() {
+	scheduler := flag.String("scheduler", "tableau", "credit, credit2, rtds, or tableau")
+	wl := flag.String("workload", "web", "vantage workload: web, ping, or probe")
+	bg := flag.String("bg", "io", "background workload: none, io, or cpu")
+	capped := flag.Bool("capped", true, "cap every VM at its reservation")
+	cores := flag.Int("cores", 12, "guest cores")
+	vmsPerCore := flag.Int("vms-per-core", 4, "consolidation density")
+	durationS := flag.Float64("duration", 3, "simulated seconds")
+	rate := flag.Float64("rate", 600, "web request rate (req/s)")
+	size := flag.Int64("size", 100*1024, "web response size in bytes")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	trace := flag.Bool("trace", false, "print a per-core dispatch timeline for the first 2 ms")
+	flag.Parse()
+
+	cfg := experiments.ScenarioConfig{
+		GuestCores: *cores,
+		VMsPerCore: *vmsPerCore,
+		Scheduler:  experiments.SchedulerKind(*scheduler),
+		Capped:     *capped,
+		Background: experiments.BGKind(*bg),
+		Seed:       *seed,
+		Trace:      *trace,
+	}
+	duration := int64(*durationS * 1e9)
+
+	switch *wl {
+	case "web":
+		srv := experiments.NewWebServer()
+		sc, err := experiments.Build(cfg, srv.Program())
+		if err != nil {
+			fatal(err)
+		}
+		srv.Bind(sc.Vantage)
+		srv.CountUntil = duration
+		sc.M.Start()
+		workload.RunOpenLoop(sc.M, srv, 0, *rate, duration, *size)
+		sc.M.Run(duration + 200_000_000)
+		h := srv.Latencies()
+		fmt.Printf("web server under %s (%s, %s background):\n", *scheduler, cappedLabel(*capped), *bg)
+		fmt.Printf("  offered:   %8.1f req/s\n", *rate)
+		fmt.Printf("  achieved:  %8.1f req/s\n", float64(srv.CompletedInWindow())/(float64(duration)/1e9))
+		fmt.Printf("  mean:      %8.3f ms\n", h.Mean()/1e6)
+		fmt.Printf("  p99:       %8.3f ms\n", float64(h.P99())/1e6)
+		fmt.Printf("  max:       %8.3f ms\n", float64(h.Max())/1e6)
+		printMachine(sc)
+		printTrace(sc)
+	case "ping":
+		sink := &workload.PingSink{}
+		sc, err := experiments.Build(cfg, sink.Program())
+		if err != nil {
+			fatal(err)
+		}
+		sink.Bind(sc.Vantage)
+		sc.M.Start()
+		workload.SchedulePings(sc.M, sink, 8, int(*durationS*50), 20_000_000, *seed)
+		sc.M.Run(duration)
+		h := sink.Latencies()
+		fmt.Printf("ping responder under %s (%s, %s background):\n", *scheduler, cappedLabel(*capped), *bg)
+		fmt.Printf("  pings:     %8d\n", h.Count())
+		fmt.Printf("  mean:      %8.3f ms\n", h.Mean()/1e6)
+		fmt.Printf("  max:       %8.3f ms\n", float64(h.Max())/1e6)
+		printMachine(sc)
+		printTrace(sc)
+	case "probe":
+		probe := &workload.Probe{}
+		sc, err := experiments.Build(cfg, probe.Program())
+		if err != nil {
+			fatal(err)
+		}
+		sc.M.Start()
+		sc.M.Run(duration)
+		fmt.Printf("intrinsic-latency probe under %s (%s, %s background):\n", *scheduler, cappedLabel(*capped), *bg)
+		fmt.Printf("  samples:    %8d\n", probe.Delays().Count())
+		fmt.Printf("  max delay:  %8.3f ms\n", float64(probe.MaxDelay())/1e6)
+		printMachine(sc)
+		printTrace(sc)
+	default:
+		fmt.Fprintf(os.Stderr, "tableau-sim: unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+}
+
+func cappedLabel(c bool) string {
+	if c {
+		return "capped"
+	}
+	return "uncapped"
+}
+
+func printTrace(sc *experiments.Scenario) {
+	if sc.Recorder == nil {
+		return
+	}
+	fmt.Println("\ndispatch timeline, first 2 ms ('.'=idle, 0-9a-z=vCPU id):")
+	fmt.Print(sc.Recorder.Render(0, 2_000_000, 100))
+}
+
+func printMachine(sc *experiments.Scenario) {
+	st := sc.M.Stats
+	fmt.Printf("machine: %d schedule ops, %d wakeups, %d migrations; %.1f ms guest time lost to overhead\n",
+		st.ScheduleOps, st.WakeupOps, st.MigrateOps, float64(sc.M.OverheadTime())/1e6)
+	if sc.Dispatcher != nil {
+		ds := sc.Dispatcher.Stats()
+		fmt.Printf("tableau dispatcher: %d table dispatches, %d second-level, %d idle decisions, %d table switches\n",
+			ds.TableDispatches, ds.SecondLevelDispatches, ds.IdleDecisions, ds.TableSwitches)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tableau-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,27 @@
+// Package tableau is a from-scratch Go reproduction of "Tableau: A
+// High-Throughput and Predictable VM Scheduler for High-Density
+// Workloads" (Vanga, Gujarati, Brandenburg; EuroSys 2018).
+//
+// The repository contains the paper's full system and evaluation stack:
+//
+//   - internal/planner — on-demand scheduling-table generation from
+//     real-time scheduling theory (period selection over the divisors
+//     of 102,702,600 ns, worst-fit-decreasing partitioning, C=D
+//     semi-partitioning, DP-Fair cluster scheduling, post-processing);
+//   - internal/dispatch — the table-driven dispatcher with O(1)
+//     slice-table lookups, a second-level fair-share scheduler, wakeup
+//     routing, a lock-free migration handshake, and boundary-
+//     synchronized table switches;
+//   - internal/schedulers/{credit,credit2,rtds} — the three Xen
+//     baseline schedulers the paper compares against;
+//   - internal/{sim,vmm,netdev,workload,stats} — the discrete-event
+//     machine, NIC, workload, and measurement substrate standing in
+//     for the paper's Xen/Intel-Xeon testbed;
+//   - internal/experiments — drivers reproducing every table and
+//     figure of the paper's Section 7.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory
+// and substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+// The benchmarks in bench_test.go regenerate each table and figure as
+// testing.B benchmarks; cmd/experiments prints the full series.
+package tableau

@@ -1,0 +1,69 @@
+// Webserver: the paper's headline experiment (Sec. 7.4) in miniature.
+// A vantage VM serves 100 KiB responses under an open-loop constant-rate
+// load while 47 I/O-intensive background VMs hammer the scheduler; the
+// same scenario runs under Credit, RTDS, and Tableau, and the SLA-aware
+// throughput comparison is printed.
+//
+// Run with: go run ./examples/webserver
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tableau/internal/experiments"
+	"tableau/internal/workload"
+)
+
+func main() {
+	const (
+		fileSize = 100 * 1024    // 100 KiB responses
+		duration = 2_000_000_000 // 2 simulated seconds per point
+		slaP99   = 100_000_000   // SLA: p99 <= 100 ms
+	)
+	rates := []float64{200, 400, 500, 600, 700}
+
+	fmt.Println("nginx-style server, capped VMs, I/O-intensive background")
+	fmt.Println("(48 VMs on 12 cores; each VM reserved 25% of a core)")
+	fmt.Println()
+	fmt.Printf("%-9s %9s %10s %9s %9s\n", "scheduler", "offered", "achieved", "p99(ms)", "meets SLA")
+
+	best := map[experiments.SchedulerKind]float64{}
+	for _, kind := range experiments.CappedSchedulers {
+		for _, rate := range rates {
+			srv := experiments.NewWebServer()
+			sc, err := experiments.Build(experiments.ScenarioConfig{
+				Scheduler:  kind,
+				Capped:     true,
+				Background: experiments.BGIO,
+				Seed:       7,
+			}, srv.Program())
+			if err != nil {
+				log.Fatal(err)
+			}
+			srv.Bind(sc.Vantage)
+			srv.CountUntil = duration
+			sc.M.Start()
+			workload.RunOpenLoop(sc.M, srv, 0, rate, duration, fileSize)
+			sc.M.Run(duration + 200_000_000)
+
+			achieved := float64(srv.CompletedInWindow()) / (float64(duration) / 1e9)
+			p99 := srv.Latencies().P99()
+			meets := p99 <= slaP99
+			if meets && achieved > best[kind] {
+				best[kind] = achieved
+			}
+			fmt.Printf("%-9s %9.0f %10.1f %9.2f %9v\n", kind, rate, achieved, float64(p99)/1e6, meets)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("SLA-aware peak throughput (highest rate with p99 <= 100 ms):")
+	for _, kind := range experiments.CappedSchedulers {
+		fmt.Printf("  %-9s %7.0f req/s\n", kind, best[kind])
+	}
+	fmt.Println()
+	fmt.Println("The paper's Fig. 7(e): Tableau sustains ~600 req/s while Credit's")
+	fmt.Println("tail latency collapses well before its raw peak — the cost of")
+	fmt.Println("heuristic boosting when every VM performs I/O.")
+}

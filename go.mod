@@ -1,0 +1,3 @@
+module tableau
+
+go 1.22

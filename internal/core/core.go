@@ -1,0 +1,245 @@
+// Package core is the public face of the Tableau reproduction: it ties
+// the planner (table generation, paper Sec. 5) and the dispatcher
+// (table-driven scheduling, Secs. 4 and 6) into the system of Fig. 1 —
+// a host whose VM population changes over time, with a planning step on
+// every creation, teardown, or reconfiguration that regenerates the
+// scheduling table and pushes it to the dispatcher for a boundary-
+// synchronized switch.
+package core
+
+import (
+	"fmt"
+
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+	"tableau/internal/table"
+)
+
+// Util re-exports the planner's exact utilization type.
+type Util = planner.Util
+
+// VMConfig describes one single-vCPU VM slot in the system. (The paper
+// evaluates single-vCPU VMs; multi-vCPU VMs are a set of slots sharing
+// a name prefix.)
+type VMConfig struct {
+	// Name identifies the VM.
+	Name string
+	// Util is the reserved utilization in (0, 1].
+	Util Util
+	// LatencyGoal is the maximum scheduling latency L in ns.
+	LatencyGoal int64
+	// Capped VMs may not exceed their reservation.
+	Capped bool
+}
+
+type slot struct {
+	cfg    VMConfig
+	active bool
+}
+
+// System models the host's VM population and produces scheduling
+// tables for it. Slot indices are stable: they double as vCPU ids in
+// the generated tables, so a dispatcher attached to a machine with one
+// vCPU per slot can adopt every regenerated table.
+type System struct {
+	cores        int
+	plannerOpts  planner.Options
+	dispatchOpts dispatch.Options
+	slots        []slot
+	generation   uint64
+
+	// RotateSplits advances the planner's split rotation on every Plan,
+	// so that when the population forces C=D splitting, the migration
+	// penalty is taken in turns instead of pinned to one vCPU (the
+	// paper's Sec. 7.5 "all vCPUs take a turn being split").
+	RotateSplits bool
+}
+
+// NewSystem creates a system with the given number of guest cores.
+func NewSystem(cores int, popts planner.Options, dopts dispatch.Options) *System {
+	popts.Cores = cores
+	return &System{cores: cores, plannerOpts: popts, dispatchOpts: dopts}
+}
+
+// Cores returns the number of guest cores.
+func (s *System) Cores() int { return s.cores }
+
+// AddVM registers a VM slot (initially active) and returns its id.
+// Slots must all be registered before the first Plan when the system
+// backs a running machine, because vCPU ids are fixed at machine start;
+// use SetActive to model creation and teardown afterwards.
+func (s *System) AddVM(cfg VMConfig) (int, error) {
+	spec := planner.VCPUSpec{Name: cfg.Name, Util: cfg.Util, LatencyGoal: cfg.LatencyGoal, Capped: cfg.Capped}
+	if err := spec.Validate(); err != nil {
+		return 0, err
+	}
+	s.slots = append(s.slots, slot{cfg: cfg, active: true})
+	return len(s.slots) - 1, nil
+}
+
+// AddMultiVM registers n vCPU slots for an n-vCPU VM (named
+// "<name>.0" … "<name>.<n-1>"), each with the same per-vCPU utilization
+// and latency goal, and returns the slot ids. The paper's model treats
+// an SMP VM as a set of independently schedulable vCPUs (Sec. 2); the
+// planner places them like any other vCPUs.
+func (s *System) AddMultiVM(name string, n int, u Util, latencyGoal int64, capped bool) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: VM %q needs at least one vCPU", name)
+	}
+	ids := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := s.AddVM(VMConfig{
+			Name:        fmt.Sprintf("%s.%d", name, i),
+			Util:        u,
+			LatencyGoal: latencyGoal,
+			Capped:      capped,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// SetActive marks a slot as active (VM created) or inactive (torn
+// down). Inactive slots receive no reservations and do not take part in
+// second-level scheduling.
+func (s *System) SetActive(id int, active bool) error {
+	if id < 0 || id >= len(s.slots) {
+		return fmt.Errorf("core: no VM slot %d", id)
+	}
+	s.slots[id].active = active
+	return nil
+}
+
+// Reconfigure updates a slot's utilization and latency goal (the
+// paper's VM reconfiguration operation).
+func (s *System) Reconfigure(id int, u Util, latencyGoal int64) error {
+	if id < 0 || id >= len(s.slots) {
+		return fmt.Errorf("core: no VM slot %d", id)
+	}
+	cfg := s.slots[id].cfg
+	cfg.Util = u
+	cfg.LatencyGoal = latencyGoal
+	spec := planner.VCPUSpec{Name: cfg.Name, Util: cfg.Util, LatencyGoal: cfg.LatencyGoal, Capped: cfg.Capped}
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	s.slots[id].cfg = cfg
+	return nil
+}
+
+// NumSlots returns the number of registered VM slots.
+func (s *System) NumSlots() int { return len(s.slots) }
+
+// Config returns the configuration of slot id.
+func (s *System) Config(id int) VMConfig { return s.slots[id].cfg }
+
+// Plan generates a scheduling table covering every slot (with
+// reservations only for active ones) and the planner's report. Each
+// call increments the table generation.
+func (s *System) Plan() (*table.Table, *planner.Result, error) {
+	var specs []planner.VCPUSpec
+	var specSlot []int
+	for id, sl := range s.slots {
+		if !sl.active {
+			continue
+		}
+		specs = append(specs, planner.VCPUSpec{
+			Name:        sl.cfg.Name,
+			Util:        sl.cfg.Util,
+			LatencyGoal: sl.cfg.LatencyGoal,
+			Capped:      sl.cfg.Capped,
+		})
+		specSlot = append(specSlot, id)
+	}
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("core: no active VMs to plan for")
+	}
+	opts := s.plannerOpts
+	if s.RotateSplits {
+		opts.SplitRotation = int(s.generation)
+	}
+	res, err := planner.Plan(specs, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	tbl, err := s.remap(res.Table, specSlot)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Remap the guarantees to slot ids as well so callers can re-check.
+	for i := range res.Guarantees {
+		res.Guarantees[i].VCPU = specSlot[res.Guarantees[i].VCPU]
+	}
+	s.generation++
+	tbl.Generation = s.generation
+	res.Table = tbl
+	return tbl, res, nil
+}
+
+// remap rewrites a planner table (vCPU ids = active-spec order) into
+// the slot-id universe, adding empty entries for inactive slots.
+func (s *System) remap(in *table.Table, specSlot []int) (*table.Table, error) {
+	out := &table.Table{Len: in.Len}
+	out.VCPUs = make([]table.VCPUInfo, len(s.slots))
+	for id, sl := range s.slots {
+		out.VCPUs[id] = table.VCPUInfo{
+			Name:     sl.cfg.Name,
+			Capped:   sl.cfg.Capped || !sl.active, // inactive: fully fenced
+			HomeCore: -1,
+		}
+	}
+	for specIdx, slotID := range specSlot {
+		vi := in.VCPUs[specIdx]
+		out.VCPUs[slotID].Capped = vi.Capped
+		out.VCPUs[slotID].HomeCore = vi.HomeCore
+		out.VCPUs[slotID].Split = vi.Split
+		out.VCPUs[slotID].UtilizationPPM = vi.UtilizationPPM
+		out.VCPUs[slotID].LatencyGoal = vi.LatencyGoal
+	}
+	out.Cores = make([]table.CoreTable, len(in.Cores))
+	for c := range in.Cores {
+		out.Cores[c].Core = in.Cores[c].Core
+		for _, a := range in.Cores[c].Allocs {
+			v := a.VCPU
+			if v != table.Idle {
+				v = specSlot[v]
+			}
+			out.Cores[c].Allocs = append(out.Cores[c].Allocs, table.Alloc{Start: a.Start, End: a.End, VCPU: v})
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("core: remapped table invalid: %w", err)
+	}
+	if err := out.BuildSlices(s.plannerOpts.MaxSlicesPerCore); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// BuildDispatcher plans the current population and returns a dispatcher
+// enacting the result, ready to attach to a vmm machine with one vCPU
+// per slot.
+func (s *System) BuildDispatcher() (*dispatch.Dispatcher, *planner.Result, error) {
+	tbl, res, err := s.Plan()
+	if err != nil {
+		return nil, nil, err
+	}
+	return dispatch.New(tbl, s.dispatchOpts), res, nil
+}
+
+// Push replans and stages the new table on a live dispatcher: the
+// paper's reconfiguration path (planner daemon regenerates, pushes via
+// hypercall, dispatcher switches at a safe boundary).
+func (s *System) Push(d *dispatch.Dispatcher) (*planner.Result, error) {
+	tbl, res, err := s.Plan()
+	if err != nil {
+		return nil, err
+	}
+	if err := d.PushTable(tbl); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

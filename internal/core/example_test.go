@@ -1,0 +1,42 @@
+package core_test
+
+import (
+	"fmt"
+
+	"tableau/internal/core"
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+)
+
+// ExampleSystem walks the full VM lifecycle: create, plan, tear down,
+// replan — the operations that trigger Tableau's planner (paper Sec. 3).
+func ExampleSystem() {
+	sys := core.NewSystem(2, planner.Options{}, dispatch.Options{})
+	a, _ := sys.AddVM(core.VMConfig{Name: "a", Util: core.Util{Num: 1, Den: 2}, LatencyGoal: 10e6, Capped: true})
+	b, _ := sys.AddVM(core.VMConfig{Name: "b", Util: core.Util{Num: 1, Den: 2}, LatencyGoal: 10e6, Capped: true})
+	_ = a
+
+	tbl, res, err := sys.Plan()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("generation:", tbl.Generation, "stage:", res.Stage)
+	fmt.Println("b reserved ns/cycle:", tbl.ServiceOf(b))
+
+	// Tear down b and upgrade a to a dedicated core.
+	_ = sys.SetActive(b, false)
+	_ = sys.Reconfigure(a, core.Util{Num: 1, Den: 1}, 10e6)
+	tbl2, _, err := sys.Plan()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("generation:", tbl2.Generation)
+	fmt.Println("b reserved ns/cycle:", tbl2.ServiceOf(b))
+	fmt.Println("a owns a core:", tbl2.ServiceOf(a) == tbl2.Len)
+	// Output:
+	// generation: 1 stage: partitioned
+	// b reserved ns/cycle: 4668300
+	// generation: 2
+	// b reserved ns/cycle: 0
+	// a owns a core: true
+}

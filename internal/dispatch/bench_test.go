@@ -1,0 +1,49 @@
+package dispatch
+
+import (
+	"fmt"
+	"testing"
+
+	"tableau/internal/sim"
+	"tableau/internal/table"
+	"tableau/internal/vmm"
+)
+
+// BenchmarkDispatcherHotPath measures the dispatcher's PickNext on a
+// realistic four-VMs-per-core table: the paper's O(1) claim.
+func BenchmarkDispatcherHotPath(b *testing.B) {
+	tbl := &table.Table{Len: 11_411_400}
+	for i := 0; i < 4; i++ {
+		tbl.VCPUs = append(tbl.VCPUs, table.VCPUInfo{Name: fmt.Sprintf("v%d", i), Capped: true, HomeCore: 0})
+		s := int64(i) * 2_852_850
+		tbl.Cores = appendAlloc(tbl.Cores, 0, s, s+2_852_850, i)
+	}
+	if err := tbl.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.BuildSlices(0); err != nil {
+		b.Fatal(err)
+	}
+	d := New(tbl, Options{})
+	m := vmm.New(sim.New(1), 1, d, vmm.NoOverheads())
+	for i := 0; i < 4; i++ {
+		m.AddVCPU(fmt.Sprintf("v%d", i), vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+			return vmm.Compute(1_000_000)
+		}), 256, true)
+	}
+	m.Start()
+	m.Run(1_000) // settle
+	cpu := m.CPUs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.PickNext(cpu, int64(i)*7919%tbl.Len)
+	}
+}
+
+func appendAlloc(cores []table.CoreTable, core int, s, e int64, v int) []table.CoreTable {
+	for len(cores) <= core {
+		cores = append(cores, table.CoreTable{Core: len(cores)})
+	}
+	cores[core].Allocs = append(cores[core].Allocs, table.Alloc{Start: s, End: e, VCPU: v})
+	return cores
+}

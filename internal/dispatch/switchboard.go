@@ -1,0 +1,99 @@
+package dispatch
+
+import (
+	"errors"
+	"sync/atomic"
+
+	"tableau/internal/table"
+)
+
+// SwitchBoard is a faithful, concurrent implementation of Tableau's
+// lock-free table-switch protocol (paper Sec. 6): no locks or barriers
+// appear on the dispatcher hot path. Each core holds a private pointer
+// to the table it enacts; the planner publishes a staged table together
+// with an activation cycle chosen away from any wrap boundary (the
+// "middle of the next round" rule), and every core adopts the new table
+// the first time it looks past that boundary. Because the activation
+// cycle is strictly in the future for every core, no core can observe a
+// half-installed switch.
+//
+// The simulator's Dispatcher uses equivalent single-threaded logic; this
+// type exists so the protocol itself runs and is tested under the Go
+// race detector with real core-parallel readers.
+type SwitchBoard struct {
+	coreTables []atomic.Pointer[table.Table]
+
+	staged   atomic.Pointer[table.Table]
+	activate atomic.Int64 // cycle index at which staged takes effect
+	adopted  atomic.Int32 // cores that moved to the staged generation
+
+	activeLen atomic.Int64 // length of the currently active table
+}
+
+// ErrSwitchPending is returned by Push while a previous switch has not
+// yet been adopted by every core.
+var ErrSwitchPending = errors.New("dispatch: a table switch is already pending")
+
+// NewSwitchBoard creates a switch board for ncores cores, all initially
+// enacting tbl.
+func NewSwitchBoard(ncores int, tbl *table.Table) *SwitchBoard {
+	s := &SwitchBoard{coreTables: make([]atomic.Pointer[table.Table], ncores)}
+	for i := range s.coreTables {
+		s.coreTables[i].Store(tbl)
+	}
+	s.activeLen.Store(tbl.Len)
+	return s
+}
+
+// Push stages tbl for adoption. now is the current time; the activation
+// cycle is the next wrap if the current position is in the first half of
+// the cycle, and the wrap after that otherwise, so that the staged
+// pointer is never read concurrently with a wrap that could race it.
+// It returns the chosen activation cycle index.
+func (s *SwitchBoard) Push(tbl *table.Table, now int64) (int64, error) {
+	if s.staged.Load() != nil {
+		return 0, ErrSwitchPending
+	}
+	l := s.activeLen.Load()
+	cycle := now / l
+	pos := now % l
+	at := cycle + 1
+	if pos >= l/2 {
+		at = cycle + 2
+	}
+	s.adopted.Store(0)
+	// Publish order matters for lock-freedom reasoning: the staged
+	// table must be visible before any reader can see an activation
+	// cycle that refers to it. Go atomics are sequentially consistent,
+	// so storing staged first suffices.
+	s.staged.Store(tbl)
+	s.activate.Store(at)
+	return at, nil
+}
+
+// TableFor returns the table core should enact at time now. It is the
+// lock-free hot path: two atomic loads in the common case.
+func (s *SwitchBoard) TableFor(core int, now int64) *table.Table {
+	cur := s.coreTables[core].Load()
+	staged := s.staged.Load()
+	if staged == nil || staged == cur {
+		return cur
+	}
+	if now/s.activeLen.Load() < s.activate.Load() {
+		return cur
+	}
+	// Cross the activation boundary: adopt.
+	s.coreTables[core].Store(staged)
+	if int(s.adopted.Add(1)) == len(s.coreTables) {
+		// Last adopter retires the old generation ("two rounds after a
+		// new table has been uploaded, the previous table is
+		// garbage-collected") — here the GC is letting the old pointer
+		// drop; the length of the new table becomes authoritative.
+		s.activeLen.Store(staged.Len)
+		s.staged.Store(nil)
+	}
+	return staged
+}
+
+// Pending reports whether a staged table has not yet been fully adopted.
+func (s *SwitchBoard) Pending() bool { return s.staged.Load() != nil }

@@ -1,0 +1,157 @@
+package dispatch
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tableau/internal/table"
+)
+
+func miniTable(t *testing.T, gen uint64) *table.Table {
+	t.Helper()
+	tbl := &table.Table{
+		Len:        100_000,
+		Generation: gen,
+		VCPUs:      []table.VCPUInfo{{Name: "v"}},
+		Cores:      []table.CoreTable{{Core: 0, Allocs: []table.Alloc{{Start: 0, End: 50_000, VCPU: 0}}}},
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.BuildSlices(0); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestSwitchBoardBasic(t *testing.T) {
+	t0 := miniTable(t, 1)
+	t1 := miniTable(t, 2)
+	s := NewSwitchBoard(2, t0)
+	if s.Pending() {
+		t.Error("fresh board should not be pending")
+	}
+	// Push early in cycle 0: activation at cycle 1.
+	at, err := s.Push(t1, 10_000)
+	if err != nil || at != 1 {
+		t.Fatalf("Push = %d, %v; want cycle 1", at, err)
+	}
+	if !s.Pending() {
+		t.Error("board should be pending")
+	}
+	// Before the boundary, both cores keep the old table.
+	if got := s.TableFor(0, 60_000); got != t0 {
+		t.Error("core 0 adopted early")
+	}
+	// After the boundary, both adopt.
+	if got := s.TableFor(0, 100_000); got != t1 {
+		t.Error("core 0 did not adopt at the boundary")
+	}
+	if got := s.TableFor(1, 150_000); got != t1 {
+		t.Error("core 1 did not adopt")
+	}
+	if s.Pending() {
+		t.Error("fully adopted switch still pending")
+	}
+}
+
+func TestSwitchBoardLatePushSkipsACycle(t *testing.T) {
+	t0 := miniTable(t, 1)
+	t1 := miniTable(t, 2)
+	s := NewSwitchBoard(1, t0)
+	// Push at 80% of cycle 3: activation at cycle 5.
+	at, err := s.Push(t1, 380_000)
+	if err != nil || at != 5 {
+		t.Fatalf("Push = %d, %v; want cycle 5", at, err)
+	}
+	if got := s.TableFor(0, 499_999); got != t0 {
+		t.Error("adopted before cycle 5")
+	}
+	if got := s.TableFor(0, 500_000); got != t1 {
+		t.Error("did not adopt at cycle 5")
+	}
+}
+
+func TestSwitchBoardRejectsConcurrentPush(t *testing.T) {
+	s := NewSwitchBoard(2, miniTable(t, 1))
+	if _, err := s.Push(miniTable(t, 2), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push(miniTable(t, 3), 0); err != ErrSwitchPending {
+		t.Errorf("err = %v, want ErrSwitchPending", err)
+	}
+}
+
+// TestSwitchBoardConcurrent drives the protocol with one goroutine per
+// core under -race: cores repeatedly read their table with
+// monotonically advancing local clocks while a planner goroutine pushes
+// new generations. Invariants: generations observed by each core are
+// non-decreasing, and no core observes a staged table before its
+// activation cycle.
+func TestSwitchBoardConcurrent(t *testing.T) {
+	const cores = 4
+	const pushes = 12
+	base := miniTable(t, 1)
+	s := NewSwitchBoard(cores, base)
+
+	var clock atomic.Int64 // shared advancing time
+	activation := make([]atomic.Int64, pushes+2)
+	genAt := func(g uint64) *atomic.Int64 { return &activation[g] }
+	genAt(1).Store(0)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for c := 0; c < cores; c++ {
+		wg.Add(1)
+		go func(core int) {
+			defer wg.Done()
+			var lastGen uint64 = 1
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				now := clock.Add(7) // each read advances time a little
+				tbl := s.TableFor(core, now)
+				g := tbl.Generation
+				if g < lastGen {
+					t.Errorf("core %d: generation went backwards %d -> %d", core, lastGen, g)
+					return
+				}
+				if g > lastGen {
+					// Must not adopt before the published activation
+					// cycle (in units of 100 µs table cycles).
+					act := genAt(g).Load()
+					if now/100_000 < act {
+						t.Errorf("core %d adopted gen %d at t=%d, before cycle %d", core, g, now, act)
+						return
+					}
+					lastGen = g
+				}
+			}
+		}(c)
+	}
+	for i := 0; i < pushes; i++ {
+		gen := uint64(i + 2)
+		next := miniTable(t, gen)
+		for {
+			now := clock.Load()
+			at, err := s.Push(next, now)
+			if err == nil {
+				genAt(gen).Store(at)
+				break
+			}
+			// Previous switch still pending: let readers advance.
+			clock.Add(100_000)
+		}
+		clock.Add(250_000) // guarantee the boundary passes
+	}
+	// Let every core settle onto the final generation.
+	for s.Pending() {
+		clock.Add(100_000)
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"tableau/internal/vmm"
+	"tableau/internal/workload"
+)
+
+// Background workload parameters. The I/O loop mimics the stress
+// benchmark's I/O workers: short compute bursts separated by blocking
+// I/O, so the VM scheduler is invoked thousands of times per second per
+// VM — the paper's "high-density workloads that frequently trigger the
+// VM scheduler". With no benchmark running, VMs still wake occasionally
+// for guest system processes (Sec. 7.3 observes Credit's capped stalls
+// even without background load), modelled as sparse housekeeping
+// bursts.
+const (
+	bgIOCompute = 50_000      // 50 µs of work per I/O cycle
+	bgIOWait    = 50_000      // 50 µs blocked per cycle
+	bgJitterPct = 60          // decorrelate the VMs
+	noiseSleep  = 100_000_000 // housekeeping every ~100 ms
+	noiseWork   = 200_000     // ~200 µs of system processes
+)
+
+// bgProgram returns the background program for VM i under cfg.
+func bgProgram(cfg ScenarioConfig, i int) vmm.Program {
+	seed := cfg.Seed*1_000_003 + int64(i)
+	scale := cfg.BGIOScale
+	if scale <= 0 {
+		scale = 1
+	}
+	switch cfg.Background {
+	case BGIO:
+		return workload.StressIO(bgIOCompute*scale, bgIOWait*scale, bgJitterPct, seed)
+	case BGCPU:
+		return workload.CPUHog()
+	default:
+		// Idle guests: periodic housekeeping only.
+		return workload.StressIO(noiseWork, noiseSleep, bgJitterPct, seed)
+	}
+}

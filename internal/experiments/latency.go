@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tableau/internal/vmm"
+	"tableau/internal/workload"
+)
+
+// IntrinsicPoint is one bar of Fig. 5: the maximum scheduling delay
+// observed by a redis-cli-style CPU-bound probe in the vantage VM.
+type IntrinsicPoint struct {
+	Scheduler  SchedulerKind
+	Capped     bool
+	Background BGKind
+	MaxDelay   int64
+	Samples    int64
+}
+
+// RunIntrinsic reproduces Fig. 5 for one (scheduler, capped, background)
+// cell.
+func RunIntrinsic(kind SchedulerKind, capped bool, bg BGKind, mode Mode, seed int64) (IntrinsicPoint, error) {
+	probe := &workload.Probe{Chunk: 10_000}
+	sc, err := Build(ScenarioConfig{
+		Scheduler:  kind,
+		Capped:     capped,
+		Background: bg,
+		Seed:       seed,
+	}, probe.Program())
+	if err != nil {
+		return IntrinsicPoint{}, err
+	}
+	horizon := int64(2_000_000_000) // 2 s
+	if mode == Full {
+		horizon = 10_000_000_000
+	}
+	sc.M.Start()
+	sc.M.Run(horizon)
+	return IntrinsicPoint{
+		Scheduler:  kind,
+		Capped:     capped,
+		Background: bg,
+		MaxDelay:   probe.MaxDelay(),
+		Samples:    probe.Delays().Count(),
+	}, nil
+}
+
+// Fig5 runs the full intrinsic-latency matrix: capped scenarios with
+// Credit/RTDS/Tableau and uncapped with Credit/Credit2/Tableau, each
+// against no, I/O-intensive, and CPU-intensive background load.
+func Fig5(mode Mode) (*Result, error) {
+	r := &Result{
+		Name:   "fig5",
+		Title:  "Maximum scheduling delay (redis-cli-style intrinsic latency)",
+		Header: []string{"scenario", "background", "scheduler", "max_delay_ms", "samples"},
+		Note:   "Paper: Tableau ~10 ms in every capped cell; Credit up to 44 ms capped and 220 ms uncapped with background load.",
+	}
+	for _, capped := range []bool{true, false} {
+		scheds := CappedSchedulers
+		label := "capped"
+		if !capped {
+			scheds = UncappedSchedulers
+			label = "uncapped"
+		}
+		for _, bg := range []BGKind{BGNone, BGIO, BGCPU} {
+			for _, k := range scheds {
+				p, err := RunIntrinsic(k, capped, bg, mode, 42)
+				if err != nil {
+					return nil, err
+				}
+				r.Rows = append(r.Rows, []string{label, string(bg), string(k), ms(p.MaxDelay), itoa(p.Samples)})
+			}
+		}
+	}
+	return r, nil
+}
+
+// PingPoint is one bar pair of Fig. 6.
+type PingPoint struct {
+	Scheduler  SchedulerKind
+	Capped     bool
+	Background BGKind
+	AvgNs      float64
+	MaxNs      int64
+	Pings      int64
+}
+
+// RunPing reproduces one Fig. 6 cell: randomly spaced pings to the
+// vantage VM; average and maximum response latency.
+func RunPing(kind SchedulerKind, capped bool, bg BGKind, mode Mode, seed int64) (PingPoint, error) {
+	sink := &workload.PingSink{Cost: 5_000}
+	sc, err := Build(ScenarioConfig{
+		Scheduler:  kind,
+		Capped:     capped,
+		Background: bg,
+		Seed:       seed,
+	}, sink.Program())
+	if err != nil {
+		return PingPoint{}, err
+	}
+	sink.Bind(sc.Vantage)
+	// Paper: 8 threads x 5,000 pings spaced uniformly in [0, 200 ms).
+	// The vantage VM must stay nearly idle (pings are sparse) for the
+	// schedulers' idle-VM wakeup paths to be exercised; quick mode
+	// reduces the count and moderately compresses the spacing.
+	threads, count, spacing := 8, 150, int64(20_000_000)
+	if mode == Full {
+		threads, count, spacing = 8, 1_000, 100_000_000
+	}
+	sc.M.Start()
+	workload.SchedulePings(sc.M, sink, threads, count, spacing, seed)
+	horizon := int64(count)*spacing + 500_000_000
+	sc.M.Run(horizon)
+	h := sink.Latencies()
+	return PingPoint{
+		Scheduler:  kind,
+		Capped:     capped,
+		Background: bg,
+		AvgNs:      h.Mean(),
+		MaxNs:      h.Max(),
+		Pings:      h.Count(),
+	}, nil
+}
+
+// Fig6 runs the full ping matrix.
+func Fig6(mode Mode) (*Result, error) {
+	r := &Result{
+		Name:   "fig6",
+		Title:  "Average and maximum round-trip ping latency",
+		Header: []string{"scenario", "background", "scheduler", "avg_ms", "max_ms", "pings"},
+		Note:   "Paper: Tableau max <= 10 ms in all capped cells (17x below Credit's ~75 ms I/O-BG tail); Tableau mean higher than dynamic schedulers when capped.",
+	}
+	for _, capped := range []bool{true, false} {
+		scheds := CappedSchedulers
+		label := "capped"
+		if !capped {
+			scheds = UncappedSchedulers
+			label = "uncapped"
+		}
+		for _, bg := range []BGKind{BGNone, BGIO, BGCPU} {
+			for _, k := range scheds {
+				p, err := RunPing(k, capped, bg, mode, 42)
+				if err != nil {
+					return nil, err
+				}
+				r.Rows = append(r.Rows, []string{
+					label, string(bg), string(k),
+					msF(p.AvgNs), ms(p.MaxNs), itoa(p.Pings),
+				})
+			}
+		}
+	}
+	return r, nil
+}
+
+// OpCostRow is one row of the Table 1/2 reproduction.
+type OpCostRow struct {
+	Scheduler SchedulerKind
+	// Native measurements: mean host-clock ns of the reimplemented hot
+	// paths under the I/O-intensive scenario.
+	NativeScheduleNs float64
+	NativeWakeupNs   float64
+	// Emergent simulated per-op means (base cost + lock-contention
+	// queueing), the direct analogue of the paper's xentrace means.
+	SimScheduleNs float64
+	SimWakeupNs   float64
+	SimMigrateNs  float64
+	// Uncontended base costs of the contention model.
+	ModelScheduleNs int64
+	ModelWakeupNs   int64
+	ModelMigrateNs  int64
+	Ops             int64
+}
+
+// RunOverheadTable reproduces Table 1 (16 cores) or Table 2 (48 cores):
+// for each scheduler, the I/O-intensive capped/uncapped mix of Sec. 7.2
+// runs with the scheduler's hot paths timed natively.
+func RunOverheadTable(machineCores int, mode Mode) ([]OpCostRow, error) {
+	guest := machineCores - 4 // dom0 keeps 4 cores, as in the paper
+	horizon := int64(1_000_000_000)
+	if mode == Full {
+		horizon = 10_000_000_000
+	}
+	var rows []OpCostRow
+	for _, k := range []SchedulerKind{Credit, Credit2, RTDS, Tableau} {
+		capped := k == RTDS // RTDS is capped-only; others measured uncapped like the stress run
+		cfg := ScenarioConfig{
+			GuestCores:    guest,
+			Scheduler:     k,
+			Capped:        capped,
+			Background:    BGIO,
+			Seed:          7,
+			OverheadCores: machineCores,
+			BGIOScale:     6, // moderate per-op pressure for cost tracing
+			Timed:         true,
+		}
+		sc, err := Build(cfg, bgProgram(cfg.withDefaults(), 0))
+		if err != nil {
+			return nil, err
+		}
+		sc.M.Start()
+		sc.M.Run(horizon)
+		ov := sc.M.Ov
+		st := sc.M.Stats
+		mean := func(total, ops int64) float64 {
+			if ops == 0 {
+				return 0
+			}
+			return float64(total) / float64(ops)
+		}
+		rows = append(rows, OpCostRow{
+			Scheduler:        k,
+			NativeScheduleNs: sc.Timed.Pick.MeanNs(),
+			NativeWakeupNs:   sc.Timed.Wake.MeanNs(),
+			SimScheduleNs:    mean(st.ScheduleTime, st.ScheduleOps),
+			SimWakeupNs:      mean(st.WakeupTime, st.WakeupOps),
+			SimMigrateNs:     mean(st.MigrateTime, st.MigrateOps),
+			ModelScheduleNs:  ov.Schedule,
+			ModelWakeupNs:    ov.Wakeup,
+			ModelMigrateNs:   ov.Migrate,
+			Ops:              sc.Timed.Pick.Ops,
+		})
+	}
+	return rows, nil
+}
+
+// OverheadResult renders Table 1 or Table 2.
+func OverheadResult(machineCores int, mode Mode) (*Result, error) {
+	rows, err := RunOverheadTable(machineCores, mode)
+	if err != nil {
+		return nil, err
+	}
+	name := "tab1"
+	if machineCores > 16 {
+		name = "tab2"
+	}
+	r := &Result{
+		Name:  name,
+		Title: fmt.Sprintf("Scheduler operation costs on a %d-core machine", machineCores),
+		Header: []string{"scheduler", "sim_schedule_us", "sim_wakeup_us", "sim_migrate_us",
+			"paper_schedule_us", "paper_wakeup_us", "paper_migrate_us",
+			"native_schedule_us", "native_wakeup_us", "picks"},
+		Note: "sim_* = emergent simulated per-op means (uncontended base cost + lock-domain queueing; see internal/vmm/overhead.go) — the analogue of the paper's xentrace means in the paper_* columns. native_* = host-clock cost of this repo's reimplemented hot paths (includes a ~0.05-0.1 us timing floor paid equally by all schedulers); the key native signal is RTDS growing with core count while Tableau stays flat.",
+	}
+	for _, row := range rows {
+		cells := []string{
+			string(row.Scheduler),
+			usF(row.SimScheduleNs),
+			usF(row.SimWakeupNs),
+			usF(row.SimMigrateNs),
+		}
+		if paper, ok := vmm.PaperOverheads(string(row.Scheduler), machineCores); ok {
+			cells = append(cells, usF(float64(paper[0])), usF(float64(paper[1])), usF(float64(paper[2])))
+		} else {
+			cells = append(cells, "-", "-", "-")
+		}
+		cells = append(cells,
+			usF(row.NativeScheduleNs),
+			usF(row.NativeWakeupNs),
+			itoa(row.Ops))
+		r.Rows = append(r.Rows, cells)
+	}
+	return r, nil
+}

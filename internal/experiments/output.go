@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Mode scales experiment duration: Quick keeps every run under a few
+// seconds of host time for CI; Full approaches the paper's measurement
+// volumes.
+type Mode int
+
+// Experiment scale modes.
+const (
+	Quick Mode = iota
+	Full
+)
+
+// ParseMode converts a string flag value.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "quick", "":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	default:
+		return Quick, fmt.Errorf("experiments: unknown mode %q (want quick or full)", s)
+	}
+}
+
+// Result is one reproduced table or figure: a header plus rows, with a
+// note tying it back to the paper.
+type Result struct {
+	Name   string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Note   string
+}
+
+// Fprint renders the result as an aligned text table.
+func (r *Result) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.Name, r.Title)
+	if r.Note != "" {
+		fmt.Fprintf(w, "   %s\n", r.Note)
+	}
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV writes the result to path.
+func (r *Result) WriteCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	cw := csv.NewWriter(f)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(r.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ms(ns int64) string    { return fmt.Sprintf("%.3f", float64(ns)/1e6) }
+func msF(ns float64) string { return fmt.Sprintf("%.3f", ns/1e6) }
+func usF(ns float64) string { return fmt.Sprintf("%.2f", ns/1e3) }
+func itoa(v int64) string   { return fmt.Sprintf("%d", v) }
+func ftoa(v float64) string { return fmt.Sprintf("%.1f", v) }

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseMode(t *testing.T) {
+	if m, err := ParseMode(""); err != nil || m != Quick {
+		t.Errorf("ParseMode(\"\") = %v, %v", m, err)
+	}
+	if m, err := ParseMode("quick"); err != nil || m != Quick {
+		t.Errorf("ParseMode(quick) = %v, %v", m, err)
+	}
+	if m, err := ParseMode("full"); err != nil || m != Full {
+		t.Errorf("ParseMode(full) = %v, %v", m, err)
+	}
+	if _, err := ParseMode("bogus"); err == nil {
+		t.Error("ParseMode(bogus) accepted")
+	}
+}
+
+func TestResultRendering(t *testing.T) {
+	r := &Result{
+		Name:   "demo",
+		Title:  "A demo result",
+		Header: []string{"col_a", "b"},
+		Rows:   [][]string{{"1", "two"}, {"three", "4"}},
+		Note:   "a note",
+	}
+	var sb strings.Builder
+	r.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "A demo result", "a note", "col_a", "three"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Fprint output missing %q:\n%s", want, out)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "demo.csv")
+	if err := r.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(raw)); got != "col_a,b\n1,two\nthree,4" {
+		t.Errorf("CSV = %q", got)
+	}
+	if err := r.WriteCSV(filepath.Join(t.TempDir(), "missing", "x.csv")); err == nil {
+		t.Error("WriteCSV into a missing directory should fail")
+	}
+}
+
+func TestFig3Fig4Render(t *testing.T) {
+	f3 := Fig3(Quick)
+	if f3.Name != "fig3" || len(f3.Rows) == 0 {
+		t.Errorf("Fig3 = %+v", f3)
+	}
+	f4 := Fig4(Quick)
+	if f4.Name != "fig4" || len(f4.Rows) != len(f3.Rows) {
+		t.Errorf("Fig4 rows = %d, Fig3 rows = %d", len(f4.Rows), len(f3.Rows))
+	}
+}
+
+func TestAblationRender(t *testing.T) {
+	r := AblationResult()
+	if len(r.Rows) != 16 {
+		t.Errorf("ablation rows = %d, want 4 workloads x 4 configs", len(r.Rows))
+	}
+}
+
+func TestLevel2Render(t *testing.T) {
+	r, err := Level2Result(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || !strings.Contains(r.Rows[0][2], "%") {
+		t.Errorf("level2 rows = %v", r.Rows)
+	}
+}
+
+func TestBuildRejectsInvalidConfigs(t *testing.T) {
+	if _, err := Build(ScenarioConfig{Scheduler: Credit2, Capped: true}, nil); err == nil {
+		t.Error("capped Credit2 accepted")
+	}
+	if _, err := Build(ScenarioConfig{Scheduler: RTDS, Capped: false}, nil); err == nil {
+		t.Error("uncapped RTDS accepted")
+	}
+	if _, err := Build(ScenarioConfig{Scheduler: "nope", Capped: true}, nil); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if _, err := Build(ScenarioConfig{Scheduler: Tableau, Capped: true, LatencyGoal: 3}, nil); err == nil {
+		t.Error("unenforceable latency goal accepted")
+	}
+}
+
+func TestFig5MatrixRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full 12-cell matrix")
+	}
+	r, err := Fig5(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 18 {
+		t.Errorf("fig5 rows = %d, want 18 (2 scenarios x 3 backgrounds x 3 schedulers)", len(r.Rows))
+	}
+}
+
+func TestOverheadResultRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timed scenario run")
+	}
+	r, err := OverheadResult(16, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Errorf("tab1 rows = %d", len(r.Rows))
+	}
+	if r.Name != "tab1" {
+		t.Errorf("name = %s", r.Name)
+	}
+	r2, err := OverheadResult(48, Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Name != "tab2" {
+		t.Errorf("name = %s", r2.Name)
+	}
+}

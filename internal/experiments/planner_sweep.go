@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"tableau/internal/planner"
+)
+
+// PlannerPoint is one sample of the Fig. 3/Fig. 4 sweep.
+type PlannerPoint struct {
+	VMs           int
+	LatencyGoalMS int
+	GenTime       time.Duration
+	TableBytes    int
+	Stage         planner.Stage
+}
+
+// RunPlannerSweep reproduces the setup behind Figs. 3 and 4: a 48-core
+// host with 4 cores for dom0 (44 guest cores), up to 4 VMs per core
+// (176 VMs), every VM with the same latency goal drawn from
+// {1, 30, 60, 100} ms. For each population size it measures the
+// wall-clock table-generation time (Fig. 3) and the size of the
+// serialized table (Fig. 4). Tables are generated at the paper's full
+// ~102.7 ms length.
+func RunPlannerSweep(mode Mode) []PlannerPoint {
+	const guestCores = 44
+	maxVMs := guestCores * 4
+	step := 44
+	repeats := 1
+	if mode == Full {
+		step = 11
+		repeats = 5
+	}
+	goals := []int{1, 30, 60, 100}
+	var out []PlannerPoint
+	for _, goalMS := range goals {
+		for n := step; n <= maxVMs; n += step {
+			specs := make([]planner.VCPUSpec, n)
+			for i := range specs {
+				specs[i] = planner.VCPUSpec{
+					Name:        fmt.Sprintf("vm%d", i),
+					Util:        planner.Util{Num: 1, Den: 4},
+					LatencyGoal: int64(goalMS) * 1_000_000,
+					Capped:      true,
+				}
+			}
+			opts := planner.Options{Cores: guestCores, TableLength: planner.MaxHyperperiod}
+			var best time.Duration
+			var res *planner.Result
+			for r := 0; r < repeats; r++ {
+				start := time.Now()
+				var err error
+				res, err = planner.Plan(specs, opts)
+				el := time.Since(start)
+				if err != nil {
+					panic(fmt.Sprintf("planner sweep: %v", err))
+				}
+				if best == 0 || el < best {
+					best = el
+				}
+			}
+			out = append(out, PlannerPoint{
+				VMs:           n,
+				LatencyGoalMS: goalMS,
+				GenTime:       best,
+				TableBytes:    res.Table.EncodedSize(),
+				Stage:         res.Stage,
+			})
+		}
+	}
+	return out
+}
+
+// Fig3 renders the table-generation-time series.
+func Fig3(mode Mode) *Result {
+	pts := RunPlannerSweep(mode)
+	r := &Result{
+		Name:   "fig3",
+		Title:  "Table-generation time vs. number of VMs (44 guest cores)",
+		Header: []string{"latency_goal_ms", "vms", "gen_time_ms"},
+		Note:   "Paper: all curves below 2 s at 176 VMs; 1 ms goal slowest.",
+	}
+	for _, p := range pts {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", p.LatencyGoalMS),
+			fmt.Sprintf("%d", p.VMs),
+			fmt.Sprintf("%.2f", float64(p.GenTime.Microseconds())/1000),
+		})
+	}
+	return r
+}
+
+// Fig4 renders the table-size series.
+func Fig4(mode Mode) *Result {
+	pts := RunPlannerSweep(mode)
+	r := &Result{
+		Name:   "fig4",
+		Title:  "Generated table size vs. number of VMs (44 guest cores)",
+		Header: []string{"latency_goal_ms", "vms", "table_kib"},
+		Note:   "Paper: all configurations below 1.2 MiB; 1 ms goal largest.",
+	}
+	for _, p := range pts {
+		r.Rows = append(r.Rows, []string{
+			fmt.Sprintf("%d", p.LatencyGoalMS),
+			fmt.Sprintf("%d", p.VMs),
+			fmt.Sprintf("%.1f", float64(p.TableBytes)/1024),
+		})
+	}
+	return r
+}

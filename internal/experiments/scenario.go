@@ -1,0 +1,198 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Sec. 7). Each driver assembles the paper's scenario on
+// the simulated machine — 4 single-vCPU VMs per guest core, a vantage
+// VM, and a background workload — runs it under the chosen scheduler,
+// and emits the same rows/series the paper plots. See EXPERIMENTS.md
+// for the paper-vs-measured comparison.
+package experiments
+
+import (
+	"fmt"
+
+	"tableau/internal/core"
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+	"tableau/internal/schedulers/credit"
+	"tableau/internal/schedulers/credit2"
+	"tableau/internal/schedulers/rtds"
+	"tableau/internal/sim"
+	"tableau/internal/traceutil"
+	"tableau/internal/vmm"
+)
+
+// SchedulerKind names one of the four evaluated schedulers.
+type SchedulerKind string
+
+// The schedulers of the evaluation.
+const (
+	Credit  SchedulerKind = "credit"
+	Credit2 SchedulerKind = "credit2"
+	RTDS    SchedulerKind = "rtds"
+	Tableau SchedulerKind = "tableau"
+)
+
+// BGKind names a background workload.
+type BGKind string
+
+// The background workloads of Sec. 7.3/7.4.
+const (
+	BGNone BGKind = "none"
+	BGIO   BGKind = "io"
+	BGCPU  BGKind = "cpu"
+)
+
+// CappedSchedulers are compared in capped scenarios (Credit2 has no cap
+// support, paper Sec. 7.2).
+var CappedSchedulers = []SchedulerKind{Credit, RTDS, Tableau}
+
+// UncappedSchedulers are compared in uncapped scenarios (RTDS servers
+// are inherently capped).
+var UncappedSchedulers = []SchedulerKind{Credit, Credit2, Tableau}
+
+// ScenarioConfig describes one evaluation setup (paper Sec. 7.2).
+type ScenarioConfig struct {
+	// GuestCores is the number of cores available to guests (the paper
+	// dedicates 4 of 16 to dom0, leaving 12). Default 12.
+	GuestCores int
+	// VMsPerCore is the consolidation density. Default 4.
+	VMsPerCore int
+	// Scheduler selects the VM scheduler.
+	Scheduler SchedulerKind
+	// Capped selects the capped or uncapped scenario.
+	Capped bool
+	// Background selects the background workload run by non-vantage VMs.
+	Background BGKind
+	// LatencyGoal is the vCPU latency goal (Tableau) and drives the
+	// matched RTDS parameters. Default 20 ms.
+	LatencyGoal int64
+	// Seed makes the run reproducible.
+	Seed int64
+	// BGIOScale stretches the I/O background's compute/block cycle by
+	// this factor (1 = the default 50 µs + 50 µs loop). The overhead
+	// tables use a gentler cycle so per-op costs are measured at
+	// moderate lock pressure, like the paper's tracing runs.
+	BGIOScale int64
+	// NoOverheads disables the calibrated per-op overhead model (used
+	// by unit tests that reason about pure scheduling behaviour).
+	NoOverheads bool
+	// OverheadCores sets the machine size used to look up calibrated
+	// overheads; defaults to GuestCores+4 (the dom0 cores exist on the
+	// machine even though guests do not run there).
+	OverheadCores int
+	// Timed wraps the scheduler to measure native hot-path costs.
+	Timed bool
+	// Trace wraps the scheduler to record every dispatch decision.
+	Trace bool
+}
+
+func (c ScenarioConfig) withDefaults() ScenarioConfig {
+	if c.GuestCores == 0 {
+		c.GuestCores = 12
+	}
+	if c.VMsPerCore == 0 {
+		c.VMsPerCore = 4
+	}
+	if c.LatencyGoal == 0 {
+		c.LatencyGoal = 20_000_000
+	}
+	if c.OverheadCores == 0 {
+		c.OverheadCores = c.GuestCores + 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Scenario is an assembled machine ready to run: the vantage VM is
+// VCPUs[0] and runs the caller-supplied program; all other VMs run the
+// configured background workload.
+type Scenario struct {
+	Cfg        ScenarioConfig
+	M          *vmm.Machine
+	Vantage    *vmm.VCPU
+	Dispatcher *dispatch.Dispatcher      // non-nil when Scheduler == Tableau
+	Timed      *traceutil.TimedScheduler // non-nil when Cfg.Timed
+	Recorder   *traceutil.Recorder       // non-nil when Cfg.Trace
+}
+
+// Build assembles the scenario. vantageProg runs in the vantage VM;
+// bgProg(i, seed) builds the i-th background VM's program (pass nil to
+// use the configured Background kind).
+func Build(cfg ScenarioConfig, vantageProg vmm.Program) (*Scenario, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.GuestCores * cfg.VMsPerCore
+	if n < 1 {
+		return nil, fmt.Errorf("experiments: empty scenario")
+	}
+	u := planner.FairShare(cfg.GuestCores, n) // = 1/VMsPerCore
+
+	var sched vmm.Scheduler
+	var disp *dispatch.Dispatcher
+	switch cfg.Scheduler {
+	case Credit:
+		sched = credit.New(credit.Options{
+			Timeslice: 5_000_000, // documented best practice (Sec. 7.2)
+			CapPct:    int(u.PPM() / 10_000),
+		})
+	case Credit2:
+		if cfg.Capped {
+			return nil, fmt.Errorf("experiments: Credit2 does not support caps (paper Sec. 7.2)")
+		}
+		sched = credit2.New(credit2.Options{CoresPerRunqueue: 8})
+	case RTDS:
+		if !cfg.Capped {
+			return nil, fmt.Errorf("experiments: RTDS servers are inherently capped; uncapped scenarios use Credit2")
+		}
+		// Configured to match Tableau's parameters (paper Sec. 7.2).
+		period, ok := planner.PickPeriod(u, cfg.LatencyGoal, planner.CandidatePeriods())
+		if !ok {
+			return nil, fmt.Errorf("experiments: latency goal %d unenforceable", cfg.LatencyGoal)
+		}
+		sched = rtds.New(rtds.Options{Default: rtds.Params{Budget: u.Cost(period), Period: period}})
+	case Tableau:
+		sys := core.NewSystem(cfg.GuestCores, planner.Options{}, dispatch.Options{})
+		for i := 0; i < n; i++ {
+			if _, err := sys.AddVM(core.VMConfig{
+				Name:        vmName(i),
+				Util:        u,
+				LatencyGoal: cfg.LatencyGoal,
+				Capped:      cfg.Capped,
+			}); err != nil {
+				return nil, err
+			}
+		}
+		d, _, err := sys.BuildDispatcher()
+		if err != nil {
+			return nil, err
+		}
+		disp = d
+		sched = d
+	default:
+		return nil, fmt.Errorf("experiments: unknown scheduler %q", cfg.Scheduler)
+	}
+
+	sc := &Scenario{Cfg: cfg, Dispatcher: disp}
+	if cfg.Timed {
+		sc.Timed = traceutil.NewTimed(sched)
+		sched = sc.Timed
+	}
+	if cfg.Trace {
+		sc.Recorder = traceutil.NewRecorder(sched)
+		sched = sc.Recorder
+	}
+
+	ov := vmm.Overheads(string(cfg.Scheduler), cfg.OverheadCores)
+	if cfg.NoOverheads {
+		ov = vmm.NoOverheads()
+	}
+	m := vmm.New(sim.New(cfg.Seed), cfg.GuestCores, sched, ov)
+	sc.M = m
+	sc.Vantage = m.AddVCPU(vmName(0), vantageProg, 256, cfg.Capped)
+	for i := 1; i < n; i++ {
+		m.AddVCPU(vmName(i), bgProgram(cfg, i), 256, cfg.Capped)
+	}
+	return sc, nil
+}
+
+func vmName(i int) string { return fmt.Sprintf("vm%d.0", i) }

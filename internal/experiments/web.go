@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"tableau/internal/netdev"
+	"tableau/internal/workload"
+)
+
+// NIC and request-cost parameters of the web scenario (Sec. 7.4): each
+// VM has an SR-IOV virtual function on the shared 10 GbE link; the
+// vantage VM serves a PHP "application" over HTTPS from tmpfs, so the
+// per-request cost is CPU (TLS+PHP+copies) plus wire time.
+const (
+	// nicRate is the effective per-VM transmit rate. The link is
+	// 10 GbE, but an SR-IOV virtual function's achievable rate is far
+	// lower once VF scheduling, PCIe descriptor handling, and sharing
+	// with 47 sibling VFs are paid; 300 MB/s (~2.4 Gbit/s) per VM makes
+	// large-transfer wire time dominate the way the paper observed.
+	nicRate = 300_000_000
+	nicRing = 262_144 // 256 KiB transmit ring
+
+	// Request CPU costs, calibrated so the vantage VM's capped capacity
+	// lands where the paper's Fig. 7 curves saturate: ~153 µs per 1 KiB
+	// request (peak ~1.6k req/s at a 25% cap) and ~410 µs per 100 KiB
+	// request (peak ~600 req/s). Above 128 KiB the zero-copy path costs
+	// far less CPU per byte, so 1 MiB responses are wire-bound.
+	webBaseCost        = 150_000
+	webCostPerKiB      = 2_600
+	webCostPerKiBLarge = 300
+)
+
+// File sizes of Fig. 7.
+const (
+	KiB = 1024
+	MiB = 1024 * 1024
+)
+
+// NewWebServer returns a web server configured with the evaluation's
+// calibrated NIC and request-cost parameters, for examples and tools
+// that want to reproduce Fig. 7/8 conditions.
+func NewWebServer() *workload.WebServer {
+	return &workload.WebServer{
+		NIC:             netdev.New(nicRate, nicRing),
+		BaseCost:        webBaseCost,
+		CostPerKiB:      webCostPerKiB,
+		CostPerKiBLarge: webCostPerKiBLarge,
+	}
+}
+
+// WebPoint is one point of a Fig. 7/8 curve.
+type WebPoint struct {
+	Scheduler  SchedulerKind
+	Capped     bool
+	Background BGKind
+	FileBytes  int64
+	OfferedRPS float64
+	// AchievedRPS counts fully transmitted responses per second.
+	AchievedRPS float64
+	MeanNs      float64
+	P99Ns       int64
+	MaxNs       int64
+}
+
+// RunWebPoint runs one load point: an open-loop constant-rate request
+// stream against the vantage web server for the given duration.
+func RunWebPoint(kind SchedulerKind, capped bool, bg BGKind, fileBytes int64, rps float64, mode Mode, seed int64) (WebPoint, error) {
+	srv := NewWebServer()
+	sc, err := Build(ScenarioConfig{
+		Scheduler:  kind,
+		Capped:     capped,
+		Background: bg,
+		Seed:       seed,
+	}, srv.Program())
+	if err != nil {
+		return WebPoint{}, err
+	}
+	srv.Bind(sc.Vantage)
+	duration := int64(2_000_000_000)
+	if mode == Full {
+		duration = 10_000_000_000
+	}
+	srv.CountUntil = duration
+	sc.M.Start()
+	workload.RunOpenLoop(sc.M, srv, 0, rps, duration, fileBytes)
+	// Grace period: responses already queued when the measurement window
+	// closes still record their latency, but only completions inside the
+	// window count toward throughput.
+	sc.M.Run(duration + 200_000_000)
+	h := srv.Latencies()
+	return WebPoint{
+		Scheduler:   kind,
+		Capped:      capped,
+		Background:  bg,
+		FileBytes:   fileBytes,
+		OfferedRPS:  rps,
+		AchievedRPS: float64(srv.CompletedInWindow()) / (float64(duration) / 1e9),
+		MeanNs:      h.Mean(),
+		P99Ns:       h.P99(),
+		MaxNs:       h.Max(),
+	}, nil
+}
+
+// webRates returns the offered-load sweep for a file size: geometric
+// steps up to beyond the expected saturation point.
+func webRates(fileBytes int64, mode Mode) []float64 {
+	var top float64
+	switch {
+	case fileBytes <= 1*KiB:
+		top = 1900
+	case fileBytes <= 100*KiB:
+		top = 1000
+	default:
+		top = 350
+	}
+	// Denser sampling near saturation, where the SLA crossovers live.
+	fracs := []float64{0.2, 0.4, 0.6, 0.75, 0.85, 0.95, 1.0}
+	if mode == Full {
+		fracs = []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.78, 0.86, 0.92, 0.97, 1.0}
+	}
+	rates := make([]float64, len(fracs))
+	for i, f := range fracs {
+		rates[i] = top * f
+	}
+	return rates
+}
+
+// RunWebSweep produces the curves of one Fig. 7/8 panel row: every
+// scheduler of the scenario kind at every offered rate. Points run in
+// parallel (each is an independent simulation).
+func RunWebSweep(capped bool, bg BGKind, fileBytes int64, mode Mode) ([]WebPoint, error) {
+	scheds := CappedSchedulers
+	if !capped {
+		scheds = UncappedSchedulers
+	}
+	rates := webRates(fileBytes, mode)
+	type job struct {
+		kind SchedulerKind
+		rate float64
+	}
+	var jobs []job
+	for _, k := range scheds {
+		for _, r := range rates {
+			jobs = append(jobs, job{k, r})
+		}
+	}
+	points := make([]WebPoint, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, 8)
+	for i, j := range jobs {
+		wg.Add(1)
+		go func(i int, j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			points[i], errs[i] = RunWebPoint(j.kind, capped, bg, fileBytes, j.rate, mode, 17)
+		}(i, j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(points, func(a, b int) bool {
+		if points[a].Scheduler != points[b].Scheduler {
+			return points[a].Scheduler < points[b].Scheduler
+		}
+		return points[a].OfferedRPS < points[b].OfferedRPS
+	})
+	return points, nil
+}
+
+// webResult renders a sweep.
+func webResult(name, title string, pts []WebPoint, note string) *Result {
+	r := &Result{
+		Name:   name,
+		Title:  title,
+		Header: []string{"scheduler", "offered_rps", "achieved_rps", "mean_ms", "p99_ms", "max_ms"},
+		Note:   note,
+	}
+	for _, p := range pts {
+		r.Rows = append(r.Rows, []string{
+			string(p.Scheduler),
+			ftoa(p.OfferedRPS),
+			ftoa(p.AchievedRPS),
+			msF(p.MeanNs),
+			ms(p.P99Ns),
+			ms(p.MaxNs),
+		})
+	}
+	return r
+}
+
+// Fig7 reproduces one row of Fig. 7 (identified by capped and file
+// size) with the I/O-intensive background workload.
+func Fig7(capped bool, fileBytes int64, mode Mode) (*Result, error) {
+	pts, err := RunWebSweep(capped, BGIO, fileBytes, mode)
+	if err != nil {
+		return nil, err
+	}
+	label := "uncapped"
+	if capped {
+		label = "capped"
+	}
+	return webResult(
+		fmt.Sprintf("fig7-%s-%s", label, sizeLabel(fileBytes)),
+		fmt.Sprintf("nginx throughput/latency, %s files, %s, I/O background", sizeLabel(fileBytes), label),
+		pts,
+		"Paper: Tableau highest SLA-aware peak for 1/100 KiB; Credit wins capped 1 MiB (NIC under-utilisation); RTDS lowest peak under frequent invocations.",
+	), nil
+}
+
+// Fig8 reproduces one row of Fig. 8: 100 KiB files with the
+// cache-thrashing (fully CPU-bound) background workload.
+func Fig8(capped bool, mode Mode) (*Result, error) {
+	pts, err := RunWebSweep(capped, BGCPU, 100*KiB, mode)
+	if err != nil {
+		return nil, err
+	}
+	label := "uncapped"
+	if capped {
+		label = "capped"
+	}
+	return webResult(
+		fmt.Sprintf("fig8-%s", label),
+		fmt.Sprintf("nginx throughput/latency, 100 KiB files, %s, CPU-bound background", label),
+		pts,
+		"Paper: little differentiation when capped (scheduler rarely invoked); uncapped, Credit's boost works (sole I/O VM) and Tableau beats both Credits.",
+	), nil
+}
+
+// SLAPeak returns the highest achieved throughput among points whose
+// p99 latency meets the SLA — the paper's "SLA-aware peak throughput"
+// metric (e.g. 100 ms p99 for 1 KiB files).
+func SLAPeak(pts []WebPoint, kind SchedulerKind, slaP99 int64) float64 {
+	var best float64
+	for _, p := range pts {
+		if p.Scheduler == kind && p.P99Ns <= slaP99 && p.AchievedRPS > best {
+			best = p.AchievedRPS
+		}
+	}
+	return best
+}
+
+func sizeLabel(b int64) string {
+	switch {
+	case b >= MiB:
+		return fmt.Sprintf("%dMiB", b/MiB)
+	default:
+		return fmt.Sprintf("%dKiB", b/KiB)
+	}
+}

@@ -1,0 +1,16 @@
+package netdev
+
+import "testing"
+
+func BenchmarkTrySend(b *testing.B) {
+	n := New(1_250_000_000, 262_144)
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		now += 1000
+		if _, ok := n.TrySend(now, 1024); !ok {
+			at, _ := n.RoomAt(now, 1024)
+			now = at
+			n.TrySend(now, 1024)
+		}
+	}
+}

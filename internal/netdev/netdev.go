@@ -1,0 +1,95 @@
+// Package netdev models the network transmit path of a VM: a bounded
+// ring buffer drained at line rate by the device, independent of
+// whether the VM is scheduled. This is the mechanism behind the paper's
+// Sec. 7.5 observation that a rigid table-driven scheduler under-
+// utilizes the I/O device for large transfers: a VM can only refill the
+// ring while it holds the CPU, so during a long scheduling blackout the
+// device drains the ring and then idles, capping throughput below line
+// rate even though the NIC could go faster.
+package netdev
+
+import "fmt"
+
+// scale converts bytes to the internal fixed-point representation
+// (byte-nanoseconds per second), letting the drain computation be exact
+// integer arithmetic at any rate.
+const scale = 1_000_000_000
+
+// NIC is one virtual function's transmit queue (the paper gives each VM
+// an SR-IOV virtual NIC, bypassing dom0). The zero value is not usable;
+// call New.
+type NIC struct {
+	rate int64 // bytes per second
+	cap  int64 // queue capacity in bytes
+
+	queued int64 // current queue depth, in byte-scale units
+	last   int64 // time of last drain update
+}
+
+// New returns a NIC draining at rate bytes/second with a ring of cap
+// bytes. A 10 GbE interface is roughly 1.25e9 bytes/second.
+func New(rate, capacity int64) *NIC {
+	if rate <= 0 || capacity <= 0 {
+		panic(fmt.Sprintf("netdev: invalid rate %d or capacity %d", rate, capacity))
+	}
+	return &NIC{rate: rate, cap: capacity}
+}
+
+// update drains the queue up to time now.
+func (n *NIC) update(now int64) {
+	if now <= n.last {
+		return
+	}
+	n.queued -= (now - n.last) * n.rate
+	if n.queued < 0 {
+		n.queued = 0
+	}
+	n.last = now
+}
+
+// Queued returns the queue depth in bytes at time now.
+func (n *NIC) Queued(now int64) int64 {
+	n.update(now)
+	return (n.queued + scale - 1) / scale
+}
+
+// TrySend enqueues bytes at time now if the ring has room for the whole
+// message. On success it returns ok=true and the absolute time at which
+// the last byte reaches the wire; on failure the queue is unchanged and
+// ok=false.
+func (n *NIC) TrySend(now int64, bytes int64) (done int64, ok bool) {
+	if bytes <= 0 {
+		return now, true
+	}
+	n.update(now)
+	add := bytes * scale
+	if n.queued+add > n.cap*scale {
+		return 0, false
+	}
+	n.queued += add
+	return now + ceilDiv(n.queued, n.rate), true
+}
+
+// RoomAt returns the earliest absolute time >= now at which a message
+// of the given size will fit in the ring, assuming nothing else is
+// enqueued meanwhile. Messages larger than the ring never fit; such
+// sends must be segmented with SendSegmented.
+func (n *NIC) RoomAt(now int64, bytes int64) (int64, error) {
+	if bytes > n.cap {
+		return 0, fmt.Errorf("netdev: message of %d bytes exceeds ring capacity %d", bytes, n.cap)
+	}
+	n.update(now)
+	excess := n.queued + bytes*scale - n.cap*scale
+	if excess <= 0 {
+		return now, nil
+	}
+	return now + ceilDiv(excess, n.rate), nil
+}
+
+// MaxSegment returns the ring capacity: the largest single TrySend.
+func (n *NIC) MaxSegment() int64 { return n.cap }
+
+// Rate returns the drain rate in bytes per second.
+func (n *NIC) Rate() int64 { return n.rate }
+
+func ceilDiv(a, b int64) int64 { return (a + b - 1) / b }

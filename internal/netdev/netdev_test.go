@@ -1,0 +1,154 @@
+package netdev
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// A 1 GB/s NIC: 1 byte per ns makes arithmetic easy to verify by hand.
+func gigNIC(capacity int64) *NIC { return New(1_000_000_000, capacity) }
+
+func TestTrySendEmptyQueue(t *testing.T) {
+	n := gigNIC(1000)
+	done, ok := n.TrySend(0, 500)
+	if !ok || done != 500 {
+		t.Errorf("TrySend = (%d, %v), want (500, true)", done, ok)
+	}
+	if q := n.Queued(0); q != 500 {
+		t.Errorf("Queued(0) = %d", q)
+	}
+}
+
+func TestDrainOverTime(t *testing.T) {
+	n := gigNIC(1000)
+	n.TrySend(0, 500)
+	if q := n.Queued(300); q != 200 {
+		t.Errorf("Queued(300) = %d, want 200", q)
+	}
+	if q := n.Queued(600); q != 0 {
+		t.Errorf("Queued(600) = %d, want 0", q)
+	}
+}
+
+func TestBackPressure(t *testing.T) {
+	n := gigNIC(1000)
+	if _, ok := n.TrySend(0, 800); !ok {
+		t.Fatal("first send rejected")
+	}
+	if _, ok := n.TrySend(0, 300); ok {
+		t.Error("overfull send accepted")
+	}
+	// After 100 ns, 100 bytes drained: room for 300.
+	at, err := n.RoomAt(0, 300)
+	if err != nil || at != 100 {
+		t.Errorf("RoomAt = (%d, %v), want (100, nil)", at, err)
+	}
+	done, ok := n.TrySend(100, 300)
+	if !ok || done != 100+1000 {
+		t.Errorf("TrySend(100, 300) = (%d, %v), want (1100, true)", done, ok)
+	}
+}
+
+func TestRoomAtImmediateWhenEmpty(t *testing.T) {
+	n := gigNIC(1000)
+	at, err := n.RoomAt(42, 1000)
+	if err != nil || at != 42 {
+		t.Errorf("RoomAt = (%d, %v)", at, err)
+	}
+}
+
+func TestOversizeMessageRejected(t *testing.T) {
+	n := gigNIC(1000)
+	if _, err := n.RoomAt(0, 1001); err == nil {
+		t.Error("oversize message accepted by RoomAt")
+	}
+	if _, ok := n.TrySend(0, 1001); ok {
+		t.Error("oversize message accepted by TrySend")
+	}
+	if n.MaxSegment() != 1000 {
+		t.Errorf("MaxSegment = %d", n.MaxSegment())
+	}
+}
+
+func TestZeroByteSend(t *testing.T) {
+	n := gigNIC(1000)
+	done, ok := n.TrySend(7, 0)
+	if !ok || done != 7 {
+		t.Errorf("zero-byte send = (%d, %v)", done, ok)
+	}
+}
+
+func TestSlowRateExactness(t *testing.T) {
+	// 3 bytes per second: fractional drains must be exact.
+	n := New(3, 10)
+	n.TrySend(0, 9)
+	// After 1 second, 3 bytes drained.
+	if q := n.Queued(1_000_000_000); q != 6 {
+		t.Errorf("Queued(1s) = %d, want 6", q)
+	}
+	// Completion of another 3 bytes: (6+3)/3 = 3 more seconds.
+	done, ok := n.TrySend(1_000_000_000, 3)
+	if !ok || done != 4_000_000_000 {
+		t.Errorf("TrySend = (%d, %v), want 4s", done, ok)
+	}
+}
+
+// Property: completion times are monotone in enqueue order, and the
+// queue never exceeds capacity.
+func TestMonotoneCompletions(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		n := gigNIC(100_000)
+		now := int64(0)
+		var lastDone int64
+		for _, s := range sizes {
+			b := int64(s%5000) + 1
+			at, err := n.RoomAt(now, b)
+			if err != nil {
+				return false
+			}
+			done, ok := n.TrySend(at, b)
+			if !ok {
+				return false
+			}
+			if done < lastDone {
+				return false
+			}
+			if n.Queued(at) > 100_000 {
+				return false
+			}
+			lastDone = done
+			now = at
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThroughputCappedAtLineRate(t *testing.T) {
+	// Saturating sender: total bytes delivered over 1 ms cannot exceed
+	// rate * time.
+	n := gigNIC(10_000)
+	now := int64(0)
+	var sent int64
+	for now < 1_000_000 {
+		at, err := n.RoomAt(now, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at > 1_000_000 {
+			break
+		}
+		n.TrySend(at, 1000)
+		sent += 1000
+		now = at
+	}
+	// 1 GB/s for 1 ms = 1,000,000 bytes (+ ring capacity in flight).
+	if sent > 1_000_000+10_000 {
+		t.Errorf("sent %d bytes in 1 ms at 1 GB/s", sent)
+	}
+	if sent < 900_000 {
+		t.Errorf("saturating sender only achieved %d bytes", sent)
+	}
+}

@@ -1,0 +1,57 @@
+package periodic
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchSet(n int) TaskSet {
+	var ts TaskSet
+	periods := []int64{10_000_000, 20_000_000, 25_000_000, 50_000_000}
+	for i := 0; i < n; i++ {
+		p := periods[i%len(periods)]
+		ts = append(ts, Task{Name: fmt.Sprintf("t%d", i), Group: i, WCET: p / int64(n) / 2, Deadline: p, Period: p})
+	}
+	return ts
+}
+
+func BenchmarkEDFSchedulable(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		ts := benchSet(n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !ts.EDFSchedulable() {
+					b.Fatal("unexpectedly unschedulable")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSimulateEDF(b *testing.B) {
+	ts := benchSet(8)
+	h, err := ts.Hyperperiod()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SimulateEDF(ts, h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxFeasibleCEqualsD(b *testing.B) {
+	ts := benchSet(4)
+	for i := 0; i < b.N; i++ {
+		ts.MaxFeasibleCEqualsD(10_000_000, 10_000_000)
+	}
+}
+
+func BenchmarkDBF(b *testing.B) {
+	ts := benchSet(32)
+	for i := 0; i < b.N; i++ {
+		ts.DBF(int64(i%100) * 1_000_000)
+	}
+}

@@ -1,0 +1,232 @@
+package periodic
+
+import (
+	"math/big"
+	"sort"
+)
+
+// DBF returns the demand-bound function of the set at time t: the maximum
+// cumulative execution demand of jobs that have both release time and
+// deadline inside any interval of length t, assuming a synchronous
+// release (all offsets zero). For a set of constrained-deadline periodic
+// tasks this is
+//
+//	dbf(t) = sum_i max(0, floor((t - D_i)/T_i) + 1) * C_i.
+//
+// The synchronous case maximizes demand, so DBF-based tests are safe for
+// task sets with arbitrary offsets.
+func (ts TaskSet) DBF(t int64) int64 {
+	var sum int64
+	for _, tk := range ts {
+		if t < tk.Deadline {
+			continue
+		}
+		n := (t-tk.Deadline)/tk.Period + 1
+		sum += n * tk.WCET
+	}
+	return sum
+}
+
+// busyPeriod returns the length of the synchronous busy period: the
+// smallest fixed point of w = sum_i ceil(w/T_i)*C_i. It requires total
+// utilization <= 1; the fixed point then exists and is at most the
+// hyperperiod. The bound argument caps the iteration (e.g. the
+// hyperperiod); if the fixed point exceeds bound, bound is returned.
+func (ts TaskSet) busyPeriod(bound int64) int64 {
+	var w int64
+	for _, tk := range ts {
+		w += tk.WCET
+	}
+	for {
+		var next int64
+		for _, tk := range ts {
+			n := (w + tk.Period - 1) / tk.Period
+			next += n * tk.WCET
+		}
+		if next == w {
+			return w
+		}
+		if next >= bound {
+			return bound
+		}
+		w = next
+	}
+}
+
+// absDeadlinesBelow returns the largest absolute deadline k*T_i + D_i
+// (synchronous release) that is strictly less than limit, or -1 if there
+// is none.
+func (ts TaskSet) absDeadlinesBelow(limit int64) int64 {
+	best := int64(-1)
+	for _, tk := range ts {
+		if tk.Deadline >= limit {
+			continue
+		}
+		// Largest k with k*T + D < limit.
+		k := (limit - tk.Deadline - 1) / tk.Period
+		d := k*tk.Period + tk.Deadline
+		if d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// EDFSchedulable reports whether the task set is schedulable by preemptive
+// EDF on a single processor. It is exact for synchronous constrained-
+// deadline periodic tasks and safe (sufficient) when tasks have offsets,
+// since the synchronous release pattern maximizes demand.
+//
+// The test is QPA (Quick convergence Processor-demand Analysis, Zhang &
+// Burns 2009): starting just below the end of the synchronous busy period
+// it walks the demand-bound function backwards, converging far faster
+// than enumerating all deadlines.
+func (ts TaskSet) EDFSchedulable() bool {
+	if len(ts) == 0 {
+		return true
+	}
+	if !ts.UtilAtMost(1) {
+		return false
+	}
+	// Implicit-deadline fast path: EDF is optimal, U <= 1 suffices.
+	implicit := true
+	for _, tk := range ts {
+		if !tk.Implicit() {
+			implicit = false
+			break
+		}
+	}
+	if implicit {
+		return true
+	}
+	h, err := ts.Hyperperiod()
+	if err != nil {
+		// Periods too wild for exact analysis; fall back to a safe
+		// density bound: sum C/D <= 1 implies schedulability.
+		sum := new(big.Rat)
+		for _, tk := range ts {
+			sum.Add(sum, tk.Density())
+		}
+		return sum.Cmp(big.NewRat(1, 1)) <= 0
+	}
+	la := ts.busyPeriod(h)
+	dmin := ts.MinDeadline()
+	t := ts.absDeadlinesBelow(la)
+	if t < 0 {
+		return true
+	}
+	for {
+		hdem := ts.DBF(t)
+		if hdem > t {
+			return false
+		}
+		if hdem <= dmin {
+			return true
+		}
+		if hdem < t {
+			t = hdem
+		} else {
+			t = ts.absDeadlinesBelow(t)
+			if t < dmin {
+				return true
+			}
+		}
+	}
+}
+
+// MaxFeasibleCEqualsD returns the largest execution budget c such that
+// adding a "C=D" task (WCET=c, Deadline=c, Period=period) to the set
+// keeps it EDF-schedulable on one processor, along with whether any
+// positive budget fits. This is the core primitive of the C=D
+// semi-partitioning scheme (Burns et al. 2012): the head portion of a
+// split task is given a deadline equal to its budget so it executes
+// immediately at the start of every period.
+//
+// The value is found by binary search over c, using the exact QPA test at
+// each probe; granularity is 1 ns.
+func (ts TaskSet) MaxFeasibleCEqualsD(period int64, maxC int64) (int64, bool) {
+	if maxC > period {
+		maxC = period
+	}
+	if maxC <= 0 {
+		return 0, false
+	}
+	feasible := func(c int64) bool {
+		aug := append(ts.Clone(), Task{
+			Name:     "_cd_probe",
+			WCET:     c,
+			Deadline: c,
+			Period:   period,
+		})
+		return aug.EDFSchedulable()
+	}
+	if !feasible(1) {
+		return 0, false
+	}
+	lo, hi := int64(1), maxC // lo is always feasible
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, true
+}
+
+// MaxFeasibleConstrained returns the largest WCET c such that adding a
+// task with the given deadline and period stays EDF-schedulable, and
+// whether any positive budget fits. Used when placing the tail portion of
+// a split task.
+func (ts TaskSet) MaxFeasibleConstrained(deadline, period, maxC int64) (int64, bool) {
+	if maxC > deadline {
+		maxC = deadline
+	}
+	if maxC <= 0 {
+		return 0, false
+	}
+	feasible := func(c int64) bool {
+		aug := append(ts.Clone(), Task{
+			Name:     "_tail_probe",
+			WCET:     c,
+			Deadline: deadline,
+			Period:   period,
+		})
+		return aug.EDFSchedulable()
+	}
+	if !feasible(1) {
+		return 0, false
+	}
+	lo, hi := int64(1), maxC
+	for lo < hi {
+		mid := lo + (hi-lo+1)/2
+		if feasible(mid) {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo, true
+}
+
+// Deadlines returns all distinct absolute deadlines (and period
+// boundaries) of the synchronous set in [0, horizon], sorted ascending.
+// Used by the DP-WRAP cluster scheduler to partition time into slices.
+func (ts TaskSet) Deadlines(horizon int64) []int64 {
+	seen := map[int64]struct{}{0: {}, horizon: {}}
+	for _, tk := range ts {
+		for r := tk.Offset; r <= horizon; r += tk.Period {
+			seen[r] = struct{}{}
+			if d := r + tk.Deadline; d <= horizon {
+				seen[d] = struct{}{}
+			}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

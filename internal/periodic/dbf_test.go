@@ -1,0 +1,236 @@
+package periodic
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDBFBasics(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", WCET: 2, Deadline: 5, Period: 10},
+		{Name: "b", WCET: 3, Deadline: 10, Period: 10},
+	}
+	cases := []struct {
+		t    int64
+		want int64
+	}{
+		{0, 0},
+		{4, 0},
+		{5, 2}, // one job of a
+		{9, 2},
+		{10, 5}, // a + b
+		{15, 7}, // 2a + b
+		{20, 10},
+	}
+	for _, c := range cases {
+		if got := ts.DBF(c.t); got != c.want {
+			t.Errorf("DBF(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDBFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := randomTaskSet(rng, 5, 1000)
+		prev := int64(0)
+		for x := int64(0); x <= 3000; x += 37 {
+			d := ts.DBF(x)
+			if d < prev {
+				return false
+			}
+			prev = d
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEDFSchedulableImplicit(t *testing.T) {
+	// Implicit deadlines: schedulable iff U <= 1.
+	ok := TaskSet{
+		{Name: "a", WCET: 5, Deadline: 10, Period: 10},
+		{Name: "b", WCET: 10, Deadline: 20, Period: 20},
+	}
+	if !ok.EDFSchedulable() {
+		t.Error("U=1 implicit set should be schedulable")
+	}
+	over := TaskSet{
+		{Name: "a", WCET: 6, Deadline: 10, Period: 10},
+		{Name: "b", WCET: 10, Deadline: 20, Period: 20},
+	}
+	if over.EDFSchedulable() {
+		t.Error("U>1 set should be unschedulable")
+	}
+}
+
+func TestEDFSchedulableConstrained(t *testing.T) {
+	// Classic example: constrained deadlines where U<=1 but demand
+	// exceeds supply in a short window.
+	bad := TaskSet{
+		{Name: "a", WCET: 4, Deadline: 4, Period: 10},
+		{Name: "b", WCET: 4, Deadline: 4, Period: 10},
+	}
+	if bad.EDFSchedulable() {
+		t.Error("two C=D=4 tasks released together cannot both meet t=4")
+	}
+	good := TaskSet{
+		{Name: "a", WCET: 2, Deadline: 4, Period: 10},
+		{Name: "b", WCET: 2, Deadline: 4, Period: 10},
+	}
+	if !good.EDFSchedulable() {
+		t.Error("set with dbf(4)=4 should be schedulable")
+	}
+}
+
+func TestEDFSchedulableEmpty(t *testing.T) {
+	if !(TaskSet{}).EDFSchedulable() {
+		t.Error("empty set must be schedulable")
+	}
+}
+
+// Property: QPA's verdict agrees with a direct EDF simulation over the
+// hyperperiod for synchronous constrained-deadline sets. Simulation of a
+// synchronous set over one hyperperiod is an exact schedulability oracle.
+func TestQPAAgreesWithSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	agree, tested := 0, 0
+	for i := 0; i < 400; i++ {
+		ts := randomTaskSet(rng, 1+rng.Intn(5), 120)
+		h, err := ts.Hyperperiod()
+		if err != nil || h > 1_000_000 {
+			continue
+		}
+		tested++
+		qpa := ts.EDFSchedulable()
+		_, simErr := SimulateEDF(ts, h)
+		sim := simErr == nil
+		if qpa != sim {
+			t.Fatalf("set %v: QPA=%v but simulation=%v (%v)", ts, qpa, sim, simErr)
+		}
+		agree++
+	}
+	if tested < 100 {
+		t.Fatalf("only %d sets tested; generator too restrictive", tested)
+	}
+	t.Logf("QPA agreed with simulation on %d/%d sets", agree, tested)
+}
+
+func TestMaxFeasibleCEqualsD(t *testing.T) {
+	// Empty processor: a C=D task can take the whole period.
+	c, ok := (TaskSet{}).MaxFeasibleCEqualsD(100, 100)
+	if !ok || c != 100 {
+		t.Errorf("empty set: got c=%d ok=%v, want 100 true", c, ok)
+	}
+	// Half-loaded processor.
+	half := TaskSet{{Name: "a", WCET: 50, Deadline: 100, Period: 100}}
+	c, ok = half.MaxFeasibleCEqualsD(100, 100)
+	if !ok || c <= 0 || c > 50 {
+		t.Errorf("half-loaded: got c=%d ok=%v, want 0<c<=50", c, ok)
+	}
+	// The augmented set must remain schedulable at the returned budget
+	// and become unschedulable one ns above it.
+	aug := append(half.Clone(), Task{Name: "cd", WCET: c, Deadline: c, Period: 100})
+	if !aug.EDFSchedulable() {
+		t.Error("returned budget must keep the set schedulable")
+	}
+	aug[len(aug)-1].WCET = c + 1
+	aug[len(aug)-1].Deadline = c + 1
+	if c+1 <= 100 && aug.EDFSchedulable() {
+		t.Error("budget is not maximal: c+1 is also feasible")
+	}
+	// Fully loaded processor: nothing fits.
+	full := TaskSet{{Name: "a", WCET: 100, Deadline: 100, Period: 100}}
+	if _, ok := full.MaxFeasibleCEqualsD(100, 100); ok {
+		t.Error("fully loaded processor should not accept any C=D budget")
+	}
+}
+
+func TestMaxFeasibleConstrained(t *testing.T) {
+	base := TaskSet{{Name: "a", WCET: 30, Deadline: 100, Period: 100}}
+	c, ok := base.MaxFeasibleConstrained(60, 100, 100)
+	if !ok || c <= 0 {
+		t.Fatalf("expected positive feasible budget, got c=%d ok=%v", c, ok)
+	}
+	aug := append(base.Clone(), Task{Name: "t", WCET: c, Deadline: 60, Period: 100})
+	if !aug.EDFSchedulable() {
+		t.Error("returned budget must keep the set schedulable")
+	}
+	if c < 60 {
+		aug[len(aug)-1].WCET = c + 1
+		if aug.EDFSchedulable() {
+			t.Error("budget is not maximal")
+		}
+	}
+	if _, ok := base.MaxFeasibleConstrained(0, 100, 100); ok {
+		t.Error("zero-deadline tail should not fit")
+	}
+}
+
+// Property: MaxFeasibleCEqualsD returns a budget that is feasible, and
+// maximal, for random base sets.
+func TestMaxFeasibleCEqualsDProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		ts := randomTaskSet(rng, 1+rng.Intn(3), 100)
+		period := int64(20 + rng.Intn(100))
+		c, ok := ts.MaxFeasibleCEqualsD(period, period)
+		if !ok {
+			continue
+		}
+		aug := append(ts.Clone(), Task{Name: "cd", WCET: c, Deadline: c, Period: period})
+		if !aug.EDFSchedulable() {
+			t.Fatalf("set %v period %d: budget %d not feasible", ts, period, c)
+		}
+		if c < period {
+			aug[len(aug)-1].WCET = c + 1
+			aug[len(aug)-1].Deadline = c + 1
+			if aug.EDFSchedulable() {
+				t.Fatalf("set %v period %d: budget %d not maximal", ts, period, c)
+			}
+		}
+	}
+}
+
+func TestDeadlines(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", WCET: 1, Deadline: 3, Period: 5},
+		{Name: "b", WCET: 1, Deadline: 10, Period: 10},
+	}
+	ds := ts.Deadlines(10)
+	want := []int64{0, 3, 5, 8, 10}
+	if len(ds) != len(want) {
+		t.Fatalf("Deadlines = %v, want %v", ds, want)
+	}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("Deadlines = %v, want %v", ds, want)
+		}
+	}
+}
+
+// randomTaskSet generates a valid constrained-deadline task set with
+// periods drawn from small divisors of 600 so hyperperiods stay tame.
+func randomTaskSet(rng *rand.Rand, n int, maxPeriod int64) TaskSet {
+	periods := []int64{10, 20, 25, 30, 50, 60, 100, 120}
+	var ts TaskSet
+	for i := 0; i < n; i++ {
+		p := periods[rng.Intn(len(periods))]
+		if p > maxPeriod {
+			p = maxPeriod
+		}
+		c := 1 + rng.Int63n(p/2)
+		d := c + rng.Int63n(p-c+1)
+		ts = append(ts, Task{
+			Name:     string(rune('a' + i)),
+			Group:    i,
+			WCET:     c,
+			Deadline: d,
+			Period:   p,
+		})
+	}
+	return ts
+}

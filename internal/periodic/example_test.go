@@ -1,0 +1,60 @@
+package periodic_test
+
+import (
+	"fmt"
+
+	"tableau/internal/periodic"
+)
+
+// ExampleSimulateEDF produces the repeating schedule the planner turns
+// into a dispatch table: EDF over one hyperperiod. At t=5 task a's
+// second job ties with b's deadline; the deterministic tie-break favors
+// the earlier release, so b runs to completion first.
+func ExampleSimulateEDF() {
+	ts := periodic.TaskSet{
+		{Name: "a", Group: 0, WCET: 2, Deadline: 5, Period: 5},
+		{Name: "b", Group: 1, WCET: 4, Deadline: 10, Period: 10},
+	}
+	res, err := periodic.SimulateEDF(ts, 10)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for _, s := range res.Slots {
+		fmt.Printf("[%d,%d) %s\n", s.Start, s.End, ts[s.Task].Name)
+	}
+	fmt.Println("preemptions:", res.Preemptions)
+	// Output:
+	// [0,2) a
+	// [2,6) b
+	// [6,8) a
+	// preemptions: 0
+}
+
+// ExampleTaskSet_EDFSchedulable shows the exact QPA test on a
+// constrained-deadline set where the utilization bound alone would
+// mislead.
+func ExampleTaskSet_EDFSchedulable() {
+	tight := periodic.TaskSet{
+		{Name: "x", WCET: 4, Deadline: 4, Period: 10},
+		{Name: "y", WCET: 4, Deadline: 4, Period: 10},
+	}
+	fmt.Println("U =", tight.TotalUtil(), "schedulable:", tight.EDFSchedulable())
+	relaxed := periodic.TaskSet{
+		{Name: "x", WCET: 4, Deadline: 8, Period: 10},
+		{Name: "y", WCET: 4, Deadline: 8, Period: 10},
+	}
+	fmt.Println("U =", relaxed.TotalUtil(), "schedulable:", relaxed.EDFSchedulable())
+	// Output:
+	// U = 4/5 schedulable: false
+	// U = 4/5 schedulable: true
+}
+
+// ExampleTaskSet_MaxFeasibleCEqualsD: the C=D splitting primitive —
+// the largest head budget a loaded core can still take.
+func ExampleTaskSet_MaxFeasibleCEqualsD() {
+	core := periodic.TaskSet{{Name: "resident", WCET: 60, Deadline: 100, Period: 100}}
+	c, ok := core.MaxFeasibleCEqualsD(100, 100)
+	fmt.Println(ok, c)
+	// Output: true 40
+}

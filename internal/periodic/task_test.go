@@ -1,0 +1,195 @@
+package periodic
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaskValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		task Task
+		ok   bool
+	}{
+		{"valid implicit", Task{Name: "a", WCET: 10, Deadline: 100, Period: 100}, true},
+		{"valid constrained", Task{Name: "a", WCET: 10, Deadline: 50, Period: 100}, true},
+		{"valid offset", Task{Name: "a", Offset: 7, WCET: 10, Deadline: 50, Period: 100}, true},
+		{"zero wcet", Task{Name: "a", WCET: 0, Deadline: 50, Period: 100}, false},
+		{"negative wcet", Task{Name: "a", WCET: -1, Deadline: 50, Period: 100}, false},
+		{"zero period", Task{Name: "a", WCET: 10, Deadline: 50, Period: 0}, false},
+		{"deadline below wcet", Task{Name: "a", WCET: 60, Deadline: 50, Period: 100}, false},
+		{"deadline above period", Task{Name: "a", WCET: 10, Deadline: 150, Period: 100}, false},
+		{"negative offset", Task{Name: "a", Offset: -1, WCET: 10, Deadline: 50, Period: 100}, false},
+		{"c equals d", Task{Name: "a", WCET: 50, Deadline: 50, Period: 100}, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.task.Validate()
+			if (err == nil) != c.ok {
+				t.Fatalf("Validate() = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+func TestTaskUtil(t *testing.T) {
+	tk := Task{Name: "a", WCET: 25, Deadline: 100, Period: 100}
+	if got, want := tk.Util(), big.NewRat(1, 4); got.Cmp(want) != 0 {
+		t.Errorf("Util() = %v, want %v", got, want)
+	}
+	if got := tk.UtilFloat(); got != 0.25 {
+		t.Errorf("UtilFloat() = %v, want 0.25", got)
+	}
+	if got, want := tk.Density(), big.NewRat(1, 4); got.Cmp(want) != 0 {
+		t.Errorf("Density() = %v, want %v", got, want)
+	}
+	tk.Deadline = 50
+	if got, want := tk.Density(), big.NewRat(1, 2); got.Cmp(want) != 0 {
+		t.Errorf("Density() = %v, want %v", got, want)
+	}
+}
+
+func TestTaskImplicit(t *testing.T) {
+	if !(Task{WCET: 1, Deadline: 10, Period: 10}).Implicit() {
+		t.Error("D==T should be implicit")
+	}
+	if (Task{WCET: 1, Deadline: 5, Period: 10}).Implicit() {
+		t.Error("D<T should not be implicit")
+	}
+}
+
+func TestTaskSetTotalUtil(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", WCET: 1, Deadline: 4, Period: 4},
+		{Name: "b", WCET: 1, Deadline: 2, Period: 2},
+		{Name: "c", WCET: 1, Deadline: 4, Period: 4},
+	}
+	if got := ts.TotalUtil(); got.Cmp(big.NewRat(1, 1)) != 0 {
+		t.Errorf("TotalUtil() = %v, want 1", got)
+	}
+	if !ts.UtilAtMost(1) {
+		t.Error("UtilAtMost(1) = false, want true")
+	}
+	ts = append(ts, Task{Name: "d", WCET: 1, Deadline: 1000, Period: 1000})
+	if ts.UtilAtMost(1) {
+		t.Error("UtilAtMost(1) = true for over-utilized set")
+	}
+	if !ts.UtilAtMost(2) {
+		t.Error("UtilAtMost(2) = false, want true")
+	}
+}
+
+func TestTaskSetMinMaxDeadline(t *testing.T) {
+	var empty TaskSet
+	if empty.MaxDeadline() != 0 || empty.MinDeadline() != 0 {
+		t.Error("empty set deadlines should be 0")
+	}
+	ts := TaskSet{
+		{Name: "a", WCET: 1, Deadline: 40, Period: 40},
+		{Name: "b", WCET: 1, Deadline: 7, Period: 10},
+		{Name: "c", WCET: 1, Deadline: 25, Period: 30},
+	}
+	if got := ts.MaxDeadline(); got != 40 {
+		t.Errorf("MaxDeadline() = %d, want 40", got)
+	}
+	if got := ts.MinDeadline(); got != 7 {
+		t.Errorf("MinDeadline() = %d, want 7", got)
+	}
+}
+
+func TestSortByUtilDesc(t *testing.T) {
+	ts := TaskSet{
+		{Name: "low", WCET: 1, Deadline: 10, Period: 10},     // 0.1
+		{Name: "high", WCET: 9, Deadline: 10, Period: 10},    // 0.9
+		{Name: "mid", WCET: 1, Deadline: 2, Period: 2},       // 0.5
+		{Name: "mid2", WCET: 50, Deadline: 100, Period: 100}, // 0.5
+	}
+	ts.SortByUtilDesc()
+	want := []string{"high", "mid", "mid2", "low"}
+	for i, n := range want {
+		if ts[i].Name != n {
+			t.Fatalf("order[%d] = %s, want %s (got %v)", i, ts[i].Name, n, ts)
+		}
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	ts := TaskSet{
+		{Name: "a", WCET: 1, Deadline: 4, Period: 4},
+		{Name: "b", WCET: 1, Deadline: 6, Period: 6},
+	}
+	h, err := ts.Hyperperiod()
+	if err != nil || h != 12 {
+		t.Errorf("Hyperperiod() = %d, %v; want 12, nil", h, err)
+	}
+	if _, err := (TaskSet{}).Hyperperiod(); err == nil {
+		t.Error("Hyperperiod() of empty set should error")
+	}
+}
+
+func TestHyperperiodOverflow(t *testing.T) {
+	big1 := int64(1) << 62
+	ts := TaskSet{
+		{Name: "a", WCET: 1, Deadline: big1, Period: big1},
+		{Name: "b", WCET: 1, Deadline: big1 - 1, Period: big1 - 1},
+	}
+	if _, err := ts.Hyperperiod(); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+func TestGCDLCM(t *testing.T) {
+	if g := GCD(12, 18); g != 6 {
+		t.Errorf("GCD(12,18) = %d, want 6", g)
+	}
+	if g := GCD(7, 13); g != 1 {
+		t.Errorf("GCD(7,13) = %d, want 1", g)
+	}
+	l, err := LCM(4, 6)
+	if err != nil || l != 12 {
+		t.Errorf("LCM(4,6) = %d, %v; want 12", l, err)
+	}
+	if _, err := LCM(0, 5); err == nil {
+		t.Error("LCM(0,5) should error")
+	}
+}
+
+// Property: GCD divides both arguments and LCM is divisible by both.
+func TestGCDLCMProperties(t *testing.T) {
+	f := func(a, b uint16) bool {
+		x, y := int64(a)+1, int64(b)+1
+		g := GCD(x, y)
+		if x%g != 0 || y%g != 0 {
+			return false
+		}
+		l, err := LCM(x, y)
+		if err != nil {
+			return false
+		}
+		return l%x == 0 && l%y == 0 && g*l == x*y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaskString(t *testing.T) {
+	imp := Task{Name: "a", WCET: 3, Deadline: 10, Period: 10}
+	if got := imp.String(); got != "a(C=3,T=10)" {
+		t.Errorf("String() = %q", got)
+	}
+	con := Task{Name: "b", Offset: 1, WCET: 3, Deadline: 5, Period: 10}
+	if got := con.String(); got != "b(O=1,C=3,D=5,T=10)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	ts := TaskSet{{Name: "a", WCET: 1, Deadline: 2, Period: 2}}
+	c := ts.Clone()
+	c[0].Name = "changed"
+	if ts[0].Name != "a" {
+		t.Error("Clone() did not deep-copy")
+	}
+}

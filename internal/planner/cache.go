@@ -1,0 +1,116 @@
+package planner
+
+import (
+	"container/list"
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// Cache memoizes planning results, implementing the paper's Sec. 7.1
+// suggestion that "it is trivially possible to centrally cache tables
+// for common configurations that are frequently reused": cloud
+// providers sell regularly sized VMs, so hosts keep re-planning the
+// same handful of population shapes.
+//
+// The cache key is the exact (specs, options) input. Cached results
+// are shared: callers must treat the returned Result and its Table as
+// immutable, which every consumer in this repository does (the
+// dispatcher only reads tables, and core.System re-maps into fresh
+// tables).
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // LRU: front = most recent
+	hits    int64
+	misses  int64
+}
+
+type cacheEntry struct {
+	key string
+	res *Result
+}
+
+// NewCache returns a cache holding at most max results (LRU eviction).
+// max <= 0 selects a default of 128.
+func NewCache(max int) *Cache {
+	if max <= 0 {
+		max = 128
+	}
+	return &Cache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// CacheKey returns the canonical key for a planning input. Spec order
+// matters (worst-fit tie-breaking is order-sensitive), so no sorting is
+// applied.
+func CacheKey(specs []VCPUSpec, opts Options) string {
+	opts = opts.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "c%d;t%d;q%d;s%d;ds%v;dc%v;ph%v;sc%d;sr%d|",
+		opts.Cores, opts.TableLength, opts.CoalesceThreshold, opts.MaxSlicesPerCore,
+		opts.DisableSplitting, opts.DisableClustering, opts.Peephole,
+		opts.SplitCompensationPPM, opts.SplitRotation)
+	for _, s := range specs {
+		fmt.Fprintf(&b, "%s,%d/%d,%d,%v;", s.Name, s.Util.Num, s.Util.Den, s.LatencyGoal, s.Capped)
+	}
+	return b.String()
+}
+
+// Plan returns a cached result for the input if one exists, planning
+// and caching otherwise. Errors are not cached.
+func (c *Cache) Plan(specs []VCPUSpec, opts Options) (*Result, error) {
+	key := CacheKey(specs, opts)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		res := el.Value.(*cacheEntry).res
+		c.mu.Unlock()
+		return res, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Plan outside the lock: planning can take milliseconds and
+	// concurrent misses for different keys should proceed in parallel.
+	res, err := Plan(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// A concurrent miss beat us; keep the first result so callers
+		// sharing the cache also share tables.
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).res, nil
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = el
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	return res, nil
+}
+
+// Stats returns the hit and miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the number of cached results.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

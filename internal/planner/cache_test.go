@@ -1,0 +1,130 @@
+package planner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func cacheSpecs(n int, goal int64) []VCPUSpec {
+	var specs []VCPUSpec
+	for i := 0; i < n; i++ {
+		specs = append(specs, VCPUSpec{
+			Name:        fmt.Sprintf("vm%d", i),
+			Util:        Util{Num: 1, Den: 4},
+			LatencyGoal: goal,
+			Capped:      true,
+		})
+	}
+	return specs
+}
+
+func TestCacheHitsAndMisses(t *testing.T) {
+	c := NewCache(8)
+	specs := cacheSpecs(8, 20_000_000)
+	opts := Options{Cores: 2}
+	r1, err := c.Plan(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Plan(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical inputs did not share a cached result")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits, %d misses", hits, misses)
+	}
+	// A different latency goal is a different key.
+	if _, err := c.Plan(cacheSpecs(8, 30_000_000), opts); err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestCacheKeySensitivity(t *testing.T) {
+	specs := cacheSpecs(4, 20_000_000)
+	base := CacheKey(specs, Options{Cores: 2})
+	if CacheKey(specs, Options{Cores: 3}) == base {
+		t.Error("core count not in key")
+	}
+	if CacheKey(specs, Options{Cores: 2, Peephole: true}) == base {
+		t.Error("peephole flag not in key")
+	}
+	if CacheKey(specs, Options{Cores: 2, SplitRotation: 1}) == base {
+		t.Error("rotation not in key")
+	}
+	reordered := append([]VCPUSpec(nil), specs...)
+	reordered[0], reordered[1] = reordered[1], reordered[0]
+	if CacheKey(reordered, Options{Cores: 2}) == base {
+		t.Error("spec order must be part of the key (worst-fit ties are order-sensitive)")
+	}
+	capped := append([]VCPUSpec(nil), specs...)
+	capped[0].Capped = false
+	if CacheKey(capped, Options{Cores: 2}) == base {
+		t.Error("capped flag not in key")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	opts := Options{Cores: 1}
+	for _, goal := range []int64{20e6, 30e6, 40e6} {
+		if _, err := c.Plan(cacheSpecs(2, goal), opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("Len = %d after eviction", c.Len())
+	}
+	// The oldest entry (20 ms) was evicted: replanning it is a miss.
+	if _, err := c.Plan(cacheSpecs(2, 20e6), opts); err != nil {
+		t.Fatal(err)
+	}
+	_, misses := c.Stats()
+	if misses != 4 {
+		t.Errorf("misses = %d, want 4 (evicted entry replanned)", misses)
+	}
+}
+
+func TestCacheDoesNotCacheErrors(t *testing.T) {
+	c := NewCache(4)
+	bad := []VCPUSpec{{Name: "x", Util: Util{Num: 3, Den: 2}, LatencyGoal: 1e7}}
+	if _, err := c.Plan(bad, Options{Cores: 1}); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	if c.Len() != 0 {
+		t.Error("error result cached")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				goal := int64(10+(g+i)%4*10) * 1_000_000
+				if _, err := c.Plan(cacheSpecs(4, goal), Options{Cores: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	hits, misses := c.Stats()
+	if hits+misses != 160 {
+		t.Errorf("hits+misses = %d, want 160", hits+misses)
+	}
+	if misses > 16 {
+		t.Errorf("misses = %d, want at most a few per distinct key", misses)
+	}
+}

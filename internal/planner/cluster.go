@@ -1,0 +1,249 @@
+package planner
+
+import (
+	"fmt"
+	"sort"
+
+	"tableau/internal/periodic"
+)
+
+// clusterSchedule schedules the given implicit-deadline tasks on m cores
+// using a DP-Fair-style boundary scheduler ("localized optimal
+// scheduling", paper Sec. 5): time is partitioned into slices at every
+// period boundary; within each slice every task receives (approximately)
+// its proportional share, with zero-laxity ("mandatory") work served
+// first, and the per-slice allocations are laid onto the cores with
+// McNaughton's wrap-around algorithm. Tasks may migrate between cores at
+// slice boundaries — the many-preemptions cost the paper accepts for
+// this rarely-needed last resort.
+//
+// The returned slots use task indices into ts and cover [0, horizon).
+// The scheduler is exact at nanosecond granularity: every task receives
+// exactly its WCET in every period window, verified by construction and
+// re-verified by the planner's final table check. An error is returned
+// if the set is infeasible on m cores (total utilization > m) or if
+// lag accumulation makes some slice's mandatory work exceed capacity.
+func clusterSchedule(ts periodic.TaskSet, m int, horizon int64) ([][]periodic.Slot, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("planner: cluster with %d cores", m)
+	}
+	for _, tk := range ts {
+		if !tk.Implicit() || tk.Offset != 0 {
+			return nil, fmt.Errorf("planner: cluster scheduler requires synchronous implicit-deadline tasks, got %v", tk)
+		}
+		if horizon%tk.Period != 0 {
+			return nil, fmt.Errorf("planner: horizon %d is not a multiple of period %d", horizon, tk.Period)
+		}
+	}
+	if !ts.UtilAtMost(int64(m)) {
+		return nil, fmt.Errorf("planner: cluster over-utilized for %d cores", m)
+	}
+
+	boundaries := ts.Deadlines(horizon)
+	served := make([]int64, len(ts))      // service in the current period
+	periodStart := make([]int64, len(ts)) // start of the current period
+	out := make([][]periodic.Slot, m)
+
+	for bi := 0; bi+1 < len(boundaries); bi++ {
+		s, e := boundaries[bi], boundaries[bi+1]
+		l := e - s
+		for i, tk := range ts {
+			if s%tk.Period == 0 {
+				served[i] = 0
+				periodStart[i] = s
+			}
+		}
+		alloc := make([]int64, len(ts))
+		capacity := int64(m) * l
+		// Mandatory (zero-laxity) work: what must run in this slice so
+		// the job can still finish by its period end.
+		for i, tk := range ts {
+			rem := tk.WCET - served[i]
+			deadline := periodStart[i] + tk.Period
+			mand := rem - (deadline - e)
+			if mand < 0 {
+				mand = 0
+			}
+			if mand > l || mand > rem {
+				return nil, fmt.Errorf("planner: cluster slice [%d,%d): task %s mandatory %d exceeds slice", s, e, tk.Name, mand)
+			}
+			alloc[i] = mand
+			capacity -= mand
+		}
+		if capacity < 0 {
+			return nil, fmt.Errorf("planner: cluster slice [%d,%d): mandatory work exceeds capacity", s, e)
+		}
+		// Proportional top-up: bring every task to the floor of its
+		// fluid (ideal) cumulative service, largest deficit first.
+		type deficit struct {
+			idx  int
+			want int64
+		}
+		var wants []deficit
+		for i, tk := range ts {
+			ideal := tk.WCET * (e - periodStart[i]) / tk.Period // floor of fluid service
+			want := ideal - served[i] - alloc[i]
+			if want <= 0 {
+				continue
+			}
+			if maxMore := l - alloc[i]; want > maxMore {
+				want = maxMore
+			}
+			if rem := tk.WCET - served[i] - alloc[i]; want > rem {
+				want = rem
+			}
+			if want > 0 {
+				wants = append(wants, deficit{i, want})
+			}
+		}
+		sort.SliceStable(wants, func(a, b int) bool {
+			// Earlier deadline first, then larger deficit, then index.
+			da := periodStart[wants[a].idx] + ts[wants[a].idx].Period
+			db := periodStart[wants[b].idx] + ts[wants[b].idx].Period
+			if da != db {
+				return da < db
+			}
+			if wants[a].want != wants[b].want {
+				return wants[a].want > wants[b].want
+			}
+			return wants[a].idx < wants[b].idx
+		})
+		for _, w := range wants {
+			if capacity == 0 {
+				break
+			}
+			take := w.want
+			if take > capacity {
+				take = capacity
+			}
+			alloc[w.idx] += take
+			capacity -= take
+		}
+		// Work-conserving pass: floor-based shares waste up to a few ns
+		// of capacity per slice, which would accumulate into an
+		// infeasible final slice when the cluster is exactly full. Hand
+		// the remainder to tasks with work left, earliest deadline
+		// first, still capped at the slice length.
+		if capacity > 0 {
+			order := make([]int, 0, len(ts))
+			for i := range ts {
+				order = append(order, i)
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				da := periodStart[order[a]] + ts[order[a]].Period
+				db := periodStart[order[b]] + ts[order[b]].Period
+				if da != db {
+					return da < db
+				}
+				return order[a] < order[b]
+			})
+			for _, i := range order {
+				if capacity == 0 {
+					break
+				}
+				extra := ts[i].WCET - served[i] - alloc[i]
+				if room := l - alloc[i]; extra > room {
+					extra = room
+				}
+				if extra > capacity {
+					extra = capacity
+				}
+				if extra > 0 {
+					alloc[i] += extra
+					capacity -= extra
+				}
+			}
+		}
+		// McNaughton wrap-around: lay the allocations onto the m cores.
+		// Each allocation is <= l, so the (at most two) pieces of a task
+		// never overlap in time.
+		core, pos := 0, int64(0)
+		emit := func(c int, from, to int64, task int) {
+			if to <= from {
+				return
+			}
+			slots := out[c]
+			if n := len(slots); n > 0 && slots[n-1].Task == task && slots[n-1].End == from {
+				out[c][n-1].End = to
+			} else {
+				out[c] = append(out[c], periodic.Slot{Start: from, End: to, Task: task})
+			}
+		}
+		for i := range ts {
+			a := alloc[i]
+			if a == 0 {
+				continue
+			}
+			served[i] += a
+			first := a
+			if first > l-pos {
+				first = l - pos
+			}
+			emit(core, s+pos, s+pos+first, i)
+			pos += first
+			a -= first
+			if pos == l {
+				core, pos = core+1, 0
+			}
+			if a > 0 {
+				if core >= m {
+					return nil, fmt.Errorf("planner: cluster slice [%d,%d): wrap overflow", s, e)
+				}
+				emit(core, s, s+a, i)
+				pos = a
+			}
+		}
+	}
+	// Verify exact per-period service — cheap and makes the scheduler
+	// self-checking before the table-level verification runs.
+	for i, tk := range ts {
+		var total int64
+		for _, slots := range out {
+			for _, sl := range slots {
+				if sl.Task == i {
+					total += sl.Len()
+				}
+			}
+		}
+		if want := (horizon / tk.Period) * tk.WCET; total != want {
+			return nil, fmt.Errorf("planner: cluster task %s received %d of %d ns over the hyperperiod", tk.Name, total, want)
+		}
+	}
+	return out, nil
+}
+
+// growCluster selects which cores to merge into a cluster for the tasks
+// that could not be placed by partitioning or splitting. Starting from
+// the least-utilized eligible cores (paper: "close" cores are merged
+// first; we approximate closeness by load so donated tasks are few), it
+// returns the chosen cores and the combined task set (unplaced tasks
+// plus everything previously assigned to the chosen cores) once the
+// combined utilization fits the cluster size. Cores already holding
+// constrained-deadline subtasks are ineligible (their reservations
+// cannot be re-expressed as fluid rates).
+func growCluster(cores []*coreState, unplaced periodic.TaskSet) (cluster []*coreState, tasks periodic.TaskSet, err error) {
+	elig := make([]*coreState, 0, len(cores))
+	for _, c := range cores {
+		if !c.dedicated && !c.constrained {
+			elig = append(elig, c)
+		}
+	}
+	sort.SliceStable(elig, func(i, j int) bool {
+		if c := elig[i].util.Cmp(elig[j].util); c != 0 {
+			return c < 0
+		}
+		return elig[i].id < elig[j].id
+	})
+	tasks = unplaced.Clone()
+	for n := 1; n <= len(elig); n++ {
+		cluster = elig[:n]
+		tasks = unplaced.Clone()
+		for _, c := range cluster {
+			tasks = append(tasks, c.tasks...)
+		}
+		if n >= 2 && tasks.UtilAtMost(int64(n)) {
+			return cluster, tasks, nil
+		}
+	}
+	return nil, nil, fmt.Errorf("planner: no cluster of eligible cores can host the remaining tasks")
+}

@@ -1,0 +1,157 @@
+package planner
+
+import (
+	"math/rand"
+	"testing"
+
+	"tableau/internal/periodic"
+)
+
+// checkClusterSlots validates the structural properties of a cluster
+// schedule: slots within bounds, no per-core overlap, no cross-core
+// parallelism for any task, and exact per-period service.
+func checkClusterSlots(t *testing.T, ts periodic.TaskSet, slots [][]periodic.Slot, m int, horizon int64) {
+	t.Helper()
+	type span struct {
+		s, e int64
+		core int
+	}
+	byTask := make(map[int][]span)
+	for c, coreSlots := range slots {
+		var prevEnd int64
+		for _, sl := range coreSlots {
+			if sl.Start < prevEnd || sl.End <= sl.Start || sl.End > horizon {
+				t.Fatalf("core %d: bad slot %+v", c, sl)
+			}
+			prevEnd = sl.End
+			byTask[sl.Task] = append(byTask[sl.Task], span{sl.Start, sl.End, c})
+		}
+	}
+	for ti, spans := range byTask {
+		for i := 0; i < len(spans); i++ {
+			for j := i + 1; j < len(spans); j++ {
+				a, b := spans[i], spans[j]
+				if a.core != b.core && a.s < b.e && b.s < a.e {
+					t.Fatalf("task %d runs in parallel on cores %d and %d", ti, a.core, b.core)
+				}
+			}
+		}
+	}
+	// Exact service per period window.
+	for i, tk := range ts {
+		for w := int64(0); w < horizon; w += tk.Period {
+			var svc int64
+			for _, sp := range byTask[i] {
+				lo, hi := sp.s, sp.e
+				if lo < w {
+					lo = w
+				}
+				if hi > w+tk.Period {
+					hi = w + tk.Period
+				}
+				if hi > lo {
+					svc += hi - lo
+				}
+			}
+			if svc != tk.WCET {
+				t.Fatalf("task %s window [%d,%d): service %d, want %d", tk.Name, w, w+tk.Period, svc, tk.WCET)
+			}
+		}
+	}
+}
+
+func TestClusterScheduleTwoCoresFull(t *testing.T) {
+	// Three tasks of 2/3 each on two cores: unpartitionable (any pair
+	// exceeds one core), total utilization exactly 2. The classic case
+	// needing optimal scheduling.
+	ts := periodic.TaskSet{
+		implicitTask("a", 200, 300),
+		implicitTask("b", 200, 300),
+		implicitTask("c", 200, 300),
+	}
+	slots, err := clusterSchedule(ts, 2, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClusterSlots(t, ts, slots, 2, 300)
+}
+
+func TestClusterScheduleMixedPeriods(t *testing.T) {
+	ts := periodic.TaskSet{
+		implicitTask("a", 50, 100),
+		implicitTask("b", 120, 150),
+		implicitTask("c", 180, 300),
+		implicitTask("d", 70, 100),
+	}
+	h, err := ts.Hyperperiod()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slots, err := clusterSchedule(ts, 3, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkClusterSlots(t, ts, slots, 3, h)
+}
+
+func TestClusterScheduleRejectsOverUtilized(t *testing.T) {
+	ts := periodic.TaskSet{
+		implicitTask("a", 80, 100),
+		implicitTask("b", 80, 100),
+		implicitTask("c", 80, 100),
+	}
+	if _, err := clusterSchedule(ts, 2, 100); err == nil {
+		t.Error("over-utilized cluster accepted")
+	}
+}
+
+func TestClusterScheduleRejectsBadInput(t *testing.T) {
+	constrained := periodic.TaskSet{{Name: "a", WCET: 10, Deadline: 50, Period: 100}}
+	if _, err := clusterSchedule(constrained, 2, 100); err == nil {
+		t.Error("constrained-deadline task accepted")
+	}
+	offset := periodic.TaskSet{{Name: "a", Offset: 5, WCET: 10, Deadline: 100, Period: 100}}
+	if _, err := clusterSchedule(offset, 2, 100); err == nil {
+		t.Error("offset task accepted")
+	}
+	bad := periodic.TaskSet{implicitTask("a", 10, 100)}
+	if _, err := clusterSchedule(bad, 2, 150); err == nil {
+		t.Error("non-multiple horizon accepted")
+	}
+	if _, err := clusterSchedule(bad, 0, 100); err == nil {
+		t.Error("zero cores accepted")
+	}
+}
+
+// Property: random feasible clusters always schedule correctly.
+func TestClusterScheduleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	periods := []int64{100, 200, 300, 600}
+	scheduled := 0
+	for trial := 0; trial < 200; trial++ {
+		m := 2 + rng.Intn(3)
+		n := 2 + rng.Intn(6)
+		var ts periodic.TaskSet
+		for i := 0; i < n; i++ {
+			p := periods[rng.Intn(len(periods))]
+			c := 1 + rng.Int63n(p-1)
+			ts = append(ts, implicitTask(string(rune('a'+i)), c, p))
+		}
+		if !ts.UtilAtMost(int64(m)) {
+			continue
+		}
+		h, err := ts.Hyperperiod()
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots, err := clusterSchedule(ts, m, h)
+		if err != nil {
+			t.Fatalf("trial %d: feasible cluster rejected: %v (set %v, m=%d)", trial, err, ts, m)
+		}
+		checkClusterSlots(t, ts, slots, m, h)
+		scheduled++
+	}
+	if scheduled < 50 {
+		t.Fatalf("only %d clusters exercised", scheduled)
+	}
+}

@@ -1,0 +1,107 @@
+package planner
+
+import (
+	"tableau/internal/table"
+)
+
+// mergeContiguous merges adjacent allocations of the same vCPU whose
+// intervals touch. The input must be sorted and non-overlapping; the
+// result is too.
+func mergeContiguous(allocs []table.Alloc) []table.Alloc {
+	if len(allocs) == 0 {
+		return allocs
+	}
+	out := allocs[:1]
+	for _, a := range allocs[1:] {
+		last := &out[len(out)-1]
+		if a.VCPU == last.VCPU && a.Start == last.End {
+			last.End = a.End
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// coalesceCore removes unenforceably small reservations (paper Sec. 5,
+// post-processing) from one core's allocation list:
+//
+//  1. contiguous same-vCPU allocations are merged;
+//  2. a sub-threshold allocation adjacent to idle time is widened into
+//     the idle gap until it reaches the threshold (this only adds
+//     service, so it is always safe);
+//  3. a sub-threshold allocation squeezed between other reservations is
+//     donated to its longer neighbor, but only if donate reports that
+//     the owning vCPU can afford the loss (the planner wires donate to a
+//     per-window service-slack check).
+//
+// tableLen bounds the widening in step 2. mayWiden gates step 2 per
+// vCPU: widening a split vCPU's reservation could overlap its
+// reservation on another core, so the planner only permits widening for
+// unsplit vCPUs.
+func coalesceCore(allocs []table.Alloc, threshold, tableLen int64, mayWiden func(vcpu int) bool, donate func(vcpu int, start, end int64) bool) []table.Alloc {
+	allocs = mergeContiguous(append([]table.Alloc(nil), allocs...))
+	if threshold <= 0 {
+		return allocs
+	}
+	// Step 2: widen slivers into adjacent idle time.
+	for i := range allocs {
+		a := &allocs[i]
+		if a.Len() >= threshold {
+			continue
+		}
+		if mayWiden != nil && !mayWiden(a.VCPU) {
+			continue
+		}
+		need := threshold - a.Len()
+		// Idle room after this allocation.
+		roomAfter := tableLen - a.End
+		if i+1 < len(allocs) {
+			roomAfter = allocs[i+1].Start - a.End
+		}
+		grow := min64(need, roomAfter)
+		a.End += grow
+		need -= grow
+		if need > 0 {
+			// Idle room before.
+			roomBefore := a.Start
+			if i > 0 {
+				roomBefore = a.Start - allocs[i-1].End
+			}
+			grow = min64(need, roomBefore)
+			a.Start -= grow
+		}
+	}
+	allocs = mergeContiguous(allocs)
+	// Step 3: donate remaining slivers to a neighbor.
+	var out []table.Alloc
+	for i := 0; i < len(allocs); i++ {
+		a := allocs[i]
+		if a.Len() >= threshold || donate == nil || !donate(a.VCPU, a.Start, a.End) {
+			out = append(out, a)
+			continue
+		}
+		// Prefer the neighbor that touches the sliver; among touching
+		// neighbors, the longer one.
+		prevTouches := len(out) > 0 && out[len(out)-1].End == a.Start
+		nextTouches := i+1 < len(allocs) && allocs[i+1].Start == a.End
+		switch {
+		case prevTouches && (!nextTouches || out[len(out)-1].Len() >= allocs[i+1].Len()):
+			out[len(out)-1].End = a.End
+		case nextTouches:
+			allocs[i+1].Start = a.Start
+		default:
+			// Isolated sliver bordered by idle on both sides would have
+			// been widened in step 2; keep it as a fallback.
+			out = append(out, a)
+		}
+	}
+	return mergeContiguous(out)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,72 @@
+package planner_test
+
+import (
+	"fmt"
+
+	"tableau/internal/planner"
+)
+
+// ExamplePlan plans the paper's canonical configuration: four 25% vCPUs
+// sharing one core with a 20 ms scheduling-latency goal.
+func ExamplePlan() {
+	var specs []planner.VCPUSpec
+	for i := 0; i < 4; i++ {
+		specs = append(specs, planner.VCPUSpec{
+			Name:        fmt.Sprintf("vm%d", i),
+			Util:        planner.Util{Num: 1, Den: 4},
+			LatencyGoal: 20_000_000,
+			Capped:      true,
+		})
+	}
+	res, err := planner.Plan(specs, planner.Options{Cores: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("stage:", res.Stage)
+	fmt.Printf("table length: %.4f ms\n", float64(res.Table.Len)/1e6)
+	for _, g := range res.Guarantees {
+		fmt.Printf("%s: %.4f ms per %.4f ms window, blackout <= %d ms\n",
+			specs[g.VCPU].Name, float64(g.Service)/1e6, float64(g.WindowLen)/1e6, g.MaxBlackout/1_000_000)
+	}
+	// Output:
+	// stage: partitioned
+	// table length: 11.4114 ms
+	// vm0: 2.8529 ms per 11.4114 ms window, blackout <= 20 ms
+	// vm1: 2.8529 ms per 11.4114 ms window, blackout <= 20 ms
+	// vm2: 2.8529 ms per 11.4114 ms window, blackout <= 20 ms
+	// vm3: 2.8529 ms per 11.4114 ms window, blackout <= 20 ms
+}
+
+// ExamplePickPeriod shows the latency-goal to period mapping of paper
+// Sec. 5: the largest candidate period whose worst-case blackout
+// 2*(1-U)*T fits the goal.
+func ExamplePickPeriod() {
+	u := planner.Util{Num: 1, Den: 4}
+	period, ok := planner.PickPeriod(u, 20_000_000, planner.CandidatePeriods())
+	fmt.Println(ok, period)
+	fmt.Println("budget:", u.Cost(period))
+	// Output:
+	// true 11411400
+	// budget: 2852850
+}
+
+// ExampleCandidatePeriods: the paper chose 102,702,600 ns because it has
+// 186 divisors above the 100 µs enforceability threshold.
+func ExampleCandidatePeriods() {
+	c := planner.CandidatePeriods()
+	fmt.Println(len(c), c[0], c[len(c)-1])
+	// Output: 186 100100 102702600
+}
+
+// ExampleAdmit rejects over-utilized populations with exact arithmetic.
+func ExampleAdmit() {
+	specs := []planner.VCPUSpec{
+		{Name: "a", Util: planner.Util{Num: 2, Den: 3}, LatencyGoal: 1e7},
+		{Name: "b", Util: planner.Util{Num: 1, Den: 3}, LatencyGoal: 1e7},
+		{Name: "c", Util: planner.Util{Num: 1, Den: 1000000}, LatencyGoal: 1e7},
+	}
+	err := planner.Admit(specs, 1)
+	fmt.Println(err)
+	// Output: planner: over-utilized: total reserved utilization 1.0000 exceeds 1 cores
+}

@@ -1,0 +1,112 @@
+package planner
+
+import (
+	"math/big"
+	"sort"
+
+	"tableau/internal/periodic"
+)
+
+// coreState tracks one physical core's task assignment during planning.
+type coreState struct {
+	id    int
+	tasks periodic.TaskSet
+	util  *big.Rat
+	// constrained is true once the core hosts a subtask with D < T
+	// (from C=D splitting); such cores need the full QPA test and are
+	// excluded from cluster formation.
+	constrained bool
+	// dedicated marks a core given wholly to a U=1 vCPU.
+	dedicated bool
+}
+
+func newCoreStates(n int) []*coreState {
+	cs := make([]*coreState, n)
+	for i := range cs {
+		cs[i] = &coreState{id: i, util: new(big.Rat)}
+	}
+	return cs
+}
+
+// fits reports whether adding tk keeps the core EDF-schedulable. For
+// cores holding only implicit-deadline tasks this is the exact
+// utilization bound; otherwise the QPA test runs.
+func (c *coreState) fits(tk periodic.Task) bool {
+	if c.dedicated {
+		return false
+	}
+	u := new(big.Rat).Add(c.util, tk.Util())
+	if u.Cmp(ratOne) > 0 {
+		return false
+	}
+	if !c.constrained && tk.Implicit() {
+		return true
+	}
+	aug := append(c.tasks.Clone(), tk)
+	return aug.EDFSchedulable()
+}
+
+func (c *coreState) add(tk periodic.Task) {
+	c.tasks = append(c.tasks, tk)
+	c.util.Add(c.util, tk.Util())
+	if !tk.Implicit() {
+		c.constrained = true
+	}
+}
+
+var ratOne = big.NewRat(1, 1)
+
+// partitionWFD assigns tasks to cores using the worst-fit-decreasing
+// heuristic (paper Sec. 5): tasks in order of decreasing utilization,
+// each placed on the least-utilized core that can accept it. This
+// spreads load evenly across cores. It returns the tasks that could not
+// be placed on any core.
+func partitionWFD(cores []*coreState, tasks periodic.TaskSet) (unplaced periodic.TaskSet) {
+	return partitionWFDRotated(cores, tasks, 0)
+}
+
+// partitionWFDRotated is partitionWFD with a rotation applied to the
+// ordering of equal-utilization tasks: advancing the rotation on every
+// replan lets the population take turns bearing the risk of being the
+// task that ends up C=D-split (paper Sec. 7.5).
+func partitionWFDRotated(cores []*coreState, tasks periodic.TaskSet, rotation int) (unplaced periodic.TaskSet) {
+	order := tasks.Clone()
+	if n := len(order); rotation != 0 && n > 0 {
+		r := ((rotation % n) + n) % n
+		order = append(order[r:], order[:r]...)
+		order.SortByUtilStable()
+	} else {
+		order.SortByUtilDesc()
+	}
+	for _, tk := range order {
+		if c := leastUtilizedFit(cores, tk); c != nil {
+			c.add(tk)
+		} else {
+			unplaced = append(unplaced, tk)
+		}
+	}
+	return unplaced
+}
+
+// leastUtilizedFit returns the least-utilized core on which tk fits, or
+// nil. Ties are broken by core id for determinism.
+func leastUtilizedFit(cores []*coreState, tk periodic.Task) *coreState {
+	idx := make([]*coreState, 0, len(cores))
+	for _, c := range cores {
+		if !c.dedicated {
+			idx = append(idx, c)
+		}
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		if c := idx[i].util.Cmp(idx[j].util); c != 0 {
+			return c < 0
+		}
+		return idx[i].id < idx[j].id
+	})
+	for _, c := range idx {
+		if c.fits(tk) {
+			return c
+		}
+	}
+	return nil
+}

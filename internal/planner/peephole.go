@@ -1,0 +1,192 @@
+package planner
+
+import (
+	"tableau/internal/table"
+)
+
+// The peephole optimizer implements the post-processing extension the
+// paper sketches in Sec. 5 ("one might add a 'peep-hole' optimization
+// pass to reduce the number of migrations and preemptions even
+// further"): a sequence of local, guarantee-preserving rewrites of a
+// core's allocation list that reduce context switches.
+//
+// Two rewrites are applied to convergence:
+//
+//  1. slide-left: an allocation entirely inside one guarantee window,
+//     with idle time before it, moves earlier within that window.
+//     Per-window service is unchanged, and the worst-case blackout
+//     stays within the 2*(T-C) bound that justified the period choice.
+//  2. bubble-merge: in the pattern A B A (three contiguous allocations
+//     with the outer two belonging to the same vCPU), B is moved before
+//     or after the merged A-block when a direct per-window service
+//     check passes for both vCPUs. This removes one preemption of A
+//     and at least one context switch.
+//
+// Split vCPUs are never touched (moving their pieces could violate the
+// cross-core non-overlap invariant), and the planner re-runs the full
+// table validation and guarantee check after the pass, so the pass is
+// sound even against bugs in its own reasoning.
+type peepholer struct {
+	tableLen int64
+	split    []bool
+	// winOf[v] is vCPU v's guarantee window length (0: no guarantee —
+	// such vCPUs are never rewritten).
+	winOf []int64
+	// svcOf[v] is the guaranteed service per window.
+	svcOf []int64
+}
+
+func newPeepholer(tableLen int64, nvcpus int, gs []table.Guarantee, split []bool) *peepholer {
+	p := &peepholer{
+		tableLen: tableLen,
+		split:    split,
+		winOf:    make([]int64, nvcpus),
+		svcOf:    make([]int64, nvcpus),
+	}
+	for _, g := range gs {
+		if g.VCPU >= 0 && g.VCPU < nvcpus {
+			p.winOf[g.VCPU] = g.WindowLen
+			p.svcOf[g.VCPU] = g.Service
+		}
+	}
+	return p
+}
+
+// run optimizes one core's allocation list and reports how many context
+// switches were eliminated.
+func (p *peepholer) run(allocs []table.Alloc) ([]table.Alloc, int) {
+	out := append([]table.Alloc(nil), allocs...)
+	before := switchCount(out)
+	for changed := true; changed; {
+		changed = false
+		if p.slideLeft(out) {
+			changed = true
+		}
+		var merged bool
+		out, merged = p.bubbleMerge(out)
+		if merged {
+			changed = true
+		}
+		out = mergeContiguous(out)
+	}
+	return out, before - switchCount(out)
+}
+
+// switchCount counts vCPU-to-different-vCPU transitions in the cyclic
+// schedule; an idle gap costs one switch on re-entry.
+func switchCount(allocs []table.Alloc) int {
+	if len(allocs) == 0 {
+		return 0
+	}
+	n := 0
+	for i := range allocs {
+		cur := allocs[i]
+		next := allocs[(i+1)%len(allocs)]
+		if cur.VCPU != next.VCPU || next.Start != cur.End {
+			n++
+		}
+	}
+	return n
+}
+
+// movable reports whether vCPU v's allocations may be rewritten.
+func (p *peepholer) movable(v int) bool {
+	return v != table.Idle && !p.split[v] && p.winOf[v] > 0
+}
+
+// sameWindow reports whether [start, end) lies entirely inside one
+// guarantee window of vCPU v.
+func (p *peepholer) sameWindow(v int, start, end int64) bool {
+	w := p.winOf[v]
+	return start/w == (end-1)/w
+}
+
+// slideLeft moves window-local allocations into idle gaps before them,
+// clamped to their window boundary.
+func (p *peepholer) slideLeft(allocs []table.Alloc) bool {
+	moved := false
+	var prevEnd int64
+	for i := range allocs {
+		a := &allocs[i]
+		if p.movable(a.VCPU) && a.Start > prevEnd && p.sameWindow(a.VCPU, a.Start, a.End) {
+			limit := prevEnd
+			if w := (a.Start / p.winOf[a.VCPU]) * p.winOf[a.VCPU]; w > limit {
+				limit = w
+			}
+			if a.Start > limit {
+				l := a.Len()
+				a.Start = limit
+				a.End = limit + l
+				moved = true
+			}
+		}
+		prevEnd = a.End
+	}
+	return moved
+}
+
+// bubbleMerge rewrites one A B A pattern per call, preferring A A B and
+// falling back to B A A, whenever the per-window service of both vCPUs
+// survives.
+func (p *peepholer) bubbleMerge(allocs []table.Alloc) ([]table.Alloc, bool) {
+	for i := 0; i+2 < len(allocs); i++ {
+		a1, b, a2 := allocs[i], allocs[i+1], allocs[i+2]
+		if a1.VCPU != a2.VCPU || a1.VCPU == b.VCPU {
+			continue
+		}
+		if !p.movable(a1.VCPU) || !p.movable(b.VCPU) {
+			continue
+		}
+		if a1.End != b.Start || b.End != a2.Start {
+			continue
+		}
+		for _, variant := range [2]int{0, 1} {
+			cand := append([]table.Alloc(nil), allocs[:i]...)
+			if variant == 0 { // A A B
+				cand = append(cand,
+					table.Alloc{Start: a1.Start, End: a1.Start + a1.Len() + a2.Len(), VCPU: a1.VCPU},
+					table.Alloc{Start: a1.Start + a1.Len() + a2.Len(), End: a2.End, VCPU: b.VCPU})
+			} else { // B A A
+				cand = append(cand,
+					table.Alloc{Start: a1.Start, End: a1.Start + b.Len(), VCPU: b.VCPU},
+					table.Alloc{Start: a1.Start + b.Len(), End: a2.End, VCPU: a1.VCPU})
+			}
+			cand = append(cand, allocs[i+3:]...)
+			if p.windowSafe(cand, a1.VCPU) && p.windowSafe(cand, b.VCPU) {
+				return cand, true
+			}
+		}
+	}
+	return allocs, false
+}
+
+// windowSafe verifies vCPU v's per-window service on a candidate list
+// (v is unsplit, so this core carries all of its service).
+func (p *peepholer) windowSafe(allocs []table.Alloc, v int) bool {
+	win, svc := p.winOf[v], p.svcOf[v]
+	if win <= 0 {
+		return false
+	}
+	for w := int64(0); w < p.tableLen; w += win {
+		var got int64
+		for _, a := range allocs {
+			if a.VCPU != v {
+				continue
+			}
+			lo, hi := a.Start, a.End
+			if lo < w {
+				lo = w
+			}
+			if hi > w+win {
+				hi = w + win
+			}
+			if hi > lo {
+				got += hi - lo
+			}
+		}
+		if got < svc {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,229 @@
+package planner
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCandidatePeriods(t *testing.T) {
+	cands := CandidatePeriods()
+	// The paper (Sec. 5) chose 102,702,600 ns because it has 186 integer
+	// divisors above the 100 µs enforceability threshold.
+	if len(cands) != 186 {
+		t.Errorf("len(CandidatePeriods()) = %d, want 186", len(cands))
+	}
+	for i, c := range cands {
+		if MaxHyperperiod%c != 0 {
+			t.Errorf("candidate %d does not divide the hyperperiod", c)
+		}
+		if c < MinPeriod {
+			t.Errorf("candidate %d below MinPeriod", c)
+		}
+		if i > 0 && cands[i-1] >= c {
+			t.Errorf("candidates not strictly increasing at %d", i)
+		}
+	}
+	if cands[len(cands)-1] != MaxHyperperiod {
+		t.Errorf("largest candidate = %d, want %d", cands[len(cands)-1], MaxHyperperiod)
+	}
+}
+
+func TestUtilValidate(t *testing.T) {
+	cases := []struct {
+		u  Util
+		ok bool
+	}{
+		{Util{1, 4}, true},
+		{Util{1, 1}, true},
+		{Util{0, 4}, false},
+		{Util{-1, 4}, false},
+		{Util{5, 4}, false},
+		{Util{1, 0}, false},
+		{Util{1, -2}, false},
+	}
+	for _, c := range cases {
+		if err := c.u.Validate(); (err == nil) != c.ok {
+			t.Errorf("Util%v.Validate() = %v, want ok=%v", c.u, err, c.ok)
+		}
+	}
+}
+
+func TestUtilHelpers(t *testing.T) {
+	u := UtilFromPPM(250_000)
+	if u.Float() != 0.25 {
+		t.Errorf("Float() = %v", u.Float())
+	}
+	if !(Util{1, 1}).IsFull() || (Util{1, 2}).IsFull() {
+		t.Error("IsFull wrong")
+	}
+	if got := (Util{1, 3}).PPM(); got != 333_334 { // rounded up
+		t.Errorf("PPM() = %d, want 333334", got)
+	}
+	if got := (Util{1, 4}).Cost(1000); got != 250 {
+		t.Errorf("Cost(1000) = %d, want 250", got)
+	}
+	if got := (Util{1, 3}).Cost(1000); got != 334 { // ceil
+		t.Errorf("Cost(1000) = %d, want 334", got)
+	}
+	fs := FairShare(16, 64)
+	if fs.Float() != 0.25 {
+		t.Errorf("FairShare(16,64) = %v", fs)
+	}
+}
+
+func TestPickPeriodPaperScenario(t *testing.T) {
+	// Paper Sec. 7.2: U=25%, L=20 ms leads the planner to pick a period
+	// of "roughly 13 ms with a budget of about 3.2 ms". The in-bound
+	// candidates are 12,837,825 ns (not divisible by 4) and 11,411,400
+	// ns (divisible); we prefer the exactly-divisible one so that four
+	// 25% vCPUs pack onto one core with zero rounding inflation, giving
+	// a ~11.4 ms period with a ~2.85 ms budget — same order as the
+	// paper.
+	cands := CandidatePeriods()
+	u := Util{1, 4}
+	period, ok := PickPeriod(u, 20_000_000, cands)
+	if !ok {
+		t.Fatal("PickPeriod failed")
+	}
+	if period != 11_411_400 {
+		t.Errorf("period = %d, want 11411400", period)
+	}
+	if c := u.Cost(period); c != 2_852_850 {
+		t.Errorf("budget = %d, want 2852850", c)
+	}
+	// Blackout bound honored: 2*(1-1/4)*T <= 20 ms.
+	if 2*3*period > 20_000_000*4 {
+		t.Error("picked period violates the blackout bound")
+	}
+}
+
+func TestPickPeriodFallbackToInexact(t *testing.T) {
+	// A denominator coprime to the hyperperiod forces the ceil()
+	// fallback: the largest in-bound candidate is chosen.
+	cands := CandidatePeriods()
+	u := Util{1, 1009} // 1009 is prime and does not divide 102702600
+	p, ok := PickPeriod(u, 210_000_000, cands)
+	if !ok {
+		t.Fatal("fallback failed")
+	}
+	if p != MaxHyperperiod {
+		t.Errorf("period = %d, want %d", p, MaxHyperperiod)
+	}
+}
+
+func TestPickPeriodEdges(t *testing.T) {
+	cands := CandidatePeriods()
+	// Impossibly tight goal.
+	if _, ok := PickPeriod(Util{1, 4}, 1, cands); ok {
+		t.Error("1 ns latency goal should be unenforceable")
+	}
+	if _, ok := PickPeriod(Util{1, 4}, 0, cands); ok {
+		t.Error("zero latency goal must fail")
+	}
+	// Very loose goal picks the maximum period.
+	p, ok := PickPeriod(Util{1, 4}, 1_000_000_000, cands)
+	if !ok || p != MaxHyperperiod {
+		t.Errorf("loose goal: period = %d, ok=%v; want max hyperperiod", p, ok)
+	}
+	// U close to 1 makes even tight goals enforceable: blackout scales
+	// with (1-U).
+	p, ok = PickPeriod(Util{999, 1000}, 1_000_000, cands)
+	if !ok {
+		t.Fatal("high-utilization task should accept tight goals")
+	}
+	if 2*(1000-999)*p > 1_000_000*1000 {
+		t.Errorf("picked period %d violates the blackout bound", p)
+	}
+}
+
+// Property: PickPeriod always satisfies the blackout bound and is
+// maximal among candidates.
+func TestPickPeriodProperty(t *testing.T) {
+	cands := CandidatePeriods()
+	f := func(num16, den16 uint16, goalMS uint8) bool {
+		den := int64(den16%1000) + 2
+		num := int64(num16)%den + 1
+		u := Util{num, den}
+		goal := (int64(goalMS) + 1) * 1_000_000 // 1..256 ms
+		p, ok := PickPeriod(u, goal, cands)
+		if !ok {
+			// Then even the smallest candidate must violate the bound.
+			return 2*(den-num)*cands[0] > goal*den
+		}
+		if 2*(den-num)*p > goal*den {
+			return false
+		}
+		exact := (num*p)%den == 0
+		for _, c := range cands {
+			if 2*(den-num)*c > goal*den {
+				continue // out of bound
+			}
+			if exact {
+				// Maximal among exact-dividing in-bound candidates.
+				if c > p && (num*c)%den == 0 {
+					return false
+				}
+			} else {
+				// Fallback: maximal in-bound, and no in-bound candidate
+				// divides evenly.
+				if c > p || (num*c)%den == 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTaskFor(t *testing.T) {
+	tk, err := TaskFor("v0", 3, Util{1, 4}, 20_000_000, CandidatePeriods())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tk.Name != "v0" || tk.Group != 3 {
+		t.Errorf("identity fields wrong: %+v", tk)
+	}
+	if !tk.Implicit() {
+		t.Error("fresh vCPU tasks must have implicit deadlines")
+	}
+	if tk.WCET*4 < tk.Period {
+		t.Errorf("budget %d under-provisions utilization 1/4 of period %d", tk.WCET, tk.Period)
+	}
+	if _, err := TaskFor("v1", 0, Util{0, 4}, 20_000_000, CandidatePeriods()); err == nil {
+		t.Error("invalid utilization accepted")
+	}
+	if _, err := TaskFor("v1", 0, Util{1, 4}, 10, CandidatePeriods()); err == nil {
+		t.Error("unenforceable latency goal accepted")
+	}
+}
+
+func TestAdmit(t *testing.T) {
+	ok := []VCPUSpec{
+		{Name: "a", Util: Util{1, 2}, LatencyGoal: 1e7},
+		{Name: "b", Util: Util{1, 2}, LatencyGoal: 1e7},
+	}
+	if err := Admit(ok, 1); err != nil {
+		t.Errorf("exactly-full system rejected: %v", err)
+	}
+	over := append(ok, VCPUSpec{Name: "c", Util: Util{1, 1000}, LatencyGoal: 1e7})
+	err := Admit(over, 1)
+	if err == nil {
+		t.Fatal("over-utilized system admitted")
+	}
+	if _, isOver := err.(*ErrOverUtilized); !isOver {
+		t.Errorf("error type = %T, want *ErrOverUtilized", err)
+	}
+	dup := []VCPUSpec{
+		{Name: "a", Util: Util{1, 4}, LatencyGoal: 1e7},
+		{Name: "a", Util: Util{1, 4}, LatencyGoal: 1e7},
+	}
+	if err := Admit(dup, 4); err == nil {
+		t.Error("duplicate names admitted")
+	}
+	if err := Admit(ok, 0); err == nil {
+		t.Error("zero cores admitted")
+	}
+}

@@ -1,0 +1,141 @@
+package planner
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// A VCPUSpec is the planner's per-vCPU input: the reserved utilization U
+// and the maximum acceptable scheduling latency L (paper Sec. 5). These
+// may come from an explicit SLA, from price-differentiated service tiers,
+// or from a fair-share default; the planner does not care.
+type VCPUSpec struct {
+	// Name identifies the vCPU, e.g. "vm3.0".
+	Name string
+	// Util is the reserved utilization in (0, 1].
+	Util Util
+	// LatencyGoal is the maximum scheduling latency L in ns.
+	LatencyGoal int64
+	// Capped vCPUs may only use their reservation; uncapped vCPUs also
+	// participate in the second-level scheduler.
+	Capped bool
+}
+
+// Validate checks a single vCPU spec.
+func (s VCPUSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("planner: vCPU with empty name")
+	}
+	if err := s.Util.Validate(); err != nil {
+		return fmt.Errorf("planner: vCPU %q: %w", s.Name, err)
+	}
+	if s.LatencyGoal <= 0 {
+		return fmt.Errorf("planner: vCPU %q: non-positive latency goal %d", s.Name, s.LatencyGoal)
+	}
+	return nil
+}
+
+// Options configures a planning run. The zero value selects the defaults
+// documented on each field; Cores must always be set.
+type Options struct {
+	// Cores is the number of physical cores available to guest vCPUs.
+	Cores int
+
+	// CoalesceThreshold merges reservations shorter than this many ns
+	// into a neighbor during post-processing; such slivers cannot be
+	// enforced because context-switch overheads dominate. Default 10 µs.
+	CoalesceThreshold int64
+
+	// MaxSlicesPerCore bounds the slice-table size per core.
+	// Default 4 Mi entries.
+	MaxSlicesPerCore int
+
+	// TableLength, when non-zero, forces the generated table to cover
+	// this length (it must be a multiple of every chosen period; the
+	// divisor-based period candidates make MaxHyperperiod always
+	// valid). Zero picks the hyperperiod of the chosen periods — the
+	// shortest valid table. The Fig. 3/4 experiments set this to
+	// MaxHyperperiod to mirror the paper's fixed-length tables.
+	TableLength int64
+
+	// DisableSplitting turns off the C=D semi-partitioning stage
+	// (used by the ablation experiment).
+	DisableSplitting bool
+
+	// DisableClustering turns off the optimal cluster-scheduling stage
+	// (used by the ablation experiment).
+	DisableClustering bool
+
+	// Peephole enables the guarantee-preserving context-switch
+	// reduction pass (the paper's Sec. 5 "peep-hole optimization"
+	// extension). Off by default: it lengthens planning and the paper's
+	// core evaluation does not use it.
+	Peephole bool
+
+	// SplitCompensationPPM inflates the utilization of a vCPU that ends
+	// up C=D-split by this many parts-per-million before splitting, the
+	// paper's Sec. 7.5 suggestion for compensating split vCPUs for
+	// their extra migration overhead. For example, 30_000 grants a
+	// split vCPU an extra 3% of a core.
+	SplitCompensationPPM int64
+
+	// Affinity restricts named vCPUs to subsets of cores (the paper's
+	// Sec. 5 NUMA/cache placement hook): map from vCPU name to allowed
+	// core ids. vCPUs absent from the map are unrestricted. Affine
+	// vCPUs are honored by partitioning and C=D splitting; a workload
+	// whose affine vCPUs cannot be placed without the cluster stage is
+	// rejected with a descriptive error.
+	Affinity map[string][]int
+
+	// SplitRotation rotates placement tie-breaking among equal-
+	// utilization vCPUs, implementing the paper's other Sec. 7.5
+	// suggestion: regenerate the table periodically with an advancing
+	// rotation so the migration penalty of being split is taken in
+	// turns rather than borne by one unlucky vCPU. core.System advances
+	// it on every replan when rotation is enabled.
+	SplitRotation int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CoalesceThreshold == 0 {
+		o.CoalesceThreshold = 10_000
+	}
+	return o
+}
+
+// ErrOverUtilized is returned when the sum of reserved utilizations
+// exceeds the number of cores: a misconfiguration that Tableau rejects
+// (paper Sec. 5).
+type ErrOverUtilized struct {
+	Total *big.Rat
+	Cores int
+}
+
+func (e *ErrOverUtilized) Error() string {
+	f, _ := e.Total.Float64()
+	return fmt.Sprintf("planner: over-utilized: total reserved utilization %.4f exceeds %d cores", f, e.Cores)
+}
+
+// Admit validates all specs and checks the system-wide admission
+// condition sum(U) <= Cores using exact arithmetic.
+func Admit(specs []VCPUSpec, cores int) error {
+	if cores <= 0 {
+		return fmt.Errorf("planner: non-positive core count %d", cores)
+	}
+	seen := make(map[string]struct{}, len(specs))
+	total := new(big.Rat)
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if _, dup := seen[s.Name]; dup {
+			return fmt.Errorf("planner: duplicate vCPU name %q", s.Name)
+		}
+		seen[s.Name] = struct{}{}
+		total.Add(total, big.NewRat(s.Util.Num, s.Util.Den))
+	}
+	if total.Cmp(new(big.Rat).SetInt64(int64(cores))) > 0 {
+		return &ErrOverUtilized{Total: total, Cores: cores}
+	}
+	return nil
+}

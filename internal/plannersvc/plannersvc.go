@@ -1,0 +1,238 @@
+// Package plannersvc turns the planner into a network service,
+// implementing the deployment option of paper Sec. 7.1: "table
+// generation may also be offloaded to a faster, independent machine,
+// similarly to how jobs are scheduled across data centers, and it is
+// trivially possible to centrally cache tables for common
+// configurations that are frequently reused."
+//
+// The service speaks JSON over HTTP on a single endpoint, POST /plan.
+// The response carries the planning metadata plus the scheduling table
+// in the same binary wire format the dispatcher consumes (base64 in
+// JSON), so a host can hand the bytes straight to its hypervisor. A
+// shared planner.Cache behind the handler gives the central-cache
+// behaviour for free.
+package plannersvc
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"tableau/internal/planner"
+	"tableau/internal/table"
+)
+
+// VMRequest is one vCPU in a planning request.
+type VMRequest struct {
+	Name          string `json:"name"`
+	UtilNum       int64  `json:"util_num"`
+	UtilDen       int64  `json:"util_den"`
+	LatencyGoalNS int64  `json:"latency_goal_ns"`
+	Capped        bool   `json:"capped"`
+}
+
+// PlanRequest is the body of POST /plan.
+type PlanRequest struct {
+	Cores                int         `json:"cores"`
+	TableLengthNS        int64       `json:"table_length_ns,omitempty"`
+	Peephole             bool        `json:"peephole,omitempty"`
+	SplitCompensationPPM int64       `json:"split_compensation_ppm,omitempty"`
+	SplitRotation        int         `json:"split_rotation,omitempty"`
+	VMs                  []VMRequest `json:"vms"`
+}
+
+// GuaranteeInfo mirrors table.Guarantee for the wire.
+type GuaranteeInfo struct {
+	VCPU        int   `json:"vcpu"`
+	ServiceNS   int64 `json:"service_ns"`
+	WindowNS    int64 `json:"window_ns"`
+	MaxBlackout int64 `json:"max_blackout_ns"`
+}
+
+// PlanResponse is the body of a successful plan.
+type PlanResponse struct {
+	Stage         string          `json:"stage"`
+	TableLengthNS int64           `json:"table_length_ns"`
+	TableBytes    int             `json:"table_bytes"`
+	Splits        int             `json:"splits"`
+	SwitchesSaved int             `json:"switches_saved"`
+	Guarantees    []GuaranteeInfo `json:"guarantees"`
+	// Table is the base64-encoded binary scheduling table.
+	Table string `json:"table"`
+	// Cached reports whether the result came from the central cache.
+	Cached bool `json:"cached"`
+	// PlanMS is the server-side planning time in milliseconds (0 for
+	// cache hits).
+	PlanMS float64 `json:"plan_ms"`
+}
+
+// errorResponse is the body of a failed plan.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// Server is the planning daemon. Create with NewServer and mount its
+// Handler.
+type Server struct {
+	cache *planner.Cache
+}
+
+// NewServer returns a server backed by a result cache of the given
+// capacity (<= 0 selects the default).
+func NewServer(cacheSize int) *Server {
+	return &Server{cache: planner.NewCache(cacheSize)}
+}
+
+// CacheStats reports the central cache's hit/miss counters.
+func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// Handler returns the HTTP handler serving POST /plan.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/plan", s.handlePlan)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req PlanRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	specs, opts, err := req.toPlannerInput()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hitsBefore, _ := s.cache.Stats()
+	start := time.Now()
+	res, err := s.cache.Plan(specs, opts)
+	planTime := time.Since(start)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	hitsAfter, _ := s.cache.Stats()
+
+	var buf bytes.Buffer
+	if err := res.Table.Encode(&buf); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp := PlanResponse{
+		Stage:         res.Stage.String(),
+		TableLengthNS: res.Table.Len,
+		TableBytes:    buf.Len(),
+		Splits:        len(res.Splits),
+		SwitchesSaved: res.SwitchesSaved,
+		Table:         base64.StdEncoding.EncodeToString(buf.Bytes()),
+		Cached:        hitsAfter > hitsBefore,
+		PlanMS:        float64(planTime.Microseconds()) / 1000,
+	}
+	for _, g := range res.Guarantees {
+		resp.Guarantees = append(resp.Guarantees, GuaranteeInfo{
+			VCPU: g.VCPU, ServiceNS: g.Service, WindowNS: g.WindowLen, MaxBlackout: g.MaxBlackout,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Headers are gone; nothing more to do.
+		return
+	}
+}
+
+func (r PlanRequest) toPlannerInput() ([]planner.VCPUSpec, planner.Options, error) {
+	if len(r.VMs) == 0 {
+		return nil, planner.Options{}, fmt.Errorf("plannersvc: no VMs in request")
+	}
+	specs := make([]planner.VCPUSpec, len(r.VMs))
+	for i, vm := range r.VMs {
+		specs[i] = planner.VCPUSpec{
+			Name:        vm.Name,
+			Util:        planner.Util{Num: vm.UtilNum, Den: vm.UtilDen},
+			LatencyGoal: vm.LatencyGoalNS,
+			Capped:      vm.Capped,
+		}
+	}
+	opts := planner.Options{
+		Cores:                r.Cores,
+		TableLength:          r.TableLengthNS,
+		Peephole:             r.Peephole,
+		SplitCompensationPPM: r.SplitCompensationPPM,
+		SplitRotation:        r.SplitRotation,
+	}
+	return specs, opts, nil
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
+}
+
+// Client talks to a remote planner daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://planner:7077".
+	BaseURL string
+	// HTTPClient defaults to a client with a 30 s timeout.
+	HTTPClient *http.Client
+}
+
+// Plan sends the request and returns the decoded scheduling table along
+// with the response metadata. The table arrives in the dispatcher's
+// binary format and is fully validated by Decode.
+func (c *Client) Plan(req PlanRequest) (*table.Table, *PlanResponse, error) {
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = &http.Client{Timeout: 30 * time.Second}
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	httpResp, err := hc.Post(c.BaseURL+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return nil, nil, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e errorResponse
+		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+			return nil, nil, fmt.Errorf("plannersvc: remote planning failed: %s", e.Error)
+		}
+		return nil, nil, fmt.Errorf("plannersvc: remote planning failed: HTTP %d", httpResp.StatusCode)
+	}
+	var resp PlanResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, nil, err
+	}
+	bin, err := base64.StdEncoding.DecodeString(resp.Table)
+	if err != nil {
+		return nil, nil, fmt.Errorf("plannersvc: bad table encoding: %w", err)
+	}
+	tbl, err := table.Decode(bytes.NewReader(bin))
+	if err != nil {
+		return nil, nil, fmt.Errorf("plannersvc: remote table rejected: %w", err)
+	}
+	return tbl, &resp, nil
+}

@@ -1,0 +1,293 @@
+package credit
+
+import (
+	"testing"
+
+	"tableau/internal/sim"
+	"tableau/internal/vmm"
+)
+
+func spin() vmm.Program {
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		return vmm.Compute(1_000_000)
+	})
+}
+
+// ioLoop computes c then blocks for b, forever.
+func ioLoop(c, b int64) vmm.Program {
+	phase := make(map[int]int)
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		phase[v.ID]++
+		if phase[v.ID]%2 == 1 {
+			return vmm.Compute(c)
+		}
+		return vmm.Block(b)
+	})
+}
+
+func newMachine(cores int, opts Options) (*vmm.Machine, *Scheduler) {
+	s := New(opts)
+	m := vmm.New(sim.New(1), cores, s, vmm.NoOverheads())
+	return m, s
+}
+
+func TestEqualWeightFairShare(t *testing.T) {
+	m, _ := newMachine(1, Options{})
+	a := m.AddVCPU("a", spin(), 256, false)
+	b := m.AddVCPU("b", spin(), 256, false)
+	m.Start()
+	m.Run(300_000_000)
+	total := a.RunTime + b.RunTime
+	if total != 300_000_000 {
+		t.Fatalf("total = %d, machine not work-conserving", total)
+	}
+	diff := a.RunTime - b.RunTime
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > total/10 {
+		t.Errorf("unfair: a=%d b=%d", a.RunTime, b.RunTime)
+	}
+}
+
+func TestWeightedShare(t *testing.T) {
+	m, _ := newMachine(1, Options{})
+	heavy := m.AddVCPU("heavy", spin(), 512, false)
+	light := m.AddVCPU("light", spin(), 256, false)
+	m.Start()
+	m.Run(600_000_000)
+	ratio := float64(heavy.RunTime) / float64(light.RunTime)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("weight 512:256 runtime ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestCapEnforced(t *testing.T) {
+	m, _ := newMachine(1, Options{CapPct: 25})
+	capped := m.AddVCPU("capped", spin(), 256, true)
+	m.Start()
+	m.Run(300_000_000)
+	// Alone on the machine but capped at 25%: around 75 ms of 300 ms.
+	frac := float64(capped.RunTime) / 300_000_000
+	if frac < 0.20 || frac > 0.30 {
+		t.Errorf("capped vCPU consumed %.2f of the core, want ~0.25", frac)
+	}
+}
+
+func TestBoostLowersIOLatency(t *testing.T) {
+	// One I/O vCPU against three CPU hogs on one core. With BOOST the
+	// I/O vCPU preempts the hogs on each wakeup, so its wake-to-run
+	// latency stays far below the timeslice.
+	m, _ := newMachine(1, Options{Timeslice: 5_000_000, ActiveThreshold: 1})
+	var lat []int64
+	var wakeAt int64
+	state := 0
+	io := m.AddVCPU("io", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if state == 1 {
+			state = 0
+			lat = append(lat, now-wakeAt)
+			return vmm.Compute(10_000)
+		}
+		return vmm.BlockIndefinitely()
+	}), 256, false)
+	for i := 0; i < 3; i++ {
+		m.AddVCPU("hog", spin(), 256, false)
+	}
+	m.Start()
+	for i := int64(1); i <= 20; i++ {
+		at := i * 10_000_000
+		m.Eng.At(at, func(now int64) {
+			if io.State == vmm.Blocked {
+				state = 1
+				wakeAt = now
+				m.Wake(io)
+			}
+		})
+	}
+	m.Run(250_000_000)
+	if len(lat) < 10 {
+		t.Fatalf("only %d wakeups served", len(lat))
+	}
+	var worst int64
+	for _, l := range lat {
+		if l > worst {
+			worst = l
+		}
+	}
+	// Boost preempts immediately: worst-case well under one timeslice.
+	if worst > 1_000_000 {
+		t.Errorf("boosted wake-to-run latency = %d ns, want < 1 ms", worst)
+	}
+}
+
+func TestBoostDilution(t *testing.T) {
+	// The paper's Sec. 2.1 pathology: when every vCPU performs I/O,
+	// everyone is boosted, so boosting helps no one. Compare the I/O
+	// latency of a vantage vCPU with CPU-bound vs I/O-bound background.
+	run := func(bgIO bool) int64 {
+		s := New(Options{Timeslice: 5_000_000, ActiveThreshold: 1})
+		m := vmm.New(sim.New(3), 1, s, vmm.NoOverheads())
+		var worst int64
+		var wakeAt int64
+		state := 0
+		io := m.AddVCPU("vantage", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+			if state == 1 {
+				state = 0
+				if l := now - wakeAt; l > worst {
+					worst = l
+				}
+				return vmm.Compute(10_000)
+			}
+			return vmm.BlockIndefinitely()
+		}), 256, false)
+		for i := 0; i < 3; i++ {
+			if bgIO {
+				m.AddVCPU("bg", ioLoop(500_000, 100_000), 256, false)
+			} else {
+				m.AddVCPU("bg", spin(), 256, false)
+			}
+		}
+		m.Start()
+		for i := int64(1); i <= 50; i++ {
+			m.Eng.At(i*7_000_000, func(now int64) {
+				if io.State == vmm.Blocked {
+					state = 1
+					wakeAt = now
+					m.Wake(io)
+				}
+			})
+		}
+		m.Run(400_000_000)
+		return worst
+	}
+	cpuBG := run(false)
+	ioBG := run(true)
+	if ioBG <= cpuBG {
+		t.Errorf("boost dilution not observed: worst latency with I/O BG %d <= CPU BG %d", ioBG, cpuBG)
+	}
+}
+
+func TestCappedStallNearAccountingPeriod(t *testing.T) {
+	// A capped vCPU that exhausts its budget waits for the accounting
+	// tick — the multi-millisecond stalls of Figs. 5(a)/6(d).
+	m, _ := newMachine(1, Options{CapPct: 25, AccountingPeriod: 30_000_000})
+	capped := m.AddVCPU("capped", spin(), 256, true)
+	m.Start()
+	m.Run(300_000_000)
+	_ = capped
+	// Find the longest gap in service by sampling credits: instead we
+	// assert the budget cycle: runtime stays at ~25% (stall phases must
+	// exist for this to hold given the vCPU always wants CPU).
+	frac := float64(capped.RunTime) / 300_000_000
+	if frac > 0.30 {
+		t.Errorf("capped spinner got %.2f, cap not enforced by stalls", frac)
+	}
+}
+
+func TestWorkStealingUsesIdleCores(t *testing.T) {
+	m, _ := newMachine(2, Options{})
+	// Both vCPUs start on queue 0 (Attach assigns i%cores: a->0, b->1;
+	// force both to 0 by waking onto the same queue).
+	a := m.AddVCPU("a", spin(), 256, false)
+	b := m.AddVCPU("b", spin(), 256, false)
+	m.Start()
+	m.Run(100_000_000)
+	// With stealing, both cores stay busy and each vCPU gets ~a core.
+	if a.RunTime+b.RunTime < 190_000_000 {
+		t.Errorf("machine under-utilized: a=%d b=%d", a.RunTime, b.RunTime)
+	}
+}
+
+func TestQueueLensReflectQueues(t *testing.T) {
+	m, s := newMachine(2, Options{})
+	m.AddVCPU("a", spin(), 256, false)
+	m.AddVCPU("b", spin(), 256, false)
+	m.Start()
+	if got := len(s.queueLens()); got != 2 {
+		t.Errorf("queueLens() len = %d", got)
+	}
+}
+
+func TestPrioAndCreditsAccessors(t *testing.T) {
+	m, s := newMachine(1, Options{})
+	m.AddVCPU("a", spin(), 256, false)
+	m.Start()
+	m.Run(10_000_000)
+	if s.Prio(0) < prioBoost || s.Prio(0) > prioParked {
+		t.Errorf("prio out of range: %d", s.Prio(0))
+	}
+	// A lone spinner burns more than its share: credits go negative
+	// between accountings at some point; just ensure settle ran.
+	_ = s.Credits(0)
+}
+
+func TestActiveSetGatesBoost(t *testing.T) {
+	// A nearly idle vCPU (one tiny burst per accounting period) drops
+	// out of the active set and loses boost on wake — Xen's behaviour
+	// behind the paper's Fig. 6 Credit ping tails.
+	m, s := newMachine(1, Options{Timeslice: 5_000_000, AccountingPeriod: 30_000_000})
+	work := false
+	idleV := m.AddVCPU("idle", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if work {
+			work = false
+			return vmm.Compute(10_000)
+		}
+		return vmm.BlockIndefinitely()
+	}), 256, false)
+	m.AddVCPU("hog", spin(), 256, false)
+	m.Start()
+	m.Run(100_000_000) // several accounting periods with ~zero usage
+	work = true
+	m.Wake(idleV)
+	if got := s.Prio(idleV.ID); got == prioBoost {
+		t.Errorf("inactive vCPU was boosted (prio %d)", got)
+	}
+	// A busy vCPU keeps its active flag and gets boosted on wake.
+	m2, s2 := newMachine(1, Options{Timeslice: 5_000_000, AccountingPeriod: 30_000_000})
+	work2 := false
+	busyV := m2.AddVCPU("busy", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if work2 {
+			work2 = false
+			return vmm.Compute(2_000_000) // 2 ms per wake: well above threshold
+		}
+		return vmm.BlockIndefinitely()
+	}), 256, false)
+	m2.AddVCPU("hog", spin(), 256, false)
+	m2.Start()
+	for i := int64(1); i <= 20; i++ {
+		m2.Eng.At(i*5_000_000, func(int64) {
+			if busyV.State == vmm.Blocked {
+				work2 = true
+				m2.Wake(busyV)
+			}
+		})
+	}
+	m2.Run(100_000_000)
+	work2 = true
+	m2.Wake(busyV)
+	if got := s2.Prio(busyV.ID); got != prioBoost {
+		t.Errorf("active vCPU not boosted (prio %d)", got)
+	}
+}
+
+func TestParkedVCPUWaitsForAccounting(t *testing.T) {
+	// A capped vCPU that exhausts its credit parks until the next
+	// accounting tick: its wake is effectively ignored while parked —
+	// the budget-exhaustion stalls of Figs. 5(a)/6(d).
+	m, s := newMachine(1, Options{CapPct: 10, AccountingPeriod: 30_000_000})
+	v := m.AddVCPU("capped", spin(), 256, true)
+	m.Start()
+	m.Run(15_000_000) // burn through the 3 ms cap mid-period
+	if got := s.Prio(v.ID); got != prioParked {
+		t.Fatalf("prio = %d, want parked", got)
+	}
+	ranAtPark := v.RunTime
+	m.Run(29_000_000) // still inside the period
+	if v.RunTime != ranAtPark {
+		t.Error("parked vCPU ran before accounting")
+	}
+	m.Run(45_000_000) // next accounting unparks
+	if v.RunTime == ranAtPark {
+		t.Error("vCPU not released after accounting")
+	}
+}

@@ -1,0 +1,193 @@
+package credit2
+
+import (
+	"testing"
+
+	"tableau/internal/sim"
+	"tableau/internal/vmm"
+)
+
+func spin() vmm.Program {
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		return vmm.Compute(1_000_000)
+	})
+}
+
+func newMachine(cores int, opts Options) (*vmm.Machine, *Scheduler) {
+	s := New(opts)
+	m := vmm.New(sim.New(1), cores, s, vmm.NoOverheads())
+	return m, s
+}
+
+func TestFairShare(t *testing.T) {
+	m, _ := newMachine(1, Options{})
+	a := m.AddVCPU("a", spin(), 256, false)
+	b := m.AddVCPU("b", spin(), 256, false)
+	m.Start()
+	m.Run(200_000_000)
+	total := a.RunTime + b.RunTime
+	if total != 200_000_000 {
+		t.Fatalf("not work-conserving: %d", total)
+	}
+	diff := a.RunTime - b.RunTime
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > total/10 {
+		t.Errorf("unfair: a=%d b=%d", a.RunTime, b.RunTime)
+	}
+}
+
+func TestWeightedShare(t *testing.T) {
+	m, _ := newMachine(1, Options{})
+	heavy := m.AddVCPU("heavy", spin(), 512, false)
+	light := m.AddVCPU("light", spin(), 256, false)
+	m.Start()
+	m.Run(600_000_000)
+	ratio := float64(heavy.RunTime) / float64(light.RunTime)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("weight 512:256 ratio = %.2f, want ~2", ratio)
+	}
+}
+
+func TestResetEventsOccur(t *testing.T) {
+	m, s := newMachine(1, Options{})
+	m.AddVCPU("a", spin(), 256, false)
+	m.AddVCPU("b", spin(), 256, false)
+	m.Start()
+	m.Run(500_000_000)
+	if s.Resets() == 0 {
+		t.Error("no credit reset events in 500 ms of contention")
+	}
+}
+
+func TestNoBoostOnWake(t *testing.T) {
+	// Credit2 has no boost: a waking vCPU with *less* credit than the
+	// running one does not preempt it.
+	m, s := newMachine(1, Options{Ratelimit: 1_000_000})
+	work := false
+	io := m.AddVCPU("io", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if work {
+			work = false
+			return vmm.Compute(10_000)
+		}
+		return vmm.BlockIndefinitely()
+	}), 256, false)
+	hog := m.AddVCPU("hog", spin(), 256, false)
+	m.Start()
+	m.Run(5_000_000)
+	// Burn io's credit below the hog's so the wake cannot preempt.
+	s.st[io.ID].credits = s.st[hog.ID].credits - 5_000_000
+	wakeAt := m.Now()
+	work = true
+	m.Wake(io)
+	m.Run(wakeAt + 500_000)
+	if io.RunTime != 0 {
+		t.Errorf("lower-credit waker preempted the runner (no-boost violated): ran %d", io.RunTime)
+	}
+	// It does run eventually.
+	m.Run(wakeAt + 50_000_000)
+	if io.RunTime == 0 {
+		t.Error("waker starved entirely")
+	}
+}
+
+func TestWakePreemptsWhenCreditHigher(t *testing.T) {
+	m, s := newMachine(1, Options{Ratelimit: 1_000_000})
+	work := false
+	io := m.AddVCPU("io", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if work {
+			work = false
+			return vmm.Compute(10_000)
+		}
+		return vmm.BlockIndefinitely()
+	}), 256, false)
+	hog := m.AddVCPU("hog", spin(), 256, false)
+	m.Start()
+	m.Run(8_000_000) // hog burns ~8 ms of credit
+	if s.Credits(io.ID) <= s.Credits(hog.ID) {
+		t.Skip("credit relation not established")
+	}
+	work = true
+	wakeAt := m.Now()
+	m.Wake(io)
+	m.Run(wakeAt + 2_000_000)
+	if io.RunTime == 0 {
+		t.Error("higher-credit waker failed to get the CPU promptly")
+	}
+}
+
+func TestRunqueuePerSocket(t *testing.T) {
+	m, s := newMachine(16, Options{CoresPerRunqueue: 8})
+	for i := 0; i < 4; i++ {
+		m.AddVCPU("v", spin(), 256, false)
+	}
+	m.Start()
+	if len(s.rqs) != 2 {
+		t.Errorf("runqueues = %d, want 2 for 16 cores / 8 per rq", len(s.rqs))
+	}
+	if s.rqOf(0) != 0 || s.rqOf(7) != 0 || s.rqOf(8) != 1 || s.rqOf(15) != 1 {
+		t.Error("rqOf mapping wrong")
+	}
+}
+
+func TestMultiCoreWorkConserving(t *testing.T) {
+	m, _ := newMachine(2, Options{CoresPerRunqueue: 2})
+	a := m.AddVCPU("a", spin(), 256, false)
+	b := m.AddVCPU("b", spin(), 256, false)
+	c := m.AddVCPU("c", spin(), 256, false)
+	m.Start()
+	m.Run(90_000_000)
+	total := a.RunTime + b.RunTime + c.RunTime
+	if total != 180_000_000 {
+		t.Errorf("2 cores x 90 ms = %d delivered, want 180 ms", total)
+	}
+}
+
+func TestRunqueueBalancedByCoreCount(t *testing.T) {
+	// 12 cores with 8-core runqueues split 8+4; 48 VMs must be assigned
+	// 32/16 so each VM's fair share is equal regardless of runqueue.
+	m, s := newMachine(12, Options{CoresPerRunqueue: 8})
+	for i := 0; i < 48; i++ {
+		m.AddVCPU("v", spin(), 256, false)
+	}
+	m.Start()
+	counts := make(map[int]int)
+	for i := range m.VCPUs {
+		counts[s.st[i].rq]++
+	}
+	if counts[0] != 32 || counts[1] != 16 {
+		t.Errorf("assignment = %v, want 32/16 proportional to core counts", counts)
+	}
+	// Run briefly: per-VM runtime should be roughly equal across rqs.
+	m.Run(200_000_000)
+	var rq0, rq1 int64
+	for i, v := range m.VCPUs {
+		if s.st[i].rq == 0 {
+			rq0 += v.RunTime
+		} else {
+			rq1 += v.RunTime
+		}
+	}
+	per0, per1 := rq0/32, rq1/16
+	ratio := float64(per0) / float64(per1)
+	if ratio < 0.8 || ratio > 1.25 {
+		t.Errorf("per-VM runtime rq0=%d rq1=%d (ratio %.2f)", per0, per1, ratio)
+	}
+}
+
+func TestResetCapsBankedCredit(t *testing.T) {
+	// A blocked vCPU must not accumulate more than 2x CREDIT_INIT while
+	// asleep, or it would own the CPU indefinitely on wake.
+	m, s := newMachine(1, Options{})
+	sleeperID := m.AddVCPU("sleeper", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		return vmm.BlockIndefinitely()
+	}), 256, false).ID
+	m.AddVCPU("hog", spin(), 256, false)
+	m.AddVCPU("hog2", spin(), 256, false)
+	m.Start()
+	m.Run(2_000_000_000) // many reset events
+	if got := s.Credits(sleeperID); got > 2*creditInit {
+		t.Errorf("sleeper banked %d credit, cap is %d", got, 2*creditInit)
+	}
+}

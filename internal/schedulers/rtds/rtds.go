@@ -1,0 +1,278 @@
+// Package rtds reimplements Xen's RTDS scheduler (from the RT-Xen
+// project), the real-time baseline the paper compares against: global
+// earliest-deadline-first scheduling of per-vCPU deferrable servers,
+// each configured with a budget and a period. Like Tableau, RTDS offers
+// predictable latency and utilization control — but it makes every
+// decision online against global run/depleted queues protected by one
+// big lock, which is why its overheads blow up with core count
+// (Table 2) and its throughput collapses under frequent scheduler
+// invocations (Fig. 7, "RTDS struggles to sustain high throughput").
+package rtds
+
+import (
+	"tableau/internal/vmm"
+)
+
+// Params is the per-vCPU server configuration.
+type Params struct {
+	// Budget is the CPU time the vCPU may consume per Period, in ns.
+	Budget int64
+	// Period is the replenishment period, in ns.
+	Period int64
+}
+
+// Options configures the scheduler.
+type Options struct {
+	// Default is used for vCPUs without an explicit parameter entry.
+	Default Params
+	// PerVCPU maps vCPU id to its server parameters.
+	PerVCPU map[int]Params
+}
+
+type vcpuState struct {
+	p        Params
+	deadline int64 // current period end (absolute)
+	budget   int64 // remaining budget in this period
+	runStart int64 // -1 when not running
+}
+
+// Scheduler implements vmm.Scheduler with the RTDS algorithm.
+type Scheduler struct {
+	m    *vmm.Machine
+	opts Options
+	st   []vcpuState
+	// runq holds runnable vCPUs with budget; depletedq those without.
+	// Kept as slices scanned in full — mirroring RTDS's list-based
+	// global queues (the cost shows up in the measured hot path).
+	runq      []int
+	depletedq []int
+}
+
+// New returns an RTDS scheduler.
+func New(opts Options) *Scheduler {
+	if opts.Default.Period == 0 {
+		opts.Default = Params{Budget: 4_000_000, Period: 10_000_000}
+	}
+	return &Scheduler{opts: opts}
+}
+
+// Name implements vmm.Scheduler.
+func (s *Scheduler) Name() string { return "rtds" }
+
+// Attach implements vmm.Scheduler.
+func (s *Scheduler) Attach(m *vmm.Machine) {
+	s.m = m
+	s.st = make([]vcpuState, len(m.VCPUs))
+	for i := range m.VCPUs {
+		p := s.opts.Default
+		if pp, ok := s.opts.PerVCPU[i]; ok {
+			p = pp
+		}
+		s.st[i] = vcpuState{p: p, deadline: p.Period, budget: p.Budget, runStart: -1}
+		s.runq = append(s.runq, i)
+	}
+	s.armReplenishment()
+}
+
+// armReplenishment arms a periodic scan that replenishes depleted
+// servers whose periods have rolled over (RTDS uses a dedicated
+// replenishment timer).
+func (s *Scheduler) armReplenishment() {
+	// Scan at the GCD-ish granularity of a quarter default period.
+	step := s.opts.Default.Period / 4
+	if step <= 0 {
+		step = 1_000_000
+	}
+	s.m.Eng.After(step, func(now int64) {
+		s.replenish(now)
+		s.armReplenishment()
+	})
+}
+
+// refresh rolls vCPU i's server forward to the period containing now,
+// replenishing its budget.
+func (s *Scheduler) refresh(i int, now int64) {
+	st := &s.st[i]
+	if now < st.deadline {
+		return
+	}
+	periods := (now-st.deadline)/st.p.Period + 1
+	st.deadline += periods * st.p.Period
+	st.budget = st.p.Budget
+}
+
+// replenish moves replenished servers from the depleted queue back to
+// the run queue and kicks idle or lower-priority cores.
+func (s *Scheduler) replenish(now int64) {
+	moved := false
+	for k := 0; k < len(s.depletedq); {
+		i := s.depletedq[k]
+		if now >= s.st[i].deadline {
+			s.refresh(i, now)
+			s.depletedq = append(s.depletedq[:k], s.depletedq[k+1:]...)
+			s.runq = append(s.runq, i)
+			moved = true
+			continue
+		}
+		k++
+	}
+	if moved {
+		s.kickForBest(now)
+	}
+}
+
+// settle burns budget for the running time of vCPU i.
+func (s *Scheduler) settle(i int, now int64) {
+	st := &s.st[i]
+	if st.runStart < 0 {
+		return
+	}
+	if ran := now - st.runStart; ran > 0 {
+		st.budget -= ran
+		if st.budget < 0 {
+			st.budget = 0
+		}
+	}
+	st.runStart = now
+}
+
+// earliestRunnable returns the runnable vCPU with budget and the
+// earliest deadline, scanning the global run queue, or -1.
+func (s *Scheduler) earliestRunnable(now int64, exceptCPU int) int {
+	best := -1
+	var bestDeadline int64
+	for _, i := range s.runq {
+		v := s.m.VCPUs[i]
+		if v.State != vmm.Runnable {
+			continue
+		}
+		s.refresh(i, now)
+		if s.st[i].budget <= 0 {
+			continue
+		}
+		if best == -1 || s.st[i].deadline < bestDeadline {
+			best, bestDeadline = i, s.st[i].deadline
+		}
+	}
+	return best
+}
+
+// removeFromRunq removes vCPU i from the run queue.
+func (s *Scheduler) removeFromRunq(i int) {
+	for k, other := range s.runq {
+		if other == i {
+			s.runq = append(s.runq[:k], s.runq[k+1:]...)
+			return
+		}
+	}
+}
+
+// PickNext implements vmm.Scheduler.
+func (s *Scheduler) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	if prev := cpu.Current; prev != nil {
+		i := prev.ID
+		s.settle(i, now)
+		s.st[i].runStart = -1
+		if prev.State == vmm.Runnable {
+			s.refresh(i, now)
+			if s.st[i].budget > 0 {
+				s.runq = append(s.runq, i)
+			} else {
+				s.depletedq = append(s.depletedq, i)
+			}
+		}
+	}
+	i := s.earliestRunnable(now, cpu.ID)
+	if i < 0 {
+		// Idle until the next replenishment could matter; the periodic
+		// replenishment scan will kick us.
+		return vmm.Decision{Until: vmm.NoTimer}
+	}
+	s.removeFromRunq(i)
+	st := &s.st[i]
+	st.runStart = now
+	until := now + st.budget
+	if st.deadline < until {
+		until = st.deadline
+	}
+	return vmm.Decision{VCPU: s.m.VCPUs[i], Until: until}
+}
+
+// OnWake implements vmm.Scheduler: refresh the server, enqueue, and
+// preempt the latest-deadline running vCPU if the waker has priority
+// (global EDF wakeup path).
+func (s *Scheduler) OnWake(v *vmm.VCPU, now int64) {
+	i := v.ID
+	s.refresh(i, now)
+	if s.st[i].budget > 0 {
+		s.runq = append(s.runq, i)
+	} else {
+		s.depletedq = append(s.depletedq, i)
+		return
+	}
+	s.kickForBest(now)
+}
+
+// kickForBest finds a core for the highest-priority queued work: an
+// idle core if any, else the running vCPU with the latest deadline if
+// it is later than the best queued one.
+func (s *Scheduler) kickForBest(now int64) {
+	queued := 0
+	bestQueued := -1
+	var bestDeadline int64
+	for _, i := range s.runq {
+		if s.m.VCPUs[i].State != vmm.Runnable || s.m.VCPUs[i].CurrentCPU != -1 {
+			continue
+		}
+		if s.st[i].budget <= 0 {
+			continue
+		}
+		queued++
+		if bestQueued == -1 || s.st[i].deadline < bestDeadline {
+			bestQueued, bestDeadline = i, s.st[i].deadline
+		}
+	}
+	if queued == 0 {
+		return
+	}
+	// Kick one idle core per queued vCPU (replenishment can revive many
+	// servers at once); if none are idle, preempt the latest-deadline
+	// runner when the best queued work beats it.
+	var victim *vmm.PCPU
+	var victimDeadline int64
+	for _, cpu := range s.m.CPUs {
+		if cpu.Current == nil {
+			if queued > 0 {
+				s.m.Kick(cpu.ID)
+				queued--
+			}
+			continue
+		}
+		d := s.st[cpu.Current.ID].deadline
+		if victim == nil || d > victimDeadline {
+			victim, victimDeadline = cpu, d
+		}
+	}
+	if queued > 0 && victim != nil && victimDeadline > bestDeadline {
+		s.m.Kick(victim.ID)
+	}
+}
+
+// OnBlock implements vmm.Scheduler.
+func (s *Scheduler) OnBlock(v *vmm.VCPU, now int64) {
+	s.settle(v.ID, now)
+	s.st[v.ID].runStart = -1
+	s.removeFromRunq(v.ID)
+	for k, other := range s.depletedq {
+		if other == v.ID {
+			s.depletedq = append(s.depletedq[:k], s.depletedq[k+1:]...)
+			break
+		}
+	}
+}
+
+// Budget returns vCPU id's remaining budget (for tests).
+func (s *Scheduler) Budget(id int) int64 { return s.st[id].budget }
+
+// Deadline returns vCPU id's current deadline (for tests).
+func (s *Scheduler) Deadline(id int) int64 { return s.st[id].deadline }

@@ -1,0 +1,231 @@
+package rtds
+
+import (
+	"testing"
+
+	"tableau/internal/sim"
+	"tableau/internal/vmm"
+)
+
+func spin() vmm.Program {
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		return vmm.Compute(1_000_000)
+	})
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	s := New(Options{Default: Params{Budget: 2_500_000, Period: 10_000_000}})
+	m := vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+	v := m.AddVCPU("v", spin(), 256, true)
+	m.Start()
+	m.Run(200_000_000)
+	// 25% server alone on a core: exactly 2.5 ms per 10 ms.
+	if v.RunTime != 50_000_000 {
+		t.Errorf("RunTime = %d, want 50 ms (25%% of 200 ms)", v.RunTime)
+	}
+}
+
+func TestFourServersFillCore(t *testing.T) {
+	s := New(Options{Default: Params{Budget: 2_500_000, Period: 10_000_000}})
+	m := vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+	var vs []*vmm.VCPU
+	for i := 0; i < 4; i++ {
+		vs = append(vs, m.AddVCPU("v", spin(), 256, true))
+	}
+	m.Start()
+	m.Run(100_000_000)
+	for i, v := range vs {
+		if v.RunTime != 25_000_000 {
+			t.Errorf("vcpu %d RunTime = %d, want 25 ms", i, v.RunTime)
+		}
+	}
+}
+
+func TestEDFPrefersEarlierDeadline(t *testing.T) {
+	s := New(Options{
+		Default: Params{Budget: 1_000_000, Period: 100_000_000},
+		PerVCPU: map[int]Params{
+			0: {Budget: 5_000_000, Period: 10_000_000},   // tight deadline
+			1: {Budget: 50_000_000, Period: 100_000_000}, // loose deadline
+		},
+	})
+	m := vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+	tight := m.AddVCPU("tight", spin(), 256, true)
+	m.AddVCPU("loose", spin(), 256, true)
+	m.Start()
+	m.Run(10_000_000)
+	// In the first period the tight server (deadline 10 ms) beats the
+	// loose one (deadline 100 ms) and receives its full budget.
+	if tight.RunTime != 5_000_000 {
+		t.Errorf("tight.RunTime = %d, want full 5 ms budget", tight.RunTime)
+	}
+}
+
+func TestReplenishmentRevivesDepleted(t *testing.T) {
+	s := New(Options{Default: Params{Budget: 2_000_000, Period: 10_000_000}})
+	m := vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+	v := m.AddVCPU("v", spin(), 256, true)
+	m.Start()
+	m.Run(5_000_000)
+	if v.RunTime != 2_000_000 {
+		t.Fatalf("first period budget: %d", v.RunTime)
+	}
+	m.Run(15_000_000)
+	if v.RunTime != 4_000_000 {
+		t.Errorf("after second period: %d, want 4 ms", v.RunTime)
+	}
+}
+
+func TestWakePreemptsLatestDeadline(t *testing.T) {
+	s := New(Options{
+		PerVCPU: map[int]Params{
+			0: {Budget: 2_000_000, Period: 4_000_000},    // urgent
+			1: {Budget: 90_000_000, Period: 100_000_000}, // background
+		},
+	})
+	m := vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+	work := false
+	urgent := m.AddVCPU("urgent", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if work {
+			work = false
+			return vmm.Compute(10_000)
+		}
+		return vmm.BlockIndefinitely()
+	}), 256, true)
+	m.AddVCPU("bg", spin(), 256, true)
+	m.Start()
+	m.Run(1_000_000)
+	work = true
+	wakeAt := m.Now()
+	m.Wake(urgent)
+	m.Run(wakeAt + 200_000)
+	if urgent.RunTime == 0 {
+		t.Error("urgent waker did not preempt the background server")
+	}
+}
+
+func TestSchedulingLatencyBounded(t *testing.T) {
+	// The paper's Fig. 5/6 property: a server with budget B and period P
+	// has worst-case scheduling delay ~(P - B) once budget-depleted.
+	s := New(Options{Default: Params{Budget: 2_852_850, Period: 11_411_400}})
+	m := vmm.New(sim.New(5), 1, s, vmm.NoOverheads())
+	var worst int64
+	var wakeAt int64
+	work := false
+	v := m.AddVCPU("v", vmm.ProgramFunc(func(mm *vmm.Machine, vv *vmm.VCPU, now int64) vmm.Action {
+		if work {
+			work = false
+			if l := now - wakeAt; l > worst {
+				worst = l
+			}
+			return vmm.Compute(10_000)
+		}
+		return vmm.BlockIndefinitely()
+	}), 256, true)
+	// Three budget-hungry competitors.
+	for i := 0; i < 3; i++ {
+		m.AddVCPU("bg", spin(), 256, true)
+	}
+	m.Start()
+	for i := int64(1); i <= 100; i++ {
+		m.Eng.At(i*3_000_000, func(now int64) {
+			if v.State == vmm.Blocked {
+				work = true
+				wakeAt = now
+				m.Wake(v)
+			}
+		})
+	}
+	m.Run(320_000_000)
+	if worst == 0 {
+		t.Fatal("no wakeups recorded")
+	}
+	// Bound: period minus budget plus replenishment-scan slack.
+	bound := int64(11_411_400-2_852_850) + 3_000_000
+	if worst > bound {
+		t.Errorf("worst latency %d exceeds server bound %d", worst, bound)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s := New(Options{Default: Params{Budget: 1_000_000, Period: 10_000_000}})
+	m := vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+	m.AddVCPU("v", spin(), 256, true)
+	m.Start()
+	if s.Budget(0) != 1_000_000 {
+		t.Errorf("Budget(0) = %d", s.Budget(0))
+	}
+	if s.Deadline(0) != 10_000_000 {
+		t.Errorf("Deadline(0) = %d", s.Deadline(0))
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	s := New(Options{})
+	if s.opts.Default.Period == 0 || s.opts.Default.Budget == 0 {
+		t.Error("zero default params not filled")
+	}
+}
+
+func TestGlobalQueueServesAcrossCores(t *testing.T) {
+	// RTDS is a global scheduler: four 40% servers on two cores (80%
+	// load) share both cores without static placement and all receive
+	// their full budgets. (At exactly 100% load global EDF is famously
+	// non-optimal — same-deadline ties strand the last server — which
+	// the real RTDS shares; one more reason Tableau prefers
+	// partitioning, paper Sec. 5.)
+	s := New(Options{Default: Params{Budget: 4_000_000, Period: 10_000_000}})
+	m := vmm.New(sim.New(1), 2, s, vmm.NoOverheads())
+	var vs []*vmm.VCPU
+	for i := 0; i < 4; i++ {
+		vs = append(vs, m.AddVCPU("v", spin(), 256, true))
+	}
+	m.Start()
+	m.Run(100_000_000)
+	for i, v := range vs {
+		if v.RunTime != 40_000_000 {
+			t.Errorf("vcpu %d got %d, want full 40 ms budget", i, v.RunTime)
+		}
+	}
+}
+
+func TestDepletedQueueBookkeeping(t *testing.T) {
+	s := New(Options{Default: Params{Budget: 2_000_000, Period: 10_000_000}})
+	m := vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+	v := m.AddVCPU("v", spin(), 256, true)
+	m.Start()
+	m.Run(3_000_000) // budget burnt at 2 ms
+	if got := s.Budget(v.ID); got != 0 {
+		t.Errorf("budget = %d, want depleted", got)
+	}
+	// Blocking while depleted must remove it from the depleted queue
+	// cleanly (no duplicate entries on the next wake).
+	m.Run(12_000_000)
+	if got := v.RunTime; got != 4_000_000 {
+		t.Errorf("after one replenishment: %d, want 4 ms", got)
+	}
+}
+
+func TestWakeWhileDepletedWaitsForReplenishment(t *testing.T) {
+	s := New(Options{Default: Params{Budget: 1_000_000, Period: 10_000_000}})
+	m := vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+	work := false
+	v := m.AddVCPU("v", vmm.ProgramFunc(func(mm *vmm.Machine, vv *vmm.VCPU, now int64) vmm.Action {
+		if work {
+			work = false
+			return vmm.Compute(2_000_000) // longer than one budget
+		}
+		return vmm.BlockIndefinitely()
+	}), 256, true)
+	m.Start()
+	m.Eng.At(100_000, func(int64) { work = true; m.Wake(v) })
+	m.Run(5_000_000)
+	// Budget exhausted mid-burst at ~1.1 ms: no more service this period.
+	if v.RunTime != 1_000_000 {
+		t.Errorf("RunTime = %d, want exactly one budget", v.RunTime)
+	}
+	m.Run(25_000_000)
+	if v.RunTime != 2_000_000 {
+		t.Errorf("RunTime = %d, want burst completed after replenishment", v.RunTime)
+	}
+}

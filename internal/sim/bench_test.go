@@ -1,0 +1,16 @@
+package sim
+
+import "testing"
+
+func BenchmarkEventScheduleAndRun(b *testing.B) {
+	e := New(1)
+	var cnt int
+	fn := func(int64) { cnt++ }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+int64(i%64)+1, fn)
+		if i%64 == 63 {
+			e.RunUntil(e.Now() + 128)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+// Package sim provides a minimal deterministic discrete-event simulation
+// engine: a virtual clock in integer nanoseconds and a binary-heap event
+// queue with stable tie-breaking. It is the substrate under the machine
+// model in internal/vmm, standing in for the paper's physical testbed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// An Event is a callback scheduled to run at a virtual time.
+type Event struct {
+	when int64
+	seq  uint64 // insertion order, for deterministic ties
+	fn   func(now int64)
+	// canceled events stay in the heap but are skipped on pop.
+	canceled bool
+	index    int
+}
+
+// When returns the virtual time the event is scheduled for.
+func (e *Event) When() int64 { return e.when }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x interface{}) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// call New.
+type Engine struct {
+	now    int64
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+}
+
+// New returns an engine with its clock at zero and a deterministic RNG
+// seeded with seed.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time in ns.
+func (e *Engine) Now() int64 { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at virtual time when (>= Now) and returns a
+// handle that can cancel it. Scheduling in the past panics: it always
+// indicates a simulation bug.
+func (e *Engine) At(when int64, fn func(now int64)) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", when, e.now))
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run delay ns from now.
+func (e *Engine) After(delay int64, fn func(now int64)) *Event {
+	return e.At(e.now+delay, fn)
+}
+
+// Step runs the next pending event. It returns false if no events
+// remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		ev.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// RunUntil processes events in order until the clock reaches deadline
+// (events at exactly deadline are not run) or the queue drains. The
+// clock is left at deadline if it was reached, otherwise at the last
+// event time.
+func (e *Engine) RunUntil(deadline int64) {
+	for len(e.events) > 0 {
+		// Peek.
+		next := e.events[0]
+		if next.canceled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.when >= deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = next.when
+		next.fn(e.now)
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// Pending returns the number of live events in the queue.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}

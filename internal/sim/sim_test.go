@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := New(1)
+	var order []int
+	e.At(30, func(int64) { order = append(order, 3) })
+	e.At(10, func(int64) { order = append(order, 1) })
+	e.At(20, func(int64) { order = append(order, 2) })
+	e.RunUntil(100)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 100 {
+		t.Errorf("Now() = %d, want 100", e.Now())
+	}
+}
+
+func TestTieBreakIsInsertionOrder(t *testing.T) {
+	e := New(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(int64) { order = append(order, i) })
+	}
+	e.RunUntil(10)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want insertion order", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New(1)
+	fired := false
+	ev := e.At(10, func(int64) { fired = true })
+	ev.Cancel()
+	e.RunUntil(20)
+	if fired {
+		t.Error("canceled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending() = %d", e.Pending())
+	}
+	ev.Cancel() // double-cancel is a no-op
+	var nilEv *Event
+	nilEv.Cancel() // nil-cancel is a no-op
+}
+
+func TestAfter(t *testing.T) {
+	e := New(1)
+	var at int64
+	e.At(10, func(now int64) {
+		e.After(5, func(now2 int64) { at = now2 })
+	})
+	e.RunUntil(100)
+	if at != 15 {
+		t.Errorf("After fired at %d, want 15", at)
+	}
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := New(1)
+	fired := false
+	e.At(50, func(int64) { fired = true })
+	e.RunUntil(50) // event at exactly the deadline must not run
+	if fired {
+		t.Error("event at deadline fired")
+	}
+	if e.Now() != 50 {
+		t.Errorf("Now() = %d", e.Now())
+	}
+	e.RunUntil(51)
+	if !fired {
+		t.Error("event did not fire after deadline advanced")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := New(1)
+	e.At(10, func(int64) {})
+	e.RunUntil(20)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for past event")
+		}
+	}()
+	e.At(5, func(int64) {})
+}
+
+func TestStep(t *testing.T) {
+	e := New(1)
+	count := 0
+	e.At(1, func(int64) { count++ })
+	e.At(2, func(int64) { count++ })
+	if !e.Step() || !e.Step() {
+		t.Error("Step returned false with events pending")
+	}
+	if e.Step() {
+		t.Error("Step returned true on empty queue")
+	}
+	if count != 2 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestDeterministicRand(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Rand().Int63() != b.Rand().Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := New(1)
+	var times []int64
+	var rec func(now int64)
+	rec = func(now int64) {
+		times = append(times, now)
+		if now < 50 {
+			e.After(10, rec)
+		}
+	}
+	e.At(0, rec)
+	e.RunUntil(1000)
+	want := []int64{0, 10, 20, 30, 40, 50}
+	if len(times) != len(want) {
+		t.Fatalf("times = %v", times)
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("times = %v", times)
+		}
+	}
+}

@@ -1,0 +1,21 @@
+package stats
+
+import "testing"
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i%1000) * 977)
+	}
+}
+
+func BenchmarkHistogramQuantile(b *testing.B) {
+	h := NewHistogram()
+	for i := int64(0); i < 100_000; i++ {
+		h.Record(i * 37)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.99)
+	}
+}

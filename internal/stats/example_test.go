@@ -1,0 +1,31 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"tableau/internal/stats"
+)
+
+// ExampleHistogram records latencies and extracts the metrics the
+// paper's evaluation reports: mean, p99, and maximum.
+func ExampleHistogram() {
+	h := stats.NewHistogram()
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000) // 1..1000 µs
+	}
+	s := h.Summarize()
+	fmt.Printf("n=%d mean=%.0fns max=%dns\n", s.Count, s.Mean, s.Max)
+	fmt.Printf("p99 within 4%% of truth: %v\n", float64(s.P99) >= 0.96*990_000)
+	// Output:
+	// n=1000 mean=500500ns max=1000000ns
+	// p99 within 4% of truth: true
+}
+
+// ExampleOpenLoop generates the intended start times of a wrk2-style
+// constant-rate workload; measuring latency against these times is the
+// coordinated-omission correction.
+func ExampleOpenLoop() {
+	times := stats.OpenLoop(0, 2000, 4) // 2000 req/s
+	fmt.Println(times)
+	// Output: [0 500000 1000000 1500000]
+}

@@ -1,0 +1,204 @@
+// Package stats provides the latency-recording machinery for the
+// benchmark harness: a log-bucketed histogram in the spirit of
+// HdrHistogram (as used by wrk2 [2]), percentile/mean/max extraction,
+// and a helper for coordinated-omission-correct open-loop load
+// generation — the measurement methodology the paper adopts for its
+// nginx experiments (Sec. 7.4).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// Histogram records int64 values (typically latencies in ns) into
+// logarithmic buckets with bounded relative error. The zero value is
+// ready to use.
+type Histogram struct {
+	// subBucketBits controls resolution: each power-of-two range is
+	// split into 2^subBucketBits linear sub-buckets, giving a relative
+	// error of at most 2^-subBucketBits. 0 means the default of 5
+	// (~3% error).
+	subBucketBits uint
+
+	counts map[int]int64
+	n      int64
+	sum    int64
+	max    int64
+	min    int64
+}
+
+// NewHistogram returns a histogram with the default resolution.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+func (h *Histogram) bits() uint {
+	if h.subBucketBits == 0 {
+		return 5
+	}
+	return h.subBucketBits
+}
+
+// bucketOf maps a value to its bucket index.
+func (h *Histogram) bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	b := h.bits()
+	if v < int64(1)<<b {
+		return int(v)
+	}
+	exp := uint(63 - bits.LeadingZeros64(uint64(v)))
+	sub := (v >> (exp - b)) & ((1 << b) - 1)
+	return int((int64(exp-b)+1)<<b) + int(sub)
+}
+
+// lowerBound returns the smallest value mapping to the bucket.
+func (h *Histogram) lowerBound(bucket int) int64 {
+	b := h.bits()
+	if bucket < 1<<b {
+		return int64(bucket)
+	}
+	exp := uint(bucket>>b) + b - 1
+	sub := int64(bucket & ((1 << b) - 1))
+	return (int64(1) << exp) + sub<<(exp-b)
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(v int64) {
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+		h.min = math.MaxInt64
+	}
+	h.counts[h.bucketOf(v)]++
+	h.n++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n }
+
+// Max returns the largest recorded value (exact, not bucketed).
+func (h *Histogram) Max() int64 { return h.max }
+
+// Min returns the smallest recorded value (exact), or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.n == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile returns the value at quantile q in [0,1] (e.g. 0.99), with
+// the histogram's relative error. The returned value is the lower bound
+// of the bucket containing the quantile, except the exact max for q
+// values landing in the final bucket.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(h.n)))
+	if rank < 1 {
+		rank = 1
+	}
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var seen int64
+	for _, k := range keys {
+		seen += h.counts[k]
+		if seen >= rank {
+			if seen == h.n {
+				return h.max
+			}
+			return h.lowerBound(k)
+		}
+	}
+	return h.max
+}
+
+// P99 is shorthand for Quantile(0.99).
+func (h *Histogram) P99() int64 { return h.Quantile(0.99) }
+
+// Merge adds all observations of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int]int64)
+		h.min = math.MaxInt64
+	}
+	if h.bits() != other.bits() {
+		panic("stats: merging histograms of different resolution")
+	}
+	for k, c := range other.counts {
+		h.counts[k] += c
+	}
+	h.n += other.n
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if other.min < h.min {
+		h.min = other.min
+	}
+}
+
+// Summary bundles the metrics the paper reports per experiment point.
+type Summary struct {
+	Count int64
+	Mean  float64
+	P99   int64
+	Max   int64
+}
+
+// Summarize extracts a Summary.
+func (h *Histogram) Summarize() Summary {
+	return Summary{Count: h.n, Mean: h.Mean(), P99: h.P99(), Max: h.max}
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.0fns p99=%dns max=%dns", s.Count, s.Mean, s.P99, s.Max)
+}
+
+// OpenLoop generates the intended start times of an open-loop
+// constant-rate workload: n requests at the given rate (requests per
+// second), starting at start ns. Recording latency against these
+// *intended* times — rather than actual send times — is the coordinated
+// omission correction wrk2 applies: a stalled client must not hide
+// server-induced queueing.
+func OpenLoop(start int64, rate float64, n int) []int64 {
+	if rate <= 0 || n <= 0 {
+		return nil
+	}
+	interval := 1e9 / rate
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = start + int64(float64(i)*interval)
+	}
+	return out
+}

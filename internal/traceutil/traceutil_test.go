@@ -1,0 +1,186 @@
+package traceutil
+
+import (
+	"strings"
+	"testing"
+
+	"tableau/internal/sim"
+	"tableau/internal/vmm"
+)
+
+// fakeSched counts calls and implements DescheduleObserver.
+type fakeSched struct {
+	picks, wakes, blocks, desched int
+	m                             *vmm.Machine
+}
+
+func (f *fakeSched) Name() string          { return "fake" }
+func (f *fakeSched) Attach(m *vmm.Machine) { f.m = m }
+func (f *fakeSched) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	f.picks++
+	for _, v := range f.m.VCPUs {
+		if v.State == vmm.Runnable && (v.CurrentCPU == -1 || v.CurrentCPU == cpu.ID) {
+			return vmm.Decision{VCPU: v, Until: vmm.NoTimer}
+		}
+	}
+	return vmm.Decision{Until: vmm.NoTimer}
+}
+func (f *fakeSched) OnWake(v *vmm.VCPU, now int64) {
+	f.wakes++
+	for _, cpu := range f.m.CPUs {
+		if cpu.Current == nil {
+			f.m.Kick(cpu.ID)
+			return
+		}
+	}
+}
+func (f *fakeSched) OnBlock(v *vmm.VCPU, now int64) { f.blocks++ }
+func (f *fakeSched) OnDeschedule(v *vmm.VCPU, cpu *vmm.PCPU, now int64) {
+	f.desched++
+}
+
+func TestTimedSchedulerDelegatesAndCounts(t *testing.T) {
+	inner := &fakeSched{}
+	ts := NewTimed(inner)
+	if ts.Name() != "fake" {
+		t.Errorf("Name() = %q", ts.Name())
+	}
+	eng := sim.New(1)
+	m := vmm.New(eng, 1, ts, vmm.NoOverheads())
+	phase := 0
+	m.AddVCPU("v", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		phase++
+		if phase%2 == 1 {
+			return vmm.Compute(1000)
+		}
+		return vmm.Block(1000)
+	}), 256, false)
+	m.Start()
+	m.Run(100_000)
+
+	if inner.picks == 0 || inner.wakes == 0 || inner.blocks == 0 {
+		t.Fatalf("inner not driven: %+v", inner)
+	}
+	if ts.Pick.Ops != int64(inner.picks) {
+		t.Errorf("Pick.Ops = %d, inner %d", ts.Pick.Ops, inner.picks)
+	}
+	if ts.Wake.Ops != int64(inner.wakes) {
+		t.Errorf("Wake.Ops = %d, inner %d", ts.Wake.Ops, inner.wakes)
+	}
+	if ts.Block.Ops != int64(inner.blocks) {
+		t.Errorf("Block.Ops = %d, inner %d", ts.Block.Ops, inner.blocks)
+	}
+	if ts.Pick.MeanNs() <= 0 {
+		t.Error("mean pick cost not measured")
+	}
+	if ts.TimerOverheadNs() <= 0 {
+		t.Error("timer overhead not calibrated")
+	}
+}
+
+func TestEmptyOpStats(t *testing.T) {
+	var o OpStats
+	if o.MeanNs() != 0 {
+		t.Error("empty stats should report 0")
+	}
+}
+
+func TestDescheduleForwarding(t *testing.T) {
+	inner := &fakeSched{}
+	ts := NewTimed(inner)
+	eng := sim.New(1)
+	m := vmm.New(eng, 1, ts, vmm.NoOverheads())
+	// Two spinners force deschedules via kicks... simpler: single vCPU
+	// that blocks triggers a switch to idle, which calls OnDeschedule.
+	phase := 0
+	m.AddVCPU("v", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		phase++
+		if phase%2 == 1 {
+			return vmm.Compute(1000)
+		}
+		return vmm.Block(1000)
+	}), 256, false)
+	m.Start()
+	m.Run(50_000)
+	if inner.desched == 0 {
+		t.Error("OnDeschedule not forwarded through the timing wrapper")
+	}
+}
+
+func TestRecorderTimeline(t *testing.T) {
+	inner := &fakeSched{}
+	rec := NewRecorder(inner)
+	if rec.Name() != "fake" {
+		t.Errorf("Name() = %q", rec.Name())
+	}
+	eng := sim.New(1)
+	m := vmm.New(eng, 1, rec, vmm.NoOverheads())
+	phase := 0
+	m.AddVCPU("v", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		phase++
+		if phase%2 == 1 {
+			return vmm.Compute(10_000)
+		}
+		return vmm.Block(10_000)
+	}), 256, false)
+	m.Start()
+	m.Run(100_000)
+	evs := rec.Events()
+	if len(evs) < 5 {
+		t.Fatalf("only %d events recorded", len(evs))
+	}
+	counts := rec.DispatchCounts()
+	if counts[0] == 0 || counts[-1] == 0 {
+		t.Errorf("counts = %v, want both vcpu 0 and idle decisions", counts)
+	}
+	out := rec.Render(0, 100_000, 40)
+	if !strings.Contains(out, "core  0 |") {
+		t.Errorf("render missing core row:\n%s", out)
+	}
+	if !strings.Contains(out, "0") || !strings.Contains(out, ".") {
+		t.Errorf("render should show both busy and idle columns:\n%s", out)
+	}
+}
+
+func TestRecorderRenderEdgeCases(t *testing.T) {
+	rec := NewRecorder(&fakeSched{})
+	if rec.Render(0, 100, 10) != "" {
+		t.Error("empty recorder should render nothing")
+	}
+	rec.events = []DispatchEvent{{Time: 50, CPU: 0, VCPU: 11}}
+	out := rec.Render(0, 100, 4)
+	if !strings.Contains(out, " ") {
+		t.Errorf("columns before the first record should be blank: %q", out)
+	}
+	if !strings.Contains(out, "b") { // vCPU 11 -> 'b'
+		t.Errorf("vcpu 11 glyph missing: %q", out)
+	}
+	rec.events = []DispatchEvent{{Time: 0, CPU: 0, VCPU: 99}}
+	if out := rec.Render(0, 10, 2); !strings.Contains(out, "#") {
+		t.Errorf("high vcpu ids should render #: %q", out)
+	}
+	if rec.Render(0, 0, 10) != "" || rec.Render(0, 100, 0) != "" {
+		t.Error("degenerate windows should render nothing")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	inner := &fakeSched{}
+	rec := NewRecorder(inner)
+	rec.Limit = 3
+	eng := sim.New(1)
+	m := vmm.New(eng, 1, rec, vmm.NoOverheads())
+	phase := 0
+	m.AddVCPU("v", vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		phase++
+		if phase%2 == 1 {
+			return vmm.Compute(1_000)
+		}
+		return vmm.Block(1_000)
+	}), 256, false)
+	m.Start()
+	m.Run(100_000)
+	if len(rec.Events()) != 3 {
+		t.Errorf("limit not enforced: %d events", len(rec.Events()))
+	}
+}

@@ -1,0 +1,34 @@
+package vmm
+
+import (
+	"testing"
+
+	"tableau/internal/sim"
+)
+
+func TestAccountingIdentityUnderContention(t *testing.T) {
+	ov := OverheadModel{Schedule: 2000, Wakeup: 1500, Migrate: 3000, ContextSwitch: 500, IPI: 100, LockDomainCores: 4}
+	eng := sim.New(3)
+	s := &rrScheduler{slice: 500_000}
+	m := New(eng, 4, s, ov)
+	for i := 0; i < 12; i++ {
+		m.AddVCPU("io", blockerProgram(30_000, 20_000), 256, false)
+	}
+	m.Start()
+	const horizon = 50_000_000
+	m.Run(horizon)
+	var slack int64
+	for _, cpu := range m.CPUs {
+		total := cpu.BusyTime + cpu.IdleTime + cpu.OverheadTime
+		diff := total - horizon
+		if diff < 0 {
+			diff = -diff
+		}
+		slack += diff
+		if diff > 10_000 {
+			t.Errorf("cpu %d: busy=%d idle=%d ovh=%d total=%d vs %d (diff %d)",
+				cpu.ID, cpu.BusyTime, cpu.IdleTime, cpu.OverheadTime, total, horizon, total-horizon)
+		}
+	}
+	t.Logf("total slack %d ns", slack)
+}

@@ -1,0 +1,464 @@
+package vmm
+
+import (
+	"fmt"
+
+	"tableau/internal/sim"
+)
+
+// PCPU is one physical core of the simulated machine.
+type PCPU struct {
+	// ID is the core index.
+	ID int
+	// Current is the vCPU executing on this core, or nil when idle.
+	Current *VCPU
+
+	// IdleTime, BusyTime and OverheadTime partition the core's history:
+	// guest execution, scheduler/context-switch overhead, and idling.
+	IdleTime     int64
+	BusyTime     int64
+	OverheadTime int64
+
+	m           *Machine
+	workStart   int64      // when the current vCPU segment began
+	idleStart   int64      // when the current idle period began
+	deadline    int64      // absolute next scheduler invocation (NoTimer if none)
+	event       *sim.Event // pending completion/preemption/idle event
+	asyncUntil  int64      // end of pending async overhead (wakeup processing)
+	kickPending bool
+	invokeGuard int // invocations at the same timestamp (livelock guard)
+	lastInvoke  int64
+}
+
+// Stats aggregates scheduler-operation counts and simulated costs, the
+// basis of the Table 1/2 reproduction in simulation.
+type Stats struct {
+	ScheduleOps     int64
+	WakeupOps       int64
+	MigrateOps      int64
+	ContextSwitches int64
+	ScheduleTime    int64
+	WakeupTime      int64
+	MigrateTime     int64
+}
+
+// Machine is a simulated multicore host under the control of one VM
+// scheduler.
+type Machine struct {
+	// Eng is the discrete-event engine driving the machine.
+	Eng *sim.Engine
+	// CPUs are the physical cores.
+	CPUs []*PCPU
+	// VCPUs are all virtual CPUs, indexed by VCPU.ID.
+	VCPUs []*VCPU
+	// Sched is the active VM scheduler.
+	Sched Scheduler
+	// Ov is the operation cost model charged against the cores.
+	Ov OverheadModel
+	// Stats accumulates scheduler-operation statistics.
+	Stats Stats
+
+	// locks[d] is the time at which lock domain d becomes free; nil
+	// when the scheduler is lock-free.
+	locks []int64
+
+	started bool
+}
+
+// New creates a machine with the given core count, scheduler, and
+// overhead model. Add vCPUs with AddVCPU, then call Start.
+func New(eng *sim.Engine, cores int, sched Scheduler, ov OverheadModel) *Machine {
+	if cores <= 0 {
+		panic("vmm: machine needs at least one core")
+	}
+	m := &Machine{Eng: eng, Sched: sched, Ov: ov}
+	for i := 0; i < cores; i++ {
+		m.CPUs = append(m.CPUs, &PCPU{ID: i, m: m, deadline: NoTimer})
+	}
+	if ov.LockDomainCores > 0 {
+		nd := (cores + ov.LockDomainCores - 1) / ov.LockDomainCores
+		m.locks = make([]int64, nd)
+	}
+	return m
+}
+
+// lockedCost returns the effective cost of a scheduler operation with
+// base cost base issued from cpu at time at (the moment the CPU actually
+// reaches the operation, after any earlier overhead in the same
+// invocation): the base (lock hold time) plus any wait for the cpu's
+// lock domain. The domain's release time advances by the hold time, so
+// operations from other CPUs in the same domain queue.
+func (m *Machine) lockedCost(cpu *PCPU, base, now int64) int64 {
+	if base == 0 || m.locks == nil {
+		return base
+	}
+	d := cpu.ID / m.Ov.LockDomainCores
+	free := m.locks[d]
+	if free < now {
+		free = now
+	}
+	free += base
+	m.locks[d] = free
+	return free - now
+}
+
+// AddVCPU registers a vCPU running the given program. Must be called
+// before Start.
+func (m *Machine) AddVCPU(name string, prog Program, weight int, capped bool) *VCPU {
+	if m.started {
+		panic("vmm: AddVCPU after Start")
+	}
+	v := &VCPU{
+		ID:         len(m.VCPUs),
+		Name:       name,
+		Weight:     weight,
+		Capped:     capped,
+		State:      Runnable,
+		CurrentCPU: -1,
+		LastCPU:    -1,
+		prog:       prog,
+	}
+	m.VCPUs = append(m.VCPUs, v)
+	return v
+}
+
+// Start attaches the scheduler and schedules the initial dispatch on
+// every core at the current time.
+func (m *Machine) Start() {
+	if m.started {
+		panic("vmm: double Start")
+	}
+	m.started = true
+	m.Sched.Attach(m)
+	for _, cpu := range m.CPUs {
+		cpu.idleStart = m.Eng.Now()
+		c := cpu
+		cpu.event = m.Eng.After(0, func(now int64) { m.invoke(c, now) })
+	}
+}
+
+// Run advances the simulation until the given absolute time and flushes
+// accounting so per-CPU and per-vCPU totals cover exactly [start, until).
+func (m *Machine) Run(until int64) {
+	m.Eng.RunUntil(until)
+	for _, cpu := range m.CPUs {
+		m.accountProgress(cpu, until)
+	}
+}
+
+// Now returns the current virtual time.
+func (m *Machine) Now() int64 { return m.Eng.Now() }
+
+// accountProgress charges the time since the core's last accounting
+// point to either its running vCPU or its idle counter, and resets the
+// segment start to now.
+func (m *Machine) accountProgress(cpu *PCPU, now int64) {
+	if cpu.Current != nil && cpu.Current.State == Running {
+		if ran := now - cpu.workStart; ran > 0 {
+			cpu.Current.remaining -= ran
+			cpu.Current.RunTime += ran
+			cpu.BusyTime += ran
+			cpu.workStart = now
+		}
+	} else if cpu.Current == nil {
+		if idle := now - cpu.idleStart; idle > 0 {
+			cpu.IdleTime += idle
+			cpu.idleStart = now
+		}
+	}
+}
+
+// invoke runs the scheduler on cpu at time now. This is the only place
+// where vCPUs are placed on or removed from cores.
+func (m *Machine) invoke(cpu *PCPU, now int64) {
+	cpu.event = nil
+	cpu.kickPending = false
+	if now == cpu.lastInvoke {
+		cpu.invokeGuard++
+		if cpu.invokeGuard > 64 {
+			panic(fmt.Sprintf("vmm: scheduler livelock on cpu %d at t=%d", cpu.ID, now))
+		}
+	} else {
+		cpu.lastInvoke, cpu.invokeGuard = now, 0
+	}
+	m.accountProgress(cpu, now)
+	prev := cpu.Current
+	if prev != nil && prev.State == Running {
+		prev.State = Runnable
+	}
+
+	// The invocation cannot begin until pending asynchronous overhead
+	// (wakeup processing) has drained on this core.
+	start := now
+	if cpu.asyncUntil > start {
+		start = cpu.asyncUntil
+	}
+	start += m.chargeOp(cpu, m.lockedCost(cpu, m.Ov.Schedule, start), &m.Stats.ScheduleOps, &m.Stats.ScheduleTime)
+
+	var d Decision
+	for tries := 0; ; tries++ {
+		if tries > len(m.VCPUs)+2 {
+			panic(fmt.Sprintf("vmm: scheduler %s keeps returning unrunnable vCPUs on cpu %d", m.Sched.Name(), cpu.ID))
+		}
+		d = m.Sched.PickNext(cpu, now)
+		// The scheduler has now processed the outgoing vCPU (requeue,
+		// accounting). Clear Current so retry iterations — after a
+		// picked vCPU blocks at work-fetch — do not make schedulers
+		// process it twice.
+		cpu.Current = nil
+		if d.VCPU == nil {
+			break
+		}
+		if d.VCPU.State == Dead {
+			continue
+		}
+		if d.VCPU.State == Running && d.VCPU.CurrentCPU != cpu.ID {
+			// Dispatching a vCPU that is running elsewhere would corrupt
+			// its stack on real hardware (paper Sec. 6); any scheduler
+			// doing this is broken.
+			panic(fmt.Sprintf("vmm: scheduler %s dispatched %s on cpu %d while it runs on cpu %d",
+				m.Sched.Name(), d.VCPU.Name, cpu.ID, d.VCPU.CurrentCPU))
+		}
+		if d.VCPU.remaining > 0 {
+			break
+		}
+		if m.fetchWork(d.VCPU, now) {
+			break
+		}
+		// The picked vCPU blocked immediately; the scheduler has been
+		// told via OnBlock. Pick again, paying another invocation.
+		start += m.chargeOp(cpu, m.lockedCost(cpu, m.Ov.Schedule, start), &m.Stats.ScheduleOps, &m.Stats.ScheduleTime)
+	}
+
+	next := d.VCPU
+	if prev != nil && next != prev {
+		// Post-deschedule work ("Migrate" in the paper's tables).
+		start += m.chargeOp(cpu, m.lockedCost(cpu, m.Ov.Migrate, start), &m.Stats.MigrateOps, &m.Stats.MigrateTime)
+		prev.CurrentCPU = -1
+		if obs, ok := m.Sched.(DescheduleObserver); ok {
+			obs.OnDeschedule(prev, cpu, now)
+		}
+	}
+	if next == nil {
+		cpu.Current = nil
+		cpu.idleStart = start
+		cpu.deadline = d.Until
+		if d.Until != NoTimer {
+			at := d.Until
+			if at < start {
+				at = start
+			}
+			c := cpu
+			cpu.event = m.Eng.At(at, func(n int64) { m.invoke(c, n) })
+		}
+		return
+	}
+	if next != prev {
+		m.Stats.ContextSwitches++
+		cpu.OverheadTime += m.Ov.ContextSwitch
+		start += m.Ov.ContextSwitch
+	}
+	next.State = Running
+	next.CurrentCPU = cpu.ID
+	next.LastCPU = cpu.ID
+	cpu.Current = next
+	cpu.workStart = start
+	cpu.deadline = d.Until
+	m.armEvent(cpu, start)
+}
+
+// armEvent schedules the core's next action event: burst completion or
+// scheduler deadline, whichever is earlier (never before start).
+func (m *Machine) armEvent(cpu *PCPU, start int64) {
+	end := start + cpu.Current.remaining
+	if cpu.deadline < end {
+		end = cpu.deadline
+	}
+	if end < start {
+		end = start
+	}
+	c := cpu
+	cpu.event = m.Eng.At(end, func(now int64) { m.cpuEvent(c, now) })
+}
+
+// chargeOp charges an operation cost against the core and global stats,
+// returning the cost so callers can advance their local start time.
+func (m *Machine) chargeOp(cpu *PCPU, cost int64, ops *int64, total *int64) int64 {
+	*ops++
+	*total += cost
+	cpu.OverheadTime += cost
+	return cost
+}
+
+// cpuEvent handles the core's pending event: either the running vCPU's
+// burst completed, or the scheduler deadline arrived.
+func (m *Machine) cpuEvent(cpu *PCPU, now int64) {
+	cpu.event = nil
+	m.accountProgress(cpu, now)
+	if cpu.kickPending {
+		// A rescheduling IPI arrived; the scheduler must run now even if
+		// the program could have continued.
+		m.invoke(cpu, now)
+		return
+	}
+	v := cpu.Current
+	if v == nil {
+		// Idle deadline: time-driven scheduler re-invocation.
+		m.invoke(cpu, now)
+		return
+	}
+	if v.remaining <= 0 {
+		if now < cpu.deadline && m.fetchWork(v, now) {
+			// The program continues computing; no scheduler involvement.
+			cpu.workStart = now
+			m.armEvent(cpu, now)
+			return
+		}
+		// Blocked, died, or deadline reached exactly at completion.
+		m.invoke(cpu, now)
+		return
+	}
+	// Preemption: the scheduler's deadline arrived.
+	m.invoke(cpu, now)
+}
+
+// fetchWork advances v's program until it produces computable work.
+// It returns true if v now has a compute burst pending; false if the
+// program blocked (state Blocked, scheduler informed, timed wake
+// scheduled if requested) or terminated (state Dead).
+func (m *Machine) fetchWork(v *VCPU, now int64) bool {
+	for i := 0; ; i++ {
+		if i > 10_000 {
+			panic(fmt.Sprintf("vmm: program of %s livelocked (10k zero-length actions)", v.Name))
+		}
+		a := v.prog.Next(m, v, now)
+		switch a.Kind {
+		case ActCompute:
+			if a.Duration <= 0 {
+				continue
+			}
+			v.remaining = a.Duration
+			return true
+		case ActBlock:
+			v.State = Blocked
+			m.Sched.OnBlock(v, now)
+			if a.Duration >= 0 {
+				vv := v
+				m.Eng.After(a.Duration, func(int64) { m.Wake(vv) })
+			}
+			return false
+		case ActDone:
+			v.State = Dead
+			m.Sched.OnBlock(v, now)
+			return false
+		default:
+			panic(fmt.Sprintf("vmm: unknown action kind %d", a.Kind))
+		}
+	}
+}
+
+// Wake delivers a wake event to v (I/O completion, incoming request,
+// ping arrival). It is a no-op unless v is blocked. Wakeup-processing
+// cost is charged to the core that last ran v (where the paper's wakeup
+// logic executes), and the scheduler is notified so it can enqueue v
+// and kick a core.
+func (m *Machine) Wake(v *VCPU) {
+	if v.State != Blocked {
+		return
+	}
+	now := m.Eng.Now()
+	v.State = Runnable
+	v.Wakeups++
+	v.LastWake = now
+	proc := v.LastCPU
+	if proc < 0 {
+		proc = 0
+	}
+	cost := m.lockedCost(m.CPUs[proc], m.Ov.Wakeup, now)
+	m.chargeAsync(m.CPUs[proc], cost, now)
+	m.Stats.WakeupOps++
+	m.Stats.WakeupTime += cost
+	m.Sched.OnWake(v, now)
+}
+
+// chargeAsync charges an asynchronous processing cost (e.g. wakeup
+// handling) against a core, stealing the time from whatever the core is
+// doing by pushing back its pending event.
+func (m *Machine) chargeAsync(cpu *PCPU, cost int64, now int64) {
+	if cost == 0 {
+		return
+	}
+	cpu.OverheadTime += cost
+	m.accountProgress(cpu, now)
+	// The async window must begin after any overhead window already in
+	// progress on this core (pending async work, or the schedule/context
+	// switch gap before workStart/idleStart), so overhead periods never
+	// overlap and the busy+idle+overhead identity holds exactly.
+	begin := now
+	if cpu.asyncUntil > begin {
+		begin = cpu.asyncUntil
+	}
+	switch {
+	case cpu.Current != nil && cpu.Current.State == Running && cpu.event != nil:
+		if cpu.workStart > begin {
+			begin = cpu.workStart
+		}
+		cpu.asyncUntil = begin + cost
+		cpu.event.Cancel()
+		cpu.workStart = cpu.asyncUntil
+		m.armEvent(cpu, cpu.workStart)
+	case cpu.Current == nil:
+		if cpu.idleStart > begin {
+			begin = cpu.idleStart
+		}
+		cpu.asyncUntil = begin + cost
+		cpu.idleStart = cpu.asyncUntil
+	default:
+		cpu.asyncUntil = begin + cost
+	}
+}
+
+// Kick requests a scheduler invocation on the given core, modelling a
+// rescheduling IPI: the invocation happens after the IPI latency.
+// Redundant kicks (one already pending, or the core will act at least
+// as soon anyway) are dropped.
+func (m *Machine) Kick(cpuID int) {
+	cpu := m.CPUs[cpuID]
+	if cpu.kickPending {
+		return
+	}
+	now := m.Eng.Now()
+	at := now + m.Ov.IPI
+	cpu.kickPending = true
+	if cpu.event != nil {
+		if cpu.event.When() <= at {
+			// The core acts at least as soon anyway; cpuEvent notices
+			// kickPending and invokes the scheduler instead of letting
+			// the program continue uninterrupted.
+			return
+		}
+		cpu.event.Cancel()
+	}
+	c := cpu
+	cpu.event = m.Eng.At(at, func(n int64) { m.invoke(c, n) })
+}
+
+// GuestTime returns the total CPU time delivered to guests across all
+// cores.
+func (m *Machine) GuestTime() int64 {
+	var t int64
+	for _, c := range m.CPUs {
+		t += c.BusyTime
+	}
+	return t
+}
+
+// OverheadTime returns the total time lost to scheduler operations and
+// context switches across all cores.
+func (m *Machine) OverheadTime() int64 {
+	var t int64
+	for _, c := range m.CPUs {
+		t += c.OverheadTime
+	}
+	return t
+}

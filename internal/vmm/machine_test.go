@@ -1,0 +1,326 @@
+package vmm
+
+import (
+	"testing"
+
+	"tableau/internal/sim"
+)
+
+// rrScheduler is a minimal global round-robin scheduler used to exercise
+// the machine model in tests.
+type rrScheduler struct {
+	m     *Machine
+	queue []*VCPU
+	slice int64
+}
+
+func (s *rrScheduler) Name() string { return "test-rr" }
+func (s *rrScheduler) Attach(m *Machine) {
+	s.m = m
+	for _, v := range m.VCPUs {
+		s.queue = append(s.queue, v)
+	}
+}
+func (s *rrScheduler) PickNext(cpu *PCPU, now int64) Decision {
+	// Requeue the vCPU that just ran.
+	if prev := cpu.Current; prev != nil && prev.State == Runnable {
+		s.queue = append(s.queue, prev)
+	}
+	for len(s.queue) > 0 {
+		v := s.queue[0]
+		s.queue = s.queue[1:]
+		if v.State == Runnable && (v.CurrentCPU == -1 || v.CurrentCPU == cpu.ID) {
+			return Decision{VCPU: v, Until: now + s.slice}
+		}
+	}
+	return Decision{Until: NoTimer}
+}
+func (s *rrScheduler) OnWake(v *VCPU, now int64) {
+	s.queue = append(s.queue, v)
+	for _, cpu := range s.m.CPUs {
+		if cpu.Current == nil {
+			s.m.Kick(cpu.ID)
+			return
+		}
+	}
+}
+func (s *rrScheduler) OnBlock(v *VCPU, now int64) {
+	// Drop any stale queue entries lazily (PickNext re-checks state).
+}
+
+func newRRMachine(t *testing.T, cores int, ov OverheadModel) (*Machine, *rrScheduler) {
+	t.Helper()
+	eng := sim.New(1)
+	s := &rrScheduler{slice: 1_000_000}
+	m := New(eng, cores, s, ov)
+	return m, s
+}
+
+// spinner computes forever.
+func spinner() Program {
+	return ProgramFunc(func(m *Machine, v *VCPU, now int64) Action {
+		return Compute(1_000_000)
+	})
+}
+
+func TestSingleSpinnerConsumesCore(t *testing.T) {
+	m, _ := newRRMachine(t, 1, NoOverheads())
+	v := m.AddVCPU("spin", spinner(), 256, false)
+	m.Start()
+	m.Run(10_000_000)
+	if v.RunTime != 10_000_000 {
+		t.Errorf("RunTime = %d, want 10ms", v.RunTime)
+	}
+	if m.CPUs[0].IdleTime != 0 {
+		t.Errorf("IdleTime = %d, want 0", m.CPUs[0].IdleTime)
+	}
+}
+
+func TestTwoSpinnersShareCore(t *testing.T) {
+	m, _ := newRRMachine(t, 1, NoOverheads())
+	a := m.AddVCPU("a", spinner(), 256, false)
+	b := m.AddVCPU("b", spinner(), 256, false)
+	m.Start()
+	m.Run(10_000_000)
+	if a.RunTime+b.RunTime != 10_000_000 {
+		t.Errorf("total runtime = %d, want 10ms", a.RunTime+b.RunTime)
+	}
+	// Round-robin with 1 ms slices: equal shares.
+	if a.RunTime != b.RunTime {
+		t.Errorf("unfair split: a=%d b=%d", a.RunTime, b.RunTime)
+	}
+}
+
+func TestAccountingIdentity(t *testing.T) {
+	ov := OverheadModel{Schedule: 1000, Wakeup: 500, Migrate: 200, ContextSwitch: 300, IPI: 100}
+	m, _ := newRRMachine(t, 2, ov)
+	m.AddVCPU("a", spinner(), 256, false)
+	m.AddVCPU("b", blockerProgram(100_000, 50_000), 256, false)
+	m.Start()
+	const horizon = 20_000_000
+	m.Run(horizon)
+	for _, cpu := range m.CPUs {
+		total := cpu.BusyTime + cpu.IdleTime + cpu.OverheadTime
+		if total != horizon {
+			t.Errorf("cpu %d: busy+idle+overhead = %d, want %d", cpu.ID, total, horizon)
+		}
+	}
+}
+
+// blockerProgram computes c then blocks for b, forever.
+func blockerProgram(c, b int64) Program {
+	phase := make(map[*VCPU]*int)
+	return ProgramFunc(func(m *Machine, v *VCPU, now int64) Action {
+		st := phase[v]
+		if st == nil {
+			st = new(int)
+			phase[v] = st
+		}
+		*st++
+		if *st%2 == 1 {
+			return Compute(c)
+		}
+		return Block(b)
+	})
+}
+
+func TestBlockWakeCycle(t *testing.T) {
+	m, _ := newRRMachine(t, 1, NoOverheads())
+	v := m.AddVCPU("io", blockerProgram(100_000, 100_000), 256, false)
+	m.Start()
+	m.Run(10_000_000)
+	// Duty cycle 50%: ~5 ms of runtime.
+	if v.RunTime < 4_900_000 || v.RunTime > 5_100_000 {
+		t.Errorf("RunTime = %d, want ~5ms", v.RunTime)
+	}
+	if v.Wakeups < 40 {
+		t.Errorf("Wakeups = %d, want ~50", v.Wakeups)
+	}
+}
+
+func TestIdleMachineAccumulatesIdle(t *testing.T) {
+	m, _ := newRRMachine(t, 2, NoOverheads())
+	m.Start()
+	m.Run(5_000_000)
+	for _, cpu := range m.CPUs {
+		if cpu.IdleTime != 5_000_000 {
+			t.Errorf("cpu %d idle = %d", cpu.ID, cpu.IdleTime)
+		}
+	}
+}
+
+func TestDoneProgramStops(t *testing.T) {
+	m, _ := newRRMachine(t, 1, NoOverheads())
+	calls := 0
+	v := m.AddVCPU("oneshot", ProgramFunc(func(m *Machine, v *VCPU, now int64) Action {
+		calls++
+		if calls == 1 {
+			return Compute(1_000)
+		}
+		return Done()
+	}), 256, false)
+	m.Start()
+	m.Run(1_000_000)
+	if v.State != Dead {
+		t.Errorf("state = %v, want dead", v.State)
+	}
+	if v.RunTime != 1_000 {
+		t.Errorf("RunTime = %d", v.RunTime)
+	}
+	if m.CPUs[0].IdleTime < 990_000 {
+		t.Errorf("core should be idle after program death: idle=%d", m.CPUs[0].IdleTime)
+	}
+}
+
+func TestWakeOnBlockedOnly(t *testing.T) {
+	m, _ := newRRMachine(t, 1, NoOverheads())
+	v := m.AddVCPU("spin", spinner(), 256, false)
+	m.Start()
+	m.Run(1_000)
+	before := v.Wakeups
+	m.Wake(v) // runnable, not blocked: must be a no-op
+	if v.Wakeups != before {
+		t.Error("wake of non-blocked vCPU counted")
+	}
+}
+
+func TestExternalWake(t *testing.T) {
+	m, _ := newRRMachine(t, 1, NoOverheads())
+	served := []int64{}
+	v := m.AddVCPU("server", ProgramFunc(func(m *Machine, v *VCPU, now int64) Action {
+		if len(served) > 0 && served[len(served)-1] == now {
+			return BlockIndefinitely()
+		}
+		if now > 0 {
+			served = append(served, now)
+		}
+		return BlockIndefinitely()
+	}), 256, false)
+	m.Start()
+	m.Run(1_000) // server blocks immediately
+	if v.State != Blocked {
+		t.Fatalf("state = %v, want blocked", v.State)
+	}
+	m.Eng.At(5_000, func(int64) { m.Wake(v) })
+	m.Run(10_000)
+	if len(served) == 0 || served[0] != 5_000 {
+		t.Errorf("server served at %v, want [5000]", served)
+	}
+}
+
+func TestSchedulerOpStats(t *testing.T) {
+	ov := OverheadModel{Schedule: 100, Wakeup: 50, Migrate: 20, ContextSwitch: 10, IPI: 5}
+	m, _ := newRRMachine(t, 1, ov)
+	m.AddVCPU("a", blockerProgram(50_000, 50_000), 256, false)
+	m.Start()
+	m.Run(10_000_000)
+	if m.Stats.ScheduleOps == 0 || m.Stats.WakeupOps == 0 {
+		t.Errorf("stats not collected: %+v", m.Stats)
+	}
+	if m.Stats.ScheduleTime != m.Stats.ScheduleOps*100 {
+		t.Errorf("schedule time %d != ops %d * 100", m.Stats.ScheduleTime, m.Stats.ScheduleOps)
+	}
+	if m.OverheadTime() == 0 {
+		t.Error("no overhead accumulated")
+	}
+}
+
+func TestOverheadReducesThroughput(t *testing.T) {
+	run := func(ov OverheadModel) int64 {
+		eng := sim.New(1)
+		s := &rrScheduler{slice: 100_000}
+		m := New(eng, 1, s, ov)
+		// Two I/O-ish workloads triggering constant rescheduling.
+		m.AddVCPU("a", blockerProgram(20_000, 10_000), 256, false)
+		m.AddVCPU("b", blockerProgram(20_000, 10_000), 256, false)
+		m.Start()
+		m.Run(50_000_000)
+		return m.GuestTime()
+	}
+	cheap := run(OverheadModel{Schedule: 100, ContextSwitch: 100})
+	costly := run(OverheadModel{Schedule: 8_000, ContextSwitch: 1_500})
+	if costly >= cheap {
+		t.Errorf("high-overhead scheduler delivered more guest time: %d >= %d", costly, cheap)
+	}
+}
+
+func TestOverheadsLockStructure(t *testing.T) {
+	// RTDS: one global lock covering every core.
+	rt := Overheads("rtds", 48)
+	if rt.LockDomainCores != 48 {
+		t.Errorf("rtds lock domain = %d, want global (48)", rt.LockDomainCores)
+	}
+	// Tableau: lock-free core-local structures.
+	tb := Overheads("tableau", 16)
+	if tb.LockDomainCores != 0 {
+		t.Errorf("tableau lock domain = %d, want lock-free", tb.LockDomainCores)
+	}
+	// Credit: per-CPU runqueues.
+	if cr := Overheads("credit", 16); cr.LockDomainCores != 1 {
+		t.Errorf("credit lock domain = %d, want per-cpu", cr.LockDomainCores)
+	}
+	// Credit2: per-socket runqueues.
+	if c2 := Overheads("credit2", 16); c2.LockDomainCores != 8 {
+		t.Errorf("credit2 lock domain = %d, want per-socket", c2.LockDomainCores)
+	}
+	unknown := Overheads("nope", 16)
+	if unknown.Schedule != 0 || unknown.ContextSwitch == 0 {
+		t.Errorf("unknown scheduler model = %+v", unknown)
+	}
+}
+
+func TestPaperOverheads(t *testing.T) {
+	ops, ok := PaperOverheads("rtds", 48)
+	if !ok || ops[2] != 168_620 {
+		t.Errorf("PaperOverheads(rtds, 48) = %v, %v", ops, ok)
+	}
+	if _, ok := PaperOverheads("rtds", 32); ok {
+		t.Error("unmeasured core count should report !ok")
+	}
+	if _, ok := PaperOverheads("nope", 16); ok {
+		t.Error("unknown scheduler should report !ok")
+	}
+}
+
+func TestRatioTableauVsOthers(t *testing.T) {
+	// The paper's headline overhead ratios (Sec. 7.2) hold between the
+	// uncontended base costs too: Tableau's decision path is far
+	// cheaper than Credit's.
+	tb := Overheads("tableau", 16)
+	cr := Overheads("credit", 16)
+	if r := float64(cr.Schedule) / float64(tb.Schedule); r < 4.5 || r > 6.5 {
+		t.Errorf("credit/tableau schedule ratio = %.2f, want ~5.5", r)
+	}
+}
+
+func TestLockContentionSerializesOps(t *testing.T) {
+	// Two CPUs issuing ops at the same instant under a global lock: the
+	// second op pays the first op's hold time as waiting.
+	eng := sim.New(1)
+	s := &rrScheduler{slice: 1_000_000}
+	m := New(eng, 2, s, OverheadModel{Schedule: 1000, LockDomainCores: 2})
+	c0 := m.lockedCost(m.CPUs[0], 1000, 100)
+	c1 := m.lockedCost(m.CPUs[1], 1000, 100)
+	if c0 != 1000 {
+		t.Errorf("first op cost = %d, want base 1000", c0)
+	}
+	if c1 != 2000 {
+		t.Errorf("contended op cost = %d, want 2000 (wait + hold)", c1)
+	}
+	// After the lock drains, costs return to base.
+	if c := m.lockedCost(m.CPUs[0], 1000, 10_000); c != 1000 {
+		t.Errorf("uncontended op cost = %d", c)
+	}
+}
+
+func TestLockFreeSchedulerNeverQueues(t *testing.T) {
+	eng := sim.New(1)
+	s := &rrScheduler{slice: 1_000_000}
+	m := New(eng, 2, s, OverheadModel{Schedule: 1000, LockDomainCores: 0})
+	if c := m.lockedCost(m.CPUs[0], 1000, 0); c != 1000 {
+		t.Errorf("cost = %d", c)
+	}
+	if c := m.lockedCost(m.CPUs[1], 1000, 0); c != 1000 {
+		t.Errorf("lock-free second op cost = %d, want base", c)
+	}
+}

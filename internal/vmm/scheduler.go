@@ -1,0 +1,55 @@
+package vmm
+
+import "math"
+
+// NoTimer as Decision.Until means the scheduler does not need a
+// time-driven re-invocation; the machine will call it again only when
+// the running vCPU blocks or the CPU is kicked.
+const NoTimer = int64(math.MaxInt64)
+
+// A Decision is a scheduler's answer to "who runs next on this CPU".
+type Decision struct {
+	// VCPU is the vCPU to dispatch, or nil to idle.
+	VCPU *VCPU
+	// Until is the absolute time at which the scheduler must be
+	// re-invoked on this CPU (end of timeslice, table interval, budget),
+	// or NoTimer.
+	Until int64
+}
+
+// A Scheduler multiplexes vCPUs onto pCPUs. Implementations keep their
+// run queues internally (global or per-CPU) and are invoked by the
+// machine:
+//
+//   - PickNext whenever CPU cpu needs a decision: at start, when the
+//     running vCPU blocks or dies, when Decision.Until expires, and
+//     after a Kick. The previously running vCPU (if any) has already
+//     been charged for its progress and is in state Runnable (or
+//     Blocked/Dead if that is why the scheduler is being invoked).
+//   - OnWake when a blocked vCPU becomes runnable. The scheduler should
+//     enqueue it and may call Machine.Kick to interrupt a CPU.
+//   - OnBlock when a running vCPU blocks (bookkeeping only; the machine
+//     follows up with PickNext on the affected CPU).
+//
+// All calls are made from the single-threaded simulation loop.
+type Scheduler interface {
+	// Name returns the scheduler's short name ("credit", "tableau", ...).
+	Name() string
+	// Attach gives the scheduler its machine before the run starts.
+	Attach(m *Machine)
+	// PickNext selects the next vCPU for cpu at time now.
+	PickNext(cpu *PCPU, now int64) Decision
+	// OnWake notifies that v transitioned Blocked -> Runnable.
+	OnWake(v *VCPU, now int64)
+	// OnBlock notifies that v transitioned Running -> Blocked.
+	OnBlock(v *VCPU, now int64)
+}
+
+// DescheduleObserver is an optional Scheduler extension: if implemented,
+// OnDeschedule is called whenever a vCPU is removed from a core (because
+// it blocked, died, or lost the core to another vCPU). Tableau's
+// dispatcher uses this to deliver the deferred rescheduling IPIs of its
+// cross-core migration protocol (paper Sec. 6).
+type DescheduleObserver interface {
+	OnDeschedule(v *VCPU, cpu *PCPU, now int64)
+}

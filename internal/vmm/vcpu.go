@@ -1,0 +1,128 @@
+// Package vmm models a multicore machine running a hypervisor VM
+// scheduler: physical CPUs, virtual CPUs with workload programs,
+// scheduler-invocation overheads, context switches, IPIs, and wakeups.
+// It is the discrete-event substitute for the paper's Xen/Intel-Xeon
+// testbed: every quantity the paper measures (who runs when, scheduling
+// latency, cycles lost to the scheduler) is reproduced by this model.
+package vmm
+
+import "fmt"
+
+// State is the lifecycle state of a vCPU.
+type State int
+
+const (
+	// Runnable vCPUs are ready to execute and waiting for a pCPU.
+	Runnable State = iota
+	// Running vCPUs are currently executing on a pCPU.
+	Running
+	// Blocked vCPUs are waiting for an I/O completion or external event.
+	Blocked
+	// Dead vCPUs have finished their program.
+	Dead
+)
+
+func (s State) String() string {
+	switch s {
+	case Runnable:
+		return "runnable"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// ActionKind discriminates the actions a workload program can request.
+type ActionKind int
+
+const (
+	// ActCompute executes on the CPU for Duration ns.
+	ActCompute ActionKind = iota
+	// ActBlock blocks the vCPU. If Duration >= 0 the machine wakes it
+	// after Duration ns (modelling an I/O operation of known latency);
+	// if Duration < 0 the vCPU sleeps until an external Wake.
+	ActBlock
+	// ActDone terminates the program; the vCPU never runs again.
+	ActDone
+)
+
+// An Action is one step of a workload program.
+type Action struct {
+	Kind     ActionKind
+	Duration int64
+}
+
+// Compute returns an action that burns d ns of CPU time.
+func Compute(d int64) Action { return Action{Kind: ActCompute, Duration: d} }
+
+// Block returns an action that blocks for d ns (an I/O with known
+// latency).
+func Block(d int64) Action { return Action{Kind: ActBlock, Duration: d} }
+
+// BlockIndefinitely returns an action that blocks until an external
+// Wake, e.g. a server waiting for the next request.
+func BlockIndefinitely() Action { return Action{Kind: ActBlock, Duration: -1} }
+
+// Done returns the terminating action.
+func Done() Action { return Action{Kind: ActDone} }
+
+// A Program drives a vCPU's behaviour. Next is called whenever the vCPU
+// is about to execute and has no pending work: at first dispatch, after
+// each compute burst completes, and after each wakeup. now is the
+// current virtual time. Programs are single-threaded with respect to
+// their vCPU; they may freely keep state and read machine time.
+type Program interface {
+	Next(m *Machine, v *VCPU, now int64) Action
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(m *Machine, v *VCPU, now int64) Action
+
+// Next implements Program.
+func (f ProgramFunc) Next(m *Machine, v *VCPU, now int64) Action { return f(m, v, now) }
+
+// A VCPU is one virtual CPU belonging to a VM.
+type VCPU struct {
+	// ID is the index of this vCPU in Machine.VCPUs.
+	ID int
+	// Name identifies the vCPU for reporting.
+	Name string
+	// Weight is the proportional-share weight (Credit/Credit2).
+	Weight int
+	// Capped vCPUs may not exceed their reservation (Credit cap, RTDS
+	// budget, Tableau table-only mode).
+	Capped bool
+
+	// State is maintained by the machine.
+	State State
+	// CurrentCPU is the pCPU currently running this vCPU, or -1.
+	CurrentCPU int
+	// LastCPU is the pCPU that most recently ran this vCPU, or -1.
+	LastCPU int
+
+	// RunTime is the total CPU time consumed, in ns.
+	RunTime int64
+	// Wakeups counts wake events delivered to this vCPU.
+	Wakeups int64
+	// LastWake is the time of the most recent wake event.
+	LastWake int64
+
+	// SchedData is private per-vCPU state for the active scheduler.
+	SchedData interface{}
+
+	prog      Program
+	remaining int64 // ns left in the current compute burst
+}
+
+// Remaining returns the ns left in the vCPU's current compute burst
+// (for tests and tracing).
+func (v *VCPU) Remaining() int64 { return v.remaining }
+
+func (v *VCPU) String() string {
+	return fmt.Sprintf("vcpu%d(%s,%v)", v.ID, v.Name, v.State)
+}

@@ -1,0 +1,306 @@
+// Package workload implements the guest workloads of the paper's
+// evaluation (Sec. 7) as vmm programs:
+//
+//   - StressIO: the stress(1)-style I/O-intensive loop used as
+//     background load, triggering frequent scheduler invocations;
+//   - CPUHog: the fully CPU-bound cache-thrashing background load;
+//   - Probe: the redis-cli --intrinsic-latency analogue, a tight
+//     CPU loop measuring scheduler-induced service gaps;
+//   - PingSink: an ICMP-style echo responder woken by externally
+//     scheduled pings;
+//   - WebServer: the nginx-style HTTPS file server with NIC
+//     backpressure, driven by a wrk2-style open-loop client with
+//     coordinated-omission-correct latency accounting.
+package workload
+
+import (
+	"math/rand"
+
+	"tableau/internal/netdev"
+	"tableau/internal/stats"
+	"tableau/internal/vmm"
+)
+
+// StressIO returns a program alternating compute bursts and I/O waits,
+// modelled on the stress benchmark's I/O workers. jitterPct (0-100)
+// randomizes each phase length to avoid lockstep behaviour across VMs.
+func StressIO(compute, ioWait int64, jitterPct int, seed int64) vmm.Program {
+	rng := rand.New(rand.NewSource(seed))
+	inIO := false
+	jitter := func(base int64) int64 {
+		if jitterPct <= 0 {
+			return base
+		}
+		span := base * int64(jitterPct) / 100
+		if span <= 0 {
+			return base
+		}
+		return base - span/2 + rng.Int63n(span+1)
+	}
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		inIO = !inIO
+		if inIO {
+			return vmm.Compute(max1(jitter(compute)))
+		}
+		return vmm.Block(max1(jitter(ioWait)))
+	})
+}
+
+// CPUHog returns a fully CPU-bound program (the cache-thrashing
+// background workload): it never blocks and never triggers the
+// scheduler voluntarily.
+func CPUHog() vmm.Program {
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		return vmm.Compute(1_000_000)
+	})
+}
+
+func max1(v int64) int64 {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// Probe measures intrinsic scheduling latency like redis-cli
+// --intrinsic-latency: a tight loop of small compute chunks; any gap
+// between the ideal and actual completion cadence is scheduler-induced
+// delay. The paper runs it at the highest guest priority so only the VM
+// scheduler contributes (Sec. 7.3).
+type Probe struct {
+	// Chunk is the loop-iteration length; default 10 µs.
+	Chunk int64
+
+	hist    stats.Histogram
+	lastEnd int64
+	started bool
+}
+
+// Program returns the probe's vmm program. Use one Probe per vCPU.
+func (p *Probe) Program() vmm.Program {
+	if p.Chunk == 0 {
+		p.Chunk = 10_000
+	}
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if p.started {
+			// Ideal cadence: the previous chunk would have completed
+			// Chunk ns after its start; anything beyond is delay
+			// (preemption inside or between chunks).
+			delay := now - p.lastEnd - p.Chunk
+			if delay < 0 {
+				delay = 0
+			}
+			p.hist.Record(delay)
+		}
+		p.started = true
+		p.lastEnd = now
+		return vmm.Compute(p.Chunk)
+	})
+}
+
+// MaxDelay returns the maximum observed scheduling delay.
+func (p *Probe) MaxDelay() int64 { return p.hist.Max() }
+
+// Delays returns the recorded delay distribution.
+func (p *Probe) Delays() *stats.Histogram { return &p.hist }
+
+// PingSink is an echo responder: externally arriving pings wake the
+// vCPU, which answers each with a tiny compute burst. Latency is
+// recorded from arrival to response completion — the guest-scheduler-
+// free proxy for VM scheduling latency the paper uses (Sec. 7.3).
+type PingSink struct {
+	// Cost is the CPU time to process one ping; default 5 µs.
+	Cost int64
+
+	vcpu     *vmm.VCPU
+	pending  []int64
+	inflight int64 // arrival time of the ping being processed, -1 none
+	hist     stats.Histogram
+}
+
+// Bind attaches the sink to its vCPU; call after AddVCPU.
+func (p *PingSink) Bind(v *vmm.VCPU) { p.vcpu = v; p.inflight = -1 }
+
+// Program returns the responder program.
+func (p *PingSink) Program() vmm.Program {
+	if p.Cost == 0 {
+		p.Cost = 5_000
+	}
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if p.inflight >= 0 {
+			p.hist.Record(now - p.inflight)
+			p.inflight = -1
+		}
+		if len(p.pending) == 0 {
+			return vmm.BlockIndefinitely()
+		}
+		p.inflight = p.pending[0]
+		p.pending = p.pending[1:]
+		return vmm.Compute(p.Cost)
+	})
+}
+
+// Arrive delivers a ping at the current time, waking the responder.
+func (p *PingSink) Arrive(m *vmm.Machine) {
+	p.pending = append(p.pending, m.Now())
+	m.Wake(p.vcpu)
+}
+
+// Latencies returns the recorded round-trip (arrival-to-response)
+// distribution.
+func (p *PingSink) Latencies() *stats.Histogram { return &p.hist }
+
+// SchedulePings schedules count pings with uniformly random spacing in
+// [0, maxSpacing) per the paper's setup (eight threads sending 5,000
+// randomly-spaced pings each, 0-200 ms apart). threads parallel streams
+// are generated; all arrivals land on the single sink.
+func SchedulePings(m *vmm.Machine, sink *PingSink, threads, count int, maxSpacing int64, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for th := 0; th < threads; th++ {
+		t := int64(0)
+		for i := 0; i < count; i++ {
+			t += rng.Int63n(maxSpacing)
+			m.Eng.At(t, func(int64) { sink.Arrive(m) })
+		}
+	}
+}
+
+// WebServer is the nginx-style server of Sec. 7.4: each request costs
+// CPU time (TLS + PHP + copy, scaling with response size), then the
+// response is pushed through the VM's NIC in ring-sized segments with
+// blocking backpressure. Latency is recorded against the request's
+// *intended* time (coordinated-omission correction) when the last byte
+// reaches the wire.
+type WebServer struct {
+	// NIC is the server VM's virtual function.
+	NIC *netdev.NIC
+	// BaseCost is the per-request CPU cost independent of size
+	// (TLS handshake amortization, PHP, syscalls); default 150 µs.
+	BaseCost int64
+	// CostPerKiB is the additional CPU cost per KiB of response
+	// (encryption + copies); default 200 ns.
+	CostPerKiB int64
+	// LargeThreshold and CostPerKiBLarge model the zero-copy (sendfile)
+	// path: bytes beyond LargeThreshold cost CostPerKiBLarge per KiB
+	// instead of CostPerKiB. Defaults: 128 KiB and CostPerKiB (i.e.
+	// linear cost) respectively.
+	LargeThreshold  int64
+	CostPerKiBLarge int64
+
+	vcpu  *vmm.VCPU
+	queue []webReq
+
+	sending   *webReq
+	remaining int64
+
+	// CountUntil bounds the steady-state completion counter: responses
+	// finishing after it still record latency but are not counted by
+	// CompletedInWindow. Zero disables the bound.
+	CountUntil int64
+
+	hist      stats.Histogram
+	completed int64
+	inWindow  int64
+}
+
+type webReq struct {
+	intended int64
+	bytes    int64
+}
+
+// Bind attaches the server to its vCPU; call after AddVCPU.
+func (w *WebServer) Bind(v *vmm.VCPU) { w.vcpu = v }
+
+// Program returns the server program.
+func (w *WebServer) Program() vmm.Program {
+	if w.BaseCost == 0 {
+		w.BaseCost = 150_000
+	}
+	if w.CostPerKiB == 0 {
+		w.CostPerKiB = 200
+	}
+	if w.LargeThreshold == 0 {
+		w.LargeThreshold = 128 * 1024
+	}
+	if w.CostPerKiBLarge == 0 {
+		w.CostPerKiBLarge = w.CostPerKiB
+	}
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		for {
+			if w.sending != nil {
+				seg := w.remaining
+				if max := w.NIC.MaxSegment(); seg > max {
+					seg = max
+				}
+				done, ok := w.NIC.TrySend(now, seg)
+				if !ok {
+					at, err := w.NIC.RoomAt(now, seg)
+					if err != nil {
+						panic("workload: segment exceeds ring capacity")
+					}
+					return vmm.Block(at - now)
+				}
+				w.remaining -= seg
+				if w.remaining > 0 {
+					continue
+				}
+				req := *w.sending
+				w.sending = nil
+				m.Eng.At(done, func(fin int64) {
+					w.hist.Record(fin - req.intended)
+					w.completed++
+					if w.CountUntil == 0 || fin <= w.CountUntil {
+						w.inWindow++
+					}
+				})
+				continue
+			}
+			if len(w.queue) == 0 {
+				return vmm.BlockIndefinitely()
+			}
+			req := w.queue[0]
+			w.queue = w.queue[1:]
+			w.sending = &req
+			w.remaining = req.bytes
+			small := req.bytes
+			if small > w.LargeThreshold {
+				small = w.LargeThreshold
+			}
+			cost := w.BaseCost + small*w.CostPerKiB/1024 + (req.bytes-small)*w.CostPerKiBLarge/1024
+			return vmm.Compute(max1(cost))
+		}
+	})
+}
+
+// Arrive enqueues a request with the given intended start time and
+// response size, waking the server.
+func (w *WebServer) Arrive(m *vmm.Machine, intended, bytes int64) {
+	w.queue = append(w.queue, webReq{intended: intended, bytes: bytes})
+	m.Wake(w.vcpu)
+}
+
+// Completed returns the number of fully transmitted responses.
+func (w *WebServer) Completed() int64 { return w.completed }
+
+// CompletedInWindow returns the responses fully transmitted no later
+// than CountUntil — the steady-state throughput numerator, excluding
+// backlog flushed during the post-measurement drain.
+func (w *WebServer) CompletedInWindow() int64 { return w.inWindow }
+
+// Latencies returns the recorded response-latency distribution
+// (intended-start to last byte on the wire).
+func (w *WebServer) Latencies() *stats.Histogram { return &w.hist }
+
+// RunOpenLoop schedules an open-loop constant-rate request stream of
+// the given size: rate requests/second from start for duration ns. The
+// arrival events fire at the intended times regardless of server state,
+// exactly like wrk2's constant-throughput mode.
+func RunOpenLoop(m *vmm.Machine, w *WebServer, start int64, rate float64, duration int64, bytes int64) int {
+	n := int(rate * float64(duration) / 1e9)
+	times := stats.OpenLoop(start, rate, n)
+	for _, t := range times {
+		intended := t
+		m.Eng.At(intended, func(int64) { w.Arrive(m, intended, bytes) })
+	}
+	return n
+}

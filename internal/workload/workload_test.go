@@ -1,0 +1,252 @@
+package workload
+
+import (
+	"testing"
+
+	"tableau/internal/netdev"
+	"tableau/internal/sim"
+	"tableau/internal/vmm"
+)
+
+// soloScheduler runs the single runnable vCPU immediately; enough to
+// unit-test workload programs in isolation.
+type soloScheduler struct{ m *vmm.Machine }
+
+func (s *soloScheduler) Name() string          { return "solo" }
+func (s *soloScheduler) Attach(m *vmm.Machine) { s.m = m }
+func (s *soloScheduler) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	for _, v := range s.m.VCPUs {
+		if v.State == vmm.Runnable && (v.CurrentCPU == -1 || v.CurrentCPU == cpu.ID) {
+			return vmm.Decision{VCPU: v, Until: vmm.NoTimer}
+		}
+	}
+	return vmm.Decision{Until: vmm.NoTimer}
+}
+func (s *soloScheduler) OnWake(v *vmm.VCPU, now int64) {
+	for _, cpu := range s.m.CPUs {
+		if cpu.Current == nil {
+			s.m.Kick(cpu.ID)
+			return
+		}
+	}
+}
+func (s *soloScheduler) OnBlock(v *vmm.VCPU, now int64) {}
+
+func soloMachine() *vmm.Machine {
+	s := &soloScheduler{}
+	return vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+}
+
+func TestStressIODutyCycle(t *testing.T) {
+	m := soloMachine()
+	v := m.AddVCPU("io", StressIO(100_000, 100_000, 0, 1), 256, false)
+	m.Start()
+	m.Run(10_000_000)
+	// 50% duty cycle.
+	if v.RunTime < 4_800_000 || v.RunTime > 5_200_000 {
+		t.Errorf("RunTime = %d, want ~5 ms", v.RunTime)
+	}
+	if v.Wakeups < 40 {
+		t.Errorf("wakeups = %d, expected frequent blocking", v.Wakeups)
+	}
+}
+
+func TestStressIOJitterStaysPositive(t *testing.T) {
+	m := soloMachine()
+	v := m.AddVCPU("io", StressIO(10_000, 10_000, 80, 7), 256, false)
+	m.Start()
+	m.Run(5_000_000)
+	if v.RunTime <= 0 {
+		t.Error("jittered workload did not run")
+	}
+}
+
+func TestCPUHogNeverBlocks(t *testing.T) {
+	m := soloMachine()
+	v := m.AddVCPU("hog", CPUHog(), 256, false)
+	m.Start()
+	m.Run(5_000_000)
+	if v.RunTime != 5_000_000 {
+		t.Errorf("RunTime = %d", v.RunTime)
+	}
+	if v.Wakeups != 0 {
+		t.Errorf("hog woke %d times", v.Wakeups)
+	}
+}
+
+func TestProbeMeasuresNoDelayWhenAlone(t *testing.T) {
+	m := soloMachine()
+	p := &Probe{Chunk: 10_000}
+	m.AddVCPU("probe", p.Program(), 256, false)
+	m.Start()
+	m.Run(10_000_000)
+	if p.Delays().Count() < 900 {
+		t.Fatalf("only %d samples", p.Delays().Count())
+	}
+	if p.MaxDelay() != 0 {
+		t.Errorf("uncontended probe saw %d ns delay", p.MaxDelay())
+	}
+}
+
+func TestProbeMeasuresPreemptionDelay(t *testing.T) {
+	// Two probes sharing one core under a 1 ms round-robin: each sees
+	// ~1 ms gaps.
+	s := &rrScheduler{slice: 1_000_000}
+	m := vmm.New(sim.New(1), 1, s, vmm.NoOverheads())
+	p1, p2 := &Probe{Chunk: 10_000}, &Probe{Chunk: 10_000}
+	m.AddVCPU("p1", p1.Program(), 256, false)
+	m.AddVCPU("p2", p2.Program(), 256, false)
+	m.Start()
+	m.Run(50_000_000)
+	if p1.MaxDelay() < 900_000 || p1.MaxDelay() > 1_100_000 {
+		t.Errorf("p1 max delay = %d, want ~1 ms", p1.MaxDelay())
+	}
+	if p2.MaxDelay() < 900_000 {
+		t.Errorf("p2 max delay = %d", p2.MaxDelay())
+	}
+}
+
+// minimal RR for the probe test.
+type rrScheduler struct {
+	m     *vmm.Machine
+	queue []*vmm.VCPU
+	slice int64
+}
+
+func (s *rrScheduler) Name() string { return "rr" }
+func (s *rrScheduler) Attach(m *vmm.Machine) {
+	s.m = m
+	s.queue = append(s.queue, m.VCPUs...)
+}
+func (s *rrScheduler) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	if prev := cpu.Current; prev != nil && prev.State == vmm.Runnable {
+		s.queue = append(s.queue, prev)
+	}
+	for len(s.queue) > 0 {
+		v := s.queue[0]
+		s.queue = s.queue[1:]
+		if v.State == vmm.Runnable && (v.CurrentCPU == -1 || v.CurrentCPU == cpu.ID) {
+			return vmm.Decision{VCPU: v, Until: now + s.slice}
+		}
+	}
+	return vmm.Decision{Until: vmm.NoTimer}
+}
+func (s *rrScheduler) OnWake(v *vmm.VCPU, now int64)  { s.queue = append(s.queue, v) }
+func (s *rrScheduler) OnBlock(v *vmm.VCPU, now int64) {}
+
+func TestPingSinkLatency(t *testing.T) {
+	m := soloMachine()
+	sink := &PingSink{Cost: 5_000}
+	v := m.AddVCPU("ping", sink.Program(), 256, false)
+	sink.Bind(v)
+	m.Start()
+	for i := int64(1); i <= 10; i++ {
+		m.Eng.At(i*1_000_000, func(int64) { sink.Arrive(m) })
+	}
+	m.Run(20_000_000)
+	h := sink.Latencies()
+	if h.Count() != 10 {
+		t.Fatalf("served %d pings", h.Count())
+	}
+	// Uncontended: latency == processing cost.
+	if h.Max() != 5_000 {
+		t.Errorf("max latency = %d, want 5000", h.Max())
+	}
+}
+
+func TestSchedulePingsVolume(t *testing.T) {
+	m := soloMachine()
+	sink := &PingSink{}
+	v := m.AddVCPU("ping", sink.Program(), 256, false)
+	sink.Bind(v)
+	m.Start()
+	SchedulePings(m, sink, 4, 50, 200_000, 3)
+	m.Run(4 * 50 * 200_000)
+	if got := sink.Latencies().Count(); got < 150 {
+		t.Errorf("served %d of 200 pings", got)
+	}
+}
+
+func TestWebServerSingleRequest(t *testing.T) {
+	m := soloMachine()
+	w := &WebServer{
+		NIC:        netdev.New(1_000_000_000, 100_000), // 1 GB/s, 100 KB ring
+		BaseCost:   100_000,
+		CostPerKiB: 1024, // 1 ns per byte: easy arithmetic
+	}
+	v := m.AddVCPU("web", w.Program(), 256, false)
+	w.Bind(v)
+	m.Start()
+	m.Eng.At(1_000_000, func(int64) { w.Arrive(m, 1_000_000, 10_000) })
+	m.Run(5_000_000)
+	if w.Completed() != 1 {
+		t.Fatalf("completed = %d", w.Completed())
+	}
+	// Latency = CPU (100µs + 10µs) + wire (10 µs at 1 byte/ns).
+	want := int64(100_000 + 10_000 + 10_000)
+	if got := w.Latencies().Max(); got != want {
+		t.Errorf("latency = %d, want %d", got, want)
+	}
+}
+
+func TestWebServerSegmentsLargeResponses(t *testing.T) {
+	m := soloMachine()
+	w := &WebServer{
+		NIC:        netdev.New(1_000_000_000, 100_000),
+		BaseCost:   1_000,
+		CostPerKiB: 100,
+	}
+	v := m.AddVCPU("web", w.Program(), 256, false)
+	w.Bind(v)
+	m.Start()
+	// 1 MB response: 10 ring-sized segments with backpressure blocks.
+	m.Eng.At(0, func(int64) { w.Arrive(m, 0, 1_000_000) })
+	m.Run(5_000_000)
+	if w.Completed() != 1 {
+		t.Fatalf("completed = %d", w.Completed())
+	}
+	// Wire time dominates: ~1 ms for 1 MB at 1 GB/s.
+	if got := w.Latencies().Max(); got < 1_000_000 || got > 1_300_000 {
+		t.Errorf("latency = %d, want ~1.1 ms", got)
+	}
+}
+
+func TestWebServerCoordinatedOmission(t *testing.T) {
+	// Saturate the server: open-loop latency must grow with queueing
+	// measured from *intended* times.
+	m := soloMachine()
+	w := &WebServer{
+		NIC:      netdev.New(1_250_000_000, 262_144),
+		BaseCost: 1_000_000, // 1 ms per request: capacity 1000 r/s
+	}
+	v := m.AddVCPU("web", w.Program(), 256, false)
+	w.Bind(v)
+	m.Start()
+	RunOpenLoop(m, w, 0, 2000, 100_000_000, 1024) // 2x overload for 100 ms
+	m.Run(150_000_000)
+	h := w.Latencies()
+	if h.Count() < 100 {
+		t.Fatalf("completed %d", h.Count())
+	}
+	// The last completions queued behind ~100 ms of backlog; without CO
+	// correction latency would look like ~1 ms.
+	if h.Max() < 20_000_000 {
+		t.Errorf("max latency %d too low: coordinated omission hidden", h.Max())
+	}
+}
+
+func TestRunOpenLoopCount(t *testing.T) {
+	m := soloMachine()
+	w := &WebServer{NIC: netdev.New(1_000_000_000, 100_000)}
+	v := m.AddVCPU("web", w.Program(), 256, false)
+	w.Bind(v)
+	m.Start()
+	n := RunOpenLoop(m, w, 0, 100, 1_000_000_000, 1024) // 100 r/s for 1 s
+	if n != 100 {
+		t.Errorf("scheduled %d requests, want 100", n)
+	}
+	m.Run(1_200_000_000)
+	if w.Completed() != 100 {
+		t.Errorf("completed %d", w.Completed())
+	}
+}
