@@ -1,0 +1,35 @@
+# Developer entry points. `make ci` is the gate a change must pass.
+
+GO ?= go
+
+.PHONY: build vet test race bench benchdiff ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The packages where concurrency now exists (the experiments worker
+# pool, the shared planner cache) or whose invariants the pool leans on.
+race:
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/planner
+
+# Full micro-benchmark pass over the hot-path packages.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem \
+		./internal/sim ./internal/planner ./internal/table ./internal/dispatch \
+		./internal/stats ./internal/netdev ./internal/periodic
+
+# Quick perf-regression check against the committed BENCH_*.json
+# snapshot. Timings on shared/small machines are noisy, so the gate
+# tolerance is generous; allocs/op growth still fails at any size.
+# Regenerate the committed snapshot with: go run ./cmd/benchdiff
+benchdiff:
+	$(GO) run ./cmd/benchdiff -count 1 -tolerance 40 -gate \
+		-out /tmp/tableau-benchdiff -against $$(ls BENCH_*.json | tail -1)
+
+ci: vet build test race benchdiff

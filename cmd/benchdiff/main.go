@@ -1,0 +1,205 @@
+// Command benchdiff is the repo's perf-regression harness. It runs the
+// tier-1 micro-benchmarks (the hot-path packages, not the heavy
+// figure-reproduction benchmarks at the repo root), times one full
+// `experiments -mode quick -run all` sweep, writes the results as
+// BENCH_<date>.json, and compares them against the most recent previous
+// snapshot with a tolerance gate:
+//
+//	benchdiff            # run, snapshot, report deltas
+//	benchdiff -gate      # additionally exit 1 on regression (CI)
+//
+// ns/op deltas within -tolerance percent pass; B/op and allocs/op must
+// not grow at all, because the schedule/fire and dispatch hot paths are
+// kept allocation-free by design and one new alloc/op is a real
+// regression, not noise.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"tableau/internal/benchfmt"
+)
+
+// defaultPkgs are the micro-benchmark packages: fast, stable timings.
+// The root-level figure benchmarks run whole simulations for seconds
+// each and belong to `go test -bench . .`, not the regression gate.
+const defaultPkgs = "./internal/sim,./internal/planner,./internal/table,./internal/dispatch,./internal/stats,./internal/netdev,./internal/periodic"
+
+func main() {
+	pkgs := flag.String("pkgs", defaultPkgs, "comma-separated packages to benchmark")
+	benchRe := flag.String("bench", ".", "benchmark selection regex (go test -bench)")
+	benchtime := flag.String("benchtime", "100ms", "per-benchmark measurement time (go test -benchtime)")
+	count := flag.Int("count", 2, "runs per benchmark; the snapshot keeps the best")
+	outDir := flag.String("out", ".", "directory for BENCH_<date>.json snapshots")
+	against := flag.String("against", "", "previous snapshot to compare to (default: newest BENCH_*.json in -out)")
+	tolerance := flag.Float64("tolerance", 10, "allowed ns/op growth in percent")
+	gate := flag.Bool("gate", false, "exit 1 if any regression exceeds tolerance")
+	skipExperiments := flag.Bool("skip-experiments", false, "skip timing the quick experiments sweep")
+	parallel := flag.Int("parallel", 0, "-parallel value for the experiments sweep (0 = GOMAXPROCS)")
+	flag.Parse()
+
+	snap := &benchfmt.Snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+
+	bench, err := runBenchmarks(strings.Split(*pkgs, ","), *benchRe, *benchtime, *count)
+	if err != nil {
+		fatal(err)
+	}
+	snap.Benchmarks = bench
+	fmt.Printf("benchdiff: %d benchmarks measured\n", len(bench))
+
+	if !*skipExperiments {
+		secs, err := timeExperiments(*parallel)
+		if err != nil {
+			fatal(err)
+		}
+		snap.ExperimentsWallSeconds = secs
+		snap.ExperimentsParallel = *parallel
+		fmt.Printf("benchdiff: experiments -mode quick -run all -parallel %d: %.2fs\n", *parallel, secs)
+	}
+
+	prevPath := *against
+	if prevPath == "" {
+		prevPath = latestSnapshot(*outDir)
+	}
+
+	outPath := filepath.Join(*outDir, "BENCH_"+snap.Date+".json")
+	if err := writeSnapshot(outPath, snap); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchdiff: wrote %s\n", outPath)
+
+	if prevPath == "" || prevPath == outPath {
+		fmt.Println("benchdiff: no previous snapshot to compare against")
+		return
+	}
+	prev, err := readSnapshot(prevPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchdiff: comparing against %s (%s, %s, GOMAXPROCS=%d)\n",
+		prevPath, prev.Date, prev.GoVersion, prev.GOMAXPROCS)
+
+	reg, imp := benchfmt.Compare(prev.Benchmarks, snap.Benchmarks, *tolerance)
+	for _, d := range imp {
+		fmt.Println("  improved:", d)
+	}
+	for _, d := range reg {
+		fmt.Println("  REGRESSED:", d)
+	}
+	if prev.ExperimentsWallSeconds > 0 && snap.ExperimentsWallSeconds > 0 {
+		delta := (snap.ExperimentsWallSeconds - prev.ExperimentsWallSeconds) / prev.ExperimentsWallSeconds * 100
+		fmt.Printf("  experiments wall-clock: %.2fs -> %.2fs (%+.1f%%)\n",
+			prev.ExperimentsWallSeconds, snap.ExperimentsWallSeconds, delta)
+		if delta > *tolerance {
+			reg = append(reg, benchfmt.Delta{
+				Bench: "experiments-quick-all", Unit: "s",
+				Old: prev.ExperimentsWallSeconds, New: snap.ExperimentsWallSeconds, Percent: delta,
+			})
+		}
+	}
+	switch {
+	case len(reg) == 0 && len(imp) == 0:
+		fmt.Println("benchdiff: no significant deltas")
+	case len(reg) == 0:
+		fmt.Println("benchdiff: no regressions")
+	default:
+		fmt.Printf("benchdiff: %d regression(s) beyond tolerance\n", len(reg))
+		if *gate {
+			os.Exit(1)
+		}
+	}
+}
+
+// runBenchmarks shells out to `go test -bench` once per -count and
+// parses the merged output; benchfmt.Parse keeps the best run of each
+// benchmark. -run ^$ skips the packages' unit tests.
+func runBenchmarks(pkgs []string, benchRe, benchtime string, count int) (map[string]benchfmt.Metrics, error) {
+	var merged bytes.Buffer
+	for i := 0; i < count; i++ {
+		args := []string{"test", "-run", "^$", "-bench", benchRe,
+			"-benchtime", benchtime, "-benchmem", "-v"}
+		args = append(args, pkgs...)
+		cmd := exec.Command("go", args...)
+		cmd.Stderr = os.Stderr
+		out, err := cmd.Output()
+		if err != nil {
+			return nil, fmt.Errorf("go test -bench: %w\n%s", err, out)
+		}
+		merged.Write(out)
+	}
+	return benchfmt.Parse(&merged)
+}
+
+// timeExperiments builds and times one quick full experiment sweep —
+// the end-to-end number the parallel fan-out is supposed to improve.
+func timeExperiments(parallel int) (float64, error) {
+	bin := filepath.Join(os.TempDir(), "benchdiff-experiments")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/experiments")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return 0, fmt.Errorf("building cmd/experiments: %w", err)
+	}
+	defer os.Remove(bin)
+	run := exec.Command(bin, "-mode", "quick", "-run", "all",
+		"-parallel", fmt.Sprint(parallel))
+	run.Stdout = nil // discard: only the wall-clock matters here
+	run.Stderr = os.Stderr
+	start := time.Now()
+	if err := run.Run(); err != nil {
+		return 0, fmt.Errorf("running experiments sweep: %w", err)
+	}
+	return time.Since(start).Seconds(), nil
+}
+
+// latestSnapshot returns the lexically newest BENCH_*.json in dir
+// (dates are ISO, so lexical order is date order), or "".
+func latestSnapshot(dir string) string {
+	matches, _ := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if len(matches) == 0 {
+		return ""
+	}
+	sort.Strings(matches)
+	return matches[len(matches)-1]
+}
+
+func readSnapshot(path string) (*benchfmt.Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s benchfmt.Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
+func writeSnapshot(path string, s *benchfmt.Snapshot) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

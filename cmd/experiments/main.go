@@ -4,10 +4,13 @@
 //
 // Usage:
 //
-//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation] [-csv dir]
+//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation] [-csv dir] [-parallel N]
 //
 // Quick mode (default) finishes in a few minutes on a laptop; full mode
-// approaches the paper's measurement volumes.
+// approaches the paper's measurement volumes. The evaluation grid is a
+// set of independent deterministic simulations; -parallel fans them out
+// across N workers (0 = one per core) with rows byte-identical to a
+// serial run.
 package main
 
 import (
@@ -24,8 +27,10 @@ func main() {
 	modeFlag := flag.String("mode", "quick", "experiment scale: quick or full")
 	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
+	parallel := flag.Int("parallel", 0, "worker count for independent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
 
+	experiments.SetParallelism(*parallel)
 	mode, err := experiments.ParseMode(*modeFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -45,11 +50,16 @@ func main() {
 		os.Exit(1)
 	}
 
-	if selected("fig3") {
-		results = append(results, experiments.Fig3(mode))
-	}
-	if selected("fig4") {
-		results = append(results, experiments.Fig4(mode))
+	if selected("fig3") || selected("fig4") {
+		// One sweep feeds both figures: Fig. 3 plots its generation
+		// times, Fig. 4 its table sizes.
+		pts := experiments.RunPlannerSweep(mode)
+		if selected("fig3") {
+			results = append(results, experiments.Fig3From(pts))
+		}
+		if selected("fig4") {
+			results = append(results, experiments.Fig4From(pts))
+		}
 	}
 	if selected("tab1") {
 		r, err := experiments.OverheadResult(16, mode)

@@ -1,0 +1,179 @@
+// Package benchfmt parses `go test -bench` output and models benchmark
+// snapshots for the repo's perf-regression gate (cmd/benchdiff). It
+// understands the standard benchmark result line
+//
+//	BenchmarkName-8   1000000   123.4 ns/op   48 B/op   1 allocs/op
+//
+// plus custom testing.B.ReportMetric units, and tracks `pkg:` headers
+// emitted by `go test -v -bench` so results from a multi-package run
+// are keyed unambiguously as "pkg/BenchmarkName".
+package benchfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measurements by unit ("ns/op", "B/op",
+// "allocs/op", or any custom ReportMetric unit).
+type Metrics struct {
+	Iters  int64              `json:"iters"`
+	Values map[string]float64 `json:"values"`
+}
+
+// Snapshot is one benchmark run, serialized to BENCH_<date>.json.
+type Snapshot struct {
+	Date       string `json:"date"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// Benchmarks maps "pkg/BenchmarkName" (GOMAXPROCS suffix stripped)
+	// to its metrics.
+	Benchmarks map[string]Metrics `json:"benchmarks"`
+	// ExperimentsWallSeconds is the wall-clock of one
+	// `experiments -mode quick -run all` run, if measured.
+	ExperimentsWallSeconds float64 `json:"experiments_wall_seconds,omitempty"`
+	// ExperimentsParallel is the -parallel value used for that run.
+	ExperimentsParallel int `json:"experiments_parallel,omitempty"`
+}
+
+// Parse reads `go test -bench` output, accumulating results into
+// bench-name → metrics. Lines that are not benchmark results are
+// ignored except `pkg:` headers, which set the key prefix for the
+// results that follow. A benchmark that appears more than once keeps
+// the run with the lower ns/op (best-of, as perf comparisons should).
+func Parse(r io.Reader) (map[string]Metrics, error) {
+	out := map[string]Metrics{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "pkg:"); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		name, m, ok := parseLine(line)
+		if !ok {
+			continue
+		}
+		key := name
+		if pkg != "" {
+			key = pkg + "/" + name
+		}
+		if prev, dup := out[key]; dup && prev.Values["ns/op"] <= m.Values["ns/op"] {
+			continue
+		}
+		out[key] = m
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine parses one result line. The name's -N GOMAXPROCS suffix is
+// stripped so snapshots from machines with different core counts
+// compare key-for-key.
+func parseLine(line string) (string, Metrics, bool) {
+	fields := strings.Fields(line)
+	// Name, iterations, then (value, unit) pairs.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return "", Metrics{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Metrics{}, false
+	}
+	m := Metrics{Iters: iters, Values: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Metrics{}, false
+		}
+		m.Values[fields[i+1]] = v
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	return name, m, true
+}
+
+// Delta is one metric's change between two snapshots.
+type Delta struct {
+	Bench   string
+	Unit    string
+	Old     float64
+	New     float64
+	Percent float64 // (new-old)/old * 100; +Inf when old == 0 and new > 0
+}
+
+func (d Delta) String() string {
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%)", d.Bench, d.Unit, d.Old, d.New, d.Percent)
+}
+
+// gatedUnits are the metrics the regression gate inspects. Timing is
+// tolerance-gated; allocation metrics regress on any growth because
+// the hot paths are supposed to be allocation-free and a single new
+// alloc/op is a real change, not noise.
+var gatedUnits = map[string]bool{"ns/op": true, "B/op": true, "allocs/op": true}
+
+// Compare reports regressions and improvements of cur vs old.
+// tolerancePct is the allowed ns/op growth in percent; B/op and
+// allocs/op must not grow at all (beyond rounding). Benchmarks present
+// in only one snapshot are skipped — renames should not fail the gate.
+func Compare(old, cur map[string]Metrics, tolerancePct float64) (regressions, improvements []Delta) {
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := old[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o, n := old[name], cur[name]
+		units := make([]string, 0, len(n.Values))
+		for unit := range n.Values {
+			if gatedUnits[unit] {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, ok := o.Values[unit]
+			if !ok {
+				continue
+			}
+			nv := n.Values[unit]
+			d := Delta{Bench: name, Unit: unit, Old: ov, New: nv}
+			switch {
+			case ov == 0 && nv == 0:
+				continue
+			case ov == 0:
+				d.Percent = math.Inf(1)
+			default:
+				d.Percent = (nv - ov) / ov * 100
+			}
+			limit := tolerancePct
+			if unit != "ns/op" {
+				limit = 0.5 // rounding slack only
+			}
+			switch {
+			case d.Percent > limit:
+				regressions = append(regressions, d)
+			case d.Percent < -limit:
+				improvements = append(improvements, d)
+			}
+		}
+	}
+	return regressions, improvements
+}

@@ -1,0 +1,114 @@
+package benchfmt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: tableau/internal/sim
+cpu: some cpu
+BenchmarkEventScheduleAndRun-8   	63197713	        18.55 ns/op	       0 B/op	       0 allocs/op
+BenchmarkScheduleCancel-8        	41234567	        29.10 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	tableau/internal/sim	2.493s
+pkg: tableau/internal/planner
+BenchmarkPlan48VMs-8   	     100	  10523410 ns/op	  131072 B/op	     512 allocs/op
+BenchmarkCustomMetric-8 	    5000	    240000 ns/op	        12.50 widgets/op
+--- some unrelated log line
+ok  	tableau/internal/planner	1.2s
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", len(got), got)
+	}
+	ev, ok := got["tableau/internal/sim/BenchmarkEventScheduleAndRun"]
+	if !ok {
+		t.Fatalf("missing pkg-prefixed, suffix-stripped key; have %v", got)
+	}
+	if ev.Iters != 63197713 || ev.Values["ns/op"] != 18.55 || ev.Values["allocs/op"] != 0 {
+		t.Errorf("event bench = %+v", ev)
+	}
+	cm := got["tableau/internal/planner/BenchmarkCustomMetric"]
+	if cm.Values["widgets/op"] != 12.5 {
+		t.Errorf("custom metric = %+v", cm)
+	}
+}
+
+func TestParseKeepsBestOfDuplicates(t *testing.T) {
+	got, err := Parse(strings.NewReader(
+		"BenchmarkX-8 100 50.0 ns/op\nBenchmarkX-8 100 40.0 ns/op\nBenchmarkX-8 100 45.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["BenchmarkX"].Values["ns/op"]; v != 40.0 {
+		t.Errorf("kept %v ns/op, want best-of 40", v)
+	}
+}
+
+func TestParseIgnoresMalformedLines(t *testing.T) {
+	got, err := Parse(strings.NewReader(
+		"BenchmarkBroken-8 notanumber 1 ns/op\nBenchmarkAlsoBroken-8 100\nBenchmarkOK-8 100 1.0 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("parsed %d benchmarks, want only the well-formed one: %v", len(got), got)
+	}
+}
+
+func mm(ns, bytes, allocs float64) Metrics {
+	return Metrics{Iters: 1, Values: map[string]float64{"ns/op": ns, "B/op": bytes, "allocs/op": allocs}}
+}
+
+func TestCompare(t *testing.T) {
+	old := map[string]Metrics{
+		"a":    mm(100, 0, 0),
+		"b":    mm(100, 48, 1),
+		"c":    mm(100, 0, 0),
+		"gone": mm(1, 1, 1),
+	}
+	cur := map[string]Metrics{
+		"a":   mm(104, 0, 0), // +4% ns/op: within 10% tolerance
+		"b":   mm(50, 0, 0),  // improvement on all three
+		"c":   mm(120, 0, 1), // ns/op regression AND a new alloc
+		"new": mm(1, 1, 1),   // only in cur: skipped
+	}
+	reg, imp := Compare(old, cur, 10)
+	var regs []string
+	for _, d := range reg {
+		regs = append(regs, d.Bench+" "+d.Unit)
+	}
+	want := []string{"c allocs/op", "c ns/op"}
+	if len(regs) != len(want) || regs[0] != want[0] || regs[1] != want[1] {
+		t.Errorf("regressions = %v, want %v", regs, want)
+	}
+	if len(imp) != 3 {
+		t.Errorf("improvements = %v, want b on all three units", imp)
+	}
+	// Zero→nonzero allocs is an infinite-percent regression, not a skip.
+	for _, d := range reg {
+		if d.Bench == "c" && d.Unit == "allocs/op" && !math.IsInf(d.Percent, 1) {
+			t.Errorf("0→1 allocs delta = %v, want +Inf%%", d.Percent)
+		}
+	}
+}
+
+func TestCompareToleranceBoundary(t *testing.T) {
+	old := map[string]Metrics{"a": mm(100, 0, 0)}
+	reg, _ := Compare(old, map[string]Metrics{"a": mm(110, 0, 0)}, 10)
+	if len(reg) != 0 {
+		t.Errorf("exactly-at-tolerance flagged as regression: %v", reg)
+	}
+	reg, _ = Compare(old, map[string]Metrics{"a": mm(111, 0, 0)}, 10)
+	if len(reg) != 1 {
+		t.Errorf("over-tolerance not flagged: %v", reg)
+	}
+}

@@ -53,6 +53,13 @@ type System struct {
 	// penalty is taken in turns instead of pinned to one vCPU (the
 	// paper's Sec. 7.5 "all vCPUs take a turn being split").
 	RotateSplits bool
+
+	// Cache, when set, memoizes planning by exact (specs, options)
+	// input — the paper's Sec. 7.1 central table cache for commonly
+	// reused configurations. Cached results are shared (possibly across
+	// systems and goroutines), so Plan works on a private copy before
+	// remapping. Set it before the first Plan.
+	Cache *planner.Cache
 }
 
 // NewSystem creates a system with the given number of guest cores.
@@ -161,7 +168,7 @@ func (s *System) Plan() (*table.Table, *planner.Result, error) {
 	if s.RotateSplits {
 		opts.SplitRotation = int(s.generation)
 	}
-	res, err := planner.Plan(specs, opts)
+	res, err := s.plan(specs, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -177,6 +184,24 @@ func (s *System) Plan() (*table.Table, *planner.Result, error) {
 	tbl.Generation = s.generation
 	res.Table = tbl
 	return tbl, res, nil
+}
+
+// plan generates (or looks up) the planner result for the given specs.
+// When a cache serves the request, the shared Result is cloned — the
+// struct and its Guarantees slice — because Plan remaps both into the
+// slot-id universe, and the cached original must stay untouched for
+// other users of the cache.
+func (s *System) plan(specs []planner.VCPUSpec, opts planner.Options) (*planner.Result, error) {
+	if s.Cache == nil {
+		return planner.Plan(specs, opts)
+	}
+	shared, err := s.Cache.Plan(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := *shared
+	res.Guarantees = append([]table.Guarantee(nil), shared.Guarantees...)
+	return &res, nil
 }
 
 // remap rewrites a planner table (vCPU ids = active-spec order) into

@@ -236,3 +236,78 @@ func TestMultiVM(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCachedPlanMatchesDirectAndKeepsCacheImmutable exercises the
+// shared planner cache path: two systems with different slot layouts
+// share one cache, so the second system's Plan is a cache hit whose
+// result must be remapped into *its* slot universe — which only works
+// if the hit was cloned and the cached original left untouched.
+func TestCachedPlanMatchesDirectAndKeepsCacheImmutable(t *testing.T) {
+	cache := planner.NewCache(8)
+
+	direct := NewSystem(2, planner.Options{}, dispatch.Options{})
+	direct.AddVM(quarterVM("a"))
+	direct.AddVM(quarterVM("b"))
+	dtbl, dres, err := direct.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same specs planned through the cache (miss, then hit).
+	for trial := 0; trial < 3; trial++ {
+		s := NewSystem(2, planner.Options{}, dispatch.Options{})
+		s.Cache = cache
+		s.AddVM(quarterVM("a"))
+		s.AddVM(quarterVM("b"))
+		tbl, res, err := s.Plan()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(tbl.VCPUs) != len(dtbl.VCPUs) || len(res.Guarantees) != len(dres.Guarantees) {
+			t.Fatalf("trial %d: cached plan shape differs from direct plan", trial)
+		}
+		for i, g := range res.Guarantees {
+			if g != dres.Guarantees[i] {
+				t.Errorf("trial %d: guarantee %d = %+v, want %+v", trial, i, g, dres.Guarantees[i])
+			}
+		}
+		if err := tbl.Check(res.Guarantees); err != nil {
+			t.Errorf("trial %d: %v", trial, err)
+		}
+	}
+	if hits, misses := cache.Stats(); hits != 2 || misses != 1 {
+		t.Errorf("cache stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+
+	// A system with extra inactive slots remaps guarantees to different
+	// slot ids; a second hit afterwards must still see the original ids.
+	shifted := NewSystem(2, planner.Options{}, dispatch.Options{})
+	shifted.Cache = cache
+	pad, _ := shifted.AddVM(quarterVM("pad"))
+	shifted.AddVM(quarterVM("a"))
+	shifted.AddVM(quarterVM("b"))
+	shifted.SetActive(pad, false)
+	_, sres, err := shifted.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range sres.Guarantees {
+		if g.VCPU == pad {
+			t.Error("guarantee remapped onto inactive pad slot")
+		}
+	}
+
+	again := NewSystem(2, planner.Options{}, dispatch.Options{})
+	again.Cache = cache
+	again.AddVM(quarterVM("a"))
+	again.AddVM(quarterVM("b"))
+	_, ares, err := again.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range ares.Guarantees {
+		if g != dres.Guarantees[i] {
+			t.Errorf("cached entry was mutated by an earlier remap: guarantee %d = %+v, want %+v", i, g, dres.Guarantees[i])
+		}
+	}
+}

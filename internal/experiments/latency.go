@@ -36,6 +36,7 @@ func RunIntrinsic(kind SchedulerKind, capped bool, bg BGKind, mode Mode, seed in
 	}
 	sc.M.Start()
 	sc.M.Run(horizon)
+	sc.M.Stop()
 	return IntrinsicPoint{
 		Scheduler:  kind,
 		Capped:     capped,
@@ -45,16 +46,20 @@ func RunIntrinsic(kind SchedulerKind, capped bool, bg BGKind, mode Mode, seed in
 	}, nil
 }
 
-// Fig5 runs the full intrinsic-latency matrix: capped scenarios with
+// matrixCell is one (scenario, background, scheduler) cell of the
+// Fig. 5/6 matrices, in the fixed row order the paper plots.
+type matrixCell struct {
+	label  string
+	capped bool
+	bg     BGKind
+	kind   SchedulerKind
+}
+
+// matrixCells enumerates the evaluation matrix: capped scenarios with
 // Credit/RTDS/Tableau and uncapped with Credit/Credit2/Tableau, each
 // against no, I/O-intensive, and CPU-intensive background load.
-func Fig5(mode Mode) (*Result, error) {
-	r := &Result{
-		Name:   "fig5",
-		Title:  "Maximum scheduling delay (redis-cli-style intrinsic latency)",
-		Header: []string{"scenario", "background", "scheduler", "max_delay_ms", "samples"},
-		Note:   "Paper: Tableau ~10 ms in every capped cell; Credit up to 44 ms capped and 220 ms uncapped with background load.",
-	}
+func matrixCells() []matrixCell {
+	var cells []matrixCell
 	for _, capped := range []bool{true, false} {
 		scheds := CappedSchedulers
 		label := "capped"
@@ -64,13 +69,32 @@ func Fig5(mode Mode) (*Result, error) {
 		}
 		for _, bg := range []BGKind{BGNone, BGIO, BGCPU} {
 			for _, k := range scheds {
-				p, err := RunIntrinsic(k, capped, bg, mode, 42)
-				if err != nil {
-					return nil, err
-				}
-				r.Rows = append(r.Rows, []string{label, string(bg), string(k), ms(p.MaxDelay), itoa(p.Samples)})
+				cells = append(cells, matrixCell{label: label, capped: capped, bg: bg, kind: k})
 			}
 		}
+	}
+	return cells
+}
+
+// Fig5 runs the full intrinsic-latency matrix, fanning the independent
+// cells out across the configured worker pool.
+func Fig5(mode Mode) (*Result, error) {
+	r := &Result{
+		Name:   "fig5",
+		Title:  "Maximum scheduling delay (redis-cli-style intrinsic latency)",
+		Header: []string{"scenario", "background", "scheduler", "max_delay_ms", "samples"},
+		Note:   "Paper: Tableau ~10 ms in every capped cell; Credit up to 44 ms capped and 220 ms uncapped with background load.",
+	}
+	cells := matrixCells()
+	pts, err := Collect(len(cells), func(i int) (IntrinsicPoint, error) {
+		c := cells[i]
+		return RunIntrinsic(c.kind, c.capped, c.bg, mode, 42)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		r.Rows = append(r.Rows, []string{cells[i].label, string(p.Background), string(p.Scheduler), ms(p.MaxDelay), itoa(p.Samples)})
 	}
 	return r, nil
 }
@@ -111,6 +135,7 @@ func RunPing(kind SchedulerKind, capped bool, bg BGKind, mode Mode, seed int64) 
 	workload.SchedulePings(sc.M, sink, threads, count, spacing, seed)
 	horizon := int64(count)*spacing + 500_000_000
 	sc.M.Run(horizon)
+	sc.M.Stop()
 	h := sink.Latencies()
 	return PingPoint{
 		Scheduler:  kind,
@@ -122,7 +147,8 @@ func RunPing(kind SchedulerKind, capped bool, bg BGKind, mode Mode, seed int64) 
 	}, nil
 }
 
-// Fig6 runs the full ping matrix.
+// Fig6 runs the full ping matrix, fanning the independent cells out
+// across the configured worker pool.
 func Fig6(mode Mode) (*Result, error) {
 	r := &Result{
 		Name:   "fig6",
@@ -130,25 +156,19 @@ func Fig6(mode Mode) (*Result, error) {
 		Header: []string{"scenario", "background", "scheduler", "avg_ms", "max_ms", "pings"},
 		Note:   "Paper: Tableau max <= 10 ms in all capped cells (17x below Credit's ~75 ms I/O-BG tail); Tableau mean higher than dynamic schedulers when capped.",
 	}
-	for _, capped := range []bool{true, false} {
-		scheds := CappedSchedulers
-		label := "capped"
-		if !capped {
-			scheds = UncappedSchedulers
-			label = "uncapped"
-		}
-		for _, bg := range []BGKind{BGNone, BGIO, BGCPU} {
-			for _, k := range scheds {
-				p, err := RunPing(k, capped, bg, mode, 42)
-				if err != nil {
-					return nil, err
-				}
-				r.Rows = append(r.Rows, []string{
-					label, string(bg), string(k),
-					msF(p.AvgNs), ms(p.MaxNs), itoa(p.Pings),
-				})
-			}
-		}
+	cells := matrixCells()
+	pts, err := Collect(len(cells), func(i int) (PingPoint, error) {
+		c := cells[i]
+		return RunPing(c.kind, c.capped, c.bg, mode, 42)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, p := range pts {
+		r.Rows = append(r.Rows, []string{
+			cells[i].label, string(p.Background), string(p.Scheduler),
+			msF(p.AvgNs), ms(p.MaxNs), itoa(p.Pings),
+		})
 	}
 	return r, nil
 }
@@ -181,8 +201,9 @@ func RunOverheadTable(machineCores int, mode Mode) ([]OpCostRow, error) {
 	if mode == Full {
 		horizon = 10_000_000_000
 	}
-	var rows []OpCostRow
-	for _, k := range []SchedulerKind{Credit, Credit2, RTDS, Tableau} {
+	kinds := []SchedulerKind{Credit, Credit2, RTDS, Tableau}
+	return Collect(len(kinds), func(i int) (OpCostRow, error) {
+		k := kinds[i]
 		capped := k == RTDS // RTDS is capped-only; others measured uncapped like the stress run
 		cfg := ScenarioConfig{
 			GuestCores:    guest,
@@ -196,10 +217,11 @@ func RunOverheadTable(machineCores int, mode Mode) ([]OpCostRow, error) {
 		}
 		sc, err := Build(cfg, bgProgram(cfg.withDefaults(), 0))
 		if err != nil {
-			return nil, err
+			return OpCostRow{}, err
 		}
 		sc.M.Start()
 		sc.M.Run(horizon)
+		sc.M.Stop()
 		ov := sc.M.Ov
 		st := sc.M.Stats
 		mean := func(total, ops int64) float64 {
@@ -208,7 +230,7 @@ func RunOverheadTable(machineCores int, mode Mode) ([]OpCostRow, error) {
 			}
 			return float64(total) / float64(ops)
 		}
-		rows = append(rows, OpCostRow{
+		return OpCostRow{
 			Scheduler:        k,
 			NativeScheduleNs: sc.Timed.Pick.MeanNs(),
 			NativeWakeupNs:   sc.Timed.Wake.MeanNs(),
@@ -219,9 +241,8 @@ func RunOverheadTable(machineCores int, mode Mode) ([]OpCostRow, error) {
 			ModelWakeupNs:    ov.Wakeup,
 			ModelMigrateNs:   ov.Migrate,
 			Ops:              sc.Timed.Pick.Ops,
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // OverheadResult renders Table 1 or Table 2.

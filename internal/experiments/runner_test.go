@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// withParallelism runs fn with the pool fixed at n workers and restores
+// the default afterwards.
+func withParallelism(t *testing.T, n int, fn func()) {
+	t.Helper()
+	SetParallelism(n)
+	defer SetParallelism(0)
+	fn()
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		withParallelism(t, workers, func() {
+			const n = 100
+			var counts [n]atomic.Int32
+			if err := ForEach(n, func(i int) error {
+				counts[i].Add(1)
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			for i := range counts {
+				if got := counts[i].Load(); got != 1 {
+					t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachReturnsLowestIndexedError(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 8} {
+		withParallelism(t, workers, func() {
+			err := ForEach(50, func(i int) error {
+				switch i {
+				case 7:
+					return errLow
+				case 23:
+					return errHigh
+				}
+				return nil
+			})
+			if err != errLow {
+				t.Errorf("workers=%d: err = %v, want the lowest-indexed cell error", workers, err)
+			}
+		})
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	if err := ForEach(0, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Error(err)
+	}
+	ran := false
+	if err := ForEach(1, func(int) error { ran = true; return nil }); err != nil || !ran {
+		t.Errorf("single cell: ran=%v err=%v", ran, err)
+	}
+}
+
+func TestCollectPreservesSlotOrder(t *testing.T) {
+	withParallelism(t, 8, func() {
+		out, err := Collect(64, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("out[%d] = %d", i, v)
+			}
+		}
+	})
+}
+
+// TestForEachRace drives many concurrent cells that all touch shared
+// state correctly (their own slot) plus an intentionally contended
+// counter, as a -race exercise of the worker pool itself.
+func TestForEachRace(t *testing.T) {
+	withParallelism(t, 8, func() {
+		var mu sync.Mutex
+		total := 0
+		slots := make([]int, 500)
+		if err := ForEach(len(slots), func(i int) error {
+			slots[i] = i
+			mu.Lock()
+			total++
+			mu.Unlock()
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if total != len(slots) {
+			t.Errorf("total = %d", total)
+		}
+	})
+}
+
+func TestParallelismDefaultsToGOMAXPROCS(t *testing.T) {
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Errorf("Parallelism() = %d", Parallelism())
+	}
+	SetParallelism(-3)
+	if Parallelism() < 1 {
+		t.Errorf("Parallelism() after negative set = %d", Parallelism())
+	}
+	SetParallelism(5)
+	if Parallelism() != 5 {
+		t.Errorf("Parallelism() = %d, want 5", Parallelism())
+	}
+	SetParallelism(0)
+}
+
+// renderRows flattens a result's rows for byte-exact comparison.
+func renderRows(r *Result) []byte {
+	var buf bytes.Buffer
+	for _, row := range r.Rows {
+		for _, c := range row {
+			buf.WriteString(c)
+			buf.WriteByte('\x00')
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TestFig5Fig6DeterministicAcrossParallelism is the acceptance test for
+// the fan-out port: every cell owns its own independently seeded
+// sim.Engine, so the rendered rows must be byte-identical whether the
+// matrix runs on 1 worker or 8.
+func TestFig5Fig6DeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Fig5+Fig6 matrices")
+	}
+	run := func(workers int) (fig5, fig6 []byte) {
+		t.Helper()
+		withParallelism(t, workers, func() {
+			r5, err := Fig5(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			r6, err := Fig6(Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fig5, fig6 = renderRows(r5), renderRows(r6)
+		})
+		return fig5, fig6
+	}
+	serial5, serial6 := run(1)
+	par5, par6 := run(8)
+	if !bytes.Equal(serial5, par5) {
+		t.Errorf("fig5 rows differ between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s", serial5, par5)
+	}
+	if !bytes.Equal(serial6, par6) {
+		t.Errorf("fig6 rows differ between -parallel 1 and -parallel 8:\nserial:\n%s\nparallel:\n%s", serial6, par6)
+	}
+}
+
+// TestWebSweepDeterministicAcrossParallelism covers the Fig. 7 path the
+// same way with a single small sweep.
+func TestWebSweepDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two web sweeps")
+	}
+	run := func(workers int) []WebPoint {
+		var pts []WebPoint
+		withParallelism(t, workers, func() {
+			var err error
+			pts, err = RunWebSweep(true, BGIO, 1*KiB, Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+		return pts
+	}
+	a, b := run(1), run(8)
+	if fmt.Sprintf("%+v", a) != fmt.Sprintf("%+v", b) {
+		t.Errorf("web sweep differs between worker counts:\n%+v\n%+v", a, b)
+	}
+}

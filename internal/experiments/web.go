@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"sort"
-	"sync"
 
 	"tableau/internal/netdev"
 	"tableau/internal/workload"
@@ -89,6 +88,7 @@ func RunWebPoint(kind SchedulerKind, capped bool, bg BGKind, fileBytes int64, rp
 	// closes still record their latency, but only completions inside the
 	// window count toward throughput.
 	sc.M.Run(duration + 200_000_000)
+	sc.M.Stop()
 	h := srv.Latencies()
 	return WebPoint{
 		Scheduler:   kind,
@@ -128,8 +128,10 @@ func webRates(fileBytes int64, mode Mode) []float64 {
 }
 
 // RunWebSweep produces the curves of one Fig. 7/8 panel row: every
-// scheduler of the scenario kind at every offered rate. Points run in
-// parallel (each is an independent simulation).
+// scheduler of the scenario kind at every offered rate. The cells fan
+// out across the configured worker pool (each is an independent
+// simulation); results come back in slot order, so the rendered series
+// is identical at any parallelism.
 func RunWebSweep(capped bool, bg BGKind, fileBytes int64, mode Mode) ([]WebPoint, error) {
 	scheds := CappedSchedulers
 	if !capped {
@@ -146,24 +148,11 @@ func RunWebSweep(capped bool, bg BGKind, fileBytes int64, mode Mode) ([]WebPoint
 			jobs = append(jobs, job{k, r})
 		}
 	}
-	points := make([]WebPoint, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, 8)
-	for i, j := range jobs {
-		wg.Add(1)
-		go func(i int, j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			points[i], errs[i] = RunWebPoint(j.kind, capped, bg, fileBytes, j.rate, mode, 17)
-		}(i, j)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	points, err := Collect(len(jobs), func(i int) (WebPoint, error) {
+		return RunWebPoint(jobs[i].kind, capped, bg, fileBytes, jobs[i].rate, mode, 17)
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.SliceStable(points, func(a, b int) bool {
 		if points[a].Scheduler != points[b].Scheduler {

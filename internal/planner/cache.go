@@ -101,6 +101,28 @@ func (c *Cache) Plan(specs []VCPUSpec, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// Add inserts an externally planned result for the given input, so
+// callers that must time or instrument Plan directly can still publish
+// the table for reuse. An existing entry for the key is kept (callers
+// sharing the cache keep sharing one table); Add counts as neither hit
+// nor miss.
+func (c *Cache) Add(specs []VCPUSpec, opts Options, res *Result) {
+	key := CacheKey(specs, opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.entries[key] = el
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+}
+
 // Stats returns the hit and miss counts.
 func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()

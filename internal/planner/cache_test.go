@@ -128,3 +128,34 @@ func TestCacheConcurrent(t *testing.T) {
 		t.Errorf("misses = %d, want at most a few per distinct key", misses)
 	}
 }
+
+func TestCacheAdd(t *testing.T) {
+	c := NewCache(4)
+	specs := cacheSpecs(4, 20_000_000)
+	opts := Options{Cores: 1}
+	res, err := Plan(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(specs, opts, res)
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("Add counted as hit/miss: %d/%d", hits, misses)
+	}
+	got, err := c.Plan(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != res {
+		t.Error("Plan after Add did not return the added result")
+	}
+	if hits, _ := c.Stats(); hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+	// Adding again keeps the existing entry.
+	res2, _ := Plan(specs, opts)
+	c.Add(specs, opts, res2)
+	got, _ = c.Plan(specs, opts)
+	if got != res {
+		t.Error("Add displaced an existing entry")
+	}
+}

@@ -2,6 +2,9 @@ package sim
 
 import "testing"
 
+// BenchmarkEventScheduleAndRun is the steady-state hot path of every
+// simulation: schedule, fire, recycle. With the free list it must run
+// at ~0 allocs/op.
 func BenchmarkEventScheduleAndRun(b *testing.B) {
 	e := New(1)
 	var cnt int
@@ -11,6 +14,46 @@ func BenchmarkEventScheduleAndRun(b *testing.B) {
 		e.At(e.Now()+int64(i%64)+1, fn)
 		if i%64 == 63 {
 			e.RunUntil(e.Now() + 128)
+		}
+	}
+}
+
+// BenchmarkScheduleCancel measures the schedule-then-cancel path (timer
+// re-arming, as vmm's Kick and chargeAsync do constantly): canceled
+// events must also recycle without allocating.
+func BenchmarkScheduleCancel(b *testing.B) {
+	e := New(1)
+	fn := func(int64) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := e.At(e.Now()+10, fn)
+		h.Cancel()
+		if i%64 == 63 {
+			e.RunUntil(e.Now() + 1)
+		}
+	}
+	e.RunUntil(e.Now() + 100)
+}
+
+// BenchmarkSteadyStateAllocs asserts the allocation contract directly:
+// after warm-up, a schedule/fire cycle performs zero heap allocations.
+func BenchmarkSteadyStateAllocs(b *testing.B) {
+	e := New(1)
+	fn := func(int64) {}
+	// Warm up the free list to the peak population used below.
+	for i := 0; i < 128; i++ {
+		e.At(e.Now()+int64(i%8)+1, fn)
+		if i%8 == 7 {
+			e.RunUntil(e.Now() + 16)
+		}
+	}
+	e.RunUntil(e.Now() + 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.At(e.Now()+int64(i%8)+1, fn)
+		if i%8 == 7 {
+			e.RunUntil(e.Now() + 16)
 		}
 	}
 }

@@ -2,61 +2,64 @@
 // engine: a virtual clock in integer nanoseconds and a binary-heap event
 // queue with stable tie-breaking. It is the substrate under the machine
 // model in internal/vmm, standing in for the paper's physical testbed.
+//
+// The engine is allocation-free on its steady-state path: fired and
+// canceled events are recycled through a free list, so a long simulation
+// performs no per-Schedule heap allocation once the event population has
+// peaked. Callers hold generation-guarded Handles rather than raw event
+// pointers, so a stale Cancel on an already-recycled event is a no-op
+// instead of silently canceling whatever the slot was reused for.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
 
-// An Event is a callback scheduled to run at a virtual time.
+// initialCapacity pre-grows the event heap and free list so the warm-up
+// phase of a typical machine simulation (one event per core plus I/O
+// timers) never reallocates.
+const initialCapacity = 256
+
+// An Event is a callback scheduled to run at a virtual time. Events are
+// owned and recycled by the Engine; callers interact with them through
+// the Handle returned by At/After and must not retain *Event.
 type Event struct {
 	when int64
 	seq  uint64 // insertion order, for deterministic ties
+	gen  uint64 // incremented on every recycle; guards stale Handles
 	fn   func(now int64)
-	// canceled events stay in the heap but are skipped on pop.
+	// canceled events stay in the heap but are skipped and recycled on
+	// pop.
 	canceled bool
-	index    int
 }
 
-// When returns the virtual time the event is scheduled for.
-func (e *Event) When() int64 { return e.when }
+// A Handle refers to one scheduled occurrence of an event. The zero
+// Handle is inert: Cancel is a no-op and Scheduled reports false.
+// Handles are values; copy them freely.
+type Handle struct {
+	ev   *Event
+	gen  uint64
+	when int64
+}
 
-// Cancel prevents the event from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
+// When returns the virtual time the occurrence was scheduled for. It
+// stays valid after the event fires or is canceled.
+func (h Handle) When() int64 { return h.when }
+
+// Scheduled reports whether the occurrence is still pending: not yet
+// fired, not canceled, and not recycled into a different occurrence.
+func (h Handle) Scheduled() bool {
+	return h.ev != nil && h.ev.gen == h.gen && !h.ev.canceled
+}
+
+// Cancel prevents the occurrence from firing. Canceling an already-fired,
+// already-canceled, or zero handle is a no-op: the generation check
+// guarantees a stale handle can never cancel a recycled event.
+func (h Handle) Cancel() {
+	if h.ev != nil && h.ev.gen == h.gen {
+		h.ev.canceled = true
 	}
-}
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x interface{}) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
 }
 
 // Engine is a discrete-event simulator. The zero value is not usable;
@@ -64,14 +67,19 @@ func (h *eventHeap) Pop() interface{} {
 type Engine struct {
 	now    int64
 	seq    uint64
-	events eventHeap
+	events []*Event // binary min-heap on (when, seq)
+	free   []*Event // recycled events ready for reuse
 	rng    *rand.Rand
 }
 
 // New returns an engine with its clock at zero and a deterministic RNG
 // seeded with seed.
 func New(seed int64) *Engine {
-	return &Engine{rng: rand.New(rand.NewSource(seed))}
+	return &Engine{
+		events: make([]*Event, 0, initialCapacity),
+		free:   make([]*Event, 0, initialCapacity),
+		rng:    rand.New(rand.NewSource(seed)),
+	}
 }
 
 // Now returns the current virtual time in ns.
@@ -83,31 +91,52 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // At schedules fn to run at virtual time when (>= Now) and returns a
 // handle that can cancel it. Scheduling in the past panics: it always
 // indicates a simulation bug.
-func (e *Engine) At(when int64, fn func(now int64)) *Event {
+func (e *Engine) At(when int64, fn func(now int64)) Handle {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: event scheduled at %d, before now %d", when, e.now))
 	}
-	ev := &Event{when: when, seq: e.seq, fn: fn}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &Event{}
+	}
+	ev.when, ev.seq, ev.fn = when, e.seq, fn
 	e.seq++
-	heap.Push(&e.events, ev)
-	return ev
+	e.push(ev)
+	return Handle{ev: ev, gen: ev.gen, when: when}
 }
 
 // After schedules fn to run delay ns from now.
-func (e *Engine) After(delay int64, fn func(now int64)) *Event {
+func (e *Engine) After(delay int64, fn func(now int64)) Handle {
 	return e.At(e.now+delay, fn)
+}
+
+// recycle returns a popped event to the free list. Bumping the
+// generation first invalidates every outstanding Handle to this
+// occurrence; dropping fn releases the closure for the GC.
+func (e *Engine) recycle(ev *Event) {
+	ev.gen++
+	ev.fn = nil
+	ev.canceled = false
+	e.free = append(e.free, ev)
 }
 
 // Step runs the next pending event. It returns false if no events
 // remain.
 func (e *Engine) Step() bool {
 	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*Event)
+		ev := e.pop()
 		if ev.canceled {
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.when
-		ev.fn(e.now)
+		fn := ev.fn
+		e.recycle(ev)
+		fn(e.now)
 		return true
 	}
 	return false
@@ -119,23 +148,28 @@ func (e *Engine) Step() bool {
 // event time.
 func (e *Engine) RunUntil(deadline int64) {
 	for len(e.events) > 0 {
-		// Peek.
 		next := e.events[0]
 		if next.canceled {
-			heap.Pop(&e.events)
+			e.recycle(e.pop())
 			continue
 		}
 		if next.when >= deadline {
 			break
 		}
-		heap.Pop(&e.events)
+		e.pop()
 		e.now = next.when
-		next.fn(e.now)
+		fn := next.fn
+		e.recycle(next)
+		fn(e.now)
 	}
 	if e.now < deadline {
 		e.now = deadline
 	}
 }
+
+// Len returns the total number of queued events, including canceled ones
+// not yet reclaimed. It is O(1); use Pending for the live count.
+func (e *Engine) Len() int { return len(e.events) }
 
 // Pending returns the number of live events in the queue.
 func (e *Engine) Pending() int {
@@ -146,4 +180,64 @@ func (e *Engine) Pending() int {
 		}
 	}
 	return n
+}
+
+// The heap is hand-rolled rather than container/heap so the hot
+// push/pop path inlines and never goes through an interface.
+
+func eventLess(a, b *Event) bool {
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev *Event) {
+	e.events = append(e.events, ev)
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+func (e *Engine) pop() *Event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = nil
+	e.events = h[:n]
+	if n > 0 {
+		e.siftDown(last)
+	}
+	return top
+}
+
+// siftDown places ev (the former last element) starting from the root.
+func (e *Engine) siftDown(ev *Event) {
+	h := e.events
+	n := len(h)
+	i := 0
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if r := c + 1; r < n && eventLess(h[r], h[c]) {
+			c = r
+		}
+		if !eventLess(h[c], ev) {
+			break
+		}
+		h[i] = h[c]
+		i = c
+	}
+	h[i] = ev
 }

@@ -38,7 +38,13 @@ func TestCancel(t *testing.T) {
 	e := New(1)
 	fired := false
 	ev := e.At(10, func(int64) { fired = true })
+	if !ev.Scheduled() {
+		t.Error("fresh handle not Scheduled")
+	}
 	ev.Cancel()
+	if ev.Scheduled() {
+		t.Error("canceled handle still Scheduled")
+	}
 	e.RunUntil(20)
 	if fired {
 		t.Error("canceled event fired")
@@ -47,8 +53,105 @@ func TestCancel(t *testing.T) {
 		t.Errorf("Pending() = %d", e.Pending())
 	}
 	ev.Cancel() // double-cancel is a no-op
-	var nilEv *Event
-	nilEv.Cancel() // nil-cancel is a no-op
+	var zero Handle
+	zero.Cancel() // zero-handle cancel is a no-op
+	if zero.Scheduled() {
+		t.Error("zero handle claims Scheduled")
+	}
+}
+
+func TestHandleWhenSurvivesFiring(t *testing.T) {
+	e := New(1)
+	h := e.At(42, func(int64) {})
+	if h.When() != 42 {
+		t.Errorf("When() = %d", h.When())
+	}
+	e.RunUntil(100)
+	if h.When() != 42 {
+		t.Errorf("When() after firing = %d, want 42", h.When())
+	}
+	if h.Scheduled() {
+		t.Error("fired handle still Scheduled")
+	}
+}
+
+// TestStaleCancelIsNoOp pins the free-list safety property: once an
+// event fires and its slot is recycled into a new occurrence, a Cancel
+// through the old handle must not touch the new occurrence.
+func TestStaleCancelIsNoOp(t *testing.T) {
+	e := New(1)
+	h1 := e.At(10, func(int64) {})
+	e.RunUntil(20) // h1 fires and is recycled
+	fired := false
+	h2 := e.At(30, func(int64) { fired = true })
+	h1.Cancel() // stale: must not cancel h2's occurrence
+	if !h2.Scheduled() {
+		t.Fatal("stale Cancel hit a recycled event")
+	}
+	e.RunUntil(40)
+	if !fired {
+		t.Error("recycled occurrence did not fire")
+	}
+}
+
+// TestCanceledEventIsRecycled verifies canceled events return to the
+// free list when popped and that their stale handles stay inert.
+func TestCanceledEventIsRecycled(t *testing.T) {
+	e := New(1)
+	h := e.At(10, func(int64) { t.Error("canceled event fired") })
+	h.Cancel()
+	e.RunUntil(20)
+	if got := len(e.free); got != 1 {
+		t.Fatalf("free list has %d events, want 1", got)
+	}
+	count := 0
+	h2 := e.At(30, func(int64) { count++ })
+	if len(e.free) != 0 {
+		t.Error("At did not reuse the free list")
+	}
+	h.Cancel() // stale
+	e.RunUntil(40)
+	if count != 1 {
+		t.Errorf("count = %d, want 1 (stale cancel must not stick)", count)
+	}
+	_ = h2
+}
+
+// TestSteadyStateDoesNotGrow runs a churning schedule/fire loop and
+// checks the event population is fully recycled: the free list caps at
+// the peak concurrent event count.
+func TestSteadyStateDoesNotGrow(t *testing.T) {
+	e := New(1)
+	fired := 0
+	for i := 0; i < 10_000; i++ {
+		e.At(e.Now()+int64(i%8)+1, func(int64) { fired++ })
+		if i%8 == 7 {
+			e.RunUntil(e.Now() + 16)
+		}
+	}
+	e.RunUntil(e.Now() + 1000)
+	if fired != 10_000 {
+		t.Fatalf("fired = %d", fired)
+	}
+	if e.Len() != 0 {
+		t.Errorf("Len() = %d after drain", e.Len())
+	}
+	if len(e.free) > 16 {
+		t.Errorf("free list grew to %d; recycling is not bounding the population", len(e.free))
+	}
+}
+
+func TestLenCountsCanceled(t *testing.T) {
+	e := New(1)
+	h := e.At(10, func(int64) {})
+	e.At(20, func(int64) {})
+	h.Cancel()
+	if e.Len() != 2 {
+		t.Errorf("Len() = %d, want 2 (canceled events remain queued)", e.Len())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending() = %d, want 1", e.Pending())
+	}
 }
 
 func TestAfter(t *testing.T) {
@@ -137,5 +240,28 @@ func TestEventsScheduledDuringRun(t *testing.T) {
 		if times[i] != want[i] {
 			t.Fatalf("times = %v", times)
 		}
+	}
+}
+
+// TestHeapStress cross-checks the hand-rolled heap against a large
+// pseudo-random schedule: pops must come out in (when, seq) order.
+func TestHeapStress(t *testing.T) {
+	e := New(7)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		e.At(int64(e.Rand().Intn(1000)), func(int64) {})
+	}
+	lastWhen, lastSeq := int64(-1), uint64(0)
+	popped := 0
+	for len(e.events) > 0 {
+		ev := e.pop()
+		if ev.when < lastWhen || (ev.when == lastWhen && ev.seq <= lastSeq && popped > 0) {
+			t.Fatalf("pop out of order: (%d,%d) after (%d,%d)", ev.when, ev.seq, lastWhen, lastSeq)
+		}
+		lastWhen, lastSeq = ev.when, ev.seq
+		popped++
+	}
+	if popped != n {
+		t.Fatalf("popped %d, want %d", popped, n)
 	}
 }

@@ -23,7 +23,7 @@ type PCPU struct {
 	workStart   int64      // when the current vCPU segment began
 	idleStart   int64      // when the current idle period began
 	deadline    int64      // absolute next scheduler invocation (NoTimer if none)
-	event       *sim.Event // pending completion/preemption/idle event
+	event       sim.Handle // pending completion/preemption/idle event
 	asyncUntil  int64      // end of pending async overhead (wakeup processing)
 	kickPending bool
 	invokeGuard int // invocations at the same timestamp (livelock guard)
@@ -63,6 +63,7 @@ type Machine struct {
 	locks []int64
 
 	started bool
+	stopped bool
 }
 
 // New creates a machine with the given core count, scheduler, and
@@ -149,6 +150,26 @@ func (m *Machine) Run(until int64) {
 // Now returns the current virtual time.
 func (m *Machine) Now() int64 { return m.Eng.Now() }
 
+// Stop tears the machine down: accounting is flushed to the current
+// time and every core's pending event is canceled through its handle,
+// so the engine owns the entire event lifecycle (no ad-hoc draining).
+// Events scheduled by programs or workloads (timed wakes, request
+// arrivals) stay queued; the engine's Len/Pending report what remains.
+// Stop returns the number of live events still pending. The machine
+// must not be Run again after Stop.
+func (m *Machine) Stop() int {
+	m.stopped = true
+	now := m.Eng.Now()
+	for _, cpu := range m.CPUs {
+		m.accountProgress(cpu, now)
+		cpu.event.Cancel()
+		cpu.event = sim.Handle{}
+		cpu.kickPending = false
+		cpu.deadline = NoTimer
+	}
+	return m.Eng.Pending()
+}
+
 // accountProgress charges the time since the core's last accounting
 // point to either its running vCPU or its idle counter, and resets the
 // segment start to now.
@@ -171,7 +192,7 @@ func (m *Machine) accountProgress(cpu *PCPU, now int64) {
 // invoke runs the scheduler on cpu at time now. This is the only place
 // where vCPUs are placed on or removed from cores.
 func (m *Machine) invoke(cpu *PCPU, now int64) {
-	cpu.event = nil
+	cpu.event = sim.Handle{}
 	cpu.kickPending = false
 	if now == cpu.lastInvoke {
 		cpu.invokeGuard++
@@ -293,7 +314,7 @@ func (m *Machine) chargeOp(cpu *PCPU, cost int64, ops *int64, total *int64) int6
 // cpuEvent handles the core's pending event: either the running vCPU's
 // burst completed, or the scheduler deadline arrived.
 func (m *Machine) cpuEvent(cpu *PCPU, now int64) {
-	cpu.event = nil
+	cpu.event = sim.Handle{}
 	m.accountProgress(cpu, now)
 	if cpu.kickPending {
 		// A rescheduling IPI arrived; the scheduler must run now even if
@@ -363,7 +384,7 @@ func (m *Machine) fetchWork(v *VCPU, now int64) bool {
 // logic executes), and the scheduler is notified so it can enqueue v
 // and kick a core.
 func (m *Machine) Wake(v *VCPU) {
-	if v.State != Blocked {
+	if v.State != Blocked || m.stopped {
 		return
 	}
 	now := m.Eng.Now()
@@ -399,7 +420,7 @@ func (m *Machine) chargeAsync(cpu *PCPU, cost int64, now int64) {
 		begin = cpu.asyncUntil
 	}
 	switch {
-	case cpu.Current != nil && cpu.Current.State == Running && cpu.event != nil:
+	case cpu.Current != nil && cpu.Current.State == Running && cpu.event.Scheduled():
 		if cpu.workStart > begin {
 			begin = cpu.workStart
 		}
@@ -424,13 +445,13 @@ func (m *Machine) chargeAsync(cpu *PCPU, cost int64, now int64) {
 // as soon anyway) are dropped.
 func (m *Machine) Kick(cpuID int) {
 	cpu := m.CPUs[cpuID]
-	if cpu.kickPending {
+	if cpu.kickPending || m.stopped {
 		return
 	}
 	now := m.Eng.Now()
 	at := now + m.Ov.IPI
 	cpu.kickPending = true
-	if cpu.event != nil {
+	if cpu.event.Scheduled() {
 		if cpu.event.When() <= at {
 			// The core acts at least as soon anyway; cpuEvent notices
 			// kickPending and invokes the scheduler instead of letting

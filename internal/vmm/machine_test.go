@@ -324,3 +324,38 @@ func TestLockFreeSchedulerNeverQueues(t *testing.T) {
 		t.Errorf("lock-free second op cost = %d, want base", c)
 	}
 }
+
+// TestStopCancelsCoreEvents verifies teardown: Stop flushes accounting,
+// cancels the per-core events through their handles, and reports the
+// live events that remain (program-scheduled wakes). Advancing the
+// engine afterwards must not re-invoke the scheduler.
+func TestStopCancelsCoreEvents(t *testing.T) {
+	m, _ := newRRMachine(t, 2, NoOverheads())
+	v := m.AddVCPU("spin", spinner(), 256, false)
+	// A blocked vCPU with a timed wake far in the future: its wake event
+	// belongs to the program, not the cores, and must survive Stop.
+	m.AddVCPU("sleeper", ProgramFunc(func(m *Machine, vc *VCPU, now int64) Action {
+		return Block(1_000_000_000)
+	}), 256, false)
+	m.Start()
+	m.Run(5_000_000)
+	ranBefore := v.RunTime
+	if ranBefore == 0 {
+		t.Fatal("spinner did not run")
+	}
+	remaining := m.Stop()
+	if remaining != 1 {
+		t.Errorf("Stop() = %d pending events, want 1 (the sleeper's wake)", remaining)
+	}
+	if m.Eng.Len() < remaining {
+		t.Errorf("Eng.Len() = %d below live count %d", m.Eng.Len(), remaining)
+	}
+	// The cores are quiesced: advancing the clock runs no guest work.
+	m.Eng.RunUntil(2_000_000_000)
+	if v.RunTime != ranBefore {
+		t.Errorf("vCPU ran %d ns after Stop", v.RunTime-ranBefore)
+	}
+	if m.Eng.Pending() != 0 {
+		t.Errorf("Pending() = %d after drain", m.Eng.Pending())
+	}
+}
