@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench benchdiff ci
+.PHONY: build vet test race bench benchdiff fuzz ci
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,17 @@ test:
 	$(GO) test ./...
 
 # The packages where concurrency now exists (the experiments worker
-# pool, the shared planner cache) or whose invariants the pool leans on.
+# pool, the shared planner cache, the dispatcher's lock-free switch
+# board, the retrying planner client) or whose invariants those lean on.
 race:
-	$(GO) test -race ./internal/experiments ./internal/sim ./internal/planner
+	$(GO) test -race ./internal/experiments ./internal/sim ./internal/planner \
+		./internal/dispatch ./internal/faults ./internal/plannersvc ./internal/vmm
+
+# Short fuzz smoke over the untrusted-input surface (the binary table
+# decoder). The corpus is seeded from round-tripped planner output; a
+# long local run is `go test ./internal/table -fuzz FuzzTableDecode`.
+fuzz:
+	$(GO) test ./internal/table -run '^$$' -fuzz '^FuzzTableDecode$$' -fuzztime 10s
 
 # Full micro-benchmark pass over the hot-path packages.
 bench:
@@ -32,4 +40,4 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -count 1 -tolerance 40 -gate \
 		-out /tmp/tableau-benchdiff -against $$(ls BENCH_*.json | tail -1)
 
-ci: vet build test race benchdiff
+ci: vet build test race fuzz benchdiff

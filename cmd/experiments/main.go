@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation] [-csv dir] [-parallel N]
+//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation|chaos] [-csv dir] [-parallel N]
 //
 // Quick mode (default) finishes in a few minutes on a laptop; full mode
 // approaches the paper's measurement volumes. The evaluation grid is a
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	modeFlag := flag.String("mode", "quick", "experiment scale: quick or full")
-	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation)")
+	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation, chaos)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
 	parallel := flag.Int("parallel", 0, "worker count for independent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	flag.Parse()
@@ -118,6 +118,13 @@ func main() {
 	}
 	if selected("ablation") {
 		results = append(results, experiments.AblationResult())
+	}
+	if selected("chaos") {
+		r, err := experiments.Chaos(mode)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
 	}
 
 	if len(results) == 0 {

@@ -14,14 +14,25 @@
 //	          "latency_goal_ns": 20000000, "capped": true}, ...]}
 //
 // The response carries the planning metadata and the scheduling table
-// in the dispatcher's binary format (base64). GET /healthz answers ok.
+// in the dispatcher's binary format (base64). GET /healthz answers a
+// JSON readiness document with cache counters and uptime.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
+// closes immediately and in-flight planning requests get a drain
+// window before the process exits.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"tableau/internal/plannersvc"
 )
@@ -29,9 +40,42 @@ import (
 func main() {
 	listen := flag.String("listen", ":7077", "address to listen on")
 	cacheSize := flag.Int("cache", 256, "central table-cache capacity")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	flag.Parse()
 
-	srv := plannersvc.NewServer(*cacheSize)
-	fmt.Printf("tableau-pland listening on %s (cache capacity %d)\n", *listen, *cacheSize)
-	log.Fatal(http.ListenAndServe(*listen, srv.Handler()))
+	svc := plannersvc.NewServer(*cacheSize)
+	// Slow-client protection: a peer that dribbles headers or never
+	// reads the response must not pin a connection forever. Planning
+	// itself is CPU-bound and fast, so tight bounds are safe.
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Printf("tableau-pland listening on %s (cache capacity %d)\n", *listen, *cacheSize)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Println("tableau-pland: shutting down, draining in-flight requests")
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("tableau-pland: shutdown: %v", err)
+		os.Exit(1)
+	}
 }

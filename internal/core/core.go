@@ -48,6 +48,11 @@ type System struct {
 	slots        []slot
 	generation   uint64
 
+	// failed marks fail-stopped physical cores: Plan places the
+	// population on the survivors only, leaving the dead cores' table
+	// entries empty (see MarkCoreFailed / EmergencyReplan).
+	failed []bool
+
 	// RotateSplits advances the planner's split rotation on every Plan,
 	// so that when the population forces C=D splitting, the migration
 	// penalty is taken in turns instead of pinned to one vCPU (the
@@ -65,11 +70,45 @@ type System struct {
 // NewSystem creates a system with the given number of guest cores.
 func NewSystem(cores int, popts planner.Options, dopts dispatch.Options) *System {
 	popts.Cores = cores
-	return &System{cores: cores, plannerOpts: popts, dispatchOpts: dopts}
+	return &System{cores: cores, plannerOpts: popts, dispatchOpts: dopts, failed: make([]bool, cores)}
 }
 
 // Cores returns the number of guest cores.
 func (s *System) Cores() int { return s.cores }
+
+// MarkCoreFailed records the fail-stop of a physical core. Subsequent
+// Plans place the population on the surviving cores only; the dead
+// core's table entry stays empty so tables keep one CoreTable per
+// physical core and vCPU HomeCores keep referring to physical ids.
+func (s *System) MarkCoreFailed(core int) error {
+	if core < 0 || core >= s.cores {
+		return fmt.Errorf("core: no core %d", core)
+	}
+	s.failed[core] = true
+	return nil
+}
+
+// FailedCores returns the fail-stopped cores in id order.
+func (s *System) FailedCores() []int {
+	var out []int
+	for c, f := range s.failed {
+		if f {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// onlineCores returns the live physical core ids in order.
+func (s *System) onlineCores() []int {
+	out := make([]int, 0, s.cores)
+	for c := 0; c < s.cores; c++ {
+		if !s.failed[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
 
 // AddVM registers a VM slot (initially active) and returns its id.
 // Slots must all be registered before the first Plan when the system
@@ -168,6 +207,14 @@ func (s *System) Plan() (*table.Table, *planner.Result, error) {
 	if s.RotateSplits {
 		opts.SplitRotation = int(s.generation)
 	}
+	online := s.onlineCores()
+	if len(online) == 0 {
+		return nil, nil, fmt.Errorf("core: every core has failed")
+	}
+	// Plan onto the survivors; the planner's admission check is the
+	// gate that decides whether a degraded host can still carry the
+	// reserved utilization.
+	opts.Cores = len(online)
 	res, err := s.plan(specs, opts)
 	if err != nil {
 		return nil, nil, err
@@ -204,9 +251,16 @@ func (s *System) plan(specs []planner.VCPUSpec, opts planner.Options) (*planner.
 	return &res, nil
 }
 
-// remap rewrites a planner table (vCPU ids = active-spec order) into
-// the slot-id universe, adding empty entries for inactive slots.
+// remap rewrites a planner table (vCPU ids = active-spec order, core
+// ids = logical survivor order) into the slot-id and physical-core
+// universe: empty entries for inactive slots, and — when cores have
+// failed — logical planner cores renumbered onto the live physical
+// ids, with empty CoreTables holding the dead cores' positions.
 func (s *System) remap(in *table.Table, specSlot []int) (*table.Table, error) {
+	online := s.onlineCores()
+	if len(in.Cores) > len(online) {
+		return nil, fmt.Errorf("core: planner produced %d core tables for %d online cores", len(in.Cores), len(online))
+	}
 	out := &table.Table{Len: in.Len}
 	out.VCPUs = make([]table.VCPUInfo, len(s.slots))
 	for id, sl := range s.slots {
@@ -220,19 +274,25 @@ func (s *System) remap(in *table.Table, specSlot []int) (*table.Table, error) {
 		vi := in.VCPUs[specIdx]
 		out.VCPUs[slotID].Capped = vi.Capped
 		out.VCPUs[slotID].HomeCore = vi.HomeCore
+		if vi.HomeCore >= 0 && vi.HomeCore < len(online) {
+			out.VCPUs[slotID].HomeCore = online[vi.HomeCore]
+		}
 		out.VCPUs[slotID].Split = vi.Split
 		out.VCPUs[slotID].UtilizationPPM = vi.UtilizationPPM
 		out.VCPUs[slotID].LatencyGoal = vi.LatencyGoal
 	}
-	out.Cores = make([]table.CoreTable, len(in.Cores))
+	out.Cores = make([]table.CoreTable, s.cores)
+	for c := range out.Cores {
+		out.Cores[c].Core = c
+	}
 	for c := range in.Cores {
-		out.Cores[c].Core = in.Cores[c].Core
+		phys := online[in.Cores[c].Core]
 		for _, a := range in.Cores[c].Allocs {
 			v := a.VCPU
 			if v != table.Idle {
 				v = specSlot[v]
 			}
-			out.Cores[c].Allocs = append(out.Cores[c].Allocs, table.Alloc{Start: a.Start, End: a.End, VCPU: v})
+			out.Cores[phys].Allocs = append(out.Cores[phys].Allocs, table.Alloc{Start: a.Start, End: a.End, VCPU: v})
 		}
 	}
 	if err := out.Validate(); err != nil {
@@ -267,4 +327,19 @@ func (s *System) Push(d *dispatch.Dispatcher) (*planner.Result, error) {
 		return nil, err
 	}
 	return res, nil
+}
+
+// EmergencyReplan is the control plane's fail-stop reaction: mark the
+// core failed, replan the whole population onto the survivors, and
+// stage the recovery table on the live dispatcher. The planner's
+// admission check gates the recovery — if the surviving cores cannot
+// carry the reserved utilization, the error is returned and the
+// dispatcher stays in best-effort degraded mode (the core remains
+// marked failed either way, so a later retry plans on the same
+// surviving set).
+func (s *System) EmergencyReplan(d *dispatch.Dispatcher, core int) (*planner.Result, error) {
+	if err := s.MarkCoreFailed(core); err != nil {
+		return nil, err
+	}
+	return s.Push(d)
 }

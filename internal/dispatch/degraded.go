@@ -1,0 +1,152 @@
+package dispatch
+
+import "tableau/internal/table"
+
+// Degraded mode: what the dispatcher does between a pCPU fail-stop and
+// the arrival of a recovery table.
+//
+// A fail-stopped core takes its table slices with it: every reservation
+// on that core is unenforceable, and its second-level members lose
+// their home. Rather than strand those vCPUs until the planner reacts,
+// the dispatcher folds them into the surviving cores' second-level
+// fair-share schedulers — they run in the survivors' idle gaps,
+// best-effort, with their table guarantees explicitly void. The control
+// plane (core.System.EmergencyReplan) is expected to follow up with an
+// admission-checked replan onto the surviving cores; when that table is
+// adopted, rebuildMembership clears all emergency grants and normal
+// guarantee-backed operation resumes.
+
+// OnCoreFail implements vmm.CoreFailureObserver: fold the dead core's
+// work onto the survivors.
+func (d *Dispatcher) OnCoreFail(core int, now int64) {
+	if core < 0 || core >= len(d.failed) || d.failed[core] {
+		return
+	}
+	d.failed[core] = true
+	d.stats.CoreFailures++
+	cs := &d.cores[core]
+	cs.l2Running = -1
+	// The dead core's second-level members lose their home; dropping
+	// them here lets remapStranded treat them like any other vCPU with
+	// no live path to a CPU.
+	for _, vid := range append([]int(nil), cs.l2List...) {
+		d.dropMember(core, vid)
+	}
+	// Clear cross-core protocol state referring to the dead core: it
+	// will never deschedule anything again (its current vCPU was already
+	// descheduled by the machine before this call) and must not be the
+	// target of deferred IPIs.
+	for vid := range d.owner {
+		if d.owner[vid] == core {
+			d.owner[vid] = -1
+		}
+		if d.ipiWanted[vid] == core {
+			d.ipiWanted[vid] = -1
+		}
+	}
+	d.remapStranded(d.active)
+	// Kick every survivor so the new membership takes effect on their
+	// next decision rather than at their next natural boundary.
+	for c := range d.cores {
+		if !d.failed[c] {
+			d.m.Kick(c)
+		}
+	}
+}
+
+// remapStranded grants emergency second-level membership to every vCPU
+// that tbl reserves time for but that, after the fail-stops so far, has
+// neither a reservation on a live core nor a second-level home. The
+// stranded vCPUs are spread round-robin over the surviving cores.
+// vCPUs with no reservations at all (inactive slots) are never swept
+// in, and split vCPUs that keep a live reservation are left to the
+// trailing-core policy.
+func (d *Dispatcher) remapStranded(tbl *table.Table) {
+	online := make([]int, 0, len(d.cores))
+	for c := range d.cores {
+		if !d.failed[c] {
+			online = append(online, c)
+		}
+	}
+	if len(online) == 0 || len(online) == len(d.cores) {
+		return
+	}
+	anyRes := make([]bool, len(tbl.VCPUs))
+	liveRes := make([]bool, len(tbl.VCPUs))
+	for _, ct := range tbl.Cores {
+		dead := ct.Core >= 0 && ct.Core < len(d.failed) && d.failed[ct.Core]
+		for _, a := range ct.Allocs {
+			if a.VCPU == table.Idle {
+				continue
+			}
+			anyRes[a.VCPU] = true
+			if !dead {
+				liveRes[a.VCPU] = true
+			}
+		}
+	}
+	member := make([]bool, len(tbl.VCPUs))
+	for _, c := range online {
+		for _, vid := range d.cores[c].l2List {
+			member[vid] = true
+		}
+	}
+	rr := 0
+	for vid := range tbl.VCPUs {
+		if !anyRes[vid] || liveRes[vid] || member[vid] {
+			continue
+		}
+		home := online[rr%len(online)]
+		d.addMember(home, vid)
+		rr++
+		d.emergency[vid] = true
+		d.stats.RemappedVCPUs++
+		// A member joining mid-epoch with zero budget would wait out the
+		// incumbents' residual budgets (up to a full epoch) before its
+		// first dispatch; start it level with the richest member so it
+		// competes immediately.
+		cs := &d.cores[home]
+		var best int64
+		for _, id := range cs.l2List {
+			if b := cs.l2Budget[id]; b > best {
+				best = b
+			}
+		}
+		cs.l2Budget[vid] = best
+	}
+}
+
+// firstOnline returns the lowest-numbered live core, or -1.
+func (d *Dispatcher) firstOnline() int {
+	for c := range d.cores {
+		if !d.failed[c] {
+			return c
+		}
+	}
+	return -1
+}
+
+// Degraded reports whether any core has fail-stopped.
+func (d *Dispatcher) Degraded() bool {
+	for _, f := range d.failed {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// FailedCoreIDs returns the fail-stopped cores in id order.
+func (d *Dispatcher) FailedCoreIDs() []int {
+	var out []int
+	for c, f := range d.failed {
+		if f {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ActiveTable returns the table new cores adopt — after a recovery
+// push has been fully adopted, this is the recovery table.
+func (d *Dispatcher) ActiveTable() *table.Table { return d.active }

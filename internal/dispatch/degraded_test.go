@@ -1,0 +1,370 @@
+package dispatch_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tableau/internal/core"
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+	"tableau/internal/sim"
+	"tableau/internal/table"
+	"tableau/internal/traceutil"
+	"tableau/internal/vmm"
+)
+
+func spin() vmm.Program {
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		return vmm.Compute(1_000_000)
+	})
+}
+
+// burstIdle computes c then blocks for b, forever: the blocking phases
+// forfeit reserved time to the second level.
+func burstIdle(c, b int64) vmm.Program {
+	phase := make(map[*vmm.VCPU]*int)
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		st := phase[v]
+		if st == nil {
+			st = new(int)
+			phase[v] = st
+		}
+		*st++
+		if *st%2 == 1 {
+			return vmm.Compute(c)
+		}
+		return vmm.Block(b)
+	})
+}
+
+// TestFailStopRemapsToSurvivors pins the degraded-mode mechanics at the
+// dispatcher level: when a core fail-stops, a capped vCPU reserved only
+// there becomes an emergency second-level member of a survivor and
+// keeps receiving best-effort CPU time.
+func TestFailStopRemapsToSurvivors(t *testing.T) {
+	tbl := mkTable(t, 100_000, []table.VCPUInfo{
+		{Name: "capped", Capped: true, HomeCore: -1},
+		{Name: "uncapped", HomeCore: 0},
+	}, [][]table.Alloc{
+		{mkAlloc(0, 50_000, 1)},
+		{mkAlloc(0, 100_000, 0)},
+	})
+	d := dispatch.New(tbl, dispatch.Options{})
+	m := vmm.New(sim.New(1), 2, d, vmm.NoOverheads())
+	m.AddVCPU("capped", spin(), 256, true)
+	m.AddVCPU("uncapped", spin(), 256, false)
+	m.Start()
+	m.Run(300_000)
+	cappedBefore := m.VCPUs[0].RunTime
+	m.FailCore(1)
+	if !d.Degraded() {
+		t.Fatal("dispatcher not degraded after FailCore")
+	}
+	if fc := d.FailedCoreIDs(); len(fc) != 1 || fc[0] != 1 {
+		t.Fatalf("FailedCoreIDs = %v, want [1]", fc)
+	}
+	m.Run(1_000_000)
+	st := d.Stats()
+	if st.CoreFailures != 1 {
+		t.Errorf("CoreFailures = %d, want 1", st.CoreFailures)
+	}
+	if st.RemappedVCPUs != 1 {
+		t.Errorf("RemappedVCPUs = %d, want 1", st.RemappedVCPUs)
+	}
+	if st.PerVCPUSecond[0] == 0 {
+		t.Error("capped vCPU got no second-level dispatches in degraded mode")
+	}
+	if got := m.VCPUs[0].RunTime; got <= cappedBefore {
+		t.Errorf("capped vCPU made no progress after its core died: %d -> %d", cappedBefore, got)
+	}
+}
+
+// TestEmergencyReplanRestoresGuarantees is the end-to-end recovery
+// path: a core fail-stops under a live population, the control plane
+// replans onto the survivors, the dispatcher adopts the recovery table
+// at a safe boundary, and the planner-checked guarantees hold again.
+// The test also quantifies the degraded-window blackout of the VM that
+// lost its core.
+func TestEmergencyReplanRestoresGuarantees(t *testing.T) {
+	const cores = 3
+	sys := core.NewSystem(cores, planner.Options{}, dispatch.Options{})
+	u := planner.Util{Num: 1, Den: 4}
+	capID, err := sys.AddVM(core.VMConfig{Name: "cap0", Util: u, LatencyGoal: 20_000_000, Capped: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cap1", "u0", "u1", "u2", "u3"} {
+		if _, err := sys.AddVM(core.VMConfig{Name: name, Util: u, LatencyGoal: 20_000_000, Capped: name[0] == 'c'}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, res0, err := sys.BuildDispatcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := traceutil.NewRecorder(d)
+	m := vmm.New(sim.New(7), cores, rec, vmm.NoOverheads())
+	for i := 0; i < sys.NumSlots(); i++ {
+		m.AddVCPU(sys.Config(i).Name, spin(), 256, sys.Config(i).Capped)
+	}
+	m.Start()
+
+	// Fail the core holding cap0's reservation, mid-cycle.
+	fc := -1
+	for _, ct := range res0.Table.Cores {
+		for _, a := range ct.Allocs {
+			if a.VCPU == capID {
+				fc = ct.Core
+			}
+		}
+	}
+	if fc < 0 {
+		t.Fatalf("cap0 has no reservation in %+v", res0.Table)
+	}
+	failAt := 3*res0.Table.Len + res0.Table.Len/3
+	m.Run(failAt)
+	secondBefore := d.Stats().PerVCPUSecond[capID]
+	m.FailCore(fc)
+
+	res2, err := sys.EmergencyReplan(d, fc)
+	if err != nil {
+		t.Fatalf("emergency replan rejected: %v", err)
+	}
+	if err := res2.Table.Check(res2.Guarantees); err != nil {
+		t.Fatalf("recovery table violates its own guarantees: %v", err)
+	}
+	if len(res2.Table.Cores) != cores {
+		t.Fatalf("recovery table has %d core entries, want %d", len(res2.Table.Cores), cores)
+	}
+	if n := len(res2.Table.Cores[fc].Allocs); n != 0 {
+		t.Fatalf("recovery table still reserves %d allocs on failed core %d", n, fc)
+	}
+	for id, vi := range res2.Table.VCPUs {
+		if vi.HomeCore == fc {
+			t.Errorf("vCPU %d homed on failed core %d", id, fc)
+		}
+	}
+
+	// Run until every surviving core adopts the recovery table.
+	deadline := failAt
+	step := res0.Table.Len
+	if res2.Table.Len > step {
+		step = res2.Table.Len
+	}
+	for i := 0; i < 12 && d.ActiveTable() != res2.Table; i++ {
+		deadline += step
+		m.Run(deadline)
+	}
+	if d.ActiveTable() != res2.Table {
+		t.Fatal("recovery table never fully adopted")
+	}
+	recoverT := m.Eng.Now()
+
+	// During the degraded window cap0 could only run via emergency
+	// second-level membership — a path capped vCPUs never take in
+	// normal operation.
+	st := d.Stats()
+	if st.CoreFailures != 1 {
+		t.Errorf("CoreFailures = %d, want 1", st.CoreFailures)
+	}
+	if st.RemappedVCPUs == 0 {
+		t.Error("no vCPU remapped despite losing a reserved core")
+	}
+	if st.PerVCPUSecond[capID] == secondBefore {
+		t.Error("cap0 received no emergency second-level service while degraded")
+	}
+
+	// Post-switch: guarantees hold on the wire, not just on paper. Skip
+	// one cycle of settling, then demand every dispatch gap of cap0 to
+	// stay within its blackout guarantee (+ one allocation length,
+	// since gaps are measured dispatch-to-dispatch).
+	postFrom := recoverT + res2.Table.Len
+	postTo := postFrom + 5*res2.Table.Len
+	m.Run(postTo)
+
+	var g *table.Guarantee
+	for i := range res2.Guarantees {
+		if res2.Guarantees[i].VCPU == capID {
+			g = &res2.Guarantees[i]
+		}
+	}
+	if g == nil {
+		t.Fatal("no guarantee for cap0 in recovery result")
+	}
+	var maxAlloc int64
+	for _, a := range res2.Table.VCPUSlots(capID) {
+		if l := a.Len(); l > maxAlloc {
+			maxAlloc = l
+		}
+	}
+	degradedGap := maxDispatchGap(rec.Events(), capID, failAt, recoverT)
+	postGap := maxDispatchGap(rec.Events(), capID, postFrom, postTo)
+	t.Logf("cap0 blackout: degraded window %d ns over [%d,%d), post-recovery %d ns (guarantee %d)",
+		degradedGap, failAt, recoverT, postGap, g.MaxBlackout)
+	if postGap > g.MaxBlackout+maxAlloc {
+		t.Errorf("post-recovery dispatch gap %d exceeds guarantee %d (+%d slack)", postGap, g.MaxBlackout, maxAlloc)
+	}
+}
+
+// maxDispatchGap returns the longest interval within [from, to] during
+// which vid was never dispatched.
+func maxDispatchGap(evs []traceutil.DispatchEvent, vid int, from, to int64) int64 {
+	prev := from
+	var max int64
+	for _, e := range evs {
+		if e.VCPU != vid || e.Time < from || e.Time > to {
+			continue
+		}
+		if gap := e.Time - prev; gap > max {
+			max = gap
+		}
+		prev = e.Time
+	}
+	if gap := to - prev; gap > max {
+		max = gap
+	}
+	return max
+}
+
+// TestEmergencyReplanAdmissionControl: when the survivors cannot carry
+// the reserved utilization, the replan is rejected and the system stays
+// in best-effort degraded mode instead of installing an over-committed
+// table.
+func TestEmergencyReplanAdmissionControl(t *testing.T) {
+	sys := core.NewSystem(2, planner.Options{}, dispatch.Options{})
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := sys.AddVM(core.VMConfig{Name: name, Util: planner.Util{Num: 1, Den: 2}, LatencyGoal: 20_000_000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d, res0, err := sys.BuildDispatcher()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Workloads that block part-time: the surviving core's forfeited
+	// intervals are the only CPU time degraded mode can hand out.
+	m := vmm.New(sim.New(9), 2, d, vmm.NoOverheads())
+	for i := 0; i < sys.NumSlots(); i++ {
+		m.AddVCPU(sys.Config(i).Name, burstIdle(400_000, 400_000), 256, false)
+	}
+	m.Start()
+	m.Run(3 * res0.Table.Len)
+	m.FailCore(1)
+	if _, err := sys.EmergencyReplan(d, 1); err == nil {
+		t.Fatal("over-committed emergency replan admitted")
+	}
+	if !d.Degraded() {
+		t.Fatal("dispatcher left degraded mode despite rejected replan")
+	}
+	if fc := sys.FailedCores(); len(fc) != 1 || fc[0] != 1 {
+		t.Fatalf("FailedCores = %v, want [1]", fc)
+	}
+	// Best effort continues: everyone keeps making progress on the
+	// surviving core.
+	var before []int64
+	for _, v := range m.VCPUs {
+		before = append(before, v.RunTime)
+	}
+	m.Run(m.Eng.Now() + 5*res0.Table.Len)
+	for i, v := range m.VCPUs {
+		if v.RunTime <= before[i] {
+			t.Errorf("vCPU %d made no progress in degraded mode", i)
+		}
+	}
+}
+
+// TestSwitchBoardMarkFailed covers the adoption quorum with dead
+// cores: a pending switch completes when the failed core is adopted on
+// its behalf, and a core already marked failed never blocks a later
+// push.
+func TestSwitchBoardMarkFailed(t *testing.T) {
+	tblA := mkTable(t, 1_000_000, []table.VCPUInfo{{Name: "v"}}, [][]table.Alloc{
+		{mkAlloc(0, 500_000, 0)}, {}, {},
+	})
+	tblB := mkTable(t, 1_000_000, []table.VCPUInfo{{Name: "v"}}, [][]table.Alloc{
+		{}, {mkAlloc(0, 500_000, 0)}, {},
+	})
+
+	// Failure while a switch is pending.
+	sb := dispatch.NewSwitchBoard(3, tblA)
+	at, err := sb.Push(tblB, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := at * tblA.Len
+	sb.TableFor(0, after)
+	sb.TableFor(1, after)
+	if !sb.Pending() {
+		t.Fatal("switch completed without core 2")
+	}
+	sb.MarkFailed(2)
+	if sb.Pending() {
+		t.Fatal("switch still pending after MarkFailed adopted on behalf")
+	}
+	if sb.TableFor(2, after) != tblB {
+		t.Fatal("failed core's slot not moved to the staged table")
+	}
+	if !sb.Failed(2) {
+		t.Fatal("Failed(2) = false")
+	}
+
+	// Failure before the push: Push pre-adopts for the dead core.
+	sb2 := dispatch.NewSwitchBoard(3, tblA)
+	sb2.MarkFailed(1)
+	at2, err := sb2.Push(tblB, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after2 := at2 * tblA.Len
+	sb2.TableFor(0, after2)
+	sb2.TableFor(2, after2)
+	if sb2.Pending() {
+		t.Fatal("switch pending although only live cores were missing")
+	}
+}
+
+// TestSwitchBoardMarkFailedConcurrent exercises MarkFailed while other
+// cores hammer TableFor, for the race detector.
+func TestSwitchBoardMarkFailedConcurrent(t *testing.T) {
+	tblA := mkTable(t, 1_000_000, []table.VCPUInfo{{Name: "v"}}, [][]table.Alloc{
+		{mkAlloc(0, 500_000, 0)}, {}, {}, {},
+	})
+	tblB := mkTable(t, 1_000_000, []table.VCPUInfo{{Name: "v"}}, [][]table.Alloc{
+		{}, {mkAlloc(0, 500_000, 0)}, {}, {},
+	})
+	sb := dispatch.NewSwitchBoard(4, tblA)
+	var now atomic.Int64
+	now.Store(100_000)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for !stop.Load() {
+				sb.TableFor(c, now.Load())
+			}
+		}(c)
+	}
+	if _, err := sb.Push(tblB, now.Load()); err != nil {
+		t.Error(err)
+	}
+	now.Store(5_000_000) // well past any activation boundary
+	sb.MarkFailed(3)
+	for deadline := time.Now().Add(5 * time.Second); sb.Pending() && time.Now().Before(deadline); {
+		runtime.Gosched()
+	}
+	stop.Store(true)
+	wg.Wait()
+	if sb.Pending() {
+		t.Fatal("switch never completed with a failed core")
+	}
+	for c := 0; c < 4; c++ {
+		if sb.TableFor(c, now.Load()) != tblB {
+			t.Errorf("core %d not on the new table", c)
+		}
+	}
+}

@@ -51,6 +51,11 @@ type Stats struct {
 	// DeferredIPIs counts cross-core handoffs resolved through the
 	// descheduling-IPI protocol.
 	DeferredIPIs int64
+	// CoreFailures counts fail-stops observed via OnCoreFail.
+	CoreFailures int64
+	// RemappedVCPUs counts vCPUs moved to a surviving core's second
+	// level by degraded-mode remapping.
+	RemappedVCPUs int64
 	// PerVCPUTable / PerVCPUSecond count dispatches per vCPU id.
 	PerVCPUTable  []int64
 	PerVCPUSecond []int64
@@ -92,6 +97,13 @@ type Dispatcher struct {
 	// "current allocation" field, Sec. 6).
 	wakeIdx [][]wakeSpan
 
+	// failed[c] marks core c fail-stopped; emergency[v] marks a vCPU
+	// whose second-level membership was granted by degraded-mode
+	// remapping (its table guarantees are void until a replan). See
+	// degraded.go.
+	failed    []bool
+	emergency []bool
+
 	stats Stats
 }
 
@@ -121,6 +133,8 @@ func (d *Dispatcher) Attach(m *vmm.Machine) {
 		panic(fmt.Sprintf("dispatch: table has %d vCPUs, machine has %d", len(d.active.VCPUs), len(m.VCPUs)))
 	}
 	d.cores = make([]coreState, len(m.CPUs))
+	d.failed = make([]bool, len(m.CPUs))
+	d.emergency = make([]bool, len(m.VCPUs))
 	d.owner = make([]int, len(m.VCPUs))
 	d.ipiWanted = make([]int, len(m.VCPUs))
 	for i := range d.owner {
@@ -173,12 +187,26 @@ func (d *Dispatcher) rebuildMembership(tbl *table.Table) {
 		}
 		cs.l2List = cs.l2List[:0]
 	}
+	// A fresh membership supersedes any degraded-mode remapping; the
+	// remap below re-grants emergency status where still needed.
+	for i := range d.emergency {
+		d.emergency[i] = false
+	}
 	for id, vi := range tbl.VCPUs {
 		if vi.Capped || vi.HomeCore < 0 || vi.HomeCore >= len(d.cores) {
 			continue
 		}
-		d.addMember(vi.HomeCore, id)
+		home := vi.HomeCore
+		if d.failed[home] {
+			// The table predates the failure: reroute to a survivor.
+			home = d.firstOnline()
+			if home < 0 {
+				continue
+			}
+		}
+		d.addMember(home, id)
 	}
+	d.remapStranded(tbl)
 }
 
 // addMember and dropMember maintain a core's second-level set.
@@ -237,10 +265,15 @@ func (d *Dispatcher) tableFor(c int, now int64) *table.Table {
 			// This core crosses into the new generation.
 			cs.tbl = d.next
 			d.stats.TableSwitches++
-			// Once every core has adopted it, promote (garbage-collect
-			// the old table, "two rounds after upload").
+			// Once every live core has adopted it, promote (garbage-
+			// collect the old table, "two rounds after upload"). Failed
+			// cores never invoke the dispatcher again, so they are
+			// excluded from the adoption quorum.
 			all := true
 			for i := range d.cores {
+				if d.failed[i] {
+					continue
+				}
 				if d.cores[i].tbl != d.next {
 					all = false
 					break
@@ -264,6 +297,12 @@ func (d *Dispatcher) tableFor(c int, now int64) *table.Table {
 // PickNext implements vmm.Scheduler: the Tableau hot path.
 func (d *Dispatcher) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
 	c := cpu.ID
+	if d.failed[c] {
+		// The machine stops invoking failed cores; this guards wrapped
+		// or replayed invocations racing the failure instant.
+		d.stats.IdleDecisions++
+		return vmm.Decision{Until: vmm.NoTimer}
+	}
 	cs := &d.cores[c]
 	tbl := d.tableFor(c, now)
 
@@ -435,17 +474,25 @@ func (d *Dispatcher) OnWake(v *vmm.VCPU, now int64) {
 	if spans := d.wakeIdx[v.ID]; len(spans) > 0 {
 		i := sort.Search(len(spans), func(k int) bool { return spans[k].start > pos }) - 1
 		if i >= 0 && pos < spans[i].end {
-			d.m.Kick(int(spans[i].core))
-			return
+			if c := int(spans[i].core); !d.failed[c] {
+				d.m.Kick(c)
+				return
+			}
+			// The reservation's core is dead: fall through to the
+			// second-level path (degraded mode, best effort).
 		}
 	}
 	// Otherwise, if it participates in second-level scheduling and its
 	// core is idle, kick it; capped vCPUs' wakeups can be safely
-	// ignored — their next reservation will find them runnable.
-	if tbl.VCPUs[v.ID].Capped {
+	// ignored — their next reservation will find them runnable — unless
+	// degraded-mode remapping made the second level their only path.
+	if tbl.VCPUs[v.ID].Capped && !d.emergency[v.ID] {
 		return
 	}
 	for c := range d.cores {
+		if d.failed[c] {
+			continue
+		}
 		if d.cores[c].l2Member[v.ID] {
 			if d.m.CPUs[c].Current == nil {
 				d.m.Kick(c)

@@ -28,6 +28,11 @@ type SwitchBoard struct {
 	adopted  atomic.Int32 // cores that moved to the staged generation
 
 	activeLen atomic.Int64 // length of the currently active table
+
+	// failed marks fail-stopped cores: they never call TableFor again,
+	// so MarkFailed and Push adopt staged tables on their behalf to keep
+	// the adoption quorum (== all cores) reachable.
+	failed []atomic.Bool
 }
 
 // ErrSwitchPending is returned by Push while a previous switch has not
@@ -37,7 +42,10 @@ var ErrSwitchPending = errors.New("dispatch: a table switch is already pending")
 // NewSwitchBoard creates a switch board for ncores cores, all initially
 // enacting tbl.
 func NewSwitchBoard(ncores int, tbl *table.Table) *SwitchBoard {
-	s := &SwitchBoard{coreTables: make([]atomic.Pointer[table.Table], ncores)}
+	s := &SwitchBoard{
+		coreTables: make([]atomic.Pointer[table.Table], ncores),
+		failed:     make([]atomic.Bool, ncores),
+	}
 	for i := range s.coreTables {
 		s.coreTables[i].Store(tbl)
 	}
@@ -68,7 +76,42 @@ func (s *SwitchBoard) Push(tbl *table.Table, now int64) (int64, error) {
 	// so storing staged first suffices.
 	s.staged.Store(tbl)
 	s.activate.Store(at)
+	// Fail-stopped cores will never cross the activation boundary
+	// themselves; adopt on their behalf so the quorum stays reachable.
+	for c := range s.coreTables {
+		if s.failed[c].Load() && s.coreTables[c].Load() != tbl {
+			s.adoptOnBehalf(c, tbl)
+		}
+	}
 	return at, nil
+}
+
+// MarkFailed records the fail-stop of core. If a switch is pending and
+// the dead core has not adopted the staged table, the board adopts on
+// its behalf so the switch can still complete. Control-plane calls
+// (Push, MarkFailed) must be serialized by the caller — they come from
+// the single planning daemon — while TableFor stays safe to call
+// concurrently from every core.
+func (s *SwitchBoard) MarkFailed(core int) {
+	if s.failed[core].Swap(true) {
+		return
+	}
+	if staged := s.staged.Load(); staged != nil && s.coreTables[core].Load() != staged {
+		s.adoptOnBehalf(core, staged)
+	}
+}
+
+// Failed reports whether core has been marked fail-stopped.
+func (s *SwitchBoard) Failed(core int) bool { return s.failed[core].Load() }
+
+// adoptOnBehalf performs the adoption step for a core that cannot do it
+// itself; the caller guarantees the core has not adopted staged yet.
+func (s *SwitchBoard) adoptOnBehalf(core int, staged *table.Table) {
+	s.coreTables[core].Store(staged)
+	if int(s.adopted.Add(1)) == len(s.coreTables) {
+		s.activeLen.Store(staged.Len)
+		s.staged.Store(nil)
+	}
 }
 
 // TableFor returns the table core should enact at time now. It is the

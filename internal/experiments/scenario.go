@@ -66,6 +66,12 @@ type ScenarioConfig struct {
 	GuestCores int
 	// VMsPerCore is the consolidation density. Default 4.
 	VMsPerCore int
+	// Population overrides the VM count (default GuestCores*VMsPerCore).
+	// Each VM keeps the 1/VMsPerCore fair share, so a smaller population
+	// leaves reserved-utilization slack — the chaos experiment uses
+	// (GuestCores-1)*VMsPerCore so an emergency replan onto the
+	// survivors of one core failure is admissible.
+	Population int
 	// Scheduler selects the VM scheduler.
 	Scheduler SchedulerKind
 	// Capped selects the capped or uncapped scenario.
@@ -121,6 +127,7 @@ type Scenario struct {
 	Cfg        ScenarioConfig
 	M          *vmm.Machine
 	Vantage    *vmm.VCPU
+	Sys        *core.System              // non-nil when Scheduler == Tableau
 	Dispatcher *dispatch.Dispatcher      // non-nil when Scheduler == Tableau
 	Timed      *traceutil.TimedScheduler // non-nil when Cfg.Timed
 	Recorder   *traceutil.Recorder       // non-nil when Cfg.Trace
@@ -132,13 +139,20 @@ type Scenario struct {
 func Build(cfg ScenarioConfig, vantageProg vmm.Program) (*Scenario, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.GuestCores * cfg.VMsPerCore
+	// Per-VM share is always 1/VMsPerCore (computed as the full-density
+	// fair share so the value is bit-identical to the historical one); a
+	// Population override changes the VM count, not the per-VM share.
+	u := planner.FairShare(cfg.GuestCores, n)
+	if cfg.Population > 0 {
+		n = cfg.Population
+	}
 	if n < 1 {
 		return nil, fmt.Errorf("experiments: empty scenario")
 	}
-	u := planner.FairShare(cfg.GuestCores, n) // = 1/VMsPerCore
 
 	var sched vmm.Scheduler
 	var disp *dispatch.Dispatcher
+	var sys *core.System
 	switch cfg.Scheduler {
 	case Credit:
 		sched = credit.New(credit.Options{
@@ -161,7 +175,7 @@ func Build(cfg ScenarioConfig, vantageProg vmm.Program) (*Scenario, error) {
 		}
 		sched = rtds.New(rtds.Options{Default: rtds.Params{Budget: u.Cost(period), Period: period}})
 	case Tableau:
-		sys := core.NewSystem(cfg.GuestCores, planner.Options{}, dispatch.Options{})
+		sys = core.NewSystem(cfg.GuestCores, planner.Options{}, dispatch.Options{})
 		sys.Cache = PlannerCache
 		for i := 0; i < n; i++ {
 			if _, err := sys.AddVM(core.VMConfig{
@@ -183,7 +197,7 @@ func Build(cfg ScenarioConfig, vantageProg vmm.Program) (*Scenario, error) {
 		return nil, fmt.Errorf("experiments: unknown scheduler %q", cfg.Scheduler)
 	}
 
-	sc := &Scenario{Cfg: cfg, Dispatcher: disp}
+	sc := &Scenario{Cfg: cfg, Sys: sys, Dispatcher: disp}
 	if cfg.Timed {
 		sc.Timed = traceutil.NewTimed(sched)
 		sched = sc.Timed

@@ -1,0 +1,196 @@
+// Package faults turns a declarative, seeded fault plan into concrete
+// perturbations of a running simulation: pCPU fail-stop, transient pCPU
+// stalls, timer drift windows, dropped or delayed rescheduling IPIs,
+// and NIC enqueue-drop bursts. Every fault is either a discrete event
+// scheduled through the simulation engine or a pure window function of
+// (core, time), so a run with a given plan and seed is bit-for-bit
+// reproducible: the fault schedule is fixed before the run starts and
+// never consults wall-clock time or unseeded randomness.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Fault kinds understood by the injector.
+const (
+	// KindPCPUFailStop permanently fail-stops core Core at time At: the
+	// running vCPU is descheduled, no further scheduler invocations
+	// happen there, and IPIs to it are dropped.
+	KindPCPUFailStop = "pcpu-failstop"
+	// KindPCPUStall steals Duration ns of core Core's time starting at
+	// At, as an SMI or hypervisor-level preemption would.
+	KindPCPUStall = "pcpu-stall"
+	// KindTimerDrift makes timer interrupts due on core Core (or all
+	// cores if Core < 0) inside [At, At+Duration) fire Delay ns late.
+	KindTimerDrift = "timer-drift"
+	// KindIPIDrop silently discards rescheduling IPIs targeting core
+	// Core (or all cores if Core < 0) inside [At, At+Duration).
+	KindIPIDrop = "ipi-drop"
+	// KindIPIDelay delivers rescheduling IPIs targeting core Core (or
+	// all cores if Core < 0) inside [At, At+Duration) an extra Delay ns
+	// late.
+	KindIPIDelay = "ipi-delay"
+	// KindNICDrop makes NIC number Core (an index into the NIC list
+	// handed to Attach) reject every enqueue inside [At, At+Duration).
+	KindNICDrop = "nic-drop"
+)
+
+// kindInfo describes the shape each kind requires.
+var kindInfo = map[string]struct {
+	windowed  bool // Duration defines a window
+	needsCore bool // Core must name a concrete core (no -1 wildcard)
+	needDelay bool // Delay must be > 0
+}{
+	KindPCPUFailStop: {windowed: false, needsCore: true, needDelay: false},
+	KindPCPUStall:    {windowed: true, needsCore: true, needDelay: false},
+	KindTimerDrift:   {windowed: true, needsCore: false, needDelay: true},
+	KindIPIDrop:      {windowed: true, needsCore: false, needDelay: false},
+	KindIPIDelay:     {windowed: true, needsCore: false, needDelay: true},
+	KindNICDrop:      {windowed: true, needsCore: true, needDelay: false},
+}
+
+// Event is one fault. Core semantics depend on Kind: the target pCPU
+// for CPU faults (with -1 meaning "all cores" where the kind allows a
+// wildcard), or the NIC index for nic-drop.
+type Event struct {
+	Kind     string `json:"kind"`
+	At       int64  `json:"at"`
+	Duration int64  `json:"duration,omitempty"`
+	Core     int    `json:"core"`
+	Delay    int64  `json:"delay,omitempty"`
+}
+
+// End returns the end of the event's window (At for point events).
+func (e Event) End() int64 {
+	if kindInfo[e.Kind].windowed {
+		return e.At + e.Duration
+	}
+	return e.At
+}
+
+// Plan is a complete fault scenario. Seed records the seed used to
+// generate the plan (informational once the events are materialized;
+// the injector itself draws no randomness).
+type Plan struct {
+	Seed   int64   `json:"seed"`
+	Events []Event `json:"events"`
+}
+
+// Parse decodes a JSON scenario and validates it against a machine
+// with the given core count.
+func Parse(data []byte, cores int) (*Plan, error) {
+	var p Plan
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("faults: parse: %w", err)
+	}
+	if err := p.Validate(cores); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Validate checks every event against a machine with the given core
+// count. NIC indices cannot be validated here (the NIC list is only
+// known at Attach time); Attach rejects out-of-range ones.
+func (p *Plan) Validate(cores int) error {
+	for i, e := range p.Events {
+		info, ok := kindInfo[e.Kind]
+		if !ok {
+			return fmt.Errorf("faults: event %d: unknown kind %q", i, e.Kind)
+		}
+		if e.At < 0 {
+			return fmt.Errorf("faults: event %d (%s): negative time %d", i, e.Kind, e.At)
+		}
+		if info.windowed && e.Duration <= 0 {
+			return fmt.Errorf("faults: event %d (%s): requires duration > 0", i, e.Kind)
+		}
+		if !info.windowed && e.Duration != 0 {
+			return fmt.Errorf("faults: event %d (%s): duration not allowed", i, e.Kind)
+		}
+		if info.needDelay && e.Delay <= 0 {
+			return fmt.Errorf("faults: event %d (%s): requires delay > 0", i, e.Kind)
+		}
+		if !info.needDelay && e.Delay != 0 {
+			return fmt.Errorf("faults: event %d (%s): delay not allowed", i, e.Kind)
+		}
+		switch e.Kind {
+		case KindNICDrop:
+			if e.Core < 0 {
+				return fmt.Errorf("faults: event %d (nic-drop): negative NIC index %d", i, e.Core)
+			}
+		default:
+			if info.needsCore && (e.Core < 0 || e.Core >= cores) {
+				return fmt.Errorf("faults: event %d (%s): core %d out of range [0,%d)", i, e.Kind, e.Core, cores)
+			}
+			if !info.needsCore && (e.Core < -1 || e.Core >= cores) {
+				return fmt.Errorf("faults: event %d (%s): core %d out of range [-1,%d)", i, e.Kind, e.Core, cores)
+			}
+		}
+	}
+	return nil
+}
+
+// Sorted returns the events ordered by (At, Kind, Core) — a canonical
+// order that makes plans comparable and injection deterministic
+// regardless of authoring order.
+func (p *Plan) Sorted() []Event {
+	out := make([]Event, len(p.Events))
+	copy(out, p.Events)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Core < out[j].Core
+	})
+	return out
+}
+
+// BurstSpec parameterizes a generated fault burst.
+type BurstSpec struct {
+	Kind string
+	// N events are placed uniformly at random in [Start, Start+Span).
+	N     int
+	Start int64
+	Span  int64
+	// Duration/Delay are copied into each event (for kinds needing them).
+	Duration int64
+	Delay    int64
+	// Cores is the set of eligible targets; each event picks one
+	// uniformly. For nic-drop these are NIC indices.
+	Cores []int
+}
+
+// Burst deterministically generates a fault burst from seed: the same
+// (seed, spec) always yields the same events. Events come back in
+// canonical order.
+func Burst(seed int64, spec BurstSpec) []Event {
+	rng := rand.New(rand.NewSource(seed))
+	events := make([]Event, 0, spec.N)
+	for i := 0; i < spec.N; i++ {
+		at := spec.Start
+		if spec.Span > 0 {
+			at += rng.Int63n(spec.Span)
+		}
+		core := 0
+		if len(spec.Cores) > 0 {
+			core = spec.Cores[rng.Intn(len(spec.Cores))]
+		}
+		e := Event{Kind: spec.Kind, At: at, Core: core}
+		if kindInfo[spec.Kind].windowed {
+			e.Duration = spec.Duration
+		}
+		if kindInfo[spec.Kind].needDelay {
+			e.Delay = spec.Delay
+		}
+		events = append(events, e)
+	}
+	p := Plan{Seed: seed, Events: events}
+	return p.Sorted()
+}

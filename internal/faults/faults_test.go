@@ -1,0 +1,329 @@
+package faults
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"tableau/internal/netdev"
+	"tableau/internal/sim"
+	"tableau/internal/vmm"
+)
+
+// rr is a minimal round-robin scheduler driving the machine in tests.
+type rr struct {
+	m     *vmm.Machine
+	queue []*vmm.VCPU
+	slice int64
+}
+
+func (s *rr) Name() string { return "test-rr" }
+func (s *rr) Attach(m *vmm.Machine) {
+	s.m = m
+	s.queue = append(s.queue, m.VCPUs...)
+}
+func (s *rr) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	if prev := cpu.Current; prev != nil && prev.State == vmm.Runnable {
+		s.queue = append(s.queue, prev)
+	}
+	for len(s.queue) > 0 {
+		v := s.queue[0]
+		s.queue = s.queue[1:]
+		if v.State == vmm.Runnable && (v.CurrentCPU == -1 || v.CurrentCPU == cpu.ID) {
+			return vmm.Decision{VCPU: v, Until: now + s.slice}
+		}
+	}
+	return vmm.Decision{Until: vmm.NoTimer}
+}
+func (s *rr) OnWake(v *vmm.VCPU, now int64) {
+	s.queue = append(s.queue, v)
+	for _, cpu := range s.m.CPUs {
+		if cpu.Current == nil && !cpu.Failed() {
+			s.m.Kick(cpu.ID)
+			return
+		}
+	}
+}
+func (s *rr) OnBlock(v *vmm.VCPU, now int64) {}
+
+// blocker computes c then blocks for b, forever.
+func blocker(c, b int64) vmm.Program {
+	phase := make(map[*vmm.VCPU]*int)
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		st := phase[v]
+		if st == nil {
+			st = new(int)
+			phase[v] = st
+		}
+		*st++
+		if *st%2 == 1 {
+			return vmm.Compute(c)
+		}
+		return vmm.Block(b)
+	})
+}
+
+func newMachine(cores, vcpus int) *vmm.Machine {
+	eng := sim.New(1)
+	s := &rr{slice: 1_000_000}
+	m := vmm.New(eng, cores, s, vmm.OverheadModel{Schedule: 2000, Wakeup: 1500, ContextSwitch: 500, IPI: 100})
+	for i := 0; i < vcpus; i++ {
+		m.AddVCPU("v", blocker(300_000, 200_000), 256, false)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Event{
+		{Kind: "bogus", At: 0},
+		{Kind: KindPCPUFailStop, At: -1, Core: 0},
+		{Kind: KindPCPUFailStop, At: 0, Core: 4},
+		{Kind: KindPCPUFailStop, At: 0, Core: 0, Duration: 5},
+		{Kind: KindPCPUStall, At: 0, Core: 0},
+		{Kind: KindTimerDrift, At: 0, Core: -1, Duration: 10},
+		{Kind: KindIPIDrop, At: 0, Core: -2, Duration: 10},
+		{Kind: KindIPIDrop, At: 0, Core: 0, Duration: 10, Delay: 5},
+		{Kind: KindNICDrop, At: 0, Core: -1, Duration: 10},
+	}
+	for i, e := range bad {
+		p := &Plan{Events: []Event{e}}
+		if err := p.Validate(4); err == nil {
+			t.Errorf("case %d (%+v): expected error", i, e)
+		}
+	}
+	good := &Plan{Events: []Event{
+		{Kind: KindPCPUFailStop, At: 10, Core: 3},
+		{Kind: KindPCPUStall, At: 10, Core: 0, Duration: 100},
+		{Kind: KindTimerDrift, At: 0, Core: -1, Duration: 10, Delay: 3},
+		{Kind: KindIPIDrop, At: 5, Core: 2, Duration: 10},
+		{Kind: KindIPIDelay, At: 5, Core: -1, Duration: 10, Delay: 7},
+		{Kind: KindNICDrop, At: 0, Core: 1, Duration: 10},
+	}}
+	if err := good.Validate(4); err != nil {
+		t.Fatalf("good plan rejected: %v", err)
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p := &Plan{Seed: 42, Events: []Event{
+		{Kind: KindPCPUFailStop, At: 1000, Core: 1},
+		{Kind: KindNICDrop, At: 500, Core: 0, Duration: 2000},
+	}}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", p, got)
+	}
+	if _, err := Parse([]byte(`{"events":[{"kind":"nope"}]}`), 2); err == nil {
+		t.Fatal("invalid plan accepted")
+	}
+}
+
+func TestBurstDeterministic(t *testing.T) {
+	spec := BurstSpec{Kind: KindIPIDrop, N: 8, Start: 1000, Span: 100_000, Duration: 5000, Cores: []int{0, 1, 2}}
+	a := Burst(7, spec)
+	b := Burst(7, spec)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different bursts")
+	}
+	c := Burst(8, spec)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical bursts")
+	}
+	if err := (&Plan{Events: a}).Validate(3); err != nil {
+		t.Fatalf("generated burst invalid: %v", err)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].At < a[i-1].At {
+			t.Fatal("burst not in canonical order")
+		}
+	}
+}
+
+func TestFailStopDelivery(t *testing.T) {
+	m := newMachine(2, 4)
+	plan := &Plan{Events: []Event{{Kind: KindPCPUFailStop, At: 5_000_000, Core: 1}}}
+	inj, err := Attach(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	m.Run(50_000_000)
+	if m.Stats.CoreFailures != 1 {
+		t.Fatalf("CoreFailures = %d, want 1", m.Stats.CoreFailures)
+	}
+	if m.CoreOnline(1) || !m.CoreOnline(0) || m.OnlineCores() != 1 {
+		t.Fatalf("online state wrong: core0=%v core1=%v online=%d",
+			m.CoreOnline(0), m.CoreOnline(1), m.OnlineCores())
+	}
+	// The dead core accrues no further busy or overhead time past its
+	// failure instant (post-failure time is accounted as idle so the
+	// busy+idle+overhead identity still holds).
+	cpu1 := m.CPUs[1]
+	if active := cpu1.BusyTime + cpu1.OverheadTime; active > 5_000_000 {
+		t.Fatalf("failed core kept running after death: busy+overhead=%d ns", active)
+	}
+	// Every vCPU keeps making progress on the survivor (generic OnWake
+	// recovery requeued the descheduled one).
+	for _, v := range m.VCPUs {
+		if v.RunTime < 5_000_000 {
+			t.Errorf("vCPU %d starved after fail-stop: run=%d", v.ID, v.RunTime)
+		}
+	}
+	if got := inj.Applied(); len(got) != 1 || got[0].Event.Kind != KindPCPUFailStop || got[0].At != 5_000_000 {
+		t.Fatalf("applied log wrong: %+v", got)
+	}
+}
+
+func TestStallDelivery(t *testing.T) {
+	m := newMachine(1, 2)
+	const stall = 3_000_000
+	plan := &Plan{Events: []Event{{Kind: KindPCPUStall, At: 10_000_000, Core: 0, Duration: stall}}}
+	if _, err := Attach(m, plan); err != nil {
+		t.Fatal(err)
+	}
+	m.Start()
+	m.Run(40_000_000)
+	if m.Stats.CoreStalls != 1 {
+		t.Fatalf("CoreStalls = %d, want 1", m.Stats.CoreStalls)
+	}
+	if m.CPUs[0].OverheadTime < stall {
+		t.Fatalf("stall not charged: overhead=%d < %d", m.CPUs[0].OverheadTime, stall)
+	}
+}
+
+func TestIPIWindows(t *testing.T) {
+	// 3 blockers on 2 cores: cores go idle often enough that wakeups
+	// kick, while the busy core's slice timer still rescues vCPUs whose
+	// kick was dropped.
+	m := newMachine(2, 3)
+	plan := &Plan{Events: []Event{
+		{Kind: KindIPIDrop, At: 5_000_000, Core: -1, Duration: 20_000_000},
+		{Kind: KindIPIDelay, At: 30_000_000, Core: -1, Duration: 20_000_000, Delay: 50_000},
+	}}
+	inj, err := Attach(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window functions are pure and respect core targeting and edges.
+	if drop, _ := inj.ipiFault(0, 5_000_000); !drop {
+		t.Fatal("drop window closed at its opening edge")
+	}
+	if drop, _ := inj.ipiFault(1, 25_000_000); drop {
+		t.Fatal("drop window open at its closing edge")
+	}
+	if _, d := inj.ipiFault(0, 31_000_000); d != 50_000 {
+		t.Fatalf("delay window returned %d, want 50000", d)
+	}
+	m.Start()
+	m.Run(60_000_000)
+	if m.Stats.DroppedIPIs == 0 {
+		t.Fatal("no IPIs dropped inside drop window")
+	}
+	if m.Stats.DelayedIPIs == 0 {
+		t.Fatal("no IPIs delayed inside delay window")
+	}
+}
+
+func TestTimerWindow(t *testing.T) {
+	m := newMachine(1, 1)
+	plan := &Plan{Events: []Event{
+		{Kind: KindTimerDrift, At: 1000, Core: 0, Duration: 9000, Delay: 250},
+	}}
+	inj, err := Attach(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := inj.timerFault(0, 999); d != 0 {
+		t.Fatal("drift before window")
+	}
+	if d := inj.timerFault(0, 1000); d != 250 {
+		t.Fatalf("drift at window open = %d, want 250", d)
+	}
+	if d := inj.timerFault(0, 10_000); d != 0 {
+		t.Fatal("drift at window close")
+	}
+}
+
+func TestNICDrop(t *testing.T) {
+	m := newMachine(1, 1)
+	nic := netdev.New(1_000_000_000, 1<<20)
+	plan := &Plan{Events: []Event{
+		{Kind: KindNICDrop, At: 1000, Core: 0, Duration: 4000},
+		{Kind: KindNICDrop, At: 3000, Core: 0, Duration: 4000}, // overlaps; merged
+	}}
+	if _, err := Attach(m, plan, nic); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := nic.TrySend(0, 100); !ok {
+		t.Fatal("send before window failed")
+	}
+	if _, ok := nic.TrySend(2000, 100); ok {
+		t.Fatal("send inside window succeeded")
+	}
+	if _, ok := nic.TrySend(6500, 100); ok {
+		t.Fatal("send inside merged window succeeded")
+	}
+	if nic.Drops() != 2 {
+		t.Fatalf("Drops = %d, want 2", nic.Drops())
+	}
+	at, err := nic.RoomAt(2000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at != 7000 {
+		t.Fatalf("RoomAt during window = %d, want 7000 (merged window end)", at)
+	}
+	if _, ok := nic.TrySend(7000, 100); !ok {
+		t.Fatal("send after window failed")
+	}
+
+	// Out-of-range NIC index is rejected at Attach.
+	bad := &Plan{Events: []Event{{Kind: KindNICDrop, At: 0, Core: 3, Duration: 10}}}
+	if _, err := Attach(newMachine(1, 1), bad, nic); err == nil {
+		t.Fatal("out-of-range NIC index accepted")
+	}
+}
+
+// TestReproducible runs the same faulted scenario twice and demands
+// identical machine statistics and fault logs — the package's central
+// guarantee.
+func TestReproducible(t *testing.T) {
+	run := func() (vmm.Stats, []Applied, []int64) {
+		m := newMachine(4, 12)
+		plan := &Plan{Seed: 3, Events: append(
+			Burst(3, BurstSpec{Kind: KindIPIDrop, N: 5, Start: 2_000_000, Span: 30_000_000, Duration: 1_000_000, Cores: []int{0, 1, 2, 3}}),
+			Event{Kind: KindPCPUFailStop, At: 20_000_000, Core: 2},
+			Event{Kind: KindPCPUStall, At: 8_000_000, Core: 1, Duration: 2_000_000},
+			Event{Kind: KindTimerDrift, At: 10_000_000, Core: -1, Duration: 10_000_000, Delay: 30_000},
+		)}
+		inj, err := Attach(m, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Start()
+		m.Run(60_000_000)
+		var compute []int64
+		for _, v := range m.VCPUs {
+			compute = append(compute, v.RunTime)
+		}
+		return m.Stats, inj.Applied(), compute
+	}
+	s1, a1, c1 := run()
+	s2, a2, c2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if !reflect.DeepEqual(a1, a2) {
+		t.Fatalf("applied logs diverged:\n%+v\n%+v", a1, a2)
+	}
+	if !reflect.DeepEqual(c1, c2) {
+		t.Fatalf("vCPU progress diverged:\n%v\n%v", c1, c2)
+	}
+}

@@ -1,0 +1,151 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"tableau/internal/netdev"
+	"tableau/internal/vmm"
+)
+
+// window is one [start, end) interval targeting core (or all cores
+// when core < 0) with an optional delay payload.
+type window struct {
+	start, end int64
+	core       int
+	delay      int64
+}
+
+// covers reports whether w applies to core at time t.
+func (w window) covers(core int, t int64) bool {
+	return (w.core < 0 || w.core == core) && t >= w.start && t < w.end
+}
+
+// Applied is one log entry: a fault the injector delivered.
+type Applied struct {
+	Event Event
+	// At is the simulation time the fault took effect. For window
+	// faults this is the window start (logged when the window opens).
+	At int64
+}
+
+// Injector materializes a Plan against a machine: discrete faults
+// (fail-stop, stall) become engine events, window faults (timer drift,
+// IPI drop/delay) become pure hook functions, and NIC bursts become
+// drop windows on the targeted devices. All scheduling happens in
+// Attach, before the run starts, so injection is deterministic.
+type Injector struct {
+	plan    *Plan
+	applied []Applied
+
+	ipiWindows   []window // drop (delay == 0) and delay (delay > 0)
+	timerWindows []window
+}
+
+// Attach installs plan on m. nics, if given, are the targets of
+// nic-drop events (Event.Core indexes this slice). The plan must have
+// passed Validate for m's core count; Attach additionally rejects
+// nic-drop events whose index is out of range.
+func Attach(m *vmm.Machine, plan *Plan, nics ...*netdev.NIC) (*Injector, error) {
+	if err := plan.Validate(len(m.CPUs)); err != nil {
+		return nil, err
+	}
+	inj := &Injector{plan: plan}
+	nicWindows := make(map[int][]window)
+	for _, e := range plan.Sorted() {
+		e := e
+		switch e.Kind {
+		case KindPCPUFailStop:
+			m.Eng.At(e.At, func(now int64) {
+				m.FailCore(e.Core)
+				inj.applied = append(inj.applied, Applied{Event: e, At: now})
+			})
+		case KindPCPUStall:
+			m.Eng.At(e.At, func(now int64) {
+				m.StallCore(e.Core, e.Duration)
+				inj.applied = append(inj.applied, Applied{Event: e, At: now})
+			})
+		case KindTimerDrift:
+			inj.timerWindows = append(inj.timerWindows, window{start: e.At, end: e.End(), core: e.Core, delay: e.Delay})
+			inj.logWindowOpen(m, e)
+		case KindIPIDrop:
+			inj.ipiWindows = append(inj.ipiWindows, window{start: e.At, end: e.End(), core: e.Core})
+			inj.logWindowOpen(m, e)
+		case KindIPIDelay:
+			inj.ipiWindows = append(inj.ipiWindows, window{start: e.At, end: e.End(), core: e.Core, delay: e.Delay})
+			inj.logWindowOpen(m, e)
+		case KindNICDrop:
+			if e.Core >= len(nics) {
+				return nil, fmt.Errorf("faults: nic-drop targets NIC %d but only %d attached", e.Core, len(nics))
+			}
+			nicWindows[e.Core] = append(nicWindows[e.Core], window{start: e.At, end: e.End()})
+			inj.logWindowOpen(m, e)
+		}
+	}
+	// NICs require sorted, non-overlapping windows: merge per device.
+	for idx, ws := range nicWindows {
+		for _, w := range merge(ws) {
+			nics[idx].AddDropWindow(w.start, w.end)
+		}
+	}
+	if len(inj.ipiWindows) > 0 {
+		m.SetIPIFault(inj.ipiFault)
+	}
+	if len(inj.timerWindows) > 0 {
+		m.SetTimerFault(inj.timerFault)
+	}
+	return inj, nil
+}
+
+// logWindowOpen schedules a log entry at the window's opening edge so
+// the applied log interleaves window faults with discrete ones in
+// simulation order.
+func (inj *Injector) logWindowOpen(m *vmm.Machine, e Event) {
+	m.Eng.At(e.At, func(now int64) {
+		inj.applied = append(inj.applied, Applied{Event: e, At: now})
+	})
+}
+
+// ipiFault implements the Machine IPI hook: pure in (core, now).
+func (inj *Injector) ipiFault(core int, now int64) (bool, int64) {
+	for _, w := range inj.ipiWindows {
+		if !w.covers(core, now) {
+			continue
+		}
+		if w.delay == 0 {
+			return true, 0
+		}
+		return false, w.delay
+	}
+	return false, 0
+}
+
+// timerFault implements the Machine timer hook: pure in (core, at).
+func (inj *Injector) timerFault(core int, at int64) int64 {
+	for _, w := range inj.timerWindows {
+		if w.covers(core, at) {
+			return w.delay
+		}
+	}
+	return 0
+}
+
+// Applied returns the faults delivered so far, in simulation order.
+func (inj *Injector) Applied() []Applied { return inj.applied }
+
+// merge sorts windows by start and coalesces overlapping or adjacent
+// ones.
+func merge(ws []window) []window {
+	sort.Slice(ws, func(i, j int) bool { return ws[i].start < ws[j].start })
+	out := ws[:0]
+	for _, w := range ws {
+		if n := len(out); n > 0 && w.start <= out[n-1].end {
+			if w.end > out[n-1].end {
+				out[n-1].end = w.end
+			}
+			continue
+		}
+		out = append(out, w)
+	}
+	return out
+}

@@ -24,7 +24,16 @@ type NIC struct {
 
 	queued int64 // current queue depth, in byte-scale units
 	last   int64 // time of last drain update
+
+	// dropWindows are fault-injection intervals during which every
+	// enqueue is rejected (the device refuses descriptors); sorted by
+	// start, non-overlapping. See internal/faults.
+	dropWindows []dropWindow
+	drops       int64
 }
+
+// dropWindow is one enqueue-drop burst: sends in [start, end) fail.
+type dropWindow struct{ start, end int64 }
 
 // New returns a NIC draining at rate bytes/second with a ring of cap
 // bytes. A 10 GbE interface is roughly 1.25e9 bytes/second.
@@ -53,6 +62,35 @@ func (n *NIC) Queued(now int64) int64 {
 	return (n.queued + scale - 1) / scale
 }
 
+// AddDropWindow schedules an enqueue-drop burst: every TrySend in
+// [start, end) fails as if the device rejected the descriptor, while
+// draining continues normally. Windows must be added in increasing
+// start order and must not overlap (the fault plan validator enforces
+// this).
+func (n *NIC) AddDropWindow(start, end int64) {
+	if end <= start {
+		return
+	}
+	n.dropWindows = append(n.dropWindows, dropWindow{start: start, end: end})
+}
+
+// dropping reports whether enqueues at time now are rejected, and the
+// end of the active window if so.
+func (n *NIC) dropping(now int64) (int64, bool) {
+	for _, w := range n.dropWindows {
+		if now >= w.start && now < w.end {
+			return w.end, true
+		}
+		if now < w.start {
+			break
+		}
+	}
+	return 0, false
+}
+
+// Drops returns the number of enqueues rejected by drop windows.
+func (n *NIC) Drops() int64 { return n.drops }
+
 // TrySend enqueues bytes at time now if the ring has room for the whole
 // message. On success it returns ok=true and the absolute time at which
 // the last byte reaches the wire; on failure the queue is unchanged and
@@ -60,6 +98,10 @@ func (n *NIC) Queued(now int64) int64 {
 func (n *NIC) TrySend(now int64, bytes int64) (done int64, ok bool) {
 	if bytes <= 0 {
 		return now, true
+	}
+	if _, drop := n.dropping(now); drop {
+		n.drops++
+		return 0, false
 	}
 	n.update(now)
 	add := bytes * scale
@@ -80,10 +122,20 @@ func (n *NIC) RoomAt(now int64, bytes int64) (int64, error) {
 	}
 	n.update(now)
 	excess := n.queued + bytes*scale - n.cap*scale
-	if excess <= 0 {
-		return now, nil
+	t := now
+	if excess > 0 {
+		t += ceilDiv(excess, n.rate)
 	}
-	return now + ceilDiv(excess, n.rate), nil
+	// A drop window rejects enqueues outright: room only exists once the
+	// window has passed (the queue keeps draining meanwhile, so capacity
+	// can only improve).
+	for {
+		end, drop := n.dropping(t)
+		if !drop {
+			return t, nil
+		}
+		t = end
+	}
 }
 
 // MaxSegment returns the ring capacity: the largest single TrySend.

@@ -1,0 +1,107 @@
+package plannersvc
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned by Client.PlanContext when the breaker is
+// refusing attempts because the daemon has failed repeatedly and the
+// cooldown has not yet elapsed.
+var ErrCircuitOpen = errors.New("plannersvc: circuit open")
+
+// Breaker is a small three-state circuit breaker for the remote
+// planning path. Closed: attempts flow freely. After Threshold
+// consecutive failures it opens and Allow refuses until Cooldown has
+// elapsed, at which point exactly one half-open probe is let through;
+// the probe's outcome closes the breaker again or restarts the
+// cooldown. The zero value is usable (defaults apply).
+type Breaker struct {
+	// Threshold is the number of consecutive failures that opens the
+	// breaker. Default 3.
+	Threshold int
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe. Default 5 s.
+	Cooldown time.Duration
+
+	mu       sync.Mutex
+	failures int
+	open     bool
+	openedAt time.Time
+	halfOpen bool // a probe is in flight
+
+	// now is a test hook; nil means time.Now.
+	now func() time.Time
+}
+
+func (b *Breaker) clock() time.Time {
+	if b.now != nil {
+		return b.now()
+	}
+	return time.Now()
+}
+
+// Allow reports whether an attempt may proceed. While open it admits at
+// most one probe per elapsed cooldown.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.open {
+		return true
+	}
+	cd := b.Cooldown
+	if cd <= 0 {
+		cd = 5 * time.Second
+	}
+	if b.halfOpen || b.clock().Sub(b.openedAt) < cd {
+		return false
+	}
+	b.halfOpen = true
+	return true
+}
+
+// RecordSuccess closes the breaker and resets the failure count.
+func (b *Breaker) RecordSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.open = false
+	b.halfOpen = false
+}
+
+// RecordFailure notes a failed attempt: a failed half-open probe
+// reopens immediately; otherwise the breaker opens once Threshold
+// consecutive failures accumulate.
+func (b *Breaker) RecordFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.halfOpen {
+		b.halfOpen = false
+		b.openedAt = b.clock()
+		return
+	}
+	th := b.Threshold
+	if th <= 0 {
+		th = 3
+	}
+	if !b.open && b.failures >= th {
+		b.open = true
+		b.openedAt = b.clock()
+	}
+}
+
+// State returns "closed", "open", or "half-open" for diagnostics.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch {
+	case b.halfOpen:
+		return "half-open"
+	case b.open:
+		return "open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,346 @@
+package plannersvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastClient returns a client tuned so retry storms finish in
+// milliseconds rather than seconds.
+func fastClient(url string) *Client {
+	return &Client{
+		BaseURL:        url,
+		AttemptTimeout: 200 * time.Millisecond,
+		MaxAttempts:    3,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     4 * time.Millisecond,
+	}
+}
+
+func TestClientConnectionRefused(t *testing.T) {
+	// Grab an address nothing is listening on.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	c := fastClient(url)
+	start := time.Now()
+	_, _, err := c.Plan(testRequest(2, 20_000_000))
+	if err == nil {
+		t.Fatal("plan against dead server succeeded")
+	}
+	if !strings.Contains(err.Error(), "3 attempts failed") {
+		t.Errorf("err = %v, want exhausted-attempts error", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("retries took %v, backoff not bounded", elapsed)
+	}
+}
+
+func TestClientRetriesServerErrors(t *testing.T) {
+	// Daemon is struggling: two 503s, then recovers. The client should
+	// ride it out and return the eventual good table.
+	s := NewServer(4)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		s.Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	tbl, resp, err := c.Plan(testRequest(4, 20_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("calls = %d, want 3", calls.Load())
+	}
+	if tbl == nil || resp.Stage == "" {
+		t.Error("recovered response incomplete")
+	}
+}
+
+func TestClientAttemptTimeoutOnSlowBody(t *testing.T) {
+	// The server sends headers, then stalls mid-body. The per-attempt
+	// deadline must cut the read; each retry hits the same wall.
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		<-block
+	}))
+	defer srv.Close()
+	// Unblock the handlers before srv.Close (defers run LIFO) so Close
+	// does not wait forever on the stalled responses.
+	defer close(block)
+	c := fastClient(srv.URL)
+	c.AttemptTimeout = 30 * time.Millisecond
+	c.MaxAttempts = 2
+	start := time.Now()
+	_, _, err := c.Plan(testRequest(2, 20_000_000))
+	if err == nil {
+		t.Fatal("slow-body plan succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("slow-body attempts took %v, per-attempt timeout not applied", elapsed)
+	}
+}
+
+func TestClientRetriesCorruptTable(t *testing.T) {
+	// Corrupt table bytes are classified as transient damage: the client
+	// retries, and a subsequently healthy server wins.
+	s := NewServer(4)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			_ = json.NewEncoder(w).Encode(PlanResponse{Table: "dHJ1bmNhdGVk"}) // valid base64, garbage table
+			return
+		}
+		s.Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	c := fastClient(srv.URL)
+	tbl, _, err := c.Plan(testRequest(4, 20_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("calls = %d, want retry after corrupt table", calls.Load())
+	}
+	if tbl.SliceCount() == 0 {
+		t.Error("recovered table has no slice index")
+	}
+}
+
+func TestClientDoesNotRetryRejection(t *testing.T) {
+	// A 422 (planner admission rejection) is a verdict, not an outage:
+	// exactly one request, immediate error, breaker stays closed.
+	var calls atomic.Int64
+	s := NewServer(4)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		s.Handler().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	br := &Breaker{Threshold: 1}
+	c := fastClient(srv.URL)
+	c.Breaker = br
+	over := testRequest(8, 20_000_000)
+	over.Cores = 1
+	_, _, err := c.Plan(over)
+	if err == nil || !strings.Contains(err.Error(), "over-utilized") {
+		t.Fatalf("err = %v, want over-utilization rejection", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("calls = %d, rejection was retried", calls.Load())
+	}
+	if br.State() != "closed" {
+		t.Errorf("breaker %s after rejection; a healthy daemon's verdict must not trip it", br.State())
+	}
+}
+
+func TestBreakerTripsAndRecovers(t *testing.T) {
+	now := time.Unix(0, 0)
+	br := &Breaker{Threshold: 3, Cooldown: time.Second, now: func() time.Time { return now }}
+	for i := 0; i < 3; i++ {
+		if !br.Allow() {
+			t.Fatalf("attempt %d refused while closed", i)
+		}
+		br.RecordFailure()
+	}
+	if br.State() != "open" {
+		t.Fatalf("state = %s after %d failures", br.State(), 3)
+	}
+	if br.Allow() {
+		t.Fatal("open breaker admitted an attempt before cooldown")
+	}
+	// Cooldown elapses: exactly one half-open probe.
+	now = now.Add(2 * time.Second)
+	if !br.Allow() {
+		t.Fatal("half-open probe refused after cooldown")
+	}
+	if br.Allow() {
+		t.Fatal("second concurrent probe admitted while half-open")
+	}
+	// Failed probe reopens for another full cooldown.
+	br.RecordFailure()
+	if br.State() != "open" || br.Allow() {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	// Next probe succeeds: closed again.
+	now = now.Add(2 * time.Second)
+	if !br.Allow() {
+		t.Fatal("probe refused after second cooldown")
+	}
+	br.RecordSuccess()
+	if br.State() != "closed" || !br.Allow() {
+		t.Fatal("successful probe did not close the breaker")
+	}
+}
+
+func TestClientReturnsCircuitOpen(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	br := &Breaker{Threshold: 2, Cooldown: time.Hour}
+	c := fastClient(url)
+	c.Breaker = br
+	if _, _, err := c.Plan(testRequest(2, 20_000_000)); err == nil {
+		t.Fatal("plan against dead server succeeded")
+	}
+	if br.State() != "open" {
+		t.Fatalf("breaker %s after exhausting attempts", br.State())
+	}
+	_, _, err := c.Plan(testRequest(2, 20_000_000))
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Errorf("err = %v, want ErrCircuitOpen", err)
+	}
+}
+
+func TestPlanWithFallbackMatchesRemote(t *testing.T) {
+	// Plan once against a live daemon, then again via fallback with the
+	// daemon gone: both paths must produce the identical table.
+	_, ts := newTestServer(t)
+	req := testRequest(4, 20_000_000)
+	live := &Client{BaseURL: ts.URL}
+	remoteTbl, remoteResp, err := live.Plan(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	c := fastClient(deadURL)
+	localTbl, localResp, err := c.PlanWithFallback(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if localResp.Source != "local" {
+		t.Errorf("fallback Source = %q, want local", localResp.Source)
+	}
+	if remoteResp.Source != "" {
+		t.Errorf("remote Source = %q, want empty", remoteResp.Source)
+	}
+	if localResp.Table != remoteResp.Table {
+		t.Error("fallback table bytes differ from the remote plan for the same request")
+	}
+	if localTbl.Len != remoteTbl.Len || localTbl.SliceCount() != remoteTbl.SliceCount() {
+		t.Errorf("fallback table shape differs: len %d vs %d, slices %d vs %d",
+			localTbl.Len, remoteTbl.Len, localTbl.SliceCount(), remoteTbl.SliceCount())
+	}
+}
+
+func TestPlanWithFallbackPropagatesRejection(t *testing.T) {
+	// A definitive remote rejection must not be papered over by a local
+	// retry that would reach the same verdict.
+	_, ts := newTestServer(t)
+	c := fastClient(ts.URL)
+	over := testRequest(8, 20_000_000)
+	over.Cores = 1
+	_, _, err := c.PlanWithFallback(context.Background(), over)
+	if err == nil || !strings.Contains(err.Error(), "over-utilized") {
+		t.Errorf("err = %v, want remote rejection verbatim", err)
+	}
+}
+
+func TestBackoffDeterministic(t *testing.T) {
+	// Two clients with the same JitterSeed must produce identical backoff
+	// schedules — reproducibility extends to the control plane.
+	seq := func(seed int64) []time.Duration {
+		c := &Client{BackoffBase: time.Millisecond, BackoffMax: 16 * time.Millisecond, JitterSeed: seed}
+		rng := c.newJitter()
+		var out []time.Duration
+		for i := 0; i < 6; i++ {
+			out = append(out, c.backoff(i, rng))
+		}
+		return out
+	}
+	a, b := seq(7), seq(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("attempt %d: %v vs %v with equal seeds", i, a[i], b[i])
+		}
+		base := time.Millisecond << uint(i)
+		if base > 16*time.Millisecond {
+			base = 16 * time.Millisecond
+		}
+		if a[i] < base/2 || a[i] > base {
+			t.Errorf("attempt %d: backoff %v outside [%v, %v]", i, a[i], base/2, base)
+		}
+	}
+	if c := seq(8); c[0] == a[0] && c[1] == a[1] && c[2] == a[2] {
+		t.Error("different seeds produced the same jitter sequence")
+	}
+}
+
+func TestClientContextCancellation(t *testing.T) {
+	// Cancelling the outer context aborts the retry loop promptly, even
+	// with generous backoff configured.
+	srv := httptest.NewServer(http.NotFoundHandler())
+	url := srv.URL
+	srv.Close()
+	c := fastClient(url)
+	c.BackoffBase = time.Hour
+	c.BackoffMax = time.Hour
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := c.PlanContext(ctx, testRequest(2, 20_000_000))
+	if err == nil {
+		t.Fatal("cancelled plan succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("cancellation took %v", elapsed)
+	}
+}
+
+func TestHealthzJSON(t *testing.T) {
+	s, ts := newTestServer(t)
+	// Generate one miss so the counters are visible.
+	c := &Client{BaseURL: ts.URL}
+	if _, _, err := c.Plan(testRequest(2, 20_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q", h.Status)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("uptime = %v", h.UptimeSeconds)
+	}
+	hits, misses := s.CacheStats()
+	if h.CacheHits != hits || h.CacheMisses != misses || misses == 0 {
+		t.Errorf("healthz counters %d/%d, server reports %d/%d", h.CacheHits, h.CacheMisses, hits, misses)
+	}
+	post, err := http.Post(ts.URL+"/healthz", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz = %d, want 405", post.StatusCode)
+	}
+}

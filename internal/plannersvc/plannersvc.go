@@ -19,11 +19,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"time"
 
 	"tableau/internal/planner"
-	"tableau/internal/table"
 )
 
 // VMRequest is one vCPU in a planning request.
@@ -68,6 +68,9 @@ type PlanResponse struct {
 	// PlanMS is the server-side planning time in milliseconds (0 for
 	// cache hits).
 	PlanMS float64 `json:"plan_ms"`
+	// Source is "" for a live remote response; the client's fallback
+	// path sets it to "local" when the table was planned on-host.
+	Source string `json:"source,omitempty"`
 }
 
 // errorResponse is the body of a failed plan.
@@ -78,26 +81,63 @@ type errorResponse struct {
 // Server is the planning daemon. Create with NewServer and mount its
 // Handler.
 type Server struct {
-	cache *planner.Cache
+	cache   *planner.Cache
+	started time.Time
+
+	// Logf receives server-side diagnostics (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 // NewServer returns a server backed by a result cache of the given
 // capacity (<= 0 selects the default).
 func NewServer(cacheSize int) *Server {
-	return &Server{cache: planner.NewCache(cacheSize)}
+	return &Server{cache: planner.NewCache(cacheSize), started: time.Now()}
 }
 
 // CacheStats reports the central cache's hit/miss counters.
 func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
 
-// Handler returns the HTTP handler serving POST /plan.
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+		return
+	}
+	log.Printf(format, args...)
+}
+
+// Handler returns the HTTP handler serving POST /plan and GET /healthz.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/plan", s.handlePlan)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
+}
+
+// healthResponse is the body of GET /healthz: liveness plus the
+// counters an operator needs to see whether the central cache is doing
+// its job.
+type healthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	CacheHits     int64   `json:"cache_hits"`
+	CacheMisses   int64   `json:"cache_misses"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	hits, misses := s.cache.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(healthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+	}); err != nil {
+		s.logf("plannersvc: writing /healthz response: %v", err)
+	}
 }
 
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
@@ -152,8 +192,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
-		// Headers are gone; nothing more to do.
-		return
+		// The status line is already on the wire, so the client sees a
+		// truncated 200 rather than an error; leave a trace server-side
+		// instead of failing silently.
+		s.logf("plannersvc: writing /plan response: %v", err)
 	}
 }
 
@@ -186,53 +228,3 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
 }
 
-// Client talks to a remote planner daemon.
-type Client struct {
-	// BaseURL is the daemon's root, e.g. "http://planner:7077".
-	BaseURL string
-	// HTTPClient defaults to a client with a 30 s timeout.
-	HTTPClient *http.Client
-}
-
-// Plan sends the request and returns the decoded scheduling table along
-// with the response metadata. The table arrives in the dispatcher's
-// binary format and is fully validated by Decode.
-func (c *Client) Plan(req PlanRequest) (*table.Table, *PlanResponse, error) {
-	hc := c.HTTPClient
-	if hc == nil {
-		hc = &http.Client{Timeout: 30 * time.Second}
-	}
-	body, err := json.Marshal(req)
-	if err != nil {
-		return nil, nil, err
-	}
-	httpResp, err := hc.Post(c.BaseURL+"/plan", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return nil, nil, err
-	}
-	defer httpResp.Body.Close()
-	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
-	if err != nil {
-		return nil, nil, err
-	}
-	if httpResp.StatusCode != http.StatusOK {
-		var e errorResponse
-		if json.Unmarshal(raw, &e) == nil && e.Error != "" {
-			return nil, nil, fmt.Errorf("plannersvc: remote planning failed: %s", e.Error)
-		}
-		return nil, nil, fmt.Errorf("plannersvc: remote planning failed: HTTP %d", httpResp.StatusCode)
-	}
-	var resp PlanResponse
-	if err := json.Unmarshal(raw, &resp); err != nil {
-		return nil, nil, err
-	}
-	bin, err := base64.StdEncoding.DecodeString(resp.Table)
-	if err != nil {
-		return nil, nil, fmt.Errorf("plannersvc: bad table encoding: %w", err)
-	}
-	tbl, err := table.Decode(bytes.NewReader(bin))
-	if err != nil {
-		return nil, nil, fmt.Errorf("plannersvc: remote table rejected: %w", err)
-	}
-	return tbl, &resp, nil
-}

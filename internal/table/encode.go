@@ -185,12 +185,16 @@ func Decode(r io.Reader) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Caps and chunked allocation below keep a hostile header (huge
+	// declared counts followed by a truncated body) from forcing large
+	// up-front allocations: slices grow as elements are actually read.
 	const sanity = 1 << 20
 	if nc > sanity || nv > sanity {
 		return nil, fmt.Errorf("table: implausible core/vcpu counts %d/%d", nc, nv)
 	}
-	t.VCPUs = make([]VCPUInfo, nv)
-	for i := range t.VCPUs {
+	const chunk = 4096
+	t.VCPUs = make([]VCPUInfo, 0, minU32(nv, chunk))
+	for i := uint32(0); i < nv; i++ {
 		nl, err := get16()
 		if err != nil {
 			return nil, err
@@ -215,17 +219,17 @@ func Decode(r io.Reader) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.VCPUs[i] = VCPUInfo{
+		t.VCPUs = append(t.VCPUs, VCPUInfo{
 			Name:           string(name),
 			Capped:         fl&flagCapped != 0,
 			Split:          fl&flagSplit != 0,
 			HomeCore:       int(int32(hc)),
 			UtilizationPPM: int64(util),
 			LatencyGoal:    int64(lat),
-		}
+		})
 	}
-	t.Cores = make([]CoreTable, nc)
-	for i := range t.Cores {
+	t.Cores = make([]CoreTable, 0, minU32(nc, chunk))
+	for i := uint32(0); i < nc; i++ {
 		core, err := get32()
 		if err != nil {
 			return nil, err
@@ -241,11 +245,11 @@ func Decode(r io.Reader) (*Table, error) {
 		if na > sanity {
 			return nil, fmt.Errorf("table: implausible alloc count %d", na)
 		}
-		ct := &t.Cores[i]
+		var ct CoreTable
 		ct.Core = int(int32(core))
 		ct.SliceLen = int64(sl)
-		ct.Allocs = make([]Alloc, na)
-		for j := range ct.Allocs {
+		ct.Allocs = make([]Alloc, 0, minU32(na, chunk))
+		for j := uint32(0); j < na; j++ {
 			s, err := get64()
 			if err != nil {
 				return nil, err
@@ -258,7 +262,7 @@ func Decode(r io.Reader) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			ct.Allocs[j] = Alloc{Start: int64(s), End: int64(e), VCPU: int(int32(v))}
+			ct.Allocs = append(ct.Allocs, Alloc{Start: int64(s), End: int64(e), VCPU: int(int32(v))})
 		}
 		ns, err := get32()
 		if err != nil {
@@ -267,22 +271,43 @@ func Decode(r io.Reader) (*Table, error) {
 		if ns > 64<<20 {
 			return nil, fmt.Errorf("table: implausible slice count %d", ns)
 		}
-		ct.slices = make([]int32, ns)
-		for j := range ct.slices {
+		ct.slices = make([]int32, 0, minU32(ns, chunk))
+		for j := uint32(0); j < ns; j++ {
 			s, err := get32()
 			if err != nil {
 				return nil, err
 			}
-			ct.slices[j] = int32(s)
+			ct.slices = append(ct.slices, int32(s))
 		}
+		t.Cores = append(t.Cores, ct)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, fmt.Errorf("table: decoded table invalid: %w", err)
 	}
-	if t.SliceCount() == 0 {
-		if err := t.BuildSlices(0); err != nil {
-			return nil, err
+	// Slice data from the wire is untrusted: a corrupt index would turn
+	// Lookup's O(1) arithmetic into out-of-bounds accesses. Verify it in
+	// full (this also rejects a partial index, where only some non-empty
+	// cores carry slices); rebuild from scratch when none was serialized.
+	hasSlices := false
+	for _, ct := range t.Cores {
+		if ct.SliceLen != 0 || len(ct.slices) != 0 {
+			hasSlices = true
+			break
 		}
 	}
+	if hasSlices {
+		if err := t.CheckSlices(); err != nil {
+			return nil, fmt.Errorf("table: decoded slice index invalid: %w", err)
+		}
+	} else if err := t.BuildSlices(0); err != nil {
+		return nil, err
+	}
 	return t, nil
+}
+
+func minU32(v uint32, cap uint32) int {
+	if v < cap {
+		return int(v)
+	}
+	return int(cap)
 }

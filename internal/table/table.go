@@ -98,12 +98,26 @@ func (t *Table) Validate() error {
 	if t.Len <= 0 {
 		return fmt.Errorf("table: non-positive length %d", t.Len)
 	}
+	for i := range t.VCPUs {
+		if hc := t.VCPUs[i].HomeCore; hc < -1 || hc >= len(t.Cores) {
+			return fmt.Errorf("table: vcpu %d (%s) has home core %d out of range [-1,%d)",
+				i, t.VCPUs[i].Name, hc, len(t.Cores))
+		}
+	}
 	type span struct {
 		start, end int64
 		core       int
 	}
 	byVCPU := make(map[int][]span)
+	seenCore := make([]bool, len(t.Cores))
 	for _, ct := range t.Cores {
+		if ct.Core < 0 || ct.Core >= len(t.Cores) {
+			return fmt.Errorf("table: core id %d out of range [0,%d)", ct.Core, len(t.Cores))
+		}
+		if seenCore[ct.Core] {
+			return fmt.Errorf("table: duplicate core id %d", ct.Core)
+		}
+		seenCore[ct.Core] = true
 		var prevEnd int64
 		for i, a := range ct.Allocs {
 			if a.Start < 0 || a.End > t.Len || a.Len() <= 0 {
@@ -170,6 +184,57 @@ func (t *Table) BuildSlices(maxSlices int) error {
 				ai++
 			}
 			ct.slices[si] = int32(ai)
+		}
+	}
+	return nil
+}
+
+// CheckSlices verifies that every core's slice index is exactly what
+// BuildSlices would produce for its allocation list and slice length —
+// the invariants Lookup's two-record bound and its index arithmetic
+// depend on. Tables from trusted in-process construction get this by
+// construction; tables decoded from the wire must be checked before
+// their slice data can be handed to the dispatcher, because a corrupt
+// index (negative entries, wrong counts, a slice length longer than the
+// shortest allocation) turns O(1) lookups into out-of-bounds accesses
+// or wrong schedules.
+func (t *Table) CheckSlices() error {
+	for _, ct := range t.Cores {
+		if len(ct.Allocs) == 0 {
+			if ct.SliceLen != 0 || len(ct.slices) != 0 {
+				return fmt.Errorf("table: core %d has slice data (len %d, %d entries) but no allocations",
+					ct.Core, ct.SliceLen, len(ct.slices))
+			}
+			continue
+		}
+		if ct.SliceLen <= 0 {
+			return fmt.Errorf("table: core %d has allocations but no slice index", ct.Core)
+		}
+		shortest := ct.Allocs[0].Len()
+		for _, a := range ct.Allocs[1:] {
+			if l := a.Len(); l < shortest {
+				shortest = l
+			}
+		}
+		if ct.SliceLen > shortest {
+			return fmt.Errorf("table: core %d slice length %d exceeds shortest allocation %d",
+				ct.Core, ct.SliceLen, shortest)
+		}
+		n := (t.Len + ct.SliceLen - 1) / ct.SliceLen
+		if int64(len(ct.slices)) != n {
+			return fmt.Errorf("table: core %d has %d slice entries, want %d for slice length %d",
+				ct.Core, len(ct.slices), n, ct.SliceLen)
+		}
+		ai := 0
+		for si := int64(0); si < n; si++ {
+			sliceStart := si * ct.SliceLen
+			for ai < len(ct.Allocs) && ct.Allocs[ai].End <= sliceStart {
+				ai++
+			}
+			if ct.slices[si] != int32(ai) {
+				return fmt.Errorf("table: core %d slice %d points at alloc %d, want %d",
+					ct.Core, si, ct.slices[si], ai)
+			}
 		}
 	}
 	return nil

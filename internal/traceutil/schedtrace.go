@@ -69,6 +69,14 @@ func (r *Recorder) OnDeschedule(v *vmm.VCPU, cpu *vmm.PCPU, now int64) {
 	}
 }
 
+// OnCoreFail forwards to the inner scheduler when it observes core
+// failures.
+func (r *Recorder) OnCoreFail(core int, now int64) {
+	if obs, ok := r.Inner.(vmm.CoreFailureObserver); ok {
+		obs.OnCoreFail(core, now)
+	}
+}
+
 // Events returns the recorded dispatch decisions in order.
 func (r *Recorder) Events() []DispatchEvent { return r.events }
 

@@ -99,3 +99,11 @@ func (t *TimedScheduler) OnDeschedule(v *vmm.VCPU, cpu *vmm.PCPU, now int64) {
 		obs.OnDeschedule(v, cpu, now)
 	}
 }
+
+// OnCoreFail forwards to the inner scheduler when it observes core
+// failures.
+func (t *TimedScheduler) OnCoreFail(core int, now int64) {
+	if obs, ok := t.Inner.(vmm.CoreFailureObserver); ok {
+		obs.OnCoreFail(core, now)
+	}
+}

@@ -26,9 +26,13 @@ type PCPU struct {
 	event       sim.Handle // pending completion/preemption/idle event
 	asyncUntil  int64      // end of pending async overhead (wakeup processing)
 	kickPending bool
-	invokeGuard int // invocations at the same timestamp (livelock guard)
+	failed      bool // fail-stop: the core is offline and never schedules again
+	invokeGuard int  // invocations at the same timestamp (livelock guard)
 	lastInvoke  int64
 }
+
+// Failed reports whether the core has fail-stopped (see Machine.FailCore).
+func (p *PCPU) Failed() bool { return p.failed }
 
 // Stats aggregates scheduler-operation counts and simulated costs, the
 // basis of the Table 1/2 reproduction in simulation.
@@ -40,6 +44,12 @@ type Stats struct {
 	ScheduleTime    int64
 	WakeupTime      int64
 	MigrateTime     int64
+
+	// Fault-delivery counters (see internal/faults).
+	CoreFailures int64
+	CoreStalls   int64
+	DroppedIPIs  int64
+	DelayedIPIs  int64
 }
 
 // Machine is a simulated multicore host under the control of one VM
@@ -62,8 +72,40 @@ type Machine struct {
 	// when the scheduler is lock-free.
 	locks []int64
 
+	// ipiFault and timerFault are optional fault-injection hooks
+	// (installed by internal/faults). Both must be pure functions of
+	// their arguments so runs stay deterministic: ipiFault decides
+	// whether a rescheduling IPI to a core is dropped or delivered with
+	// extra latency; timerFault returns the lateness of a timer due at
+	// the given time on a core.
+	ipiFault   func(core int, now int64) (drop bool, delay int64)
+	timerFault func(core int, at int64) int64
+
 	started bool
 	stopped bool
+}
+
+// SetIPIFault installs a hook consulted on every Kick: it may drop the
+// rescheduling IPI or delay its delivery. The hook must be a pure
+// function of (core, now) — window-based fault plans are; per-call
+// randomness would break reproducibility.
+func (m *Machine) SetIPIFault(f func(core int, now int64) (drop bool, delay int64)) { m.ipiFault = f }
+
+// SetTimerFault installs a hook returning the lateness (>= 0) of a
+// timer interrupt due at time at on the given core, modelling timer
+// drift or late-firing timers. The hook must be pure in (core, at).
+func (m *Machine) SetTimerFault(f func(core int, at int64) int64) { m.timerFault = f }
+
+// timerAt applies the timer fault model to a timer-driven event due at
+// time at on cpu.
+func (m *Machine) timerAt(cpu *PCPU, at int64) int64 {
+	if m.timerFault == nil || at == NoTimer {
+		return at
+	}
+	if late := m.timerFault(cpu.ID, at); late > 0 {
+		return at + late
+	}
+	return at
 }
 
 // New creates a machine with the given core count, scheduler, and
@@ -170,6 +212,76 @@ func (m *Machine) Stop() int {
 	return m.Eng.Pending()
 }
 
+// FailCore fail-stops a core: accounting is flushed, the pending event
+// is canceled, the vCPU running there (if any) is descheduled back to
+// Runnable (its state survives; on real hardware it would be restored
+// from the last checkpoint), and the core never invokes its scheduler
+// again. Kicks to a failed core are dropped. Schedulers implementing
+// CoreFailureObserver are told so they can remap the dead core's work;
+// other schedulers receive a synthetic OnWake for the descheduled vCPU
+// so it is re-queued somewhere a surviving core can find it.
+func (m *Machine) FailCore(id int) {
+	cpu := m.CPUs[id]
+	if cpu.failed || m.stopped {
+		return
+	}
+	now := m.Eng.Now()
+	m.accountProgress(cpu, now)
+	cpu.failed = true
+	cpu.event.Cancel()
+	cpu.event = sim.Handle{}
+	cpu.kickPending = false
+	cpu.deadline = NoTimer
+	cpu.idleStart = now
+	m.Stats.CoreFailures++
+	v := cpu.Current
+	if v != nil {
+		if v.State == Running {
+			v.State = Runnable
+		}
+		v.CurrentCPU = -1
+		cpu.Current = nil
+		if obs, ok := m.Sched.(DescheduleObserver); ok {
+			obs.OnDeschedule(v, cpu, now)
+		}
+	}
+	if obs, ok := m.Sched.(CoreFailureObserver); ok {
+		obs.OnCoreFail(id, now)
+	} else if v != nil && v.State == Runnable {
+		// Generic requeue path: schedulers without explicit failure
+		// handling treat the orphaned vCPU like a fresh wakeup, which
+		// re-enqueues it where work stealing or load balancing can reach
+		// it.
+		m.Sched.OnWake(v, now)
+	}
+}
+
+// StallCore stalls a core for d ns (an SMI-like transient fault): the
+// time is charged as overhead, stealing it from whatever the core is
+// doing, and the core's pending event is pushed back accordingly.
+func (m *Machine) StallCore(id int, d int64) {
+	cpu := m.CPUs[id]
+	if d <= 0 || cpu.failed || m.stopped {
+		return
+	}
+	m.Stats.CoreStalls++
+	m.chargeAsync(cpu, d, m.Eng.Now())
+}
+
+// CoreOnline reports whether the core has not fail-stopped.
+func (m *Machine) CoreOnline(id int) bool { return !m.CPUs[id].failed }
+
+// OnlineCores returns the number of cores that have not fail-stopped.
+func (m *Machine) OnlineCores() int {
+	n := 0
+	for _, cpu := range m.CPUs {
+		if !cpu.failed {
+			n++
+		}
+	}
+	return n
+}
+
 // accountProgress charges the time since the core's last accounting
 // point to either its running vCPU or its idle counter, and resets the
 // segment start to now.
@@ -194,6 +306,9 @@ func (m *Machine) accountProgress(cpu *PCPU, now int64) {
 func (m *Machine) invoke(cpu *PCPU, now int64) {
 	cpu.event = sim.Handle{}
 	cpu.kickPending = false
+	if cpu.failed {
+		return
+	}
 	if now == cpu.lastInvoke {
 		cpu.invokeGuard++
 		if cpu.invokeGuard > 64 {
@@ -265,7 +380,7 @@ func (m *Machine) invoke(cpu *PCPU, now int64) {
 		cpu.idleStart = start
 		cpu.deadline = d.Until
 		if d.Until != NoTimer {
-			at := d.Until
+			at := m.timerAt(cpu, d.Until)
 			if at < start {
 				at = start
 			}
@@ -289,11 +404,13 @@ func (m *Machine) invoke(cpu *PCPU, now int64) {
 }
 
 // armEvent schedules the core's next action event: burst completion or
-// scheduler deadline, whichever is earlier (never before start).
+// scheduler deadline, whichever is earlier (never before start). A
+// timer-driven deadline (preemption) is subject to the timer fault
+// model; burst completions are program behaviour, not timers.
 func (m *Machine) armEvent(cpu *PCPU, start int64) {
 	end := start + cpu.Current.remaining
 	if cpu.deadline < end {
-		end = cpu.deadline
+		end = m.timerAt(cpu, cpu.deadline)
 	}
 	if end < start {
 		end = start
@@ -315,6 +432,9 @@ func (m *Machine) chargeOp(cpu *PCPU, cost int64, ops *int64, total *int64) int6
 // burst completed, or the scheduler deadline arrived.
 func (m *Machine) cpuEvent(cpu *PCPU, now int64) {
 	cpu.event = sim.Handle{}
+	if cpu.failed {
+		return
+	}
 	m.accountProgress(cpu, now)
 	if cpu.kickPending {
 		// A rescheduling IPI arrived; the scheduler must run now even if
@@ -395,6 +515,16 @@ func (m *Machine) Wake(v *VCPU) {
 	if proc < 0 {
 		proc = 0
 	}
+	if m.CPUs[proc].failed {
+		// Wakeup processing migrates to the lowest-numbered online core
+		// when the vCPU's last core has fail-stopped.
+		for _, cpu := range m.CPUs {
+			if !cpu.failed {
+				proc = cpu.ID
+				break
+			}
+		}
+	}
 	cost := m.lockedCost(m.CPUs[proc], m.Ov.Wakeup, now)
 	m.chargeAsync(m.CPUs[proc], cost, now)
 	m.Stats.WakeupOps++
@@ -445,11 +575,22 @@ func (m *Machine) chargeAsync(cpu *PCPU, cost int64, now int64) {
 // as soon anyway) are dropped.
 func (m *Machine) Kick(cpuID int) {
 	cpu := m.CPUs[cpuID]
-	if cpu.kickPending || m.stopped {
+	if cpu.kickPending || m.stopped || cpu.failed {
 		return
 	}
 	now := m.Eng.Now()
 	at := now + m.Ov.IPI
+	if m.ipiFault != nil {
+		drop, delay := m.ipiFault(cpuID, now)
+		if drop {
+			m.Stats.DroppedIPIs++
+			return
+		}
+		if delay > 0 {
+			m.Stats.DelayedIPIs++
+			at += delay
+		}
+	}
 	cpu.kickPending = true
 	if cpu.event.Scheduled() {
 		if cpu.event.When() <= at {

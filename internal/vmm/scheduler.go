@@ -53,3 +53,15 @@ type Scheduler interface {
 type DescheduleObserver interface {
 	OnDeschedule(v *VCPU, cpu *PCPU, now int64)
 }
+
+// CoreFailureObserver is an optional Scheduler extension: if
+// implemented, OnCoreFail is called when a core fail-stops (see
+// Machine.FailCore), after the vCPU running there has been descheduled.
+// Tableau's dispatcher uses this to remap the dead core's table slices
+// onto surviving cores' second-level schedulers (degraded mode).
+// Schedulers that do not implement it get a generic recovery: the
+// machine re-delivers the descheduled vCPU through OnWake so ordinary
+// work stealing or load balancing can pick it up.
+type CoreFailureObserver interface {
+	OnCoreFail(core int, now int64)
+}

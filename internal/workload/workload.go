@@ -104,6 +104,65 @@ func (p *Probe) MaxDelay() int64 { return p.hist.Max() }
 // Delays returns the recorded delay distribution.
 func (p *Probe) Delays() *stats.Histogram { return &p.hist }
 
+// PhasedProbe is a Probe whose delay samples are split into three
+// histograms around a fault window [FaultStart, FaultEnd): before,
+// during, and after. A delay sample is attributed to the phase in which
+// it is observed (the gap's end), so a blackout that begins during the
+// fault but ends after it counts against the recovery phase — exactly
+// the attribution a "did service come back" question wants.
+type PhasedProbe struct {
+	// Chunk is the loop-iteration length; default 10 µs.
+	Chunk int64
+	// FaultStart/FaultEnd bound the fault window.
+	FaultStart, FaultEnd int64
+
+	before  stats.Histogram
+	during  stats.Histogram
+	after   stats.Histogram
+	lastEnd int64
+	started bool
+}
+
+// Program returns the probe's vmm program. Use one PhasedProbe per vCPU.
+func (p *PhasedProbe) Program() vmm.Program {
+	if p.Chunk == 0 {
+		p.Chunk = 10_000
+	}
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if p.started {
+			delay := now - p.lastEnd - p.Chunk
+			if delay < 0 {
+				delay = 0
+			}
+			switch {
+			case now < p.FaultStart:
+				p.before.Record(delay)
+			case now < p.FaultEnd:
+				p.during.Record(delay)
+			default:
+				p.after.Record(delay)
+			}
+		}
+		p.started = true
+		p.lastEnd = now
+		return vmm.Compute(p.Chunk)
+	})
+}
+
+// MaxBefore returns the maximum delay observed before the fault window.
+func (p *PhasedProbe) MaxBefore() int64 { return p.before.Max() }
+
+// MaxDuring returns the maximum delay observed inside the fault window.
+func (p *PhasedProbe) MaxDuring() int64 { return p.during.Max() }
+
+// MaxAfter returns the maximum delay observed after the fault window.
+func (p *PhasedProbe) MaxAfter() int64 { return p.after.Max() }
+
+// Samples returns the total number of recorded delay samples.
+func (p *PhasedProbe) Samples() int64 {
+	return p.before.Count() + p.during.Count() + p.after.Count()
+}
+
 // PingSink is an echo responder: externally arriving pings wake the
 // vCPU, which answers each with a tiny compute burst. Latency is
 // recorded from arrival to response completion — the guest-scheduler-
