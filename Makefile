@@ -2,13 +2,22 @@
 
 GO ?= go
 
-.PHONY: build vet test race bench benchdiff fuzz ci
+.PHONY: build vet staticcheck test race bench benchdiff fuzz ci
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# staticcheck is optional tooling: run it when the host has it, stay
+# green when it does not (CI images do not install it).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -18,7 +27,8 @@ test:
 # board, the retrying planner client) or whose invariants those lean on.
 race:
 	$(GO) test -race ./internal/experiments ./internal/sim ./internal/planner \
-		./internal/dispatch ./internal/faults ./internal/plannersvc ./internal/vmm
+		./internal/dispatch ./internal/faults ./internal/plannersvc ./internal/vmm \
+		./internal/trace
 
 # Short fuzz smoke over the untrusted-input surface (the binary table
 # decoder). The corpus is seeded from round-tripped planner output; a
@@ -30,7 +40,8 @@ fuzz:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
 		./internal/sim ./internal/planner ./internal/table ./internal/dispatch \
-		./internal/stats ./internal/netdev ./internal/periodic
+		./internal/stats ./internal/netdev ./internal/periodic ./internal/trace \
+		./internal/experiments
 
 # Quick perf-regression check against the committed BENCH_*.json
 # snapshot. Timings on shared/small machines are noisy, so the gate
@@ -40,4 +51,4 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -count 1 -tolerance 40 -gate \
 		-out /tmp/tableau-benchdiff -against $$(ls BENCH_*.json | tail -1)
 
-ci: vet build test race fuzz benchdiff
+ci: vet staticcheck build test race fuzz benchdiff

@@ -4,7 +4,12 @@
 //
 // Usage:
 //
-//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation|chaos] [-csv dir] [-parallel N]
+//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation|chaos|fig5trace] [-csv dir] [-parallel N]
+//
+// fig5trace derives the Fig. 5 latency distribution from the binary
+// tracer instead of the in-guest probe; -trace-out DIR additionally
+// dumps its raw traces there for cmd/tableau-trace. -cpuprofile and
+// -memprofile write pprof profiles of the whole run.
 //
 // Quick mode (default) finishes in a few minutes on a laptop; full mode
 // approaches the paper's measurement volumes. The evaluation grid is a
@@ -18,6 +23,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"tableau/internal/experiments"
@@ -25,10 +32,28 @@ import (
 
 func main() {
 	modeFlag := flag.String("mode", "quick", "experiment scale: quick or full")
-	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation, chaos)")
+	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation, chaos, fig5trace)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
 	parallel := flag.Int("parallel", 0, "worker count for independent experiment cells (0 = GOMAXPROCS, 1 = serial)")
+	traceOut := flag.String("trace-out", "", "directory to write fig5trace's raw binary trace dumps (optional)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	experiments.SetParallelism(*parallel)
 	mode, err := experiments.ParseMode(*modeFlag)
@@ -126,6 +151,13 @@ func main() {
 		}
 		results = append(results, r)
 	}
+	if selected("fig5trace") {
+		r, err := experiments.Fig5Trace(mode, *traceOut)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	}
 
 	if len(results) == 0 {
 		fmt.Fprintf(os.Stderr, "experiments: nothing selected by -run %q\n", *runFlag)
@@ -143,5 +175,22 @@ func main() {
 			}
 			fmt.Printf("   wrote %s\n\n", path)
 		}
+	}
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
 	}
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	tableau-pland [-listen :7077] [-cache 256]
+//	tableau-pland [-listen :7077] [-cache 256] [-pprof 127.0.0.1:6060]
 //
 // API: POST /plan with a JSON body
 //
@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the -pprof listener
 	"os"
 	"os/signal"
 	"syscall"
@@ -41,7 +42,19 @@ func main() {
 	listen := flag.String("listen", ":7077", "address to listen on")
 	cacheSize := flag.Int("cache", 256, "central table-cache capacity")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// The pprof endpoint rides the default mux, kept off the service
+		// listener so profiling exposure is an explicit, separate bind.
+		go func() {
+			log.Printf("tableau-pland: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("tableau-pland: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	svc := plannersvc.NewServer(*cacheSize)
 	// Slow-client protection: a peer that dribbles headers or never

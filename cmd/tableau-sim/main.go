@@ -8,12 +8,18 @@
 //
 //	tableau-sim -scheduler tableau -workload web -rate 800 -size 102400 \
 //	            -bg io -capped=false -duration 5
+//
+// -trace-out FILE attaches the binary tracer and dumps the run in the
+// TBTRACE1 format for tableau-trace; -cpuprofile/-memprofile write
+// pprof profiles of the simulation itself.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"tableau/internal/experiments"
 	"tableau/internal/workload"
@@ -31,7 +37,23 @@ func main() {
 	size := flag.Int64("size", 100*1024, "web response size in bytes")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	trace := flag.Bool("trace", false, "print a per-core dispatch timeline for the first 2 ms")
+	traceOut := flag.String("trace-out", "", "write a binary trace dump (TBTRACE1) to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer writeMemProfile(*memProfile)
 
 	cfg := experiments.ScenarioConfig{
 		GuestCores: *cores,
@@ -41,6 +63,9 @@ func main() {
 		Background: experiments.BGKind(*bg),
 		Seed:       *seed,
 		Trace:      *trace,
+	}
+	if *traceOut != "" {
+		cfg.TraceRecords = experiments.TraceRingSize
 	}
 	duration := int64(*durationS * 1e9)
 
@@ -65,6 +90,7 @@ func main() {
 		fmt.Printf("  max:       %8.3f ms\n", float64(h.Max())/1e6)
 		printMachine(sc)
 		printTrace(sc)
+		dumpTrace(sc, *traceOut)
 	case "ping":
 		sink := &workload.PingSink{}
 		sc, err := experiments.Build(cfg, sink.Program())
@@ -82,6 +108,7 @@ func main() {
 		fmt.Printf("  max:       %8.3f ms\n", float64(h.Max())/1e6)
 		printMachine(sc)
 		printTrace(sc)
+		dumpTrace(sc, *traceOut)
 	case "probe":
 		probe := &workload.Probe{}
 		sc, err := experiments.Build(cfg, probe.Program())
@@ -95,6 +122,7 @@ func main() {
 		fmt.Printf("  max delay:  %8.3f ms\n", float64(probe.MaxDelay())/1e6)
 		printMachine(sc)
 		printTrace(sc)
+		dumpTrace(sc, *traceOut)
 	default:
 		fmt.Fprintf(os.Stderr, "tableau-sim: unknown workload %q\n", *wl)
 		os.Exit(2)
@@ -124,6 +152,41 @@ func printMachine(sc *experiments.Scenario) {
 		ds := sc.Dispatcher.Stats()
 		fmt.Printf("tableau dispatcher: %d table dispatches, %d second-level, %d idle decisions, %d table switches\n",
 			ds.TableDispatches, ds.SecondLevelDispatches, ds.IdleDecisions, ds.TableSwitches)
+	}
+}
+
+// dumpTrace flushes residency and writes the binary trace dump.
+func dumpTrace(sc *experiments.Scenario, path string) {
+	if path == "" || sc.Tracer == nil {
+		return
+	}
+	sc.Tracer.FlushResidency(sc.M.Now())
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	err = sc.Tracer.Encode(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote trace to %s\n", path)
+}
+
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,255 @@
+package dispatch
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"tableau/internal/sim"
+	"tableau/internal/table"
+	"tableau/internal/vmm"
+)
+
+// The tests in this file pin down the degraded-mode double-adoption
+// bugs: a core that fail-stops while a table switch is staged must be
+// counted in the adoption quorum exactly once (and a live core's
+// repeated invocations must not be counted as repeated adoptions), the
+// switch must complete the moment the last holdout dies, and stranded
+// vCPUs must be remapped against the table the survivors actually
+// enact — ending up in at most one second-level queue.
+
+// boundaryTables builds a 3-core, 3-vCPU pair of tables: v0 is capped
+// and reserved only on core 2 in the old generation, but moves to core
+// 1 in the new one; v1/v2 are uncapped second-level citizens homed on
+// cores 0/1.
+func boundaryTables(t *testing.T) (*table.Table, *table.Table) {
+	t.Helper()
+	vcpus := []table.VCPUInfo{
+		{Name: "v0", Capped: true, HomeCore: 2},
+		{Name: "v1", HomeCore: 0},
+		{Name: "v2", HomeCore: 1},
+	}
+	old := buildTable(t, 100_000, vcpus, [][]table.Alloc{
+		{al(0, 50_000, 1)},
+		{al(0, 50_000, 2)},
+		{al(0, 50_000, 0)},
+	})
+	vcpus2 := []table.VCPUInfo{
+		{Name: "v0", Capped: true, HomeCore: 1},
+		{Name: "v1", HomeCore: 0},
+		{Name: "v2", HomeCore: 1},
+	}
+	next := buildTable(t, 100_000, vcpus2, [][]table.Alloc{
+		{al(0, 50_000, 1)},
+		{al(0, 50_000, 0), al(50_000, 100_000, 2)},
+		{},
+	})
+	next.Generation = 2
+	return old, next
+}
+
+// boundaryDispatcher assembles a dispatcher attached to a 3-core
+// machine without starting it, so the test can drive PickNext and
+// OnCoreFail with exact timestamps.
+func boundaryDispatcher(t *testing.T, old *table.Table) (*Dispatcher, *vmm.Machine) {
+	t.Helper()
+	d := New(old, Options{})
+	m := vmm.New(sim.New(1), 3, d, vmm.NoOverheads())
+	m.AddVCPU("v0", spin(), 256, true)
+	m.AddVCPU("v1", spin(), 256, false)
+	m.AddVCPU("v2", spin(), 256, false)
+	d.Attach(m)
+	return d, m
+}
+
+// assertSingleMembership checks the degraded-mode invariant: no vCPU
+// may sit in more than one core's second-level queue.
+func assertSingleMembership(t *testing.T, d *Dispatcher) {
+	t.Helper()
+	for vid := range d.m.VCPUs {
+		homes := 0
+		for c := range d.cores {
+			if d.cores[c].l2Member[vid] {
+				homes++
+			}
+		}
+		if homes > 1 {
+			t.Errorf("vCPU %d is a second-level member on %d cores, want at most 1", vid, homes)
+		}
+	}
+}
+
+// TestAdoptionCountedOncePerCore re-invokes an already-adopted core
+// while the switch is still pending: the adoption stat must count each
+// live core once, and a core fail-stopping before its adoption must
+// not leave the switch dangling.
+func TestAdoptionCountedOncePerCore(t *testing.T) {
+	old, next := boundaryTables(t)
+	d, m := boundaryDispatcher(t, old)
+	if err := d.PushTable(next); err != nil {
+		t.Fatal(err)
+	}
+	const boundary = 100_000           // PushTable at t=0 arms the switch for cycle 1
+	d.PickNext(m.CPUs[0], boundary)    // core 0 adopts
+	d.PickNext(m.CPUs[0], boundary+10) // re-invocation while pending: not another adoption
+	d.PickNext(m.CPUs[1], boundary+20) // core 1 adopts
+	d.OnCoreFail(2, boundary+30)       // core 2 dies before ever crossing the boundary
+
+	if got := d.Stats().TableSwitches; got != 2 {
+		t.Errorf("TableSwitches = %d, want 2 (one per live core): re-invocations of an adopted core were counted as fresh adoptions", got)
+	}
+	if d.next != nil {
+		t.Error("switch still pending after every live core adopted and the holdout fail-stopped")
+	}
+	if d.ActiveTable() != next {
+		t.Error("staged table was not promoted")
+	}
+	assertSingleMembership(t, d)
+}
+
+// TestFailStopOnTableBoundaryCompletesSwitch fail-stops the last
+// non-adopted core exactly on the activation boundary. The switch must
+// complete immediately — no surviving core will adopt on the dead
+// core's behalf later — and the stranded capped vCPU must be remapped
+// against the *new* table, where it has a live reservation and thus
+// needs no emergency second-level grant.
+func TestFailStopOnTableBoundaryCompletesSwitch(t *testing.T) {
+	old, next := boundaryTables(t)
+	d, m := boundaryDispatcher(t, old)
+	if err := d.PushTable(next); err != nil {
+		t.Fatal(err)
+	}
+	const boundary = 100_000
+	d.PickNext(m.CPUs[0], boundary)
+	d.PickNext(m.CPUs[1], boundary)
+	if d.next == nil {
+		t.Fatal("switch completed with core 2 still unadopted")
+	}
+	d.OnCoreFail(2, boundary) // fail-stop exactly on the boundary
+
+	if d.ActiveTable() != next {
+		t.Fatalf("active table generation %d after the holdout fail-stopped, want %d: OnCoreFail did not complete the adoption quorum", d.ActiveTable().Generation, next.Generation)
+	}
+	if d.next != nil {
+		t.Error("switch still pending")
+	}
+	// In the new table v0 is reserved on live core 1: remapping it as an
+	// emergency second-level member (as the old table would demand)
+	// would both void its guarantee bookkeeping and double its dispatch
+	// paths.
+	if d.emergency[0] {
+		t.Error("v0 got an emergency second-level grant despite a live reservation in the adopted table: remap ran against the superseded table")
+	}
+	if got := d.Stats().RemappedVCPUs; got != 0 {
+		t.Errorf("RemappedVCPUs = %d, want 0", got)
+	}
+	assertSingleMembership(t, d)
+
+	// The dead core's failure must still be reflected, and wakeups for
+	// v0 must route to its new reservation core.
+	if !d.Degraded() || len(d.FailedCoreIDs()) != 1 || d.FailedCoreIDs()[0] != 2 {
+		t.Errorf("failure bookkeeping wrong: degraded=%v failed=%v", d.Degraded(), d.FailedCoreIDs())
+	}
+}
+
+// TestSwitchBoardMarkFailedAdoptionRace interleaves a core's own
+// boundary crossing with the control plane marking that same core
+// failed — the machine tears cores down asynchronously from the
+// planning daemon, so both adoption paths can run at the same instant
+// on a real parallel host. No interleaving may count the core twice in
+// the adoption quorum: if it is, the staged generation retires before
+// the remaining cores adopt, and they are stranded on the old table
+// forever. The adoptPause hook injects the other party's adoption into
+// the exact load-to-flip window a parallel machine could hit, making
+// the interleaving reproducible on any GOMAXPROCS.
+func TestSwitchBoardMarkFailedAdoptionRace(t *testing.T) {
+	t0 := miniTable(t, 1)
+	t1 := miniTable(t, 2)
+	cases := []struct {
+		name string
+		// interrupt is what fires inside the first party's adopt window.
+		run, interrupt func(s *SwitchBoard)
+	}{
+		{
+			name:      "MarkFailedDuringTableFor",
+			run:       func(s *SwitchBoard) { s.TableFor(1, 150_000) },
+			interrupt: func(s *SwitchBoard) { s.MarkFailed(1) },
+		},
+		{
+			name:      "TableForDuringMarkFailed",
+			run:       func(s *SwitchBoard) { s.MarkFailed(1) },
+			interrupt: func(s *SwitchBoard) { s.TableFor(1, 150_000) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := NewSwitchBoard(2, t0)
+			if _, err := s.Push(t1, 10_000); err != nil {
+				t.Fatal(err)
+			}
+			// A plain flag, not sync.Once: the nested adoption re-enters
+			// the hook on the same goroutine, and Once.Do is not
+			// reentrant.
+			fired := false
+			s.adoptPause = func(core int) {
+				if core != 1 || fired {
+					return
+				}
+				fired = true
+				tc.interrupt(s)
+			}
+			tc.run(s)
+			s.adoptPause = nil
+			// Core 0 has yet to adopt: its own crossing must still find
+			// the staged table, however core 1's two adoptions interleaved.
+			if got := s.TableFor(0, 150_000); got != t1 {
+				t.Fatalf("core 0 sees generation %d after crossing the boundary, want %d: core 1 was counted twice and the staged table retired early", got.Generation, t1.Generation)
+			}
+			if s.Pending() {
+				t.Fatal("switch still pending after every core adopted")
+			}
+		})
+	}
+}
+
+// TestSwitchBoardMarkFailedConcurrent is the same race run with real
+// goroutines — primarily a race detector target, so it needs actual
+// parallelism to exercise anything.
+func TestSwitchBoardMarkFailedConcurrent(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("needs GOMAXPROCS >= 2 to race the adoption paths")
+	}
+	t0 := miniTable(t, 1)
+	t1 := miniTable(t, 2)
+	iters := 2000
+	if testing.Short() {
+		iters = 200
+	}
+	for iter := 0; iter < iters; iter++ {
+		s := NewSwitchBoard(2, t0)
+		if _, err := s.Push(t1, 10_000); err != nil {
+			t.Fatal(err)
+		}
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			<-start
+			s.TableFor(1, 150_000)
+		}()
+		go func() {
+			defer wg.Done()
+			<-start
+			s.MarkFailed(1)
+		}()
+		close(start)
+		wg.Wait()
+		if got := s.TableFor(0, 150_000); got != t1 {
+			t.Fatalf("iter %d: core 0 sees generation %d, want %d", iter, got.Generation, t1.Generation)
+		}
+		if s.Pending() {
+			t.Fatalf("iter %d: switch still pending after every core adopted", iter)
+		}
+	}
+}

@@ -44,6 +44,16 @@ func (d *Dispatcher) OnCoreFail(core int, now int64) {
 			d.ipiWanted[vid] = -1
 		}
 	}
+	// A dead core leaves the adoption quorum. If a table switch was
+	// pending and this core was the last holdout, the switch must
+	// complete here — no surviving core will re-enter the adoption path
+	// on its behalf, and remapping the stranded vCPUs against the old
+	// table while every live core enacts the new one would hand out
+	// emergency memberships (and thus dispatch queues) the new table
+	// contradicts.
+	if d.next != nil {
+		d.completeSwitch()
+	}
 	d.remapStranded(d.active)
 	// Kick every survivor so the new membership takes effect on their
 	// next decision rather than at their next natural boundary.

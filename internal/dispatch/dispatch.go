@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"tableau/internal/table"
+	"tableau/internal/trace"
 	"tableau/internal/vmm"
 )
 
@@ -104,6 +105,10 @@ type Dispatcher struct {
 	failed    []bool
 	emergency []bool
 
+	// tr is the machine's scheduling tracer, cached at Attach; nil when
+	// tracing is off.
+	tr *trace.Tracer
+
 	stats Stats
 }
 
@@ -129,6 +134,7 @@ func (d *Dispatcher) Stats() Stats { return d.stats }
 // Attach implements vmm.Scheduler.
 func (d *Dispatcher) Attach(m *vmm.Machine) {
 	d.m = m
+	d.tr = m.Tracer()
 	if len(d.active.VCPUs) != len(m.VCPUs) {
 		panic(fmt.Sprintf("dispatch: table has %d vCPUs, machine has %d", len(d.active.VCPUs), len(m.VCPUs)))
 	}
@@ -251,6 +257,9 @@ func (d *Dispatcher) PushTable(tbl *table.Table) error {
 	} else {
 		d.nextAt = cycle + 2
 	}
+	if d.tr != nil {
+		d.tr.Emit(trace.EvPlannerCall, -1, now, -1, int64(tbl.Generation), d.nextAt)
+	}
 	return nil
 }
 
@@ -262,28 +271,16 @@ func (d *Dispatcher) tableFor(c int, now int64) *table.Table {
 		// All cycle arithmetic is in units of the *old* table length,
 		// which is the length that defined nextAt.
 		if now/d.active.Len >= d.nextAt {
-			// This core crosses into the new generation.
-			cs.tbl = d.next
-			d.stats.TableSwitches++
-			// Once every live core has adopted it, promote (garbage-
-			// collect the old table, "two rounds after upload"). Failed
-			// cores never invoke the dispatcher again, so they are
-			// excluded from the adoption quorum.
-			all := true
-			for i := range d.cores {
-				if d.failed[i] {
-					continue
+			// This core crosses into the new generation — once. A core
+			// invoked again while other cores are still short of the
+			// boundary must not be counted as a second adoption.
+			if cs.tbl != d.next {
+				cs.tbl = d.next
+				d.stats.TableSwitches++
+				if d.tr != nil {
+					d.tr.Emit(trace.EvTableSwitch, c, now, -1, int64(d.next.Generation), d.nextAt)
 				}
-				if d.cores[i].tbl != d.next {
-					all = false
-					break
-				}
-			}
-			if all {
-				d.active = d.next
-				d.next = nil
-				d.rebuildMembership(d.active)
-				d.rebuildWakeIndex(d.active)
+				d.completeSwitch()
 			}
 			return cs.tbl
 		}
@@ -292,6 +289,26 @@ func (d *Dispatcher) tableFor(c int, now int64) *table.Table {
 		cs.tbl = d.active
 	}
 	return cs.tbl
+}
+
+// completeSwitch promotes the staged table once every live core has
+// adopted it (garbage-collecting the old one, "two rounds after
+// upload"). Failed cores never invoke the dispatcher again, so they are
+// excluded from the adoption quorum; OnCoreFail re-runs this check in
+// case the dying core was the last holdout.
+func (d *Dispatcher) completeSwitch() {
+	for i := range d.cores {
+		if d.failed[i] {
+			continue
+		}
+		if d.cores[i].tbl != d.next {
+			return
+		}
+	}
+	d.active = d.next
+	d.next = nil
+	d.rebuildMembership(d.active)
+	d.rebuildWakeIndex(d.active)
 }
 
 // PickNext implements vmm.Scheduler: the Tableau hot path.
@@ -342,6 +359,9 @@ func (d *Dispatcher) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
 			d.owner[v.ID] = c
 			d.stats.SecondLevelDispatches++
 			d.stats.PerVCPUSecond[v.ID]++
+			if d.tr != nil {
+				d.tr.Emit(trace.EvL2Pick, c, now, v.ID, budget, 0)
+			}
 			end := now + budget
 			if until < end {
 				end = until

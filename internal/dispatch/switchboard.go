@@ -33,6 +33,11 @@ type SwitchBoard struct {
 	// so MarkFailed and Push adopt staged tables on their behalf to keep
 	// the adoption quorum (== all cores) reachable.
 	failed []atomic.Bool
+
+	// adoptPause, when non-nil, runs inside adopt's load-to-CAS window.
+	// Test-only: it lets a single-threaded test interleave the other
+	// party's adoption exactly where a parallel machine could.
+	adoptPause func(core int)
 }
 
 // ErrSwitchPending is returned by Push while a previous switch has not
@@ -79,8 +84,8 @@ func (s *SwitchBoard) Push(tbl *table.Table, now int64) (int64, error) {
 	// Fail-stopped cores will never cross the activation boundary
 	// themselves; adopt on their behalf so the quorum stays reachable.
 	for c := range s.coreTables {
-		if s.failed[c].Load() && s.coreTables[c].Load() != tbl {
-			s.adoptOnBehalf(c, tbl)
+		if s.failed[c].Load() {
+			s.adopt(c, tbl)
 		}
 	}
 	return at, nil
@@ -96,21 +101,40 @@ func (s *SwitchBoard) MarkFailed(core int) {
 	if s.failed[core].Swap(true) {
 		return
 	}
-	if staged := s.staged.Load(); staged != nil && s.coreTables[core].Load() != staged {
-		s.adoptOnBehalf(core, staged)
+	if staged := s.staged.Load(); staged != nil {
+		s.adopt(core, staged)
 	}
 }
 
 // Failed reports whether core has been marked fail-stopped.
 func (s *SwitchBoard) Failed(core int) bool { return s.failed[core].Load() }
 
-// adoptOnBehalf performs the adoption step for a core that cannot do it
-// itself; the caller guarantees the core has not adopted staged yet.
-func (s *SwitchBoard) adoptOnBehalf(core int, staged *table.Table) {
-	s.coreTables[core].Store(staged)
-	if int(s.adopted.Add(1)) == len(s.coreTables) {
-		s.activeLen.Store(staged.Len)
-		s.staged.Store(nil)
+// adopt moves core onto the staged table and counts it toward the
+// adoption quorum, exactly once per core per generation. MarkFailed's
+// adopt-on-behalf races the core's own in-flight TableFor (the machine
+// tears a core down asynchronously from the control plane), so the
+// pointer flip must be a compare-and-swap: a plain load-check-store
+// pair lets both parties observe the pre-switch table and both
+// increment adopted, retiring the staged generation before every core
+// has actually moved — the survivors that never adopted are then
+// stranded on the old table forever. The CAS loses to whichever party
+// flipped the pointer first and reports false without counting.
+func (s *SwitchBoard) adopt(core int, staged *table.Table) bool {
+	for {
+		cur := s.coreTables[core].Load()
+		if cur == staged {
+			return false // already adopted (possibly by the racing party)
+		}
+		if h := s.adoptPause; h != nil {
+			h(core)
+		}
+		if s.coreTables[core].CompareAndSwap(cur, staged) {
+			if int(s.adopted.Add(1)) == len(s.coreTables) {
+				s.activeLen.Store(staged.Len)
+				s.staged.Store(nil)
+			}
+			return true
+		}
 	}
 }
 
@@ -125,16 +149,11 @@ func (s *SwitchBoard) TableFor(core int, now int64) *table.Table {
 	if now/s.activeLen.Load() < s.activate.Load() {
 		return cur
 	}
-	// Cross the activation boundary: adopt.
-	s.coreTables[core].Store(staged)
-	if int(s.adopted.Add(1)) == len(s.coreTables) {
-		// Last adopter retires the old generation ("two rounds after a
-		// new table has been uploaded, the previous table is
-		// garbage-collected") — here the GC is letting the old pointer
-		// drop; the length of the new table becomes authoritative.
-		s.activeLen.Store(staged.Len)
-		s.staged.Store(nil)
-	}
+	// Cross the activation boundary: adopt. The last adopter retires the
+	// old generation ("two rounds after a new table has been uploaded,
+	// the previous table is garbage-collected") — here the GC is letting
+	// the old pointer drop; the new table's length becomes authoritative.
+	s.adopt(core, staged)
 	return staged
 }
 

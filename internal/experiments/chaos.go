@@ -47,6 +47,14 @@ type ChaosPoint struct {
 // cell triggers core.System.EmergencyReplan 10 ms after the failure,
 // like a control plane reacting to a machine-check notification.
 func RunChaos(kind SchedulerKind, fault string, mode Mode, seed int64) (ChaosPoint, error) {
+	p, _, err := runChaos(kind, fault, mode, seed, 0)
+	return p, err
+}
+
+// runChaos is RunChaos with an optional binary tracer attached
+// (traceRecords > 0); it also returns the scenario so traced callers
+// can reach the tracer.
+func runChaos(kind SchedulerKind, fault string, mode Mode, seed int64, traceRecords int) (ChaosPoint, *Scenario, error) {
 	horizon := int64(2_000_000_000)
 	if mode == Full {
 		horizon = 10_000_000_000
@@ -63,9 +71,10 @@ func RunChaos(kind SchedulerKind, fault string, mode Mode, seed int64) (ChaosPoi
 	}
 	cfg = cfg.withDefaults()
 	cfg.Population = (cfg.GuestCores - 1) * cfg.VMsPerCore
+	cfg.TraceRecords = traceRecords
 	sc, err := Build(cfg, probe.Program())
 	if err != nil {
-		return ChaosPoint{}, err
+		return ChaosPoint{}, nil, err
 	}
 
 	// Fail the probe's home core under Tableau — the dead core takes the
@@ -96,11 +105,11 @@ func RunChaos(kind SchedulerKind, fault string, mode Mode, seed int64) (ChaosPoi
 	case faults.KindIPIDrop:
 		ev = faults.Event{Kind: fault, At: faultStart, Duration: window, Core: -1}
 	default:
-		return ChaosPoint{}, fmt.Errorf("experiments: unknown chaos fault %q", fault)
+		return ChaosPoint{}, nil, fmt.Errorf("experiments: unknown chaos fault %q", fault)
 	}
 	plan := &faults.Plan{Seed: seed, Events: []faults.Event{ev}}
 	if _, err := faults.Attach(sc.M, plan); err != nil {
-		return ChaosPoint{}, err
+		return ChaosPoint{}, nil, err
 	}
 
 	recovery := "-"
@@ -124,6 +133,7 @@ func RunChaos(kind SchedulerKind, fault string, mode Mode, seed int64) (ChaosPoi
 	sc.M.Start()
 	sc.M.Run(horizon)
 	sc.M.Stop()
+	sc.Tracer.FlushResidency(sc.M.Now())
 	return ChaosPoint{
 		Scheduler: kind,
 		Fault:     fault,
@@ -132,7 +142,7 @@ func RunChaos(kind SchedulerKind, fault string, mode Mode, seed int64) (ChaosPoi
 		MaxAfter:  probe.MaxAfter(),
 		Recovery:  recovery,
 		Samples:   probe.Samples(),
-	}, nil
+	}, sc, nil
 }
 
 // Chaos runs the full fault matrix and renders it.

@@ -16,6 +16,7 @@ import (
 	"tableau/internal/schedulers/credit2"
 	"tableau/internal/schedulers/rtds"
 	"tableau/internal/sim"
+	"tableau/internal/trace"
 	"tableau/internal/traceutil"
 	"tableau/internal/vmm"
 )
@@ -99,6 +100,11 @@ type ScenarioConfig struct {
 	Timed bool
 	// Trace wraps the scheduler to record every dispatch decision.
 	Trace bool
+	// TraceRecords > 0 attaches a binary tracer (internal/trace) with
+	// per-pCPU rings of that many records. Unlike Trace/Timed this does
+	// not wrap the scheduler: the machine and dispatcher emit records
+	// directly, so the hot path stays allocation-free.
+	TraceRecords int
 }
 
 func (c ScenarioConfig) withDefaults() ScenarioConfig {
@@ -131,6 +137,7 @@ type Scenario struct {
 	Dispatcher *dispatch.Dispatcher      // non-nil when Scheduler == Tableau
 	Timed      *traceutil.TimedScheduler // non-nil when Cfg.Timed
 	Recorder   *traceutil.Recorder       // non-nil when Cfg.Trace
+	Tracer     *trace.Tracer             // non-nil when Cfg.TraceRecords > 0
 }
 
 // Build assembles the scenario. vantageProg runs in the vantage VM;
@@ -213,6 +220,10 @@ func Build(cfg ScenarioConfig, vantageProg vmm.Program) (*Scenario, error) {
 	}
 	m := vmm.New(sim.New(cfg.Seed), cfg.GuestCores, sched, ov)
 	sc.M = m
+	if cfg.TraceRecords > 0 {
+		sc.Tracer = trace.New(cfg.TraceRecords)
+		m.SetTracer(sc.Tracer)
+	}
 	sc.Vantage = m.AddVCPU(vmName(0), vantageProg, 256, cfg.Capped)
 	for i := 1; i < n; i++ {
 		m.AddVCPU(vmName(i), bgProgram(cfg, i), 256, cfg.Capped)

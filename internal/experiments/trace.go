@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"tableau/internal/trace"
+	"tableau/internal/workload"
+)
+
+// Trace-backed experiments: the same scenarios as Fig. 5 and the chaos
+// matrix, but with the binary tracer attached, so the reported numbers
+// are derived from the record stream rather than from probes embedded
+// in the guest. Because trace.Analyze replays the identical observe
+// path over a decoded dump, `tableau-trace summarize` on the dumped
+// file reproduces these rows exactly.
+
+// TraceRingSize is the per-pCPU ring capacity traced experiments use:
+// large enough that a quick-mode run never overwrites (lost records
+// would make offline summaries partial).
+const TraceRingSize = 1 << 18
+
+// RunIntrinsicTraced is RunIntrinsic with the binary tracer attached;
+// it returns the tracer alongside the probe's numbers.
+func RunIntrinsicTraced(kind SchedulerKind, capped bool, bg BGKind, mode Mode, seed int64) (IntrinsicPoint, *trace.Tracer, error) {
+	probe := &workload.Probe{Chunk: 10_000}
+	sc, err := Build(ScenarioConfig{
+		Scheduler:    kind,
+		Capped:       capped,
+		Background:   bg,
+		Seed:         seed,
+		TraceRecords: TraceRingSize,
+	}, probe.Program())
+	if err != nil {
+		return IntrinsicPoint{}, nil, err
+	}
+	horizon := int64(2_000_000_000)
+	if mode == Full {
+		horizon = 10_000_000_000
+	}
+	sc.M.Start()
+	sc.M.Run(horizon)
+	sc.M.Stop()
+	sc.Tracer.FlushResidency(sc.M.Now())
+	return IntrinsicPoint{
+		Scheduler:  kind,
+		Capped:     capped,
+		Background: bg,
+		MaxDelay:   probe.MaxDelay(),
+		Samples:    probe.Delays().Count(),
+	}, sc.Tracer, nil
+}
+
+// ChaosTraced runs one chaos cell with the binary tracer attached. The
+// Tableau fail-stop cell is the golden-determinism scenario: it
+// exercises fault injection, degraded-mode dispatch, and an emergency
+// replan, all visible in the trace.
+func ChaosTraced(kind SchedulerKind, fault string, mode Mode, seed int64) (ChaosPoint, *trace.Tracer, error) {
+	p, sc, err := runChaos(kind, fault, mode, seed, TraceRingSize)
+	if err != nil {
+		return ChaosPoint{}, nil, err
+	}
+	return p, sc.Tracer, nil
+}
+
+// fig5TraceCells are the traced latency-CDF cells: the paper's two
+// poles under the heaviest background load, capped.
+var fig5TraceCells = []SchedulerKind{Tableau, Credit}
+
+// Fig5Trace derives the Fig. 5-style scheduling-latency distribution of
+// the vantage VM from the trace instead of the in-guest probe: each
+// row reports CDF quantiles of the vCPU's runnable→running wait. When
+// traceDir is non-empty the raw dump of each cell is written there as
+// fig5trace_<scheduler>.trace for tableau-trace to consume.
+func Fig5Trace(mode Mode, traceDir string) (*Result, error) {
+	r := &Result{
+		Name:   "fig5trace",
+		Title:  "Vantage-VM scheduling-latency CDF derived from the binary trace (capped, CPU background)",
+		Header: []string{"scheduler", "p50_ms", "p90_ms", "p99_ms", "max_ms", "samples", "probe_max_ms", "records"},
+		Note:   "Quantiles come from the trace's runnable-to-running wait histogram, not the guest probe; probe_max_ms is the in-guest Fig. 5 number for cross-checking. tableau-trace summarize on the dumped .trace files reproduces these rows.",
+	}
+	type cellOut struct {
+		point  IntrinsicPoint
+		tracer *trace.Tracer
+	}
+	outs, err := Collect(len(fig5TraceCells), func(i int) (cellOut, error) {
+		p, tr, err := RunIntrinsicTraced(fig5TraceCells[i], true, BGCPU, mode, 42)
+		return cellOut{p, tr}, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range outs {
+		vm := &out.tracer.Metrics().VMs[0] // vantage VM is vCPU 0
+		lat := &vm.SchedLatency
+		records := int64(len(out.tracer.Merged()))
+		r.Rows = append(r.Rows, []string{
+			string(fig5TraceCells[i]),
+			ms(lat.Quantile(0.50)), ms(lat.Quantile(0.90)), ms(lat.Quantile(0.99)), ms(lat.Max()),
+			itoa(lat.Count()), ms(out.point.MaxDelay), itoa(records),
+		})
+		if traceDir != "" {
+			if err := os.MkdirAll(traceDir, 0o755); err != nil {
+				return nil, err
+			}
+			path := filepath.Join(traceDir, fmt.Sprintf("fig5trace_%s.trace", fig5TraceCells[i]))
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			err = out.tracer.Encode(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"tableau/internal/faults"
+	"tableau/internal/trace"
+)
+
+func encodeTrace(t *testing.T, tr *trace.Tracer) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestChaosTraceGolden is the golden-determinism check for the richest
+// traced scenario: a Tableau fail-stop cell with degraded-mode dispatch
+// and an emergency replan. The same seed must produce byte-identical
+// trace dumps, and the dump must actually contain the fault and the
+// replan (otherwise determinism is vacuous).
+func TestChaosTraceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full chaos cells")
+	}
+	_, tr1, err := ChaosTraced(Tableau, faults.KindPCPUFailStop, Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tr2, err := ChaosTraced(Tableau, faults.KindPCPUFailStop, Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := encodeTrace(t, tr1), encodeTrace(t, tr2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("identical seeded chaos runs produced different trace bytes")
+	}
+
+	var sawFault, sawReplan, sawSwitch bool
+	for _, r := range tr1.Merged() {
+		switch r.Type {
+		case trace.EvFaultInjected:
+			if r.Arg0 == trace.FaultFailStop {
+				sawFault = true
+			}
+		case trace.EvPlannerCall:
+			sawReplan = true
+		case trace.EvTableSwitch:
+			sawSwitch = true
+		}
+	}
+	if !sawFault || !sawReplan || !sawSwitch {
+		t.Fatalf("golden trace missing events: failstop=%v replan=%v tableswitch=%v",
+			sawFault, sawReplan, sawSwitch)
+	}
+
+	d, err := trace.Decode(bytes.NewReader(b1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Lost() != 0 {
+		t.Fatalf("golden trace overflowed its rings (%d lost) — grow TraceRingSize", d.Lost())
+	}
+}
+
+// TestTracedCellsIdenticalAcrossParallelism fans the same traced cells
+// out serially and across 8 workers; every cell's dump must be
+// byte-identical either way. Each cell owns its engine and tracer, so
+// worker count must be invisible in the bytes.
+func TestTracedCellsIdenticalAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs eight traced cells")
+	}
+	cells := []struct {
+		kind SchedulerKind
+		bg   BGKind
+	}{
+		{Tableau, BGCPU},
+		{Tableau, BGIO},
+		{Credit, BGCPU},
+		{Credit, BGIO},
+	}
+	runAll := func(workers int) [][]byte {
+		old := Parallelism()
+		SetParallelism(workers)
+		defer SetParallelism(old)
+		dumps, err := Collect(len(cells), func(i int) ([]byte, error) {
+			_, tr, err := RunIntrinsicTraced(cells[i].kind, true, cells[i].bg, Quick, 42)
+			if err != nil {
+				return nil, err
+			}
+			return encodeTrace(t, tr), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dumps
+	}
+	serial := runAll(1)
+	fanned := runAll(8)
+	for i := range cells {
+		if !bytes.Equal(serial[i], fanned[i]) {
+			t.Errorf("cell %d (%s/%s): trace bytes differ between -parallel 1 and 8",
+				i, cells[i].kind, cells[i].bg)
+		}
+	}
+}
+
+// TestTraceAgreesWithProbe checks the trace-derived scheduling latency
+// of the vantage VM against the in-guest probe. The two measure the
+// same phenomenon through different instruments — the probe sees gaps
+// in its own compute cadence, the trace sees runnable→running waits —
+// so they agree to within dispatch overheads, not exactly.
+func TestTraceAgreesWithProbe(t *testing.T) {
+	p, tr, err := RunIntrinsicTraced(Tableau, true, BGCPU, Quick, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := &tr.Metrics().VMs[0]
+	traceMax := vm.SchedLatency.Max()
+	if vm.SchedLatency.Count() == 0 || traceMax == 0 {
+		t.Fatalf("trace recorded no scheduling latency for the vantage VM")
+	}
+	// A probe gap spans at least one full descheduled interval, so the
+	// trace maximum cannot meaningfully exceed the probe maximum; and a
+	// probe gap is one wait plus bounded per-dispatch overheads, so the
+	// probe maximum cannot exceed the trace maximum by more than 50%.
+	slack := traceMax / 2
+	if traceMax > p.MaxDelay+slack || p.MaxDelay > traceMax+slack {
+		t.Errorf("trace max latency %d ns and probe max delay %d ns diverge beyond 50%%",
+			traceMax, p.MaxDelay)
+	}
+}

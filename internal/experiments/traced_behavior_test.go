@@ -1,0 +1,30 @@
+package experiments
+
+import (
+	"testing"
+
+	"tableau/internal/workload"
+)
+
+// TestTracedRunBehaviorUnchanged pins the tracer's zero-interference
+// property: attaching it must not change a single scheduling decision,
+// only record them.
+func TestTracedRunBehaviorUnchanged(t *testing.T) {
+	run := func(records int) (int64, int64, int64) {
+		probe := &workload.Probe{Chunk: 10_000}
+		sc, err := Build(ScenarioConfig{Scheduler: Tableau, Capped: true, Background: BGCPU, Seed: 42, TraceRecords: records}, probe.Program())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.M.Start()
+		sc.M.Run(500_000_000)
+		sc.M.Stop()
+		return probe.MaxDelay(), sc.M.Stats.ScheduleOps, sc.M.Stats.WakeupOps
+	}
+	d1, s1, w1 := run(0)
+	d2, s2, w2 := run(1 << 12)
+	if d1 != d2 || s1 != s2 || w1 != w2 {
+		t.Fatalf("tracing changed behavior: untraced (%d,%d,%d) traced (%d,%d,%d)", d1, s1, w1, d2, s2, w2)
+	}
+	t.Logf("identical: maxdelay=%d scheduleops=%d wakeups=%d", d1, s1, w1)
+}

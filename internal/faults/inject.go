@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"tableau/internal/netdev"
+	"tableau/internal/trace"
 	"tableau/internal/vmm"
 )
 
@@ -99,11 +100,37 @@ func Attach(m *vmm.Machine, plan *Plan, nics ...*netdev.NIC) (*Injector, error) 
 
 // logWindowOpen schedules a log entry at the window's opening edge so
 // the applied log interleaves window faults with discrete ones in
-// simulation order.
+// simulation order. The opening is also emitted to the machine's
+// scheduling trace; fail-stops and stalls are traced by the machine
+// itself at delivery.
 func (inj *Injector) logWindowOpen(m *vmm.Machine, e Event) {
 	m.Eng.At(e.At, func(now int64) {
 		inj.applied = append(inj.applied, Applied{Event: e, At: now})
+		if t := m.Tracer(); t != nil {
+			core := e.Core
+			if e.Kind == KindNICDrop {
+				core = -1 // Core is a NIC index, not a pCPU: control ring
+			}
+			t.Emit(trace.EvFaultInjected, core, now, -1, traceFaultKind(e.Kind), e.Delay)
+		}
 	})
+}
+
+// traceFaultKind maps a fault kind to its trace-format code.
+func traceFaultKind(k string) int64 {
+	switch k {
+	case KindPCPUFailStop:
+		return trace.FaultFailStop
+	case KindPCPUStall:
+		return trace.FaultStall
+	case KindTimerDrift:
+		return trace.FaultTimerDrift
+	case KindIPIDrop:
+		return trace.FaultIPIDrop
+	case KindIPIDelay:
+		return trace.FaultIPIDelay
+	}
+	return trace.FaultNICDrop
 }
 
 // ipiFault implements the Machine IPI hook: pure in (core, now).

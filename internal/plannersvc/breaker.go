@@ -92,6 +92,20 @@ func (b *Breaker) RecordFailure() {
 	}
 }
 
+// RecordCancel reports that an admitted attempt was abandoned because
+// the caller's context was cancelled before an outcome was known. A
+// cancellation says nothing about the daemon's health, so it must not
+// count toward the failure threshold, and — unlike RecordFailure — it
+// must not restart an open breaker's cooldown: the probe slot is simply
+// returned, so the next Allow after the original cooldown admits a
+// fresh probe instead of the breaker staying latched open (or, worse,
+// the abandoned probe being mistaken for a verdict).
+func (b *Breaker) RecordCancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.halfOpen = false
+}
+
 // State returns "closed", "open", or "half-open" for diagnostics.
 func (b *Breaker) State() string {
 	b.mu.Lock()

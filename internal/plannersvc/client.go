@@ -105,6 +105,17 @@ func (c *Client) PlanContext(ctx context.Context, req PlanRequest) (*table.Table
 			}
 			return tbl, resp, nil
 		}
+		if ctx.Err() != nil {
+			// The caller gave up mid-attempt: the failure is
+			// cancellation-induced and says nothing about the daemon.
+			// Feeding it to the breaker would latch a half-open circuit
+			// shut (or restart an open one's cooldown), and retrying
+			// would burn attempts on a request nobody is waiting for.
+			if c.Breaker != nil {
+				c.Breaker.RecordCancel()
+			}
+			return nil, nil, ctx.Err()
+		}
 		pe, ok := err.(*planError)
 		if ok && !pe.retryable {
 			// The daemon answered definitively (bad request, rejected

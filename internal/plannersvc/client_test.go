@@ -344,3 +344,84 @@ func TestHealthzJSON(t *testing.T) {
 		t.Errorf("POST /healthz = %d, want 405", post.StatusCode)
 	}
 }
+
+// TestCancelledAttemptDoesNotRetryOrTripBreaker covers the
+// cancellation half of the breaker contract: an attempt that dies
+// because the caller's context was cancelled is not evidence against
+// the daemon. It must not be recorded as a breaker failure and must not
+// consume further retry attempts.
+func TestCancelledAttemptDoesNotRetryOrTripBreaker(t *testing.T) {
+	var calls atomic.Int32
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release // hold the attempt open until the client cancels
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	br := &Breaker{Threshold: 1, Cooldown: time.Hour}
+	c := fastClient(srv.URL)
+	c.AttemptTimeout = time.Hour // only the caller's cancel ends the attempt
+	c.MaxAttempts = 5
+	c.Breaker = br
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := c.PlanContext(ctx, testRequest(2, 20_000_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want 1: cancelled attempts must not consume retries", n)
+	}
+	if st := br.State(); st != "closed" {
+		t.Fatalf("breaker %s after a cancelled attempt, want closed: with Threshold 1, recording the cancellation as a failure would have tripped it", st)
+	}
+}
+
+// TestHalfOpenProbeCancelledDoesNotLatch covers the half-open race: a
+// probe admitted after the cooldown whose caller then cancels must
+// neither close the breaker nor restart the cooldown. The slot is
+// returned, and — because the original cooldown has already elapsed —
+// the very next Allow admits a fresh probe.
+func TestHalfOpenProbeCancelledDoesNotLatch(t *testing.T) {
+	now := time.Unix(0, 0)
+	br := &Breaker{Threshold: 3, Cooldown: time.Second, now: func() time.Time { return now }}
+	for i := 0; i < 3; i++ {
+		br.RecordFailure()
+	}
+	if br.State() != "open" {
+		t.Fatalf("state = %s, want open", br.State())
+	}
+	now = now.Add(2 * time.Second) // cooldown elapsed: the next attempt is the half-open probe
+
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	c := fastClient(srv.URL)
+	c.AttemptTimeout = time.Hour
+	c.Breaker = br
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	_, _, err := c.PlanContext(ctx, testRequest(2, 20_000_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := br.State(); st != "open" {
+		t.Fatalf("breaker %s after a cancelled half-open probe, want open: a cancellation is not a verdict", st)
+	}
+	if !br.Allow() {
+		t.Fatal("breaker refused a fresh probe after a cancelled half-open attempt: the cancellation restarted the cooldown or latched the probe slot")
+	}
+}

@@ -227,4 +227,3 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(errorResponse{Error: err.Error()})
 }
-

@@ -19,6 +19,7 @@ package credit
 import (
 	"sort"
 
+	"tableau/internal/trace"
 	"tableau/internal/vmm"
 )
 
@@ -285,6 +286,11 @@ func (s *Scheduler) steal(c int) (int, bool) {
 		}
 		if i, ok := s.popRunnable(other.ID, prioUnder); ok {
 			s.st[i].cpu = c
+			if t := s.m.Tracer(); t != nil {
+				// Arg1 = 1 marks an explicit work-steal, as opposed to
+				// the machine-observed placement migration (Arg1 = 0).
+				t.Emit(trace.EvMigrate, c, s.m.Eng.Now(), i, int64(other.ID), 1)
+			}
 			return i, true
 		}
 	}

@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary trace format ("TBTRACE1"), all fields little-endian:
+//
+//	offset size  field
+//	0      8     magic "TBTRACE1"
+//	8      4     version (currently 1)
+//	12     2     ncpus   (pCPU count; rings beyond it are control rings)
+//	14     2     nvcpus
+//	16     2     nrings
+//	18     2     reserved (0)
+//	20     8     end_time (int64 ns; residency-flush instant, 0 if never)
+//
+// followed by nrings ring sections, each:
+//
+//	0      2     cpu (ring's pCPU id, or ControlCPU)
+//	2      2     reserved (0)
+//	4      4     count (records that follow)
+//	8      8     lost  (records overwritten before the dump)
+//	16     40×count records, oldest first
+//
+// and each 40-byte record:
+//
+//	0      8     time (simulated ns, int64)
+//	8      8     seq  (machine-global emission order, uint64)
+//	16     8     arg0 (int64)
+//	24     8     arg1 (int64)
+//	32     4     vcpu (int32, -1 when not about a vCPU)
+//	36     2     cpu  (uint16, ControlCPU for control records)
+//	38     1     type (Ev*)
+//	39     1     flags (reserved, 0)
+//
+// The format is append-only: new event types and trailing header fields
+// may be added under a version bump, existing offsets never move.
+
+var magic = [8]byte{'T', 'B', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// Version is the current trace format version.
+const Version uint32 = 1
+
+const (
+	headerSize = 28
+	ringHdrLen = 16
+	recordSize = 40
+)
+
+func putRecord(b []byte, r *Record) {
+	binary.LittleEndian.PutUint64(b[0:], uint64(r.Time))
+	binary.LittleEndian.PutUint64(b[8:], r.Seq)
+	binary.LittleEndian.PutUint64(b[16:], uint64(r.Arg0))
+	binary.LittleEndian.PutUint64(b[24:], uint64(r.Arg1))
+	binary.LittleEndian.PutUint32(b[32:], uint32(r.VCPU))
+	binary.LittleEndian.PutUint16(b[36:], r.CPU)
+	b[38] = r.Type
+	b[39] = r.Flags
+}
+
+func getRecord(b []byte, r *Record) {
+	r.Time = int64(binary.LittleEndian.Uint64(b[0:]))
+	r.Seq = binary.LittleEndian.Uint64(b[8:])
+	r.Arg0 = int64(binary.LittleEndian.Uint64(b[16:]))
+	r.Arg1 = int64(binary.LittleEndian.Uint64(b[24:]))
+	r.VCPU = int32(binary.LittleEndian.Uint32(b[32:]))
+	r.CPU = binary.LittleEndian.Uint16(b[36:])
+	r.Type = b[38]
+	r.Flags = b[39]
+}
+
+// Encode writes the tracer's rings to w in the TBTRACE1 format. The
+// dump is a pure function of ring contents: identical runs produce
+// byte-identical dumps.
+func (t *Tracer) Encode(w io.Writer) error {
+	if t == nil || !t.bound {
+		return fmt.Errorf("trace: encoding an unbound tracer")
+	}
+	var hdr [headerSize]byte
+	copy(hdr[0:8], magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	binary.LittleEndian.PutUint16(hdr[12:], uint16(len(t.rings)-1))
+	binary.LittleEndian.PutUint16(hdr[14:], uint16(len(t.metrics.VMs)))
+	binary.LittleEndian.PutUint16(hdr[16:], uint16(len(t.rings)))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(t.endTime))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var scratch []Record
+	var rh [ringHdrLen]byte
+	var rb [recordSize]byte
+	for i := range t.rings {
+		r := &t.rings[i]
+		cpu := uint16(i)
+		if i == len(t.rings)-1 {
+			cpu = ControlCPU
+		}
+		binary.LittleEndian.PutUint16(rh[0:], cpu)
+		binary.LittleEndian.PutUint16(rh[2:], 0)
+		binary.LittleEndian.PutUint32(rh[4:], uint32(r.count()))
+		binary.LittleEndian.PutUint64(rh[8:], r.lost())
+		if _, err := w.Write(rh[:]); err != nil {
+			return err
+		}
+		scratch = r.snapshot(scratch[:0])
+		for k := range scratch {
+			putRecord(rb[:], &scratch[k])
+			if _, err := w.Write(rb[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RingData is one decoded ring section.
+type RingData struct {
+	CPU     uint16
+	Lost    uint64
+	Records []Record
+}
+
+// TraceData is a fully decoded trace dump.
+type TraceData struct {
+	Version uint32
+	NCPUs   int
+	NVCPUs  int
+	// EndTime is the instant residency was flushed to before the dump
+	// (the end of the traced run), 0 when the producer never flushed.
+	EndTime int64
+	Rings   []RingData
+}
+
+// Merged returns the dump's records merged across rings in the same
+// deterministic order Tracer.Merged uses.
+func (d *TraceData) Merged() []Record {
+	perRing := make([][]Record, len(d.Rings))
+	total := 0
+	for i := range d.Rings {
+		perRing[i] = d.Rings[i].Records
+		total += len(perRing[i])
+	}
+	return mergeRecords(perRing, total)
+}
+
+// Lost sums overwritten-record counts across rings.
+func (d *TraceData) Lost() uint64 {
+	var n uint64
+	for i := range d.Rings {
+		n += d.Rings[i].Lost
+	}
+	return n
+}
+
+// Decode reads a TBTRACE1 dump.
+func Decode(r io.Reader) (*TraceData, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if [8]byte(hdr[0:8]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", hdr[0:8])
+	}
+	d := &TraceData{Version: binary.LittleEndian.Uint32(hdr[8:])}
+	if d.Version != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d", d.Version)
+	}
+	d.NCPUs = int(binary.LittleEndian.Uint16(hdr[12:]))
+	d.NVCPUs = int(binary.LittleEndian.Uint16(hdr[14:]))
+	nrings := int(binary.LittleEndian.Uint16(hdr[16:]))
+	d.EndTime = int64(binary.LittleEndian.Uint64(hdr[20:]))
+	var rh [ringHdrLen]byte
+	var rb [recordSize]byte
+	for i := 0; i < nrings; i++ {
+		if _, err := io.ReadFull(r, rh[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading ring %d header: %w", i, err)
+		}
+		rd := RingData{
+			CPU:  binary.LittleEndian.Uint16(rh[0:]),
+			Lost: binary.LittleEndian.Uint64(rh[8:]),
+		}
+		count := int(binary.LittleEndian.Uint32(rh[4:]))
+		rd.Records = make([]Record, count)
+		for k := 0; k < count; k++ {
+			if _, err := io.ReadFull(r, rb[:]); err != nil {
+				return nil, fmt.Errorf("trace: reading ring %d record %d: %w", i, k, err)
+			}
+			getRecord(rb[:], &rd.Records[k])
+			if rd.Records[k].Type == 0 || rd.Records[k].Type > evMax {
+				return nil, fmt.Errorf("trace: ring %d record %d has unknown type %d", i, k, rd.Records[k].Type)
+			}
+		}
+		d.Rings = append(d.Rings, rd)
+	}
+	return d, nil
+}

@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"unsafe"
+)
+
+func TestRecordSizeMatchesFormat(t *testing.T) {
+	if got := unsafe.Sizeof(Record{}); got != recordSize {
+		t.Fatalf("Record is %d bytes in memory, format says %d", got, recordSize)
+	}
+}
+
+func TestNilAndUnboundTracerAreNoOps(t *testing.T) {
+	var nilT *Tracer
+	nilT.Emit(EvIPI, 0, 1, -1, IPISent, 0) // must not panic
+	nilT.FlushResidency(10)
+	if nilT.Merged() != nil {
+		t.Error("nil tracer returned records")
+	}
+	unbound := New(16)
+	unbound.Emit(EvIPI, 0, 1, -1, IPISent, 0)
+	if unbound.Merged() != nil {
+		t.Error("unbound tracer accepted records")
+	}
+}
+
+func TestEmitRoutesRings(t *testing.T) {
+	tr := New(16)
+	tr.Bind(2, 1)
+	tr.Emit(EvIPI, 0, 10, -1, IPISent, 0)
+	tr.Emit(EvIPI, 1, 20, -1, IPISent, 0)
+	tr.Emit(EvPlannerCall, -1, 30, -1, 5, 2) // control ring
+	tr.Emit(EvPlannerCall, 99, 40, -1, 6, 3) // out of range → control ring
+	recs := tr.Merged()
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	wantCPU := []uint16{0, 1, ControlCPU, ControlCPU}
+	for i, r := range recs {
+		if r.CPU != wantCPU[i] {
+			t.Errorf("record %d: CPU = %d, want %d", i, r.CPU, wantCPU[i])
+		}
+		if r.Seq != uint64(i) {
+			t.Errorf("record %d: Seq = %d, want %d", i, r.Seq, i)
+		}
+	}
+}
+
+func TestRingWrapKeepsNewestAndCountsLost(t *testing.T) {
+	tr := New(4)
+	tr.Bind(1, 1)
+	for i := 0; i < 10; i++ {
+		tr.Emit(EvIPI, 0, int64(i), -1, IPISent, 0)
+	}
+	recs := tr.Merged()
+	if len(recs) != 4 {
+		t.Fatalf("ring of 4 holds %d records", len(recs))
+	}
+	for i, r := range recs {
+		if want := int64(6 + i); r.Time != want {
+			t.Errorf("record %d: Time = %d, want %d (oldest survivors)", i, r.Time, want)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rings[0].Lost != 6 {
+		t.Errorf("lost = %d, want 6", d.Rings[0].Lost)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := New(64)
+	tr.Bind(3, 2)
+	tr.Emit(EvRunstateChange, 0, 100, 0, StateRunnable, StateRunning)
+	tr.Emit(EvContextSwitch, 1, 150, 1, -1, 0)
+	tr.Emit(EvTableSwitch, 2, 200, -1, 7, 3)
+	tr.Emit(EvPlannerCall, -1, 250, -1, 7, 3)
+	tr.Emit(EvFaultInjected, 1, 300, -1, FaultStall, 5000)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Version != Version || d.NCPUs != 3 || d.NVCPUs != 2 || len(d.Rings) != 4 {
+		t.Fatalf("header mismatch: %+v", d)
+	}
+	live := tr.Merged()
+	decoded := d.Merged()
+	if len(live) != len(decoded) {
+		t.Fatalf("live %d records, decoded %d", len(live), len(decoded))
+	}
+	for i := range live {
+		if live[i] != decoded[i] {
+			t.Errorf("record %d: live %+v, decoded %+v", i, live[i], decoded[i])
+		}
+	}
+	// Determinism at the byte level: encoding again is identical.
+	var buf2 bytes.Buffer
+	if err := tr.Encode(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("re-encoding the same tracer changed bytes")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("NOTATRACE....."))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	tr := New(8)
+	tr.Bind(1, 1)
+	tr.Emit(EvIPI, 0, 1, -1, IPISent, 0)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	// Corrupt the first record's type byte (offset 38 within the
+	// record) to an unknown value.
+	b[headerSize+ringHdrLen+38] = 200
+	if _, err := Decode(bytes.NewReader(b)); err == nil {
+		t.Error("unknown record type accepted")
+	}
+	// Truncated stream.
+	if _, err := Decode(bytes.NewReader(buf.Bytes()[:headerSize+4])); err == nil {
+		t.Error("truncated dump accepted")
+	}
+}
+
+func TestMergedInterleavesBySeq(t *testing.T) {
+	tr := New(16)
+	tr.Bind(2, 1)
+	// Same timestamp across rings: Seq must decide, preserving emission
+	// order exactly.
+	tr.Emit(EvIPI, 1, 50, -1, IPISent, 0)
+	tr.Emit(EvIPI, 0, 50, -1, IPISent, 0)
+	tr.Emit(EvIPI, 1, 50, -1, IPISent, 0)
+	recs := tr.Merged()
+	want := []uint16{1, 0, 1}
+	for i, r := range recs {
+		if r.CPU != want[i] {
+			t.Fatalf("merged order wrong at %d: CPU %d, want %d", i, r.CPU, want[i])
+		}
+	}
+}
+
+func TestMetricsFromRecords(t *testing.T) {
+	tr := New(64)
+	tr.Bind(1, 2)
+	// vCPU 0: runnable from 0, dispatched at 100, runs until blocked at
+	// 400, woken at 600, dispatched again at 650.
+	tr.Emit(EvRunstateChange, 0, 100, 0, StateRunnable, StateRunning)
+	tr.Emit(EvRunstateChange, 0, 400, 0, StateRunning, StateBlocked)
+	tr.Emit(EvRunstateChange, 0, 600, 0, StateBlocked, StateRunnable)
+	tr.Emit(EvRunstateChange, 0, 650, 0, StateRunnable, StateRunning)
+	tr.Emit(EvL2Pick, 0, 650, 0, 1234, 0)
+	tr.Emit(EvIPI, 0, 660, -1, IPIDropped, 0)
+	tr.Emit(EvIPI, 0, 661, -1, IPIDelayed, 40)
+	tr.Emit(EvIPI, 0, 662, -1, IPISent, 0)
+	tr.Emit(EvTableSwitch, 0, 700, -1, 2, 1)
+	tr.FlushResidency(1000)
+	m := tr.Metrics()
+	vm := &m.VMs[0]
+	if vm.SchedLatency.Count() != 2 {
+		t.Fatalf("latency samples = %d, want 2", vm.SchedLatency.Count())
+	}
+	if got := vm.SchedLatency.Max(); got != 100 {
+		t.Errorf("max latency = %d, want 100", got)
+	}
+	if vm.RunNs != 300+350 {
+		t.Errorf("RunNs = %d, want 650", vm.RunNs)
+	}
+	if vm.BlockedNs != 200 {
+		t.Errorf("BlockedNs = %d, want 200", vm.BlockedNs)
+	}
+	if vm.RunnableNs != 100+50 {
+		t.Errorf("RunnableNs = %d, want 150", vm.RunnableNs)
+	}
+	if vm.Wakeups != 1 || vm.ContextSwitches != 2 || vm.L2Picks != 1 {
+		t.Errorf("counts: wakeups=%d ctx=%d l2=%d", vm.Wakeups, vm.ContextSwitches, vm.L2Picks)
+	}
+	if m.IPIsDropped != 1 || m.IPIsDelayed != 1 || m.IPIsSent != 1 {
+		t.Errorf("IPI counts: %d/%d/%d", m.IPIsSent, m.IPIsDropped, m.IPIsDelayed)
+	}
+	if m.TableSwitches != 1 {
+		t.Errorf("TableSwitches = %d", m.TableSwitches)
+	}
+	// vCPU 1 never left Runnable: all residency is runnable time.
+	if m.VMs[1].RunnableNs != 1000 {
+		t.Errorf("idle vCPU RunnableNs = %d, want 1000", m.VMs[1].RunnableNs)
+	}
+}
+
+// TestAnalyzeMatchesLiveMetrics replays an encoded dump offline and
+// checks the derived metrics agree with the live ones exactly — they
+// run the same observe path in the same order.
+func TestAnalyzeMatchesLiveMetrics(t *testing.T) {
+	tr := New(256)
+	tr.Bind(2, 2)
+	seq := []struct {
+		typ  uint8
+		cpu  int
+		now  int64
+		vcpu int
+		a, b int64
+	}{
+		{EvRunstateChange, 0, 10, 0, StateRunnable, StateRunning},
+		{EvRunstateChange, 1, 10, 1, StateRunnable, StateRunning},
+		{EvRunstateChange, 0, 300, 0, StateRunning, StateBlocked},
+		{EvRunstateChange, 1, 350, 0, StateBlocked, StateRunnable},
+		{EvRunstateChange, 0, 350, 0, StateRunnable, StateRunning},
+		{EvTableSwitch, 0, 400, -1, 2, 1},
+		{EvTableSwitch, 1, 400, -1, 2, 1},
+		{EvIPI, 1, 420, -1, IPISent, 0},
+	}
+	var last int64
+	for _, e := range seq {
+		tr.Emit(e.typ, e.cpu, e.now, e.vcpu, e.a, e.b)
+		last = e.now
+	}
+	tr.FlushResidency(last)
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := Analyze(d)
+	live := tr.Metrics()
+	if off.TableSwitches != live.TableSwitches || off.IPIsSent != live.IPIsSent {
+		t.Errorf("global counters diverge: offline %+v live %+v", off, live)
+	}
+	for v := range live.VMs {
+		lv, ov := &live.VMs[v], &off.VMs[v]
+		if lv.RunNs != ov.RunNs || lv.RunnableNs != ov.RunnableNs || lv.BlockedNs != ov.BlockedNs {
+			t.Errorf("vCPU %d residency diverges: live %+v offline %+v", v, lv, ov)
+		}
+		if lv.SchedLatency.Count() != ov.SchedLatency.Count() || lv.SchedLatency.Max() != ov.SchedLatency.Max() {
+			t.Errorf("vCPU %d latency diverges: live n=%d max=%d, offline n=%d max=%d",
+				v, lv.SchedLatency.Count(), lv.SchedLatency.Max(), ov.SchedLatency.Count(), ov.SchedLatency.Max())
+		}
+	}
+}
+
+func BenchmarkEmit(b *testing.B) {
+	tr := New(1 << 15)
+	tr.Bind(4, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(EvRunstateChange, i&3, int64(i), i&7, StateRunnable, StateRunning)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr *Tracer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(EvRunstateChange, i&3, int64(i), i&7, StateRunnable, StateRunning)
+	}
+}
+
+func TestEmitDoesNotAllocate(t *testing.T) {
+	tr := New(1 << 10)
+	tr.Bind(2, 2)
+	avg := testing.AllocsPerRun(1000, func() {
+		tr.Emit(EvRunstateChange, 0, 1, 0, StateRunnable, StateRunning)
+	})
+	if avg != 0 {
+		t.Errorf("Emit allocates %.1f times per call, want 0", avg)
+	}
+}

@@ -47,14 +47,24 @@ type TimedScheduler struct {
 // NewTimed wraps inner and calibrates the timing instrumentation cost.
 func NewTimed(inner vmm.Scheduler) *TimedScheduler {
 	t := &TimedScheduler{Inner: inner}
-	const probes = 2000
-	start := time.Now()
-	for i := 0; i < probes; i++ {
-		p := time.Now()
-		_ = time.Since(p)
-	}
-	t.timerOverheadNs = float64(time.Since(start).Nanoseconds()) / probes
+	t.timerOverheadNs = calibrateTimerOverhead(2000, time.Now)
 	return t
+}
+
+// calibrateTimerOverhead measures the constant embedded in one
+// instrumented sample: the elapsed time between the time.Now that opens
+// a measurement and the time.Since that closes it, with nothing in
+// between. Each probe therefore reads the clock twice and accumulates
+// the inner difference — timing the whole probe loop with an outer
+// Now/Since pair and dividing by the probe count would fold the outer
+// pair and the loop itself into the estimate, roughly doubling it.
+func calibrateTimerOverhead(probes int, now func() time.Time) float64 {
+	var total time.Duration
+	for i := 0; i < probes; i++ {
+		p := now()
+		total += now().Sub(p)
+	}
+	return float64(total.Nanoseconds()) / float64(probes)
 }
 
 // TimerOverheadNs returns the calibrated cost of one timing pair,

@@ -3,6 +3,7 @@ package traceutil
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"tableau/internal/sim"
 	"tableau/internal/vmm"
@@ -75,6 +76,52 @@ func TestTimedSchedulerDelegatesAndCounts(t *testing.T) {
 	}
 	if ts.TimerOverheadNs() <= 0 {
 		t.Error("timer overhead not calibrated")
+	}
+}
+
+// TestCalibrationCountsOneTimerPair drives the calibration with a fake
+// clock that advances a fixed step per read. One instrumented sample
+// embeds exactly the interval between its two clock reads — one step —
+// so that is what the calibration must report. The historical
+// implementation timed the whole probe loop with an outer Now/Since
+// pair and divided by the probe count, which reports ~two steps here
+// (both inner reads land inside the outer span).
+func TestCalibrationCountsOneTimerPair(t *testing.T) {
+	const step = 10 // ns per clock read
+	var ticks int64
+	clock := func() time.Time {
+		ticks += step
+		return time.Unix(0, ticks)
+	}
+	got := calibrateTimerOverhead(100, clock)
+	if got != step {
+		t.Fatalf("calibrateTimerOverhead = %v ns with a %d ns/read clock, want exactly %d", got, step, step)
+	}
+}
+
+// TestCalibrationWithinSaneBounds checks the real-clock constant: it
+// must be positive, well under a microsecond on any plausible host, and
+// strictly below the outer-loop estimate it used to be confused with.
+func TestCalibrationWithinSaneBounds(t *testing.T) {
+	const probes = 20_000
+	got := calibrateTimerOverhead(probes, time.Now)
+	if got <= 0 {
+		t.Fatalf("calibrated timer overhead %v ns, want > 0", got)
+	}
+	if got >= 2000 {
+		t.Fatalf("calibrated timer overhead %v ns, want < 2000 (one clock-pair gap)", got)
+	}
+	// The outer-loop estimate pays two full clock calls plus loop
+	// overhead per probe; the per-pair constant must come in clearly
+	// below it.
+	start := time.Now()
+	for i := 0; i < probes; i++ {
+		p := time.Now()
+		_ = time.Since(p)
+	}
+	outer := float64(time.Since(start).Nanoseconds()) / probes
+	if got >= outer {
+		t.Fatalf("calibrated constant %v ns >= outer-loop estimate %v ns: calibration still double-counts", got, outer)
 	}
 }
 

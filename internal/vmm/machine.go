@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tableau/internal/sim"
+	"tableau/internal/trace"
 )
 
 // PCPU is one physical core of the simulated machine.
@@ -81,8 +82,41 @@ type Machine struct {
 	ipiFault   func(core int, now int64) (drop bool, delay int64)
 	timerFault func(core int, at int64) int64
 
+	// trace, when set, receives a binary record at every scheduling
+	// transition (see internal/trace). A nil tracer costs one pointer
+	// test per site.
+	trace *trace.Tracer
+
 	started bool
 	stopped bool
+}
+
+// SetTracer installs a scheduling tracer. Must be called before Start,
+// which binds the tracer to the machine's topology.
+func (m *Machine) SetTracer(t *trace.Tracer) {
+	if m.started {
+		panic("vmm: SetTracer after Start")
+	}
+	m.trace = t
+}
+
+// Tracer returns the machine's tracer, nil when tracing is off.
+// Schedulers cache it at Attach to emit their own records.
+func (m *Machine) Tracer() *trace.Tracer { return m.trace }
+
+// traceState maps a vCPU state to its trace-format runstate code. The
+// two enums are kept separate so the trace format never shifts under a
+// vmm refactor.
+func traceState(s State) int64 {
+	switch s {
+	case Running:
+		return trace.StateRunning
+	case Blocked:
+		return trace.StateBlocked
+	case Dead:
+		return trace.StateDead
+	}
+	return trace.StateRunnable
 }
 
 // SetIPIFault installs a hook consulted on every Kick: it may drop the
@@ -172,6 +206,7 @@ func (m *Machine) Start() {
 		panic("vmm: double Start")
 	}
 	m.started = true
+	m.trace.Bind(len(m.CPUs), len(m.VCPUs))
 	m.Sched.Attach(m)
 	for _, cpu := range m.CPUs {
 		cpu.idleStart = m.Eng.Now()
@@ -234,10 +269,16 @@ func (m *Machine) FailCore(id int) {
 	cpu.deadline = NoTimer
 	cpu.idleStart = now
 	m.Stats.CoreFailures++
+	if m.trace != nil {
+		m.trace.Emit(trace.EvFaultInjected, id, now, -1, trace.FaultFailStop, 0)
+	}
 	v := cpu.Current
 	if v != nil {
 		if v.State == Running {
 			v.State = Runnable
+			if m.trace != nil {
+				m.trace.Emit(trace.EvRunstateChange, id, now, v.ID, trace.StateRunning, trace.StateRunnable)
+			}
 		}
 		v.CurrentCPU = -1
 		cpu.Current = nil
@@ -265,6 +306,9 @@ func (m *Machine) StallCore(id int, d int64) {
 		return
 	}
 	m.Stats.CoreStalls++
+	if m.trace != nil {
+		m.trace.Emit(trace.EvFaultInjected, id, m.Eng.Now(), -1, trace.FaultStall, d)
+	}
 	m.chargeAsync(cpu, d, m.Eng.Now())
 }
 
@@ -321,6 +365,9 @@ func (m *Machine) invoke(cpu *PCPU, now int64) {
 	prev := cpu.Current
 	if prev != nil && prev.State == Running {
 		prev.State = Runnable
+		if m.trace != nil {
+			m.trace.Emit(trace.EvRunstateChange, cpu.ID, now, prev.ID, trace.StateRunning, trace.StateRunnable)
+		}
 	}
 
 	// The invocation cannot begin until pending asynchronous overhead
@@ -376,6 +423,9 @@ func (m *Machine) invoke(cpu *PCPU, now int64) {
 		}
 	}
 	if next == nil {
+		if prev != nil && m.trace != nil {
+			m.trace.Emit(trace.EvContextSwitch, cpu.ID, now, -1, int64(prev.ID), 0)
+		}
 		cpu.Current = nil
 		cpu.idleStart = start
 		cpu.deadline = d.Until
@@ -393,6 +443,22 @@ func (m *Machine) invoke(cpu *PCPU, now int64) {
 		m.Stats.ContextSwitches++
 		cpu.OverheadTime += m.Ov.ContextSwitch
 		start += m.Ov.ContextSwitch
+		if m.trace != nil {
+			out := int64(-1)
+			if prev != nil {
+				out = int64(prev.ID)
+			}
+			m.trace.Emit(trace.EvContextSwitch, cpu.ID, now, next.ID, out, 0)
+			if next.LastCPU >= 0 && next.LastCPU != cpu.ID {
+				m.trace.Emit(trace.EvMigrate, cpu.ID, now, next.ID, int64(next.LastCPU), 0)
+			}
+		}
+	}
+	if m.trace != nil {
+		// The dispatch is stamped at start, when the vCPU actually begins
+		// executing (after scheduling and context-switch overheads): the
+		// runnable→running gap is the paper's scheduling latency.
+		m.trace.Emit(trace.EvRunstateChange, cpu.ID, start, next.ID, traceState(next.State), trace.StateRunning)
 	}
 	next.State = Running
 	next.CurrentCPU = cpu.ID
@@ -481,6 +547,9 @@ func (m *Machine) fetchWork(v *VCPU, now int64) bool {
 			v.remaining = a.Duration
 			return true
 		case ActBlock:
+			if m.trace != nil {
+				m.trace.Emit(trace.EvRunstateChange, v.traceCPU(), now, v.ID, traceState(v.State), trace.StateBlocked)
+			}
 			v.State = Blocked
 			m.Sched.OnBlock(v, now)
 			if a.Duration >= 0 {
@@ -489,6 +558,9 @@ func (m *Machine) fetchWork(v *VCPU, now int64) bool {
 			}
 			return false
 		case ActDone:
+			if m.trace != nil {
+				m.trace.Emit(trace.EvRunstateChange, v.traceCPU(), now, v.ID, traceState(v.State), trace.StateDead)
+			}
 			v.State = Dead
 			m.Sched.OnBlock(v, now)
 			return false
@@ -524,6 +596,9 @@ func (m *Machine) Wake(v *VCPU) {
 				break
 			}
 		}
+	}
+	if m.trace != nil {
+		m.trace.Emit(trace.EvRunstateChange, proc, now, v.ID, trace.StateBlocked, trace.StateRunnable)
 	}
 	cost := m.lockedCost(m.CPUs[proc], m.Ov.Wakeup, now)
 	m.chargeAsync(m.CPUs[proc], cost, now)
@@ -580,16 +655,24 @@ func (m *Machine) Kick(cpuID int) {
 	}
 	now := m.Eng.Now()
 	at := now + m.Ov.IPI
+	disposition, ipiDelay := trace.IPISent, int64(0)
 	if m.ipiFault != nil {
 		drop, delay := m.ipiFault(cpuID, now)
 		if drop {
 			m.Stats.DroppedIPIs++
+			if m.trace != nil {
+				m.trace.Emit(trace.EvIPI, cpuID, now, -1, trace.IPIDropped, 0)
+			}
 			return
 		}
 		if delay > 0 {
 			m.Stats.DelayedIPIs++
 			at += delay
+			disposition, ipiDelay = trace.IPIDelayed, delay
 		}
+	}
+	if m.trace != nil {
+		m.trace.Emit(trace.EvIPI, cpuID, now, -1, disposition, ipiDelay)
 	}
 	cpu.kickPending = true
 	if cpu.event.Scheduled() {

@@ -123,6 +123,16 @@ type VCPU struct {
 // (for tests and tracing).
 func (v *VCPU) Remaining() int64 { return v.remaining }
 
+// traceCPU returns the pCPU whose trace ring should record an event
+// about this vCPU: the core it is on, else the core it last ran on
+// (negative routes to the control ring).
+func (v *VCPU) traceCPU() int {
+	if v.CurrentCPU >= 0 {
+		return v.CurrentCPU
+	}
+	return v.LastCPU
+}
+
 func (v *VCPU) String() string {
 	return fmt.Sprintf("vcpu%d(%s,%v)", v.ID, v.Name, v.State)
 }
