@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench benchdiff fuzz ci
+.PHONY: build vet staticcheck test race bench benchdiff fuzz verify-short mutation-smoke ci
 
 build:
 	$(GO) build ./...
@@ -30,11 +30,28 @@ race:
 		./internal/dispatch ./internal/faults ./internal/plannersvc ./internal/vmm \
 		./internal/trace
 
-# Short fuzz smoke over the untrusted-input surface (the binary table
-# decoder). The corpus is seeded from round-tripped planner output; a
-# long local run is `go test ./internal/table -fuzz FuzzTableDecode`.
+# Short fuzz smoke over the untrusted-input surfaces (the binary table
+# and trace decoders) and the whole generate→run→oracle pipeline. The
+# corpora are committed under each package's testdata/fuzz; long local
+# runs raise -fuzztime.
 fuzz:
 	$(GO) test ./internal/table -run '^$$' -fuzz '^FuzzTableDecode$$' -fuzztime 10s
+	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzTraceDecode$$' -fuzztime 10s
+	$(GO) test ./internal/verify -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime 10s
+
+# Bounded property-based verification: generator determinism, the
+# invariant oracles over generated scenarios (-short trims the seed
+# counts), metamorphic planner properties, the cross-scheduler
+# differential check, and a race pass over the soak fan-out.
+verify-short:
+	$(GO) test -short ./internal/verify
+	$(GO) test -short -race ./internal/verify
+
+# Mutation smoke: seeded scheduler/trace defects (starvation, delayed
+# dispatch, phantom records, tampered dumps) must each be flagged by
+# the oracle class that claims to catch them.
+mutation-smoke:
+	$(GO) test ./internal/verify -run 'TestMutationSmoke|TestShrinkFindsSmallerRepro' -v
 
 # Full micro-benchmark pass over the hot-path packages.
 bench:
@@ -51,4 +68,4 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -count 1 -tolerance 40 -gate \
 		-out /tmp/tableau-benchdiff -against $$(ls BENCH_*.json | tail -1)
 
-ci: vet staticcheck build test race fuzz benchdiff
+ci: vet staticcheck build test race verify-short mutation-smoke fuzz benchdiff

@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation|chaos|fig5trace] [-csv dir] [-parallel N]
+//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation|chaos|fig5trace|verify] [-csv dir] [-parallel N]
 //
 // fig5trace derives the Fig. 5 latency distribution from the binary
 // tracer instead of the in-guest probe; -trace-out DIR additionally
 // dumps its raw traces there for cmd/tableau-trace. -cpuprofile and
 // -memprofile write pprof profiles of the whole run.
+//
+// verify is the invariant soak: it generates randomized scenarios
+// (internal/verify) and replays each through the utilization, max-gap,
+// conservation, and trace-consistency oracles, exiting nonzero on any
+// violation. Quick soaks 120 scenarios, full 600.
 //
 // Quick mode (default) finishes in a few minutes on a laptop; full mode
 // approaches the paper's measurement volumes. The evaluation grid is a
@@ -32,7 +37,7 @@ import (
 
 func main() {
 	modeFlag := flag.String("mode", "quick", "experiment scale: quick or full")
-	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation, chaos, fig5trace)")
+	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation, chaos, fig5trace, verify)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
 	parallel := flag.Int("parallel", 0, "worker count for independent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	traceOut := flag.String("trace-out", "", "directory to write fig5trace's raw binary trace dumps (optional)")
@@ -157,6 +162,19 @@ func main() {
 			fail(err)
 		}
 		results = append(results, r)
+	}
+	if selected("verify") {
+		r, err := experiments.Verify(mode)
+		if err != nil && r == nil {
+			fail(err)
+		}
+		results = append(results, r)
+		if err != nil {
+			// Print the report (the violation rows are the repro list)
+			// before exiting nonzero.
+			r.Fprint(os.Stdout)
+			fail(err)
+		}
 	}
 
 	if len(results) == 0 {

@@ -18,6 +18,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 
@@ -30,11 +31,11 @@ func main() {
 	}
 	switch os.Args[1] {
 	case "summarize":
-		cmdSummarize(os.Args[2:])
+		cmdSummarize(os.Stdout, os.Args[2:])
 	case "decode":
-		cmdDecode(os.Args[2:], false)
+		cmdDecode(os.Stdout, os.Args[2:], false)
 	case "csv":
-		cmdDecode(os.Args[2:], true)
+		cmdDecode(os.Stdout, os.Args[2:], true)
 	default:
 		usage()
 	}
@@ -146,7 +147,7 @@ func cpuLabel(c uint16) string {
 	return strconv.Itoa(int(c))
 }
 
-func cmdDecode(args []string, asCSV bool) {
+func cmdDecode(out io.Writer, args []string, asCSV bool) {
 	fs := flag.NewFlagSet("decode", flag.ExitOnError)
 	var f filter
 	f.register(fs)
@@ -159,7 +160,7 @@ func cmdDecode(args []string, asCSV bool) {
 
 	var w *csv.Writer
 	if asCSV {
-		w = csv.NewWriter(os.Stdout)
+		w = csv.NewWriter(out)
 		w.Write([]string{"time_ns", "seq", "cpu", "type", "vcpu", "arg0", "arg1"})
 	}
 	n := 0
@@ -183,7 +184,7 @@ func cmdDecode(args []string, asCSV bool) {
 			if r.VCPU >= 0 {
 				vcpu = fmt.Sprintf("v%d", r.VCPU)
 			}
-			fmt.Printf("%12d  cpu%-3s %-11s %-5s %s\n",
+			fmt.Fprintf(out, "%12d  cpu%-3s %-11s %-5s %s\n",
 				r.Time, cpuLabel(r.CPU), trace.EventName(r.Type), vcpu, describe(r))
 		}
 		n++
@@ -199,7 +200,7 @@ func cmdDecode(args []string, asCSV bool) {
 	}
 }
 
-func cmdSummarize(args []string) {
+func cmdSummarize(out io.Writer, args []string) {
 	fs := flag.NewFlagSet("summarize", flag.ExitOnError)
 	fs.Parse(args)
 	if fs.NArg() != 1 {
@@ -212,24 +213,24 @@ func cmdSummarize(args []string) {
 	for _, ring := range d.Rings {
 		records += len(ring.Records)
 	}
-	fmt.Printf("trace: %d pCPUs, %d vCPUs, %d records", d.NCPUs, d.NVCPUs, records)
+	fmt.Fprintf(out, "trace: %d pCPUs, %d vCPUs, %d records", d.NCPUs, d.NVCPUs, records)
 	if lost := d.Lost(); lost > 0 {
-		fmt.Printf(" (%d lost to ring overwrite — summary is partial)", lost)
+		fmt.Fprintf(out, " (%d lost to ring overwrite — summary is partial)", lost)
 	}
-	fmt.Printf(", end %.3f ms\n\n", float64(d.EndTime)/1e6)
+	fmt.Fprintf(out, ", end %.3f ms\n\n", float64(d.EndTime)/1e6)
 
-	fmt.Printf("counters: %d ctxswitch, %d tableswitch, %d plannercall, %d fault\n",
+	fmt.Fprintf(out, "counters: %d ctxswitch, %d tableswitch, %d plannercall, %d fault\n",
 		m.ContextSwitches, m.TableSwitches, m.PlannerCalls, m.FaultsInjected)
-	fmt.Printf("ipis:     %d sent, %d dropped, %d delayed\n\n",
+	fmt.Fprintf(out, "ipis:     %d sent, %d dropped, %d delayed\n\n",
 		m.IPIsSent, m.IPIsDropped, m.IPIsDelayed)
 
-	fmt.Printf("%-5s %10s %10s %10s %10s %9s %10s %10s %10s %8s %8s\n",
+	fmt.Fprintf(out, "%-5s %10s %10s %10s %10s %9s %10s %10s %10s %8s %8s\n",
 		"vcpu", "lat_p50_ms", "lat_p90_ms", "lat_p99_ms", "lat_max_ms", "samples",
 		"run_ms", "runnable_ms", "blocked_ms", "dispatch", "wakeups")
 	for v := range m.VMs {
 		vm := &m.VMs[v]
 		lat := &vm.SchedLatency
-		fmt.Printf("%-5d %10.3f %10.3f %10.3f %10.3f %9d %10.3f %10.3f %10.3f %8d %8d\n",
+		fmt.Fprintf(out, "%-5d %10.3f %10.3f %10.3f %10.3f %9d %10.3f %10.3f %10.3f %8d %8d\n",
 			v,
 			float64(lat.Quantile(0.50))/1e6,
 			float64(lat.Quantile(0.90))/1e6,

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tableau/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the checked-in sample dump and golden outputs")
+
+// sampleTracer scripts a small two-core, three-vCPU run touching every
+// event type the CLI renders: dispatches with distinct scheduling
+// latencies, a block/wakeup cycle, faults, all three IPI dispositions,
+// a migration, and an L2 pick. The sequence is fixed, so the encoded
+// dump and every golden output are byte-stable.
+func sampleTracer() *trace.Tracer {
+	tr := trace.New(64)
+	tr.Bind(2, 3)
+	tr.Emit(trace.EvPlannerCall, -1, 0, -1, 1, 0)
+	tr.Emit(trace.EvTableSwitch, -1, 0, -1, 1, 0)
+	tr.Emit(trace.EvContextSwitch, 0, 1_000, 0, -1, 0)
+	tr.Emit(trace.EvRunstateChange, 0, 1_000, 0, trace.StateRunnable, trace.StateRunning)
+	tr.Emit(trace.EvContextSwitch, 1, 2_000, 1, -1, 0)
+	tr.Emit(trace.EvRunstateChange, 1, 2_000, 1, trace.StateRunnable, trace.StateRunning)
+	tr.Emit(trace.EvRunstateChange, 0, 500_000, 0, trace.StateRunning, trace.StateBlocked)
+	tr.Emit(trace.EvContextSwitch, 0, 500_000, -1, 0, 0)
+	tr.Emit(trace.EvRunstateChange, 0, 600_000, 0, trace.StateBlocked, trace.StateRunnable)
+	tr.Emit(trace.EvIPI, 0, 600_000, -1, trace.IPISent, 0)
+	tr.Emit(trace.EvContextSwitch, 0, 620_000, 0, -1, 0)
+	tr.Emit(trace.EvRunstateChange, 0, 620_000, 0, trace.StateRunnable, trace.StateRunning)
+	tr.Emit(trace.EvFaultInjected, 1, 800_000, -1, trace.FaultStall, 5_000)
+	tr.Emit(trace.EvIPI, 1, 900_000, -1, trace.IPIDelayed, 700)
+	tr.Emit(trace.EvIPI, 0, 950_000, -1, trace.IPIDropped, 0)
+	tr.Emit(trace.EvRunstateChange, 1, 1_000_000, 1, trace.StateRunning, trace.StateRunnable)
+	tr.Emit(trace.EvMigrate, 1, 1_000_000, 2, 0, 1)
+	tr.Emit(trace.EvL2Pick, 1, 1_000_000, 2, 4_000, 0)
+	tr.Emit(trace.EvRunstateChange, 1, 1_000_000, 2, trace.StateRunnable, trace.StateRunning)
+	tr.Emit(trace.EvRunstateChange, 1, 1_100_000, 2, trace.StateRunning, trace.StateRunnable)
+	tr.FlushResidency(2_000_000)
+	return tr
+}
+
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test ./cmd/tableau-trace -update`)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted (regenerate with `go test ./cmd/tableau-trace -update`):\ngot:\n%s\nwant:\n%s", path, got, want)
+	}
+}
+
+// TestGoldenCLI pins the rendered output of every subcommand on a
+// checked-in deterministic dump: decode's human format, the CSV
+// export, a filtered decode, and the summarize report.
+func TestGoldenCLI(t *testing.T) {
+	dumpPath := filepath.Join("testdata", "sample.trace")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := sampleTracer().Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dumpPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		// The checked-in dump must itself be the canonical encoding of
+		// the scripted run — a format change shows up here first.
+		var buf bytes.Buffer
+		if err := sampleTracer().Encode(&buf); err != nil {
+			t.Fatal(err)
+		}
+		disk, err := os.ReadFile(dumpPath)
+		if err != nil {
+			t.Fatalf("%v (regenerate with `go test ./cmd/tableau-trace -update`)", err)
+		}
+		if !bytes.Equal(disk, buf.Bytes()) {
+			t.Fatalf("%s is not the canonical encoding of the scripted sample (regenerate with -update)", dumpPath)
+		}
+	}
+
+	var out bytes.Buffer
+	cmdDecode(&out, []string{dumpPath}, false)
+	golden(t, "decode.golden", out.Bytes())
+
+	out.Reset()
+	cmdDecode(&out, []string{"-type", "runstate", "-vcpu", "0", dumpPath}, false)
+	golden(t, "decode_filtered.golden", out.Bytes())
+
+	out.Reset()
+	cmdDecode(&out, []string{dumpPath}, true)
+	golden(t, "csv.golden", out.Bytes())
+
+	out.Reset()
+	cmdSummarize(&out, []string{dumpPath})
+	golden(t, "summarize.golden", out.Bytes())
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+)
+
+// splitHeavySystem builds a system whose population forces C=D
+// splitting (three 2/3-utilization vCPUs on two cores): the planner
+// result then carries non-empty Tasks and Splits, the slices whose
+// cache aliasing this test pins.
+func splitHeavySystem(t *testing.T, cache *planner.Cache) *System {
+	t.Helper()
+	sys := NewSystem(2, planner.Options{}, dispatch.Options{})
+	sys.Cache = cache
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := sys.AddVM(VMConfig{
+			Name:        name,
+			Util:        Util{Num: 2, Den: 3},
+			LatencyGoal: 10_000_000,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return sys
+}
+
+// TestCacheHitResultIsDeepClone pins System.plan's clone-on-hit: a
+// caller mutating every mutable slice of a Plan result — guarantees,
+// tasks, split core lists, cluster cores — must not corrupt the cached
+// Result that later cache hits are served from.
+func TestCacheHitResultIsDeepClone(t *testing.T) {
+	cache := planner.NewCache(0)
+
+	first := splitHeavySystem(t, cache)
+	_, res1, err := first.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Splits) == 0 || len(res1.Tasks) == 0 {
+		t.Fatalf("population did not force splitting (splits=%d tasks=%d); the aliasing test needs those slices populated",
+			len(res1.Splits), len(res1.Tasks))
+	}
+	pristine := res1.Clone()
+
+	// Trash every slice a caller can reach on the returned result.
+	for i := range res1.Guarantees {
+		res1.Guarantees[i].VCPU = 999
+		res1.Guarantees[i].Service = -1
+	}
+	for i := range res1.Tasks {
+		res1.Tasks[i].WCET = 1
+		res1.Tasks[i].Name = "clobbered"
+	}
+	for i := range res1.Splits {
+		res1.Splits[i].VCPU = 999
+		for k := range res1.Splits[i].Cores {
+			res1.Splits[i].Cores[k] = 999
+		}
+	}
+	for i := range res1.ClusterCores {
+		res1.ClusterCores[i] = 999
+	}
+
+	// A second system planning the identical population must be served
+	// from the cache — and see the planner's numbers, not ours.
+	second := splitHeavySystem(t, cache)
+	_, res2, err := second.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := cache.Stats(); hits == 0 {
+		t.Fatal("second plan did not hit the cache; the clone-on-hit property was not exercised")
+	}
+	if !reflect.DeepEqual(res2.Tasks, pristine.Tasks) {
+		t.Errorf("cache-served Tasks were corrupted by the first caller:\n%+v\nwant\n%+v", res2.Tasks, pristine.Tasks)
+	}
+	if !reflect.DeepEqual(res2.Splits, pristine.Splits) {
+		t.Errorf("cache-served Splits were corrupted by the first caller:\n%+v\nwant\n%+v", res2.Splits, pristine.Splits)
+	}
+	if !reflect.DeepEqual(res2.ClusterCores, pristine.ClusterCores) {
+		t.Errorf("cache-served ClusterCores were corrupted by the first caller:\n%+v\nwant\n%+v", res2.ClusterCores, pristine.ClusterCores)
+	}
+	for _, g := range res2.Guarantees {
+		if g.VCPU == 999 || g.Service < 0 {
+			t.Errorf("cache-served guarantee was corrupted by the first caller: %+v", g)
+		}
+	}
+}
+
+// TestResultCloneIsDeep pins planner.Result.Clone directly: mutating
+// the clone must leave the original untouched.
+func TestResultCloneIsDeep(t *testing.T) {
+	specs := []planner.VCPUSpec{
+		{Name: "a", Util: planner.Util{Num: 2, Den: 3}, LatencyGoal: 10_000_000},
+		{Name: "b", Util: planner.Util{Num: 2, Den: 3}, LatencyGoal: 10_000_000},
+		{Name: "c", Util: planner.Util{Num: 2, Den: 3}, LatencyGoal: 10_000_000},
+	}
+	orig, err := planner.Plan(specs, planner.Options{Cores: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := orig.Clone()
+	got := orig.Clone()
+	for i := range got.Guarantees {
+		got.Guarantees[i].VCPU = 999
+	}
+	for i := range got.Tasks {
+		got.Tasks[i].WCET = 1
+	}
+	for i := range got.Splits {
+		for k := range got.Splits[i].Cores {
+			got.Splits[i].Cores[k] = 999
+		}
+	}
+	for i := range got.ClusterCores {
+		got.ClusterCores[i] = 999
+	}
+	if !reflect.DeepEqual(orig.Guarantees, want.Guarantees) ||
+		!reflect.DeepEqual(orig.Tasks, want.Tasks) ||
+		!reflect.DeepEqual(orig.Splits, want.Splits) ||
+		!reflect.DeepEqual(orig.ClusterCores, want.ClusterCores) {
+		t.Fatal("mutating a clone reached through to the original result")
+	}
+}

@@ -234,10 +234,10 @@ func (s *System) Plan() (*table.Table, *planner.Result, error) {
 }
 
 // plan generates (or looks up) the planner result for the given specs.
-// When a cache serves the request, the shared Result is cloned — the
-// struct and its Guarantees slice — because Plan remaps both into the
-// slot-id universe, and the cached original must stay untouched for
-// other users of the cache.
+// When a cache serves the request, the shared Result is deep-cloned:
+// Plan remaps guarantees into the slot-id universe, and callers are
+// free to inspect or rewrite the returned Tasks and Splits — none of
+// which may reach through to the cached original other users share.
 func (s *System) plan(specs []planner.VCPUSpec, opts planner.Options) (*planner.Result, error) {
 	if s.Cache == nil {
 		return planner.Plan(specs, opts)
@@ -246,9 +246,7 @@ func (s *System) plan(specs []planner.VCPUSpec, opts planner.Options) (*planner.
 	if err != nil {
 		return nil, err
 	}
-	res := *shared
-	res.Guarantees = append([]table.Guarantee(nil), shared.Guarantees...)
-	return &res, nil
+	return shared.Clone(), nil
 }
 
 // remap rewrites a planner table (vCPU ids = active-spec order, core

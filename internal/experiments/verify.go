@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"tableau/internal/verify"
+)
+
+// Verify is the property-based soak (cmd/experiments -run verify): it
+// generates scenarios with internal/verify, replays each through every
+// invariant oracle, and reports one row per scenario. Unlike the
+// figure experiments this does not reproduce a paper artifact — it
+// checks that the reproduction itself honors the guarantees the paper
+// claims (utilization, bounded blackout, conservation across table
+// switches, trace/probe agreement). Quick mode soaks 120 scenarios,
+// full mode 600, both from a fixed seed so any violation row is a
+// replayable repro.
+func Verify(mode Mode) (*Result, error) {
+	n := 120
+	if mode == Full {
+		n = 600
+	}
+	rep, err := verify.Soak(verify.SoakOptions{
+		Seed:    1,
+		N:       n,
+		ForEach: ForEach,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	r := &Result{
+		Name:   "verify",
+		Title:  "invariant soak over generated scenarios",
+		Header: []string{"seed", "cores", "vms", "hogs", "faults", "replans", "table_ms", "adoptions", "maxgap_ms", "violations"},
+		Note:   fmt.Sprintf("%d scenarios, %d violation(s); oracles: utilization, max-gap, conservation, trace-consistency (+ sampled metamorphic & differential)", rep.Scenarios, rep.Violations),
+	}
+	for _, row := range rep.Rows {
+		r.Rows = append(r.Rows, []string{
+			itoa(row.Seed),
+			itoa(int64(row.Cores)),
+			itoa(int64(row.VMs)),
+			itoa(int64(row.Hogs)),
+			itoa(int64(row.Faults)),
+			itoa(int64(row.Replans)),
+			ms(row.TableLenNs),
+			itoa(int64(row.Adopted)),
+			ms(row.MaxGapNs),
+			strings.Join(row.Violations, "; "),
+		})
+	}
+	if rep.Violations > 0 {
+		return r, fmt.Errorf("verify: %d invariant violation(s) in %d scenarios (see rows)", rep.Violations, rep.Scenarios)
+	}
+	return r, nil
+}

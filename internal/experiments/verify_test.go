@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+// TestVerifyQuick pins the -run verify wiring: the quick soak must be
+// violation-free and produce one row per scenario with the CSV header
+// the docs promise.
+func TestVerifyQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick soak still runs 120 simulations")
+	}
+	r, err := Verify(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 120 {
+		t.Fatalf("quick verify produced %d rows, want 120", len(r.Rows))
+	}
+	if got, want := len(r.Header), 10; got != want {
+		t.Fatalf("verify header has %d columns, want %d", got, want)
+	}
+	for _, row := range r.Rows {
+		if row[len(row)-1] != "" {
+			t.Fatalf("violation row in quick soak: %v", row)
+		}
+	}
+}

@@ -69,6 +69,26 @@ type Result struct {
 	SwitchesSaved int
 }
 
+// Clone returns a copy of the result that shares no mutable slice
+// state with the original: Guarantees, Tasks, Splits (including each
+// split's Cores list), and ClusterCores are all deep-copied. Callers
+// that post-process a cached plan — remapping guarantee ids into
+// another universe, rewriting split placements — must work on a clone
+// so the shared original stays intact for other cache users. The Table
+// pointer is shared: tables are immutable by convention (consumers
+// build replacements, they never edit one in place).
+func (r *Result) Clone() *Result {
+	out := *r
+	out.Guarantees = append([]table.Guarantee(nil), r.Guarantees...)
+	out.Tasks = append(periodic.TaskSet(nil), r.Tasks...)
+	out.ClusterCores = append([]int(nil), r.ClusterCores...)
+	out.Splits = append([]SplitInfo(nil), r.Splits...)
+	for i := range out.Splits {
+		out.Splits[i].Cores = append([]int(nil), out.Splits[i].Cores...)
+	}
+	return &out
+}
+
 var (
 	candOnce sync.Once
 	candSet  []int64

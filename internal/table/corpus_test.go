@@ -1,0 +1,56 @@
+package table_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update", false, "rewrite the committed fuzz seed corpus")
+
+// corpusEntries materializes the committed seed corpus for
+// FuzzTableDecode: the canonical planner encodings plus the same
+// deterministic truncations and bit flips FuzzTableDecode seeds with,
+// so `go test -fuzz` starts from the full set even before the in-test
+// f.Add calls run.
+func corpusEntries(tb testing.TB) [][]byte {
+	var out [][]byte
+	for _, enc := range corpusTables(tb) {
+		out = append(out, enc, enc[:len(enc)/2], enc[:len(enc)-1])
+		for _, pos := range []int{8, len(enc) / 3, 2 * len(enc) / 3} {
+			flipped := append([]byte(nil), enc...)
+			flipped[pos] ^= 0x40
+			out = append(out, flipped)
+		}
+	}
+	return out
+}
+
+// TestTableFuzzCorpus pins the committed seed corpus to the canonical
+// planner encodings: with -update it rewrites the files, otherwise it
+// fails if they have drifted (e.g. after a wire-format change).
+func TestTableFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzTableDecode")
+	for i, enc := range corpusEntries(t) {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", enc)
+		if *updateCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with `go test -run TestTableFuzzCorpus -update`)", err)
+		}
+		if string(got) != want {
+			t.Fatalf("%s drifted from the canonical encoding (regenerate with `go test -run TestTableFuzzCorpus -update`)", path)
+		}
+	}
+}

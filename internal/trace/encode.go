@@ -183,15 +183,26 @@ func Decode(r io.Reader) (*TraceData, error) {
 			Lost: binary.LittleEndian.Uint64(rh[8:]),
 		}
 		count := int(binary.LittleEndian.Uint32(rh[4:]))
-		rd.Records = make([]Record, count)
+		// Chunked allocation keeps a hostile ring header (a huge declared
+		// count followed by a truncated body) from forcing a large
+		// up-front allocation: the slice grows only as records are
+		// actually read off the wire.
+		const chunk = 4096
+		cap0 := count
+		if cap0 > chunk {
+			cap0 = chunk
+		}
+		rd.Records = make([]Record, 0, cap0)
 		for k := 0; k < count; k++ {
 			if _, err := io.ReadFull(r, rb[:]); err != nil {
 				return nil, fmt.Errorf("trace: reading ring %d record %d: %w", i, k, err)
 			}
-			getRecord(rb[:], &rd.Records[k])
-			if rd.Records[k].Type == 0 || rd.Records[k].Type > evMax {
-				return nil, fmt.Errorf("trace: ring %d record %d has unknown type %d", i, k, rd.Records[k].Type)
+			var rec Record
+			getRecord(rb[:], &rec)
+			if rec.Type == 0 || rec.Type > evMax {
+				return nil, fmt.Errorf("trace: ring %d record %d has unknown type %d", i, k, rec.Type)
 			}
+			rd.Records = append(rd.Records, rec)
 		}
 		d.Rings = append(d.Rings, rd)
 	}

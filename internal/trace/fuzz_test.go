@@ -1,0 +1,151 @@
+package trace_test
+
+// The TBTRACE1 decoder reads dumps that crossed a file system
+// (cmd/tableau-trace, fig5trace -trace-out), so it must hold up
+// against truncated, bit-flipped, and adversarial inputs: never panic,
+// never let a hostile ring header force a huge allocation, and every
+// accepted dump must survive Analyze. The committed seed corpus under
+// testdata/fuzz/FuzzTraceDecode is regenerated with
+// `go test -run TestTraceFuzzCorpus -update` and covers canonical
+// encodings plus structured mutations of them. Run the fuzzer with
+// `make fuzz` (or `go test -fuzz FuzzTraceDecode`).
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"tableau/internal/trace"
+)
+
+var updateCorpus = flag.Bool("update", false, "rewrite the committed fuzz seed corpus")
+
+// corpusDumps builds canonical TBTRACE1 dumps: a populated multi-ring
+// trace, an empty bound tracer, and a ring that wrapped (Lost > 0).
+func corpusDumps(tb testing.TB) [][]byte {
+	tb.Helper()
+	var out [][]byte
+	encode := func(t *trace.Tracer) {
+		var buf bytes.Buffer
+		if err := t.Encode(&buf); err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+
+	t := trace.New(16)
+	t.Bind(2, 3)
+	t.Emit(trace.EvRunstateChange, 0, 100, 0, trace.StateRunnable, trace.StateRunning)
+	t.Emit(trace.EvContextSwitch, 0, 100, 0, -1, 0)
+	t.Emit(trace.EvIPI, 1, 250, -1, trace.IPISent, 0)
+	t.Emit(trace.EvRunstateChange, 1, 300, 1, trace.StateRunnable, trace.StateRunning)
+	t.Emit(trace.EvRunstateChange, 0, 400, 0, trace.StateRunning, trace.StateBlocked)
+	t.Emit(trace.EvTableSwitch, -1, 500, -1, 2, 0)
+	t.Emit(trace.EvPlannerCall, -1, 500, -1, 2, 1)
+	t.Emit(trace.EvFaultInjected, 1, 600, -1, trace.FaultStall, 1000)
+	t.Emit(trace.EvL2Pick, 1, 700, 2, 5000, 0)
+	t.Emit(trace.EvMigrate, 0, 800, 1, 1, 1)
+	t.FlushResidency(1000)
+	encode(t)
+
+	empty := trace.New(8)
+	empty.Bind(1, 1)
+	encode(empty)
+
+	wrapped := trace.New(4)
+	wrapped.Bind(1, 2)
+	for i := int64(0); i < 12; i++ {
+		wrapped.Emit(trace.EvContextSwitch, 0, i*10, int(i%2), -1, 0)
+	}
+	wrapped.FlushResidency(120)
+	encode(wrapped)
+
+	return out
+}
+
+// mutateDumps derives deterministic structured mutations — truncations
+// and bit flips — that steer the fuzzer into every section of the
+// format (header, ring header, record fields).
+func mutateDumps(canonical [][]byte) [][]byte {
+	var out [][]byte
+	for _, enc := range canonical {
+		out = append(out, enc[:len(enc)/2], enc[:len(enc)-1])
+		for _, pos := range []int{9, 13, len(enc) / 3, 2 * len(enc) / 3} {
+			if pos >= len(enc) {
+				continue
+			}
+			flipped := append([]byte(nil), enc...)
+			flipped[pos] ^= 0x40
+			out = append(out, flipped)
+		}
+	}
+	return out
+}
+
+func corpusEntries(tb testing.TB) [][]byte {
+	canonical := corpusDumps(tb)
+	return append(canonical, mutateDumps(canonical)...)
+}
+
+// TestTraceFuzzCorpus pins the committed seed corpus to the canonical
+// dumps above: with -update it rewrites the files, otherwise it fails
+// if they have drifted (e.g. after a format change).
+func TestTraceFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzTraceDecode")
+	for i, enc := range corpusEntries(t) {
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		want := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", enc)
+		if *updateCorpus {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with `go test -run TestTraceFuzzCorpus -update`)", err)
+		}
+		if string(got) != want {
+			t.Fatalf("%s drifted from the canonical encoding (regenerate with `go test -run TestTraceFuzzCorpus -update`)", path)
+		}
+	}
+}
+
+func FuzzTraceDecode(f *testing.F) {
+	for _, enc := range corpusEntries(f) {
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := trace.Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted dumps must be analyzable: Merged, Lost, and the full
+		// metrics replay may not panic whatever the record contents.
+		if got, want := len(d.Merged()), totalRecords(d); got != want {
+			t.Fatalf("Merged returned %d records, rings hold %d", got, want)
+		}
+		_ = d.Lost()
+		m := trace.Analyze(d)
+		if m == nil {
+			t.Fatal("Analyze returned nil for a decoded dump")
+		}
+		if len(m.VMs) != d.NVCPUs {
+			t.Fatalf("Analyze sized %d vCPUs, header says %d", len(m.VMs), d.NVCPUs)
+		}
+	})
+}
+
+func totalRecords(d *trace.TraceData) int {
+	n := 0
+	for _, r := range d.Rings {
+		n += len(r.Records)
+	}
+	return n
+}

@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tableau/internal/core"
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+	"tableau/internal/schedulers/credit"
+	"tableau/internal/schedulers/credit2"
+	"tableau/internal/schedulers/rtds"
+	"tableau/internal/sim"
+	"tableau/internal/vmm"
+)
+
+// ClassDifferential tags cross-scheduler findings.
+const ClassDifferential = "differential"
+
+// DiffScenario is a finite-demand population comparable across all
+// four schedulers. Unlike Scenario's open-ended workloads, every vCPU
+// here has a fixed amount of work and then dies: "did every scheduler
+// serve the identical total demand" is well-defined even though
+// Tableau's second level is core-local rather than globally
+// work-conserving. The population is uniform (one utilization for all
+// vCPUs) because credit caps and RTDS server parameters are configured
+// per scheduler, not per vCPU — exactly how the paper's evaluation
+// parameterizes them.
+type DiffScenario struct {
+	Seed        int64
+	Cores       int
+	VMs         int
+	Util        planner.Util
+	LatencyGoal int64
+	// Demand is the total compute per vCPU in ns; sized so every
+	// scheduler — including the inherently capped RTDS servers — can
+	// finish it well inside the horizon.
+	Demand int64
+}
+
+func (d *DiffScenario) String() string {
+	return fmt.Sprintf("diff seed=%d cores=%d vms=%d util=%d/%d demand=%dns",
+		d.Seed, d.Cores, d.VMs, d.Util.Num, d.Util.Den, d.Demand)
+}
+
+// diffChunk is the compute-burst granularity of the finite workload;
+// Demand is always a multiple of it.
+const diffChunk = 100_000
+
+// GenerateDiff materializes the differential scenario for a seed,
+// deterministic like Generate.
+func GenerateDiff(seed int64, cfg Config) *DiffScenario {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	d := &DiffScenario{Seed: seed}
+	d.Cores = cfg.MinCores + rng.Intn(cfg.MaxCores-cfg.MinCores+1)
+	d.Util = utilMenu[rng.Intn(len(utilMenu))]
+	goals := latencyMenu(d.Util)
+	d.LatencyGoal = goals[rng.Intn(len(goals))]
+	maxVMs := int(cfg.UtilBudgetPPM * int64(d.Cores) / d.Util.PPM())
+	if maxVMs < 1 {
+		maxVMs = 1
+	}
+	if maxVMs > cfg.MaxVMs {
+		maxVMs = cfg.MaxVMs
+	}
+	d.VMs = 1 + rng.Intn(maxVMs)
+	// 2/5 of the horizon's reservation: a capped scheduler serving
+	// exactly U needs 0.4*Horizon to finish, leaving a 2.5x margin.
+	d.Demand = (d.Util.PPM() * Horizon * 2 / 5 / 1_000_000) / diffChunk * diffChunk
+	if d.Demand < diffChunk {
+		d.Demand = diffChunk
+	}
+	return d
+}
+
+// RunDifferential runs the scenario under tableau, credit, credit2,
+// and rtds and checks the cross-scheduler contract: every scheduler
+// completes every vCPU's demand (identical total work served), and
+// per-vCPU consumed time equals the demand exactly — no scheduler
+// loses, duplicates, or inflates work.
+func RunDifferential(d *DiffScenario) ([]Violation, error) {
+	var out []Violation
+	for _, kind := range []string{"tableau", "credit", "credit2", "rtds"} {
+		vs, err := runDiffOne(d, kind)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, vs...)
+	}
+	return out, nil
+}
+
+func runDiffOne(d *DiffScenario, kind string) ([]Violation, error) {
+	var sched vmm.Scheduler
+	capped := false
+	switch kind {
+	case "tableau":
+		sys := core.NewSystem(d.Cores, planner.Options{}, dispatch.Options{})
+		for i := 0; i < d.VMs; i++ {
+			if _, err := sys.AddVM(core.VMConfig{
+				Name:        fmt.Sprintf("vm%d.0", i),
+				Util:        d.Util,
+				LatencyGoal: d.LatencyGoal,
+				Capped:      true,
+			}); err != nil {
+				return nil, fmt.Errorf("verify: %s: %w", d, err)
+			}
+		}
+		disp, _, err := sys.BuildDispatcher()
+		if err != nil {
+			return nil, fmt.Errorf("verify: %s: %w", d, err)
+		}
+		sched = disp
+		capped = true
+	case "credit":
+		sched = credit.New(credit.Options{
+			Timeslice: 5_000_000,
+			CapPct:    int(d.Util.PPM() / 10_000),
+		})
+		capped = true
+	case "credit2":
+		sched = credit2.New(credit2.Options{CoresPerRunqueue: 8})
+	case "rtds":
+		period, ok := planner.PickPeriod(d.Util, d.LatencyGoal, planner.CandidatePeriods())
+		if !ok {
+			return nil, fmt.Errorf("verify: %s: latency goal unenforceable", d)
+		}
+		sched = rtds.New(rtds.Options{Default: rtds.Params{Budget: d.Util.Cost(period), Period: period}})
+		capped = true
+	}
+
+	m := vmm.New(sim.New(d.Seed), d.Cores, sched, vmm.NoOverheads())
+	for i := 0; i < d.VMs; i++ {
+		m.AddVCPU(fmt.Sprintf("vm%d.0", i), finiteHog(d.Demand), 256, capped)
+	}
+	m.Start()
+	m.Run(Horizon)
+	m.Stop()
+
+	var out []Violation
+	for _, v := range m.VCPUs {
+		if v.State != vmm.Dead {
+			out = append(out, Violation{ClassDifferential, v.ID, fmt.Sprintf(
+				"%s: demand %d ns not completed by horizon (state %s, served %d ns)",
+				kind, d.Demand, v.State, v.RunTime)})
+			continue
+		}
+		if v.RunTime != d.Demand {
+			out = append(out, Violation{ClassDifferential, v.ID, fmt.Sprintf(
+				"%s: served %d ns != demand %d ns", kind, v.RunTime, d.Demand)})
+		}
+	}
+	var busy, want int64
+	for _, cpu := range m.CPUs {
+		busy += cpu.BusyTime
+	}
+	want = d.Demand * int64(d.VMs)
+	if busy != want {
+		out = append(out, Violation{ClassDifferential, -1, fmt.Sprintf(
+			"%s: total busy time %d ns != total demand %d ns", kind, busy, want)})
+	}
+	return out, nil
+}
+
+// finiteHog computes total ns in diffChunk bursts, then exits.
+func finiteHog(total int64) vmm.Program {
+	remaining := total
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if remaining <= 0 {
+			return vmm.Done()
+		}
+		burst := int64(diffChunk)
+		if burst > remaining {
+			burst = remaining
+		}
+		remaining -= burst
+		return vmm.Compute(burst)
+	})
+}

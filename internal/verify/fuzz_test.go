@@ -1,0 +1,40 @@
+package verify
+
+import "testing"
+
+// FuzzScenario drives the whole generator→run→oracle pipeline from
+// fuzzed inputs: whatever population, fault plan, and replan the
+// fuzzer's bytes select, every invariant oracle must hold. Violations
+// AND harness panics (machine livelock guards, table validation) are
+// both findings here.
+func FuzzScenario(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(2), uint8(0))
+	f.Add(int64(42), uint8(12), uint8(4), uint8(3))
+	f.Add(int64(7777), uint8(6), uint8(1), uint8(1))
+	f.Add(int64(-5), uint8(3), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, maxVMs, maxCores, flags uint8) {
+		cfg := Config{
+			MaxVMs:   2 + int(maxVMs%11),
+			MaxCores: 1 + int(maxCores%4),
+		}
+		// The flag bits force disturbance channels fully on or off so
+		// the fuzzer controls scenario shape directly instead of
+		// through seed luck.
+		if flags&1 != 0 {
+			cfg.FaultPct = 100
+		}
+		if flags&2 != 0 {
+			cfg.ReplanPct = 100
+		}
+		sc := Generate(seed, cfg)
+		art, err := Run(sc)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if vs := CheckAll(art); len(vs) > 0 {
+			for _, v := range vs {
+				t.Errorf("%s: %s", sc, v)
+			}
+		}
+	})
+}

@@ -1,0 +1,369 @@
+// Package verify is the property-based correctness backstop for the
+// Tableau reproduction. It manufactures randomized scheduling scenarios
+// (populations, workloads, fault plans, mid-run replans) that are
+// bit-for-bit reproducible from a seed, runs them on the simulated
+// machine, and replays the finished run through invariant oracles that
+// check the paper's analytical claims hold on *arbitrary* workloads,
+// not just the evaluation's figures:
+//
+//   - utilization: every admitted vCPU receives at least its reserved
+//     service in every complete guarantee window (paper Sec. 3's
+//     "utilization guarantee");
+//   - max-gap: no scheduling gap exceeds the planner's blackout bound
+//     2*(1-U)*T = the latency goal (paper Sec. 5.1);
+//   - conservation: no vCPU is lost or double-run across table switches
+//     and degraded-mode adoption, and pCPU time is exactly partitioned
+//     into guest/overhead/idle;
+//   - trace-consistency: metrics derived from an encoded+decoded
+//     TBTRACE1 dump equal the live tracer's metrics and the machine's
+//     ground-truth accounting.
+//
+// A differential/metamorphic layer (diff.go, metamorphic.go) runs the
+// same generated population under tableau/credit/credit2/rtds and
+// checks cross-scheduler sanity, and checks that planning is invariant
+// under spec permutation and latency-goal scaling. mutants.go provides
+// intentionally broken scheduler variants proving the oracles actually
+// catch bugs (the mutation-smoke CI target).
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tableau/internal/faults"
+	"tableau/internal/planner"
+)
+
+// Horizon is the simulated duration of every generated run. The
+// utilization and max-gap oracles need several complete guarantee
+// windows inside the pre-fault "quiet" prefix; the generator's
+// (util, latency-goal) menu bounds every chosen period at 25 ms
+// (see latencyMenu), so 120 ms covers at least four windows even when
+// faults land at the earliest allowed instant.
+const Horizon = 120_000_000
+
+// Fault and replan placement inside the horizon: disturbances start no
+// earlier than faultEarliest (leaving a quiet prefix for the exact
+// oracles) and end early enough that recovery is observable.
+const (
+	faultEarliest = 40_000_000
+	faultLatest   = 80_000_000
+	replanAt      = 60_000_000
+)
+
+// WorkloadKind selects a generated vCPU's guest program.
+type WorkloadKind uint8
+
+const (
+	// Hog never blocks: it consumes every cycle offered. Hogs are the
+	// subjects of the utilization and max-gap oracles — a vCPU that
+	// fails to receive its reservation cannot blame its own blocking.
+	Hog WorkloadKind = iota
+	// Blocky alternates compute bursts and I/O waits (StressIO),
+	// exercising wakeup paths, the second-level scheduler, and IPIs.
+	Blocky
+)
+
+func (k WorkloadKind) String() string {
+	if k == Hog {
+		return "hog"
+	}
+	return "blocky"
+}
+
+// VMSpec is one generated single-vCPU VM.
+type VMSpec struct {
+	Name        string
+	Util        planner.Util
+	LatencyGoal int64
+	Capped      bool
+	Workload    WorkloadKind
+	// ComputeNs/BlockNs parameterize Blocky workloads.
+	ComputeNs, BlockNs int64
+}
+
+// ReplanSpec is an optional mid-run reconfiguration: at time At the
+// control plane changes slot Slot's latency goal to NewGoal and pushes
+// a regenerated table to the live dispatcher (the paper's
+// reconfiguration path, exercising boundary-synchronized adoption).
+type ReplanSpec struct {
+	Slot    int
+	NewGoal int64
+	At      int64
+}
+
+// Scenario is one fully materialized generated run. Every field is a
+// pure function of (seed, Config): Generate is deterministic, so a
+// seed identifies a scenario forever.
+type Scenario struct {
+	Seed   int64
+	Cores  int
+	VMs    []VMSpec
+	Faults *faults.Plan // nil when the scenario is fault-free
+	Replan *ReplanSpec  // nil when there is no mid-run replan
+}
+
+// TotalUtil returns the population's exact reserved utilization in PPM.
+func (s *Scenario) TotalUtil() int64 {
+	var ppm int64
+	for _, vm := range s.VMs {
+		ppm += vm.Util.PPM()
+	}
+	return ppm
+}
+
+// HasFaultKind reports whether the scenario injects a fault of kind k.
+func (s *Scenario) HasFaultKind(k string) bool {
+	if s.Faults == nil {
+		return false
+	}
+	for _, e := range s.Faults.Events {
+		if e.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// QuietEnd returns the end of the undisturbed prefix: the earliest
+// fault or replan instant, or the horizon for undisturbed runs. The
+// exact utilization and max-gap oracles restrict themselves to
+// complete windows inside it.
+func (s *Scenario) QuietEnd() int64 {
+	quiet := int64(Horizon)
+	if s.Faults != nil {
+		for _, e := range s.Faults.Events {
+			if e.At < quiet {
+				quiet = e.At
+			}
+		}
+	}
+	if s.Replan != nil && s.Replan.At < quiet {
+		quiet = s.Replan.At
+	}
+	return quiet
+}
+
+// String renders a compact fingerprint of the scenario, used in soak
+// reports and shrinking output.
+func (s *Scenario) String() string {
+	nf := 0
+	if s.Faults != nil {
+		nf = len(s.Faults.Events)
+	}
+	nr := 0
+	if s.Replan != nil {
+		nr = 1
+	}
+	return fmt.Sprintf("seed=%d cores=%d vms=%d util=%dppm faults=%d replans=%d",
+		s.Seed, s.Cores, len(s.VMs), s.TotalUtil(), nf, nr)
+}
+
+// Config bounds the generator's distributions. The zero value selects
+// the defaults below.
+type Config struct {
+	// MinCores/MaxCores bound the machine size (defaults 1 and 4).
+	MinCores, MaxCores int
+	// MaxVMs bounds the population (default 12; the generator also
+	// stops when the utilization budget is exhausted).
+	MaxVMs int
+	// FaultPct is the percentage of scenarios carrying a fault plan
+	// (default 30).
+	FaultPct int
+	// ReplanPct is the percentage of scenarios carrying a mid-run
+	// reconfiguration (default 25; mutually exclusive with faults).
+	ReplanPct int
+	// BlockyPct is the per-VM percentage of Blocky workloads
+	// (default 30).
+	BlockyPct int
+	// UtilBudgetPPM caps the population's total reserved utilization
+	// per core, in PPM (default 850_000 — admission with headroom, so
+	// generated scenarios never trip ErrOverUtilized by construction).
+	UtilBudgetPPM int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinCores == 0 {
+		c.MinCores = 1
+	}
+	if c.MaxCores == 0 {
+		c.MaxCores = 4
+	}
+	if c.MaxVMs < 2 {
+		c.MaxVMs = 12
+	}
+	if c.FaultPct == 0 {
+		c.FaultPct = 30
+	}
+	if c.ReplanPct == 0 {
+		c.ReplanPct = 25
+	}
+	if c.BlockyPct == 0 {
+		c.BlockyPct = 30
+	}
+	if c.UtilBudgetPPM == 0 {
+		c.UtilBudgetPPM = 850_000
+	}
+	return c
+}
+
+// utilMenu is the generator's utilization alphabet. Every denominator
+// divides a candidate period (MaxHyperperiod is 2^3·3^3·5^2·7·11·13·19),
+// so the planner can always pick an exact-divisor period and the
+// metamorphic normalized-allocation invariant (Service = U·Window
+// exactly) is well-defined.
+var utilMenu = []planner.Util{
+	{Num: 1, Den: 10},
+	{Num: 1, Den: 8},
+	{Num: 1, Den: 6},
+	{Num: 1, Den: 5},
+	{Num: 1, Den: 4},
+	{Num: 1, Den: 3},
+	{Num: 1, Den: 2},
+	{Num: 2, Den: 3},
+	{Num: 3, Den: 4},
+}
+
+// goalMenu is the latency-goal alphabet in ns.
+var goalMenu = []int64{2_000_000, 5_000_000, 10_000_000, 20_000_000, 50_000_000}
+
+// latencyMenu returns the goals compatible with utilization u: the
+// blackout bound 2*(1-U)*T <= L must be satisfiable by a period
+// T <= 25 ms, so that guarantee windows stay small relative to the
+// horizon. That requires L <= 50ms * (1-U).
+func latencyMenu(u planner.Util) []int64 {
+	limit := 50_000_000 * (u.Den - u.Num) / u.Den
+	out := make([]int64, 0, len(goalMenu))
+	for _, g := range goalMenu {
+		if g <= limit {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// Generate materializes the scenario identified by (seed, cfg). It is
+// deterministic: the same inputs always yield a deeply equal Scenario
+// (pinned by TestGenerateReproducible), which is what makes a soak
+// report a list of replayable repro commands.
+func Generate(seed int64, cfg Config) *Scenario {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(seed))
+	sc := &Scenario{Seed: seed}
+	sc.Cores = cfg.MinCores + rng.Intn(cfg.MaxCores-cfg.MinCores+1)
+
+	wantFault := rng.Intn(100) < cfg.FaultPct
+	wantReplan := !wantFault && rng.Intn(100) < cfg.ReplanPct
+	wantFailStop := wantFault && sc.Cores >= 2 && rng.Intn(100) < 40
+
+	// A fail-stop scenario must stay admissible on the survivors so the
+	// emergency replan can succeed; budget the population accordingly.
+	budgetCores := int64(sc.Cores)
+	if wantFailStop {
+		budgetCores = int64(sc.Cores - 1)
+	}
+	budget := cfg.UtilBudgetPPM * budgetCores
+
+	maxVMs := 2 + rng.Intn(cfg.MaxVMs-1)
+	var usedPPM int64
+	for i := 0; i < maxVMs; i++ {
+		u := utilMenu[rng.Intn(len(utilMenu))]
+		if usedPPM+u.PPM() > budget {
+			// Try the smallest menu entry before giving up, so dense
+			// populations still get filled in.
+			u = utilMenu[0]
+			if usedPPM+u.PPM() > budget {
+				break
+			}
+		}
+		usedPPM += u.PPM()
+		goals := latencyMenu(u)
+		vm := VMSpec{
+			Name:        fmt.Sprintf("vm%d.0", i),
+			Util:        u,
+			LatencyGoal: goals[rng.Intn(len(goals))],
+			Capped:      rng.Intn(2) == 0,
+		}
+		if rng.Intn(100) < cfg.BlockyPct {
+			vm.Workload = Blocky
+			vm.ComputeNs = 200_000 + rng.Int63n(600_000)
+			vm.BlockNs = 200_000 + rng.Int63n(800_000)
+		}
+		sc.VMs = append(sc.VMs, vm)
+	}
+	if len(sc.VMs) == 0 {
+		sc.VMs = append(sc.VMs, VMSpec{
+			Name: "vm0.0", Util: utilMenu[0], LatencyGoal: goalMenu[2], Capped: true,
+		})
+	}
+
+	if wantFault {
+		sc.Faults = genFaults(rng, sc.Cores, wantFailStop)
+	}
+	if wantReplan {
+		slot := rng.Intn(len(sc.VMs))
+		goals := latencyMenu(sc.VMs[slot].Util)
+		sc.Replan = &ReplanSpec{
+			Slot:    slot,
+			NewGoal: goals[rng.Intn(len(goals))],
+			At:      replanAt,
+		}
+	}
+	return sc
+}
+
+// genFaults draws a small deterministic fault plan. At most one
+// fail-stop is injected (and never two on the same core), keeping the
+// trace-consistency oracle's fault-count bookkeeping exact.
+func genFaults(rng *rand.Rand, cores int, failStop bool) *faults.Plan {
+	span := int64(faultLatest - faultEarliest)
+	at := func() int64 { return faultEarliest + rng.Int63n(span) }
+	var events []faults.Event
+	if failStop {
+		events = append(events, faults.Event{
+			Kind: faults.KindPCPUFailStop,
+			At:   at(),
+			Core: rng.Intn(cores),
+		})
+	} else {
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				events = append(events, faults.Event{
+					Kind:     faults.KindPCPUStall,
+					At:       at(),
+					Duration: 100_000 + rng.Int63n(1_900_000),
+					Core:     rng.Intn(cores),
+				})
+			case 1:
+				events = append(events, faults.Event{
+					Kind:     faults.KindTimerDrift,
+					At:       at(),
+					Duration: 2_000_000 + rng.Int63n(8_000_000),
+					Core:     rng.Intn(cores),
+					Delay:    1_000 + rng.Int63n(49_000),
+				})
+			case 2:
+				events = append(events, faults.Event{
+					Kind:     faults.KindIPIDrop,
+					At:       at(),
+					Duration: 2_000_000 + rng.Int63n(8_000_000),
+					Core:     -1,
+				})
+			case 3:
+				events = append(events, faults.Event{
+					Kind:     faults.KindIPIDelay,
+					At:       at(),
+					Duration: 2_000_000 + rng.Int63n(8_000_000),
+					Core:     -1,
+					Delay:    10_000 + rng.Int63n(190_000),
+				})
+			}
+		}
+	}
+	p := &faults.Plan{Seed: rng.Int63(), Events: events}
+	sorted := p.Sorted()
+	p.Events = sorted
+	return p
+}

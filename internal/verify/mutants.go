@@ -1,0 +1,125 @@
+package verify
+
+import (
+	"tableau/internal/trace"
+	"tableau/internal/vmm"
+)
+
+// This file holds intentionally broken scheduler variants. Each wraps
+// the real dispatcher and corrupts exactly one behaviour; the
+// mutation-smoke tests (make mutation-smoke) run them through the
+// oracles to prove every oracle class actually catches the bug family
+// it claims to — a verification harness that cannot fail is not
+// verifying anything.
+
+// mutantBase forwards the full Scheduler surface — including the
+// optional deschedule and core-failure observer extensions the
+// dispatcher relies on for its IPI and degraded-mode protocols — so a
+// mutant perturbs only what it overrides.
+type mutantBase struct {
+	inner vmm.Scheduler
+	m     *vmm.Machine
+}
+
+func (b *mutantBase) Name() string { return "mutant-" + b.inner.Name() }
+func (b *mutantBase) Attach(m *vmm.Machine) {
+	b.m = m
+	b.inner.Attach(m)
+}
+func (b *mutantBase) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	return b.inner.PickNext(cpu, now)
+}
+func (b *mutantBase) OnWake(v *vmm.VCPU, now int64)  { b.inner.OnWake(v, now) }
+func (b *mutantBase) OnBlock(v *vmm.VCPU, now int64) { b.inner.OnBlock(v, now) }
+func (b *mutantBase) OnDeschedule(v *vmm.VCPU, cpu *vmm.PCPU, now int64) {
+	if o, ok := b.inner.(vmm.DescheduleObserver); ok {
+		o.OnDeschedule(v, cpu, now)
+	}
+}
+func (b *mutantBase) OnCoreFail(c int, now int64) {
+	if o, ok := b.inner.(vmm.CoreFailureObserver); ok {
+		o.OnCoreFail(c, now)
+	}
+}
+
+// starveMutant suppresses every dispatch of the victim vCPU: the
+// scheduler "forgets" one VM. The utilization oracle (and the
+// conservation lost-check) must flag this.
+type starveMutant struct {
+	mutantBase
+	victim int
+}
+
+func newStarveMutant(inner vmm.Scheduler, victim int) *starveMutant {
+	return &starveMutant{mutantBase{inner: inner}, victim}
+}
+
+func (s *starveMutant) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	d := s.inner.PickNext(cpu, now)
+	if d.VCPU != nil && d.VCPU.ID == s.victim {
+		// Idle through the victim's reservation instead of running it,
+		// re-invoking at the interval boundary the dispatcher chose.
+		s.OnDeschedule(d.VCPU, cpu, now)
+		return vmm.Decision{VCPU: nil, Until: d.Until}
+	}
+	return d
+}
+
+// delayMutant postpones every dispatch of the victim by the given
+// delay: each time the table offers the victim its reservation, the
+// core idles for delayNs first. With a delay comparable to the
+// latency goal this stretches observed scheduling gaps past the
+// blackout bound — the max-gap oracle's defect class.
+type delayMutant struct {
+	mutantBase
+	victim  int
+	delayNs int64
+	pending int64 // end of the injected idle window, 0 when none
+}
+
+func newDelayMutant(inner vmm.Scheduler, victim int, delayNs int64) *delayMutant {
+	return &delayMutant{mutantBase{inner: inner}, victim, delayNs, 0}
+}
+
+func (d *delayMutant) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	dec := d.inner.PickNext(cpu, now)
+	if dec.VCPU == nil || dec.VCPU.ID != d.victim {
+		return dec
+	}
+	if d.pending == 0 {
+		d.pending = now + d.delayNs
+	}
+	if now < d.pending {
+		// Idle through the injected window; the victim runs only once
+		// the full delay has elapsed.
+		d.OnDeschedule(dec.VCPU, cpu, now)
+		return vmm.Decision{VCPU: nil, Until: d.pending}
+	}
+	d.pending = 0
+	return dec
+}
+
+// phantomMutant emits fabricated runstate records for the victim — a
+// tracer bug claiming dispatches that never happened. The conservation
+// oracle's state machine must reject the stream (double-run /
+// old-state mismatch), and the trace-consistency oracle must see
+// trace-derived runtime drift from the machine's accounting.
+type phantomMutant struct {
+	mutantBase
+	victim int
+	every  int
+	n      int
+}
+
+func newPhantomMutant(inner vmm.Scheduler, victim, every int) *phantomMutant {
+	return &phantomMutant{mutantBase{inner: inner}, victim, every, 0}
+}
+
+func (p *phantomMutant) PickNext(cpu *vmm.PCPU, now int64) vmm.Decision {
+	p.n++
+	if p.n%p.every == 0 {
+		p.m.Tracer().Emit(trace.EvRunstateChange, cpu.ID, now, p.victim,
+			trace.StateRunnable, trace.StateRunning)
+	}
+	return p.inner.PickNext(cpu, now)
+}

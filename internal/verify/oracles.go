@@ -1,0 +1,418 @@
+package verify
+
+import (
+	"fmt"
+
+	"tableau/internal/faults"
+	"tableau/internal/trace"
+	"tableau/internal/vmm"
+)
+
+// Oracle classes. Each maps to one of the paper's claims; see
+// DESIGN.md §8 for the full mapping.
+const (
+	ClassStatic           = "static"
+	ClassUtilization      = "utilization"
+	ClassMaxGap           = "maxgap"
+	ClassConservation     = "conservation"
+	ClassTraceConsistency = "traceconsistency"
+)
+
+// Violation is one oracle finding. VCPU is -1 for machine-wide
+// findings.
+type Violation struct {
+	Class  string
+	VCPU   int
+	Detail string
+}
+
+func (v Violation) String() string {
+	if v.VCPU >= 0 {
+		return fmt.Sprintf("%s: vcpu %d: %s", v.Class, v.VCPU, v.Detail)
+	}
+	return fmt.Sprintf("%s: %s", v.Class, v.Detail)
+}
+
+// CheckAll runs every oracle class over the artifacts and returns all
+// findings, static checks first.
+func CheckAll(a *Artifacts) []Violation {
+	var out []Violation
+	out = append(out, CheckStatic(a)...)
+	out = append(out, CheckUtilization(a)...)
+	out = append(out, CheckMaxGap(a)...)
+	out = append(out, CheckConservation(a)...)
+	out = append(out, CheckTraceConsistency(a)...)
+	return out
+}
+
+// CheckStatic re-verifies the planned tables themselves: structural
+// validity, slice-index integrity, and the per-vCPU guarantees the
+// planner claims to have proven. Plan already checks these — the
+// oracle re-runs them against the *adopted* artifacts so a corruption
+// between planner and dispatcher cannot hide.
+func CheckStatic(a *Artifacts) []Violation {
+	var out []Violation
+	check := func(label string, t interface {
+		Validate() error
+		CheckSlices() error
+	}) {
+		if err := t.Validate(); err != nil {
+			out = append(out, Violation{ClassStatic, -1, label + ": " + err.Error()})
+		}
+		if err := t.CheckSlices(); err != nil {
+			out = append(out, Violation{ClassStatic, -1, label + ": " + err.Error()})
+		}
+	}
+	check("initial table", a.Table)
+	if a.FinalTable != nil && a.FinalTable != a.Table {
+		check("final table", a.FinalTable)
+	}
+	if err := a.Table.Check(a.Guarantees); err != nil {
+		out = append(out, Violation{ClassStatic, -1, "guarantees: " + err.Error()})
+	}
+	return out
+}
+
+// interval is one [start, end) span of a vCPU's Running residency.
+type interval struct{ start, end int64 }
+
+// runningIntervals reconstructs each vCPU's Running spans from the
+// runstate records, closing any span still open at the horizon.
+func runningIntervals(recs []trace.Record, nvcpus int, horizon int64) [][]interval {
+	out := make([][]interval, nvcpus)
+	open := make([]int64, nvcpus)
+	for v := range open {
+		open[v] = -1
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.Type != trace.EvRunstateChange {
+			continue
+		}
+		v := int(r.VCPU)
+		if v < 0 || v >= nvcpus {
+			continue
+		}
+		switch {
+		case r.Arg1 == trace.StateRunning:
+			if open[v] < 0 {
+				open[v] = r.Time
+			}
+		case r.Arg0 == trace.StateRunning:
+			if open[v] >= 0 {
+				out[v] = append(out[v], interval{open[v], r.Time})
+				open[v] = -1
+			}
+		}
+	}
+	for v := range open {
+		if open[v] >= 0 {
+			out[v] = append(out[v], interval{open[v], horizon})
+		}
+	}
+	return out
+}
+
+// serviceIn sums the overlap of ivs with window [from, to).
+func serviceIn(ivs []interval, from, to int64) int64 {
+	var total int64
+	for _, iv := range ivs {
+		s, e := iv.start, iv.end
+		if s < from {
+			s = from
+		}
+		if e > to {
+			e = to
+		}
+		if e > s {
+			total += e - s
+		}
+	}
+	return total
+}
+
+// hogGuarantees pairs each Hog vCPU with its guarantee. Blocky vCPUs
+// are excluded from the service oracles: a vCPU that blocks forfeits
+// the service it declined, which is correct behaviour, not a
+// violation.
+func hogGuarantees(a *Artifacts) map[int]struct {
+	service, window, blackout int64
+} {
+	out := make(map[int]struct{ service, window, blackout int64 })
+	for _, g := range a.Guarantees {
+		if g.VCPU < 0 || g.VCPU >= len(a.Scenario.VMs) {
+			continue
+		}
+		if a.Scenario.VMs[g.VCPU].Workload != Hog {
+			continue
+		}
+		out[g.VCPU] = struct{ service, window, blackout int64 }{g.Service, g.WindowLen, g.MaxBlackout}
+	}
+	return out
+}
+
+// CheckUtilization verifies the paper's utilization guarantee: every
+// Hog vCPU receives at least Guarantee.Service in every complete
+// guarantee window inside the quiet prefix. Guarantee windows align
+// with table cycles, which align with t=0 because the machine starts
+// with the table's first interval.
+func CheckUtilization(a *Artifacts) []Violation {
+	var out []Violation
+	quiet := a.Scenario.QuietEnd()
+	runs := runningIntervals(a.Records, len(a.M.VCPUs), Horizon)
+	for v, g := range hogGuarantees(a) {
+		if g.window <= 0 {
+			continue
+		}
+		for w := int64(0); (w+1)*g.window <= quiet; w++ {
+			got := serviceIn(runs[v], w*g.window, (w+1)*g.window)
+			if got < g.service {
+				out = append(out, Violation{ClassUtilization, v, fmt.Sprintf(
+					"window [%d,%d): served %d ns < reserved %d ns",
+					w*g.window, (w+1)*g.window, got, g.service)})
+			}
+		}
+	}
+	return out
+}
+
+// CheckMaxGap verifies the blackout bound: inside the quiet prefix, no
+// Hog vCPU waits longer than Guarantee.MaxBlackout (the latency goal,
+// the planner's 2*(1-U)*T bound) between consecutive Running spans —
+// including the initial wait from t=0 and the tail up to the quiet
+// end.
+func CheckMaxGap(a *Artifacts) []Violation {
+	var out []Violation
+	quiet := a.Scenario.QuietEnd()
+	runs := runningIntervals(a.Records, len(a.M.VCPUs), Horizon)
+	for v, g := range hogGuarantees(a) {
+		gap, at := observedMaxGap(runs[v], quiet)
+		if gap > g.blackout {
+			out = append(out, Violation{ClassMaxGap, v, fmt.Sprintf(
+				"gap of %d ns ending at %d ns exceeds blackout bound %d ns", gap, at, g.blackout)})
+		}
+	}
+	return out
+}
+
+// observedMaxGap returns the longest no-service gap in [0, until) and
+// the instant it ended.
+func observedMaxGap(ivs []interval, until int64) (gap, at int64) {
+	prev := int64(0)
+	for _, iv := range ivs {
+		if iv.start >= until {
+			break
+		}
+		if g := iv.start - prev; g > gap {
+			gap, at = g, iv.start
+		}
+		if iv.end > prev {
+			prev = iv.end
+		}
+	}
+	if g := until - prev; g > gap {
+		gap, at = g, until
+	}
+	return gap, at
+}
+
+// MaxGapObserved reports the largest no-service gap of any Hog vCPU in
+// the quiet prefix (for soak reporting).
+func MaxGapObserved(a *Artifacts) int64 {
+	quiet := a.Scenario.QuietEnd()
+	runs := runningIntervals(a.Records, len(a.M.VCPUs), Horizon)
+	var worst int64
+	for v := range hogGuarantees(a) {
+		if g, _ := observedMaxGap(runs[v], quiet); g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+// CheckConservation verifies that no vCPU is lost or double-run across
+// the whole run — table switches, degraded-mode adoption, and replans
+// included — and that physical time is conserved:
+//
+//   - the runstate record stream is a legal state machine per vCPU
+//     (each transition's old state matches the tracked state; a
+//     dispatch while already Running is a double-run);
+//   - no two vCPUs occupy one pCPU simultaneously;
+//   - per pCPU, busy + idle + overhead exactly equals the horizon, and
+//     total vCPU runtime equals total pCPU busy time;
+//   - in fail-stop-free runs, every Hog vCPU is still receiving
+//     service at the end (not silently dropped by an adoption).
+func CheckConservation(a *Artifacts) []Violation {
+	var out []Violation
+
+	state := make([]int64, len(a.M.VCPUs))
+	for i := range state {
+		state[i] = trace.StateRunnable
+	}
+	occupant := make(map[uint16]int32)
+	for i := range a.Records {
+		r := &a.Records[i]
+		if r.Type != trace.EvRunstateChange {
+			continue
+		}
+		v := int(r.VCPU)
+		if v < 0 || v >= len(state) {
+			out = append(out, Violation{ClassConservation, -1, fmt.Sprintf(
+				"runstate record for unknown vcpu %d at %d ns", r.VCPU, r.Time)})
+			continue
+		}
+		if r.Arg0 != state[v] {
+			out = append(out, Violation{ClassConservation, v, fmt.Sprintf(
+				"at %d ns: transition claims old state %s but tracked state is %s",
+				r.Time, trace.StateName(r.Arg0), trace.StateName(state[v]))})
+		}
+		if r.Arg1 == trace.StateRunning {
+			if state[v] == trace.StateRunning {
+				out = append(out, Violation{ClassConservation, v, fmt.Sprintf(
+					"at %d ns: dispatched while already running (double-run)", r.Time)})
+			}
+			if prev, ok := occupant[r.CPU]; ok && prev != r.VCPU {
+				out = append(out, Violation{ClassConservation, v, fmt.Sprintf(
+					"at %d ns: dispatched on cpu %d still occupied by vcpu %d", r.Time, r.CPU, prev)})
+			}
+			occupant[r.CPU] = r.VCPU
+		} else if state[v] == trace.StateRunning {
+			if prev, ok := occupant[r.CPU]; ok && prev == r.VCPU {
+				delete(occupant, r.CPU)
+			}
+		}
+		state[v] = r.Arg1
+	}
+
+	var busy, run int64
+	for _, cpu := range a.M.CPUs {
+		sum := cpu.BusyTime + cpu.IdleTime + cpu.OverheadTime
+		if sum != Horizon {
+			out = append(out, Violation{ClassConservation, -1, fmt.Sprintf(
+				"cpu %d: busy %d + idle %d + overhead %d = %d ns != horizon %d ns",
+				cpu.ID, cpu.BusyTime, cpu.IdleTime, cpu.OverheadTime, sum, Horizon)})
+		}
+		busy += cpu.BusyTime
+	}
+	for _, v := range a.M.VCPUs {
+		run += v.RunTime
+	}
+	if run != busy {
+		out = append(out, Violation{ClassConservation, -1, fmt.Sprintf(
+			"total vcpu runtime %d ns != total pcpu busy time %d ns", run, busy)})
+	}
+
+	if !a.Scenario.HasFaultKind(faults.KindPCPUFailStop) {
+		out = append(out, checkNotLost(a)...)
+	}
+	return out
+}
+
+// checkNotLost flags Hog vCPUs with no service near the end of the
+// run: a vCPU silently dropped across a table switch would go dark
+// even though its guarantee promises service every window.
+func checkNotLost(a *Artifacts) []Violation {
+	var out []Violation
+	runs := runningIntervals(a.Records, len(a.M.VCPUs), Horizon)
+	// The generator's (util, goal) menu bounds every period — initial
+	// or replanned — at 25 ms, so any 50 ms tail contains at least one
+	// complete guarantee window under whichever table is active.
+	const maxMenuPeriod = 25_000_000
+	cutoff := int64(Horizon - 2*maxMenuPeriod)
+	if cutoff <= 0 {
+		return nil
+	}
+	for v := range hogGuarantees(a) {
+		if serviceIn(runs[v], cutoff, Horizon) == 0 {
+			out = append(out, Violation{ClassConservation, v, fmt.Sprintf(
+				"no service in final [%d,%d) ns — vcpu lost across a table switch?", cutoff, Horizon)})
+		}
+	}
+	return out
+}
+
+// CheckTraceConsistency verifies that the three views of the run agree:
+// the live tracer's metrics, the metrics re-derived from the encoded
+// and decoded TBTRACE1 dump, and the machine's ground-truth
+// accounting. It also demands the rings dropped nothing — an oracle
+// replaying a partial trace would be checking partial invariants.
+func CheckTraceConsistency(a *Artifacts) []Violation {
+	var out []Violation
+	if lost := a.Dump.Lost(); lost != 0 {
+		out = append(out, Violation{ClassTraceConsistency, -1, fmt.Sprintf(
+			"%d records lost to ring overwrite — resize runRingSize", lost)})
+	}
+
+	dm := trace.Analyze(a.Dump)
+	lm := a.Live
+	cmp := func(what string, live, dump int64) {
+		if live != dump {
+			out = append(out, Violation{ClassTraceConsistency, -1, fmt.Sprintf(
+				"%s: live %d != dump %d", what, live, dump)})
+		}
+	}
+	cmp("table switches", lm.TableSwitches, dm.TableSwitches)
+	cmp("planner calls", lm.PlannerCalls, dm.PlannerCalls)
+	cmp("ipis sent", lm.IPIsSent, dm.IPIsSent)
+	cmp("ipis dropped", lm.IPIsDropped, dm.IPIsDropped)
+	cmp("ipis delayed", lm.IPIsDelayed, dm.IPIsDelayed)
+	cmp("faults injected", lm.FaultsInjected, dm.FaultsInjected)
+	cmp("context switches", lm.ContextSwitches, dm.ContextSwitches)
+	if len(lm.VMs) != len(dm.VMs) {
+		out = append(out, Violation{ClassTraceConsistency, -1, fmt.Sprintf(
+			"vcpu count: live %d != dump %d", len(lm.VMs), len(dm.VMs))})
+		return out
+	}
+	for v := range lm.VMs {
+		lv, dv := &lm.VMs[v], &dm.VMs[v]
+		vcmp := func(what string, live, dump int64) {
+			if live != dump {
+				out = append(out, Violation{ClassTraceConsistency, v, fmt.Sprintf(
+					"%s: live %d != dump %d", what, live, dump)})
+			}
+		}
+		vcmp("run ns", lv.RunNs, dv.RunNs)
+		vcmp("runnable ns", lv.RunnableNs, dv.RunnableNs)
+		vcmp("blocked ns", lv.BlockedNs, dv.BlockedNs)
+		vcmp("context switches", lv.ContextSwitches, dv.ContextSwitches)
+		vcmp("wakeups", lv.Wakeups, dv.Wakeups)
+		vcmp("l2 picks", lv.L2Picks, dv.L2Picks)
+		vcmp("latency samples", lv.SchedLatency.Count(), dv.SchedLatency.Count())
+		vcmp("latency max", lv.SchedLatency.Max(), dv.SchedLatency.Max())
+		vcmp("latency p50", lv.SchedLatency.Quantile(0.5), dv.SchedLatency.Quantile(0.5))
+		vcmp("latency p99", lv.SchedLatency.Quantile(0.99), dv.SchedLatency.Quantile(0.99))
+	}
+
+	out = append(out, checkGroundTruth(a, dm)...)
+	return out
+}
+
+// checkGroundTruth compares dump-derived metrics against the machine's
+// own accounting. A stall fault charges its outage as asynchronous
+// overhead without a runstate transition, so the running-time equality
+// is only exact in stall-free runs; the residency partition of each
+// vCPU's timeline holds regardless.
+func checkGroundTruth(a *Artifacts, dm *trace.Metrics) []Violation {
+	var out []Violation
+	strictRun := !a.Scenario.HasFaultKind(faults.KindPCPUStall)
+	for v := range dm.VMs {
+		vm := &dm.VMs[v]
+		mv := a.M.VCPUs[v]
+		if strictRun && vm.RunNs != mv.RunTime {
+			out = append(out, Violation{ClassTraceConsistency, v, fmt.Sprintf(
+				"trace run %d ns != machine runtime %d ns", vm.RunNs, mv.RunTime)})
+		}
+		if vm.Wakeups != mv.Wakeups {
+			out = append(out, Violation{ClassTraceConsistency, v, fmt.Sprintf(
+				"trace wakeups %d != machine wakeups %d", vm.Wakeups, mv.Wakeups)})
+		}
+		if mv.State != vmm.Dead {
+			if sum := vm.RunNs + vm.RunnableNs + vm.BlockedNs; sum != Horizon {
+				out = append(out, Violation{ClassTraceConsistency, v, fmt.Sprintf(
+					"residency run %d + runnable %d + blocked %d = %d ns != horizon %d ns",
+					vm.RunNs, vm.RunnableNs, vm.BlockedNs, sum, Horizon)})
+			}
+		}
+	}
+	return out
+}

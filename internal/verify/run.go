@@ -1,0 +1,174 @@
+package verify
+
+import (
+	"bytes"
+	"fmt"
+
+	"tableau/internal/core"
+	"tableau/internal/dispatch"
+	"tableau/internal/faults"
+	"tableau/internal/planner"
+	"tableau/internal/sim"
+	"tableau/internal/table"
+	"tableau/internal/trace"
+	"tableau/internal/vmm"
+	"tableau/internal/workload"
+)
+
+// runRingSize holds every record a generated run can emit: the oracles
+// demand Lost() == 0 because an overwritten ring would silently shrink
+// the evidence the invariants are checked against.
+const runRingSize = 1 << 16
+
+// emergencyDelay models the control plane's failure-detection latency:
+// the emergency replan is issued this long after a fail-stop.
+const emergencyDelay = 5_000_000
+
+// Artifacts is everything the oracles need from a finished run: the
+// scenario, the planned tables and guarantees, the machine's ground
+// truth, and the trace both live and round-tripped through the
+// TBTRACE1 codec.
+type Artifacts struct {
+	Scenario *Scenario
+
+	// Table and Guarantees are the initial plan (vCPU ids are machine
+	// vCPU ids). FinalTable is the dispatcher's active table at the end
+	// of the run — different from Table after an adopted replan.
+	Table      *table.Table
+	Guarantees []table.Guarantee
+	FinalTable *table.Table
+
+	M          *vmm.Machine
+	Dispatcher *dispatch.Dispatcher
+	Sys        *core.System
+	Tracer     *trace.Tracer
+
+	// Live is the tracer's in-memory metrics; Dump is the decoded
+	// result of encoding the trace, and Records its merged stream. The
+	// trace-consistency oracle checks Live and Dump agree.
+	Live    *trace.Metrics
+	Dump    *trace.TraceData
+	Records []trace.Record
+
+	// PushErr/ReplanErr record a failed scheduled replan or emergency
+	// replan (nil on success or when none was scheduled).
+	PushErr   error
+	ReplanErr error
+	// Adopted counts EvTableSwitch records: how many cores adopted a
+	// staged table during the run.
+	Adopted int
+}
+
+// Run executes the scenario under the Tableau stack and returns the
+// artifacts for oracle replay. The run uses the zero overhead model so
+// table dispatch delivers reservations exactly — the utilization and
+// max-gap oracles check strict inequalities, not tolerances.
+func Run(sc *Scenario) (*Artifacts, error) {
+	return run(sc, nil)
+}
+
+// run is Run plus an optional scheduler wrapper, the hook the
+// mutation-smoke tests use to install intentionally broken variants
+// between the dispatcher and the machine.
+func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler) (*Artifacts, error) {
+	sys := core.NewSystem(sc.Cores, planner.Options{}, dispatch.Options{})
+	for _, vm := range sc.VMs {
+		if _, err := sys.AddVM(core.VMConfig{
+			Name: vm.Name, Util: vm.Util, LatencyGoal: vm.LatencyGoal, Capped: vm.Capped,
+		}); err != nil {
+			return nil, fmt.Errorf("verify: %s: %w", sc, err)
+		}
+	}
+	disp, res, err := sys.BuildDispatcher()
+	if err != nil {
+		return nil, fmt.Errorf("verify: %s: %w", sc, err)
+	}
+
+	var sched vmm.Scheduler = disp
+	if wrap != nil {
+		sched = wrap(disp)
+	}
+	m := vmm.New(sim.New(sc.Seed), sc.Cores, sched, vmm.NoOverheads())
+	tr := trace.New(runRingSize)
+	m.SetTracer(tr)
+	for i, vm := range sc.VMs {
+		m.AddVCPU(vm.Name, programFor(sc, i), 256, vm.Capped)
+	}
+
+	art := &Artifacts{
+		Scenario:   sc,
+		Table:      res.Table,
+		Guarantees: res.Guarantees,
+		M:          m,
+		Dispatcher: disp,
+		Sys:        sys,
+		Tracer:     tr,
+	}
+
+	if sc.Faults != nil {
+		if _, err := faults.Attach(m, sc.Faults); err != nil {
+			return nil, fmt.Errorf("verify: %s: attach faults: %w", sc, err)
+		}
+		// The control plane reacts to each fail-stop with an emergency
+		// replan onto the survivors, like the chaos experiment.
+		for _, e := range sc.Faults.Events {
+			if e.Kind != faults.KindPCPUFailStop {
+				continue
+			}
+			failedCore := e.Core
+			m.Eng.At(e.At+emergencyDelay, func(now int64) {
+				if _, err := sys.EmergencyReplan(disp, failedCore); err != nil {
+					art.ReplanErr = err
+				}
+			})
+		}
+	}
+	if sc.Replan != nil {
+		rp := sc.Replan
+		m.Eng.At(rp.At, func(now int64) {
+			if err := sys.Reconfigure(rp.Slot, sc.VMs[rp.Slot].Util, rp.NewGoal); err != nil {
+				art.PushErr = err
+				return
+			}
+			if _, err := sys.Push(disp); err != nil {
+				art.PushErr = err
+			}
+		})
+	}
+
+	m.Start()
+	m.Run(Horizon)
+	m.Stop()
+	tr.FlushResidency(Horizon)
+
+	art.FinalTable = disp.ActiveTable()
+	art.Live = tr.Metrics()
+
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		return nil, fmt.Errorf("verify: %s: encode trace: %w", sc, err)
+	}
+	dump, err := trace.Decode(&buf)
+	if err != nil {
+		return nil, fmt.Errorf("verify: %s: decode trace: %w", sc, err)
+	}
+	art.Dump = dump
+	art.Records = dump.Merged()
+	for i := range art.Records {
+		if art.Records[i].Type == trace.EvTableSwitch {
+			art.Adopted++
+		}
+	}
+	return art, nil
+}
+
+// programFor builds the guest program for VM i. Blocky programs get a
+// per-vCPU seed derived from the scenario seed so runs stay
+// deterministic while VMs stay out of lockstep.
+func programFor(sc *Scenario, i int) vmm.Program {
+	vm := sc.VMs[i]
+	if vm.Workload == Blocky {
+		return workload.StressIO(vm.ComputeNs, vm.BlockNs, 20, sc.Seed*1000+int64(i))
+	}
+	return workload.CPUHog()
+}

@@ -1,0 +1,68 @@
+package verify
+
+// Shrinking works by seed bisection over the generator's size bounds
+// rather than by mutating a concrete scenario: every candidate is
+// re-generated from the SAME seed with a smaller Config, so each
+// shrunken repro remains a (seed, Config) replay instead of an
+// unreproducible hand-edited structure.
+
+// ShrinkResult is the smallest still-failing configuration found.
+type ShrinkResult struct {
+	Seed     int64
+	Cfg      Config
+	Scenario *Scenario
+}
+
+// Shrink minimizes a failing (seed, cfg) pair against the predicate
+// fails (which should re-run whatever oracle rejected the original).
+// It first strips the optional disturbance channels (faults, replans,
+// blocky workloads — a negative percentage disables a channel), then
+// bisects the population bound, then walks the core bound down. The
+// returned scenario still fails; if the original did not fail, Shrink
+// returns nil.
+func Shrink(seed int64, cfg Config, fails func(*Scenario) bool) *ShrinkResult {
+	cfg = cfg.withDefaults()
+	if !fails(Generate(seed, cfg)) {
+		return nil
+	}
+	best := cfg
+	try := func(candidate Config) bool {
+		if fails(Generate(seed, candidate)) {
+			best = candidate
+			return true
+		}
+		return false
+	}
+
+	for _, strip := range []func(*Config){
+		func(c *Config) { c.FaultPct = -1 },
+		func(c *Config) { c.ReplanPct = -1 },
+		func(c *Config) { c.BlockyPct = -1 },
+	} {
+		c := best
+		strip(&c)
+		try(c)
+	}
+
+	lo, hi := 2, best.MaxVMs
+	for lo < hi {
+		mid := (lo + hi) / 2
+		c := best
+		c.MaxVMs = mid
+		if try(c) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+
+	for cores := best.MaxCores - 1; cores >= best.MinCores && cores >= 1; cores-- {
+		c := best
+		c.MaxCores = cores
+		if !try(c) {
+			break
+		}
+	}
+
+	return &ShrinkResult{Seed: seed, Cfg: best, Scenario: Generate(seed, best)}
+}

@@ -1,0 +1,129 @@
+package verify
+
+import "fmt"
+
+// SoakOptions parameterizes a soak: N scenarios generated from
+// consecutive seeds starting at Seed, each run and checked by every
+// oracle, with the differential and metamorphic layers sampled every
+// DiffEvery-th / MetaEvery-th scenario (they re-run the population
+// several times, so sampling keeps soak cost linear).
+type SoakOptions struct {
+	Seed int64
+	N    int
+	Cfg  Config
+	// DiffEvery/MetaEvery <= 0 pick the defaults (8 and 4).
+	DiffEvery int
+	MetaEvery int
+	// ForEach, when set, fans the scenarios out in parallel (the
+	// experiments runner passes its worker pool). Rows are slot-ordered,
+	// so the report is identical to a serial run. Nil runs serially.
+	ForEach func(n int, fn func(i int) error) error
+}
+
+// SoakRow summarizes one soaked scenario for the CSV report.
+type SoakRow struct {
+	Seed       int64
+	Cores      int
+	VMs        int
+	Hogs       int
+	Faults     int
+	Replans    int
+	TableLenNs int64
+	Adopted    int
+	MaxGapNs   int64
+	Violations []string
+}
+
+// SoakReport aggregates a finished soak.
+type SoakReport struct {
+	Rows       []SoakRow
+	Scenarios  int
+	Violations int
+}
+
+// Soak generates, runs, and checks opts.N scenarios. It returns an
+// error only for harness failures (a scenario that cannot even be
+// built); oracle findings land in the rows. Deterministic: the same
+// options yield the same report, regardless of ForEach parallelism.
+func Soak(opts SoakOptions) (*SoakReport, error) {
+	if opts.N <= 0 {
+		opts.N = 100
+	}
+	if opts.DiffEvery <= 0 {
+		opts.DiffEvery = 8
+	}
+	if opts.MetaEvery <= 0 {
+		opts.MetaEvery = 4
+	}
+	forEach := opts.ForEach
+	if forEach == nil {
+		forEach = func(n int, fn func(i int) error) error {
+			for i := 0; i < n; i++ {
+				if err := fn(i); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+
+	rows := make([]SoakRow, opts.N)
+	err := forEach(opts.N, func(i int) error {
+		seed := opts.Seed + int64(i)
+		sc := Generate(seed, opts.Cfg)
+		art, err := Run(sc)
+		if err != nil {
+			return fmt.Errorf("soak seed %d: %w", seed, err)
+		}
+		row := SoakRow{
+			Seed:       seed,
+			Cores:      sc.Cores,
+			VMs:        len(sc.VMs),
+			TableLenNs: art.Table.Len,
+			Adopted:    art.Adopted,
+			MaxGapNs:   MaxGapObserved(art),
+		}
+		for _, vm := range sc.VMs {
+			if vm.Workload == Hog {
+				row.Hogs++
+			}
+		}
+		if sc.Faults != nil {
+			row.Faults = len(sc.Faults.Events)
+		}
+		if sc.Replan != nil {
+			row.Replans = 1
+		}
+		for _, v := range CheckAll(art) {
+			row.Violations = append(row.Violations, v.String())
+		}
+		if i%opts.MetaEvery == 0 {
+			for _, v := range CheckMetamorphicPermute(sc, seed+1) {
+				row.Violations = append(row.Violations, v.String())
+			}
+			for _, v := range CheckMetamorphicScale(sc, 2+seed%3) {
+				row.Violations = append(row.Violations, v.String())
+			}
+		}
+		if i%opts.DiffEvery == 0 {
+			vs, err := RunDifferential(GenerateDiff(seed, opts.Cfg))
+			if err != nil {
+				return fmt.Errorf("soak seed %d: %w", seed, err)
+			}
+			for _, v := range vs {
+				row.Violations = append(row.Violations, v.String())
+			}
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &SoakReport{Rows: rows, Scenarios: opts.N}
+	for i := range rows {
+		rep.Violations += len(rows[i].Violations)
+	}
+	return rep, nil
+}

@@ -1,0 +1,101 @@
+package verify
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// parallelForEach is a minimal worker pool matching the contract of
+// experiments.ForEach, used to prove soak reports are identical under
+// parallel fan-out.
+func parallelForEach(workers int) func(n int, fn func(i int) error) error {
+	return func(n int, fn func(i int) error) error {
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var first error
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					if err := fn(i); err != nil {
+						mu.Lock()
+						if first == nil {
+							first = err
+						}
+						mu.Unlock()
+					}
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		return first
+	}
+}
+
+// TestSoakDeterminism pins that a soak report is a pure function of
+// its options: serial and 4-way-parallel runs must be deeply equal.
+func TestSoakDeterminism(t *testing.T) {
+	opts := SoakOptions{Seed: 1000, N: 16}
+	a, err := Soak(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.ForEach = parallelForEach(4)
+	b, err := Soak(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("soak report differs between serial and parallel runs:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestSoak500 is the acceptance soak: 500 generated scenarios from a
+// fixed seed must pass every invariant oracle (with the differential
+// and metamorphic layers sampled along the way). -short runs a 60-
+// scenario slice.
+func TestSoak500(t *testing.T) {
+	n := 500
+	if testing.Short() {
+		n = 60
+	}
+	rep, err := Soak(SoakOptions{Seed: 1, N: n, ForEach: parallelForEach(8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Scenarios != n {
+		t.Fatalf("soaked %d scenarios, want %d", rep.Scenarios, n)
+	}
+	if rep.Violations != 0 {
+		var b strings.Builder
+		for _, row := range rep.Rows {
+			for _, v := range row.Violations {
+				b.WriteString("\n  seed ")
+				b.WriteString(Generate(row.Seed, Config{}).String())
+				b.WriteString(": ")
+				b.WriteString(v)
+			}
+		}
+		t.Fatalf("%d violation(s) in %d scenarios:%s", rep.Violations, n, b.String())
+	}
+
+	// The soak must actually exercise the interesting machinery, not
+	// just quiet partitioned populations.
+	var faults, replans, adopted int
+	for _, row := range rep.Rows {
+		faults += row.Faults
+		replans += row.Replans
+		adopted += row.Adopted
+	}
+	if faults == 0 || replans == 0 || adopted == 0 {
+		t.Fatalf("degenerate soak: %d faults, %d replans, %d table adoptions", faults, replans, adopted)
+	}
+}

@@ -1,0 +1,142 @@
+package verify
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestGenerateReproducible pins the generator's bit-for-bit
+// determinism: the same (seed, Config) must materialize a deeply equal
+// scenario every time — that is what makes a soak report a list of
+// replayable repros.
+func TestGenerateReproducible(t *testing.T) {
+	var differing int
+	var prev *Scenario
+	for seed := int64(1); seed <= 100; seed++ {
+		a := Generate(seed, Config{})
+		b := Generate(seed, Config{})
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: Generate is not deterministic:\n%+v\nvs\n%+v", seed, a, b)
+		}
+		if prev != nil && !reflect.DeepEqual(a.VMs, prev.VMs) {
+			differing++
+		}
+		prev = a
+	}
+	if differing < 50 {
+		t.Fatalf("only %d/99 consecutive seeds produced different populations — generator is degenerate", differing)
+	}
+}
+
+// TestGenerateRespectsBudget checks structural invariants of every
+// generated scenario: admissible utilization (with fail-stop headroom
+// when a fail-stop is planned), valid fault plans, goals compatible
+// with the 25 ms period bound the oracles rely on.
+func TestGenerateRespectsBudget(t *testing.T) {
+	for seed := int64(1); seed <= 300; seed++ {
+		sc := Generate(seed, Config{})
+		budgetCores := int64(sc.Cores)
+		if sc.HasFaultKind("pcpu-failstop") {
+			budgetCores--
+		}
+		if got, max := sc.TotalUtil(), 850_000*budgetCores; got > max {
+			t.Errorf("seed %d: total util %d ppm exceeds budget %d", seed, got, max)
+		}
+		if sc.Faults != nil {
+			if err := sc.Faults.Validate(sc.Cores); err != nil {
+				t.Errorf("seed %d: invalid fault plan: %v", seed, err)
+			}
+			for _, e := range sc.Faults.Events {
+				if e.At < faultEarliest || e.At >= faultLatest {
+					t.Errorf("seed %d: fault at %d outside [%d,%d)", seed, e.At, int64(faultEarliest), int64(faultLatest))
+				}
+			}
+		}
+		for _, vm := range sc.VMs {
+			limit := 50_000_000 * (vm.Util.Den - vm.Util.Num) / vm.Util.Den
+			if vm.LatencyGoal > limit {
+				t.Errorf("seed %d: %s goal %d incompatible with util %d/%d (limit %d)",
+					seed, vm.Name, vm.LatencyGoal, vm.Util.Num, vm.Util.Den, limit)
+			}
+		}
+	}
+}
+
+// report fails the test with a shrunken repro for every violation.
+func report(t *testing.T, seed int64, cfg Config, vs []Violation) {
+	t.Helper()
+	if len(vs) == 0 {
+		return
+	}
+	var b strings.Builder
+	for _, v := range vs {
+		b.WriteString("\n  ")
+		b.WriteString(v.String())
+	}
+	if r := Shrink(seed, cfg, func(sc *Scenario) bool {
+		art, err := Run(sc)
+		return err == nil && len(CheckAll(art)) > 0
+	}); r != nil {
+		t.Fatalf("seed %d: %d violation(s):%s\nshrunken repro: %s (MaxVMs=%d MaxCores=%d FaultPct=%d ReplanPct=%d BlockyPct=%d)",
+			seed, len(vs), b.String(), r.Scenario, r.Cfg.MaxVMs, r.Cfg.MaxCores, r.Cfg.FaultPct, r.Cfg.ReplanPct, r.Cfg.BlockyPct)
+	}
+	t.Fatalf("seed %d: %d violation(s):%s", seed, len(vs), b.String())
+}
+
+// TestPropertyOracles is the bounded property loop: generated
+// scenarios of every flavor must satisfy all invariant oracles.
+func TestPropertyOracles(t *testing.T) {
+	n := int64(40)
+	if testing.Short() {
+		n = 10
+	}
+	cfg := Config{}
+	for seed := int64(1); seed <= n; seed++ {
+		art, err := Run(Generate(seed, cfg))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		report(t, seed, cfg, CheckAll(art))
+	}
+}
+
+// TestPropertyMetamorphic covers the planner-only metamorphic
+// properties over many more seeds (planning is cheap compared to
+// simulation).
+func TestPropertyMetamorphic(t *testing.T) {
+	for seed := int64(1); seed <= 80; seed++ {
+		sc := Generate(seed, Config{})
+		if vs := CheckMetamorphicPermute(sc, seed*7+1); len(vs) > 0 {
+			report(t, seed, Config{}, vs)
+		}
+		for _, k := range []int64{2, 3, 10} {
+			if vs := CheckMetamorphicScale(sc, k); len(vs) > 0 {
+				report(t, seed, Config{}, vs)
+			}
+		}
+	}
+}
+
+// TestPropertyDifferential runs the cross-scheduler conformance check
+// on a handful of seeds (each runs four full simulations).
+func TestPropertyDifferential(t *testing.T) {
+	n := int64(6)
+	if testing.Short() {
+		n = 2
+	}
+	for seed := int64(1); seed <= n; seed++ {
+		vs, err := RunDifferential(GenerateDiff(seed, Config{}))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(vs) > 0 {
+			var b strings.Builder
+			for _, v := range vs {
+				b.WriteString("\n  ")
+				b.WriteString(v.String())
+			}
+			t.Fatalf("seed %d: differential violations:%s", seed, b.String())
+		}
+	}
+}

@@ -277,7 +277,7 @@ func (m *Machine) FailCore(id int) {
 		if v.State == Running {
 			v.State = Runnable
 			if m.trace != nil {
-				m.trace.Emit(trace.EvRunstateChange, id, now, v.ID, trace.StateRunning, trace.StateRunnable)
+				m.trace.Emit(trace.EvRunstateChange, id, cpu.descheduleStamp(now), v.ID, trace.StateRunning, trace.StateRunnable)
 			}
 		}
 		v.CurrentCPU = -1
@@ -326,6 +326,20 @@ func (m *Machine) OnlineCores() int {
 	return n
 }
 
+// descheduleStamp returns the trace timestamp for descheduling the
+// core's running vCPU. Dispatches are stamped at their work start,
+// which pending asynchronous overhead (a core stall, wakeup handling)
+// can push past a preemption arriving mid-window; clamping the
+// running→runnable record to no earlier than the recorded start keeps
+// every vCPU's traced timeline monotonic, so residency replay never
+// charges the same span twice.
+func (cpu *PCPU) descheduleStamp(now int64) int64 {
+	if cpu.workStart > now {
+		return cpu.workStart
+	}
+	return now
+}
+
 // accountProgress charges the time since the core's last accounting
 // point to either its running vCPU or its idle counter, and resets the
 // segment start to now.
@@ -366,7 +380,7 @@ func (m *Machine) invoke(cpu *PCPU, now int64) {
 	if prev != nil && prev.State == Running {
 		prev.State = Runnable
 		if m.trace != nil {
-			m.trace.Emit(trace.EvRunstateChange, cpu.ID, now, prev.ID, trace.StateRunning, trace.StateRunnable)
+			m.trace.Emit(trace.EvRunstateChange, cpu.ID, cpu.descheduleStamp(now), prev.ID, trace.StateRunning, trace.StateRunnable)
 		}
 	}
 
