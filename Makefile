@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench benchdiff fuzz verify-short mutation-smoke ci
+.PHONY: build vet staticcheck test race bench benchdiff fuzz verify-short mutation-smoke churn-short ci
 
 build:
 	$(GO) build ./...
@@ -24,11 +24,12 @@ test:
 
 # The packages where concurrency now exists (the experiments worker
 # pool, the shared planner cache, the dispatcher's lock-free switch
-# board, the retrying planner client) or whose invariants those lean on.
+# board, the retrying planner client, the control plane's replan
+# queue) or whose invariants those lean on.
 race:
 	$(GO) test -race ./internal/experiments ./internal/sim ./internal/planner \
 		./internal/dispatch ./internal/faults ./internal/plannersvc ./internal/vmm \
-		./internal/trace
+		./internal/trace ./internal/core
 
 # Short fuzz smoke over the untrusted-input surfaces (the binary table
 # and trace decoders) and the whole generate→run→oracle pipeline. The
@@ -53,6 +54,15 @@ verify-short:
 mutation-smoke:
 	$(GO) test ./internal/verify -run 'TestMutationSmoke|TestShrinkFindsSmallerRepro' -v
 
+# Churn determinism gate: the churnchaos CSV must be byte-identical
+# across runs and -parallel settings, with zero per-transition
+# blackout-bound violations, and the churn chapter of the verify
+# harness (generator shape, continuity soak, transition wiring) must
+# hold under -short.
+churn-short:
+	$(GO) test ./internal/experiments -run 'TestChurnChaosDeterminism' -v
+	$(GO) test -short ./internal/verify -run 'TestChurn|TestGenerateChurnShape'
+
 # Full micro-benchmark pass over the hot-path packages.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
@@ -68,4 +78,4 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -count 1 -tolerance 40 -gate \
 		-out /tmp/tableau-benchdiff -against $$(ls BENCH_*.json | tail -1)
 
-ci: vet staticcheck build test race verify-short mutation-smoke fuzz benchdiff
+ci: vet staticcheck build test race verify-short mutation-smoke churn-short fuzz benchdiff

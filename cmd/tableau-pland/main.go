@@ -15,11 +15,13 @@
 //
 // The response carries the planning metadata and the scheduling table
 // in the dispatcher's binary format (base64). GET /healthz answers a
-// JSON readiness document with cache counters and uptime.
+// JSON readiness document with cache counters, uptime, and the current
+// planning queue depth.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM: the listener
-// closes immediately and in-flight planning requests get a drain
-// window before the process exits.
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it enters
+// draining mode first (/plan and /healthz answer 503 so balancers stop
+// routing here), then in-flight planning requests get a drain window
+// before the process exits.
 package main
 
 import (
@@ -84,6 +86,10 @@ func main() {
 	case <-ctx.Done():
 	}
 	stop()
+	// Flip readiness first: /plan answers 503 and /healthz reports
+	// "draining", so balancers stop routing here while requests already
+	// in flight finish inside the drain window.
+	svc.StartDrain()
 	fmt.Println("tableau-pland: shutting down, draining in-flight requests")
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()

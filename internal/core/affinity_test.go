@@ -1,0 +1,80 @@
+package core
+
+import (
+	"testing"
+
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+)
+
+// TestPlanTranslatesAffinityAfterCoreFailure: affinity is configured in
+// physical core ids, but after a fail-stop the planner sees the logical
+// survivor universe. The system must renumber the sets, and the
+// resulting placements must come back in physical ids.
+func TestPlanTranslatesAffinityAfterCoreFailure(t *testing.T) {
+	s := NewSystem(2, planner.Options{
+		Affinity: map[string][]int{"a": {0, 1}, "b": {1}},
+	}, dispatch.Options{})
+	a, _ := s.AddVM(quarterVM("a"))
+	b, _ := s.AddVM(quarterVM("b"))
+	if err := s.MarkCoreFailed(0); err != nil {
+		t.Fatal(err)
+	}
+	tbl, res, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.VCPUs[a].HomeCore; got != 1 {
+		t.Errorf("a home core = %d, want physical 1 (the only survivor)", got)
+	}
+	if got := tbl.VCPUs[b].HomeCore; got != 1 {
+		t.Errorf("b home core = %d, want physical 1", got)
+	}
+	if len(tbl.Cores[0].Allocs) != 0 {
+		t.Error("failed core 0 received allocations")
+	}
+	if err := tbl.Check(res.Guarantees); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanRejectsAffinityToFailedCore: before the fix the system handed
+// the planner raw physical affinity ids after a failure, which the
+// planner either rejected as out of range or — worse — silently
+// reinterpreted in the logical universe, placing the VM on a core its
+// affinity forbade. An active VM whose whole affinity set has failed
+// must be a planning error, not a silent misplacement.
+func TestPlanRejectsAffinityToFailedCore(t *testing.T) {
+	s := NewSystem(2, planner.Options{
+		Affinity: map[string][]int{"a": {0}},
+	}, dispatch.Options{})
+	s.AddVM(quarterVM("a"))
+	s.AddVM(quarterVM("b"))
+	if _, _, err := s.Plan(); err != nil {
+		t.Fatalf("pre-failure plan: %v", err)
+	}
+	if err := s.MarkCoreFailed(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Plan(); err == nil {
+		t.Error("planning succeeded although a's only allowed core failed")
+	}
+}
+
+// TestPlanDropsEmptiedAffinityOfUnplannedVM: an affinity entry whose
+// set empties out only blocks the replan if its VM is actually being
+// planned. Entries for torn-down or unknown names are dropped — passing
+// them through empty would mean "unrestricted" to the planner, the
+// opposite of the configured constraint.
+func TestPlanDropsEmptiedAffinityOfUnplannedVM(t *testing.T) {
+	s := NewSystem(2, planner.Options{
+		Affinity: map[string][]int{"gone": {0}},
+	}, dispatch.Options{})
+	s.AddVM(quarterVM("a"))
+	if err := s.MarkCoreFailed(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Plan(); err != nil {
+		t.Errorf("affinity of a VM not being planned blocked the replan: %v", err)
+	}
+}

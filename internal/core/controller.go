@@ -1,0 +1,464 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"tableau/internal/planner"
+	"tableau/internal/table"
+)
+
+// This file is the churn-hardened reconfiguration pipeline: the paper's
+// observation that tables are regenerated on demand as VMs come and go
+// (Sec. 5, Sec. 7.1) meets the operational reality of arrival/departure
+// storms. The Controller serializes concurrent population changes into
+// a replan queue, coalesces each burst into a single planner invocation,
+// versions the resulting tables as monotonic epochs, and makes every
+// transition transactional: a batch that fails admission or cannot be
+// installed is rolled back so the dispatcher keeps enacting the
+// previous epoch bit-for-bit and already-admitted VMs never lose their
+// guarantee.
+
+// OpKind enumerates the control-plane operations a Controller accepts.
+type OpKind uint8
+
+const (
+	// OpActivate creates the VM in slot Slot (a pre-registered slot,
+	// since vCPU ids are fixed at machine start).
+	OpActivate OpKind = iota
+	// OpDeactivate tears the VM in slot Slot down.
+	OpDeactivate
+	// OpReconfigure changes slot Slot's reservation to (Util,
+	// LatencyGoal).
+	OpReconfigure
+	// OpFailCore records the fail-stop of physical core Core. Failures
+	// are facts, not requests: they are never rejected and never rolled
+	// back, and their presence marks the transition as an emergency.
+	OpFailCore
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpActivate:
+		return "activate"
+	case OpDeactivate:
+		return "deactivate"
+	case OpReconfigure:
+		return "reconfigure"
+	case OpFailCore:
+		return "failcore"
+	}
+	return "unknown"
+}
+
+// Op is one queued control-plane operation.
+type Op struct {
+	Kind        OpKind
+	Slot        int   // Activate / Deactivate / Reconfigure
+	Util        Util  // Reconfigure
+	LatencyGoal int64 // Reconfigure
+	Core        int   // FailCore
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case OpFailCore:
+		return fmt.Sprintf("failcore(%d)", o.Core)
+	case OpReconfigure:
+		return fmt.Sprintf("reconfigure(%d,%d/%d,%d)", o.Slot, o.Util.Num, o.Util.Den, o.LatencyGoal)
+	}
+	return fmt.Sprintf("%s(%d)", o.Kind, o.Slot)
+}
+
+// Rejection is one op the pipeline refused, with the reason. A rejected
+// op's effects are undone before the batch is planned, so rejections
+// never leak into an installed epoch.
+type Rejection struct {
+	Op  Op
+	Err error
+}
+
+// Epoch is one installed table version. Version equals the table's
+// Generation and increases monotonically; Bytes is the TBTBL1 encoding
+// of the table at install time, kept so tests and oracles can compare
+// epochs bit-for-bit.
+type Epoch struct {
+	Version    uint64
+	Table      *table.Table
+	Guarantees []table.Guarantee
+	Bytes      []byte
+}
+
+// Transition reports the outcome of one Flush.
+type Transition struct {
+	// Version is the installed epoch (0 when the batch was rolled back
+	// or contained no effective ops — the previous epoch stands).
+	Version uint64
+	// Committed holds the ops that made it into the installed epoch, in
+	// arrival order.
+	Committed []Op
+	// Rejected holds the ops refused by admission or shed when planning
+	// failed; their effects were undone individually.
+	Rejected []Rejection
+	// RolledBack reports that the whole batch was undone: the
+	// population snapshot was restored and the sink was left on the
+	// previous epoch.
+	RolledBack bool
+	// Emergency reports that the batch contained a core fail-stop.
+	Emergency bool
+	// PlannerCalls counts planner invocations this flush performed
+	// (1 for a clean batch; +1 per shed retry).
+	PlannerCalls int
+	// Err is the terminal error of a rolled-back flush (also returned
+	// by Flush).
+	Err error
+}
+
+// Stats are the Controller's cumulative counters.
+type Stats struct {
+	Flushes      int64 // Flush calls that had pending ops
+	Transitions  int64 // epochs installed
+	OpsCoalesced int64 // ops drained by Flush
+	Rejections   int64 // ops individually refused
+	Rollbacks    int64 // whole batches undone
+	PlannerCalls int64 // planner invocations
+}
+
+// stagedAborter is the optional sink capability the emergency rollback
+// path uses: withdrawing a staged, not-yet-adopted table so the sink
+// keeps enacting the previous epoch. *dispatch.Dispatcher implements it.
+type stagedAborter interface {
+	AbortStaged() *table.Table
+}
+
+// Controller is the serialized replan pipeline on top of a System.
+// Submit enqueues operations from any goroutine; Flush drains the queue
+// as one transactional batch: per-op admission checks, a single planner
+// invocation for the survivors, a staged install through the sink at a
+// safe table boundary, and rollback of the whole batch when planning or
+// installation fails. Once a System is owned by a Controller, all
+// population changes must go through it — direct System mutation would
+// bypass the snapshot the rollback path restores.
+//
+// Lock ordering: Controller.mu is taken before System.mu, never the
+// reverse.
+type Controller struct {
+	mu      sync.Mutex
+	sys     *System
+	sink    TableSink
+	pending []Op
+	epoch   Epoch
+	history []Epoch
+	stats   Stats
+
+	// PlanVia, when set, replaces the local planner as the planning
+	// backend (see System.PlanUsing) — the hook through which the
+	// remote plannersvc path (breaker + fallback) serves churn. Set
+	// before the first Flush.
+	PlanVia PlanFunc
+
+	// UnsafeEvictOnOverload is a mutation-smoke defect switch: instead
+	// of rejecting an inadmissible arrival (and rolling its effects
+	// back), the controller "makes room" by silently evicting already-
+	// admitted VMs. The guarantee-continuity oracle must catch the
+	// victims losing their epoch-to-epoch guarantee. Never set outside
+	// tests.
+	UnsafeEvictOnOverload bool
+}
+
+// NewController wraps sys, installing tables into sink. initial is the
+// planner result the sink currently enacts (from BuildDispatcher); it
+// becomes epoch 1 of the history.
+func NewController(sys *System, sink TableSink, initial *planner.Result) (*Controller, error) {
+	c := &Controller{sys: sys, sink: sink}
+	if initial != nil {
+		ep, err := epochOf(initial.Table, initial.Guarantees)
+		if err != nil {
+			return nil, err
+		}
+		c.epoch = ep
+		c.history = append(c.history, ep)
+	}
+	return c, nil
+}
+
+func epochOf(tbl *table.Table, gs []table.Guarantee) (Epoch, error) {
+	var buf bytes.Buffer
+	if err := tbl.Encode(&buf); err != nil {
+		return Epoch{}, fmt.Errorf("core: encoding epoch %d: %w", tbl.Generation, err)
+	}
+	return Epoch{
+		Version:    tbl.Generation,
+		Table:      tbl,
+		Guarantees: append([]table.Guarantee(nil), gs...),
+		Bytes:      buf.Bytes(),
+	}, nil
+}
+
+// Submit enqueues one operation. Safe from any goroutine; the op takes
+// effect at the next Flush.
+func (c *Controller) Submit(op Op) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = append(c.pending, op)
+}
+
+// SubmitBatch enqueues ops in order.
+func (c *Controller) SubmitBatch(ops []Op) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = append(c.pending, ops...)
+}
+
+// Pending returns the queued-op count.
+func (c *Controller) Pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending)
+}
+
+// Epoch returns the current installed epoch.
+func (c *Controller) Epoch() Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// History returns the installed epochs in version order (the continuity
+// oracle replays it against the trace).
+func (c *Controller) History() []Epoch {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Epoch(nil), c.history...)
+}
+
+// ControllerStats returns the cumulative counters.
+func (c *Controller) ControllerStats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Flush drains the queue and applies it as one transactional batch,
+// returning the transition (nil when the queue was empty). The protocol:
+//
+//  1. snapshot the population;
+//  2. apply ops in arrival order, pre-checking utilization admission
+//     after each utilization-adding op — an inadmissible op is undone
+//     and rejected individually, the batch continues;
+//  3. one planner invocation for the whole batch. If planning fails
+//     (placement can be infeasible past the utilization bound), shed
+//     the most recent utilization-adding op and retry; when nothing is
+//     left to shed, restore the snapshot — full rollback;
+//  4. stage the table through the sink (adopted at a safe boundary by
+//     the dispatcher's lock-free switch). A failed install also
+//     restores the snapshot;
+//  5. record the new epoch (version = table generation, monotonic).
+//
+// On an emergency (fail-stop) batch that rolls back, a staged table the
+// sink has not begun adopting is withdrawn too: it was planned on the
+// pre-failure topology, and the previous fully-adopted epoch is the one
+// degraded mode must keep enacting.
+//
+// The error return equals Transition.Err: non-nil only when the batch
+// rolled back. Individually rejected ops are not an error — callers
+// inspect Transition.Rejected.
+func (c *Controller) Flush() (*Transition, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ops := c.pending
+	c.pending = nil
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	c.stats.Flushes++
+	c.stats.OpsCoalesced += int64(len(ops))
+
+	s := c.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	snap := s.snapshotLocked()
+	tr := &Transition{}
+	reject := func(op Op, err error) {
+		tr.Rejected = append(tr.Rejected, Rejection{Op: op, Err: err})
+		c.stats.Rejections++
+	}
+
+	var applied []Op
+	for _, op := range ops {
+		switch op.Kind {
+		case OpFailCore:
+			if err := s.markCoreFailedLocked(op.Core); err != nil {
+				reject(op, err)
+				continue
+			}
+			tr.Emergency = true
+			applied = append(applied, op)
+		case OpActivate:
+			if err := s.setActiveLocked(op.Slot, true); err != nil {
+				reject(op, err)
+				continue
+			}
+			if err := c.admitLocked(); err != nil {
+				if c.UnsafeEvictOnOverload && c.evictLocked(op.Slot) {
+					applied = append(applied, op)
+					continue
+				}
+				_ = s.setActiveLocked(op.Slot, false)
+				reject(op, err)
+				continue
+			}
+			applied = append(applied, op)
+		case OpDeactivate:
+			if err := s.setActiveLocked(op.Slot, false); err != nil {
+				reject(op, err)
+				continue
+			}
+			applied = append(applied, op)
+		case OpReconfigure:
+			if op.Slot < 0 || op.Slot >= len(s.slots) {
+				reject(op, fmt.Errorf("core: no VM slot %d", op.Slot))
+				continue
+			}
+			prev := s.slots[op.Slot].cfg
+			if err := s.reconfigureLocked(op.Slot, op.Util, op.LatencyGoal); err != nil {
+				reject(op, err)
+				continue
+			}
+			if err := c.admitLocked(); err != nil {
+				s.slots[op.Slot].cfg = prev
+				reject(op, err)
+				continue
+			}
+			applied = append(applied, op)
+		default:
+			reject(op, fmt.Errorf("core: unknown op kind %d", op.Kind))
+		}
+	}
+	if len(applied) == 0 {
+		// Every op was refused individually: the population equals the
+		// snapshot and the previous epoch stands; nothing to plan.
+		return tr, nil
+	}
+
+	tbl, res, err := c.planOnceLocked(tr)
+	for err != nil {
+		// Admission passed but placement failed. Shed the most recent
+		// utilization-adding op and retry with one fewer arrival.
+		i := lastSheddable(applied)
+		if i < 0 {
+			break
+		}
+		op := applied[i]
+		switch op.Kind {
+		case OpActivate:
+			_ = s.setActiveLocked(op.Slot, false)
+		case OpReconfigure:
+			s.slots[op.Slot].cfg = snap[op.Slot].cfg
+		}
+		applied = append(applied[:i], applied[i+1:]...)
+		reject(op, err)
+		if len(applied) == 0 {
+			// Only shed ops remained: the population is back to the
+			// snapshot and the previous epoch stands.
+			return tr, nil
+		}
+		tbl, res, err = c.planOnceLocked(tr)
+	}
+	if err != nil {
+		c.rollbackLocked(snap, tr, err)
+		return tr, err
+	}
+
+	if perr := c.sink.PushTable(tbl); perr != nil {
+		c.rollbackLocked(snap, tr, perr)
+		return tr, perr
+	}
+	ep, eerr := epochOf(tbl, res.Guarantees)
+	if eerr != nil {
+		// Encoding a just-validated table cannot fail in practice; treat
+		// it as an install failure for uniformity.
+		c.rollbackLocked(snap, tr, eerr)
+		return tr, eerr
+	}
+	c.epoch = ep
+	c.history = append(c.history, ep)
+	c.stats.Transitions++
+	tr.Version = ep.Version
+	tr.Committed = applied
+	return tr, nil
+}
+
+// planOnceLocked is one planner invocation with counters.
+func (c *Controller) planOnceLocked(tr *Transition) (*table.Table, *planner.Result, error) {
+	tr.PlannerCalls++
+	c.stats.PlannerCalls++
+	return c.sys.planLocked(c.PlanVia)
+}
+
+// rollbackLocked restores the snapshot and, for emergency batches,
+// withdraws a staged table that never started adoption — it was planned
+// before the fail-stop and must not supersede the last fully-adopted
+// epoch. Core failure marks are facts and survive the rollback.
+func (c *Controller) rollbackLocked(snap []slot, tr *Transition, err error) {
+	c.sys.restoreLocked(snap)
+	tr.RolledBack = true
+	tr.Err = err
+	c.stats.Rollbacks++
+	if !tr.Emergency {
+		return
+	}
+	if a, ok := c.sink.(stagedAborter); ok {
+		if aborted := a.AbortStaged(); aborted != nil && aborted == c.epoch.Table {
+			// The withdrawn table was the current (committed but never
+			// adopted) epoch: revert to the predecessor it never replaced.
+			if n := len(c.history); n >= 2 {
+				c.history = c.history[:n-1]
+				c.epoch = c.history[n-2]
+			}
+		}
+	}
+}
+
+// admitLocked runs the planner's exact utilization admission check for
+// the active population on the surviving cores.
+func (c *Controller) admitLocked() error {
+	specs, _ := c.sys.activeSpecsLocked()
+	online := c.sys.onlineCoresLocked()
+	if len(online) == 0 {
+		return fmt.Errorf("core: every core has failed")
+	}
+	return planner.Admit(specs, len(online))
+}
+
+// evictLocked implements the UnsafeEvictOnOverload defect: deactivate
+// already-admitted VMs (lowest slot first, sparing keep) until the
+// population admits again. Returns whether it succeeded. The victims
+// are recorded nowhere — exactly the silent guarantee loss the
+// continuity oracle exists to catch.
+func (c *Controller) evictLocked(keep int) bool {
+	s := c.sys
+	for id := range s.slots {
+		if id == keep || !s.slots[id].active {
+			continue
+		}
+		s.slots[id].active = false
+		if c.admitLocked() == nil {
+			return true
+		}
+	}
+	return c.admitLocked() == nil
+}
+
+// lastSheddable returns the index of the most recent utilization-adding
+// op, or -1.
+func lastSheddable(ops []Op) int {
+	for i := len(ops) - 1; i >= 0; i-- {
+		if ops[i].Kind == OpActivate || ops[i].Kind == OpReconfigure {
+			return i
+		}
+	}
+	return -1
+}

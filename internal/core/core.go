@@ -5,10 +5,17 @@
 // every creation, teardown, or reconfiguration that regenerates the
 // scheduling table and pushes it to the dispatcher for a boundary-
 // synchronized switch.
+//
+// Two layers share this package. System is the population model plus
+// the planning pipeline; it is safe for concurrent callers (see the
+// locking discipline on System). Controller (controller.go) sits on
+// top and turns bursts of population changes into transactional,
+// versioned table transitions with rollback.
 package core
 
 import (
 	"fmt"
+	"sync"
 
 	"tableau/internal/dispatch"
 	"tableau/internal/planner"
@@ -17,6 +24,21 @@ import (
 
 // Util re-exports the planner's exact utilization type.
 type Util = planner.Util
+
+// TableSink is where the control plane installs regenerated tables: the
+// paper's hypercall that hands a table to the hypervisor for a
+// boundary-synchronized switch. *dispatch.Dispatcher satisfies it; unit
+// tests substitute recording stubs.
+type TableSink interface {
+	PushTable(tbl *table.Table) error
+}
+
+// PlanFunc is a planning backend: given the active population's specs
+// and options it returns a planner result in the planner's universe
+// (vCPU ids = spec order, core ids = logical survivor order). It is the
+// hook through which planning can be served remotely (plannersvc) — nil
+// means the local planner (through System.Cache when set).
+type PlanFunc func(specs []planner.VCPUSpec, opts planner.Options) (*planner.Result, error)
 
 // VMConfig describes one single-vCPU VM slot in the system. (The paper
 // evaluates single-vCPU VMs; multi-vCPU VMs are a set of slots sharing
@@ -41,7 +63,17 @@ type slot struct {
 // tables for it. Slot indices are stable: they double as vCPU ids in
 // the generated tables, so a dispatcher attached to a machine with one
 // vCPU per slot can adopt every regenerated table.
+//
+// Locking discipline: mu guards slots, failed, and generation. Every
+// exported method takes mu itself; unexported helpers with the Locked
+// suffix assume it is held. Plan holds mu for the whole planning step,
+// so concurrent control-plane calls serialize into one planner
+// invocation at a time — the serialized replan pipeline Controller
+// builds on. Cache has its own lock and RotateSplits/Cache are
+// configuration set before first use, so neither needs mu.
 type System struct {
+	mu sync.Mutex
+
 	cores        int
 	plannerOpts  planner.Options
 	dispatchOpts dispatch.Options
@@ -81,6 +113,12 @@ func (s *System) Cores() int { return s.cores }
 // core's table entry stays empty so tables keep one CoreTable per
 // physical core and vCPU HomeCores keep referring to physical ids.
 func (s *System) MarkCoreFailed(core int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.markCoreFailedLocked(core)
+}
+
+func (s *System) markCoreFailedLocked(core int) error {
 	if core < 0 || core >= s.cores {
 		return fmt.Errorf("core: no core %d", core)
 	}
@@ -90,6 +128,8 @@ func (s *System) MarkCoreFailed(core int) error {
 
 // FailedCores returns the fail-stopped cores in id order.
 func (s *System) FailedCores() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var out []int
 	for c, f := range s.failed {
 		if f {
@@ -99,8 +139,8 @@ func (s *System) FailedCores() []int {
 	return out
 }
 
-// onlineCores returns the live physical core ids in order.
-func (s *System) onlineCores() []int {
+// onlineCoresLocked returns the live physical core ids in order.
+func (s *System) onlineCoresLocked() []int {
 	out := make([]int, 0, s.cores)
 	for c := 0; c < s.cores; c++ {
 		if !s.failed[c] {
@@ -119,6 +159,8 @@ func (s *System) AddVM(cfg VMConfig) (int, error) {
 	if err := spec.Validate(); err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.slots = append(s.slots, slot{cfg: cfg, active: true})
 	return len(s.slots) - 1, nil
 }
@@ -152,6 +194,12 @@ func (s *System) AddMultiVM(name string, n int, u Util, latencyGoal int64, cappe
 // down). Inactive slots receive no reservations and do not take part in
 // second-level scheduling.
 func (s *System) SetActive(id int, active bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setActiveLocked(id, active)
+}
+
+func (s *System) setActiveLocked(id int, active bool) error {
 	if id < 0 || id >= len(s.slots) {
 		return fmt.Errorf("core: no VM slot %d", id)
 	}
@@ -159,9 +207,28 @@ func (s *System) SetActive(id int, active bool) error {
 	return nil
 }
 
+// RemoveVM tears a VM down. The slot itself is retained (vCPU ids are
+// fixed at machine start) but receives no reservations until a later
+// SetActive re-creates it — the arrival/departure model the churn
+// experiments drive.
+func (s *System) RemoveVM(id int) error { return s.SetActive(id, false) }
+
+// Active reports whether slot id currently holds a live VM.
+func (s *System) Active(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return id >= 0 && id < len(s.slots) && s.slots[id].active
+}
+
 // Reconfigure updates a slot's utilization and latency goal (the
 // paper's VM reconfiguration operation).
 func (s *System) Reconfigure(id int, u Util, latencyGoal int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reconfigureLocked(id, u, latencyGoal)
+}
+
+func (s *System) reconfigureLocked(id int, u Util, latencyGoal int64) error {
 	if id < 0 || id >= len(s.slots) {
 		return fmt.Errorf("core: no VM slot %d", id)
 	}
@@ -177,17 +244,39 @@ func (s *System) Reconfigure(id int, u Util, latencyGoal int64) error {
 }
 
 // NumSlots returns the number of registered VM slots.
-func (s *System) NumSlots() int { return len(s.slots) }
+func (s *System) NumSlots() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.slots)
+}
 
 // Config returns the configuration of slot id.
-func (s *System) Config(id int) VMConfig { return s.slots[id].cfg }
+func (s *System) Config(id int) VMConfig {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.slots[id].cfg
+}
 
-// Plan generates a scheduling table covering every slot (with
-// reservations only for active ones) and the planner's report. Each
-// call increments the table generation.
-func (s *System) Plan() (*table.Table, *planner.Result, error) {
-	var specs []planner.VCPUSpec
-	var specSlot []int
+// snapshotLocked captures the population state a transactional caller
+// may need to restore: per-slot configuration and activation. Core
+// failures are facts, not transaction state, so they are not captured.
+func (s *System) snapshotLocked() []slot {
+	return append([]slot(nil), s.slots...)
+}
+
+// restoreLocked rolls the population back to a snapshotLocked capture.
+// Slots added after the snapshot stay registered (ids are stable) but
+// are deactivated: they were never part of a committed epoch.
+func (s *System) restoreLocked(snap []slot) {
+	copy(s.slots, snap)
+	for i := len(snap); i < len(s.slots); i++ {
+		s.slots[i].active = false
+	}
+}
+
+// activeSpecsLocked materializes the active population as planner specs
+// plus the owning slot of each spec.
+func (s *System) activeSpecsLocked() (specs []planner.VCPUSpec, specSlot []int) {
 	for id, sl := range s.slots {
 		if !sl.active {
 			continue
@@ -200,6 +289,31 @@ func (s *System) Plan() (*table.Table, *planner.Result, error) {
 		})
 		specSlot = append(specSlot, id)
 	}
+	return specs, specSlot
+}
+
+// Plan generates a scheduling table covering every slot (with
+// reservations only for active ones) and the planner's report. Each
+// call increments the table generation.
+func (s *System) Plan() (*table.Table, *planner.Result, error) {
+	return s.PlanUsing(nil)
+}
+
+// PlanUsing is Plan with an explicit planning backend: fn receives the
+// active specs and the topology-adjusted options and must return a
+// result in the planner universe, which PlanUsing then remaps into the
+// slot-id/physical-core universe exactly like Plan. A nil fn selects
+// the local planner (through Cache when set). This is how remote
+// planning (plannersvc.Client.PlanFunc) and the churn experiments'
+// outage-simulating backends slot into the same pipeline.
+func (s *System) PlanUsing(fn PlanFunc) (*table.Table, *planner.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.planLocked(fn)
+}
+
+func (s *System) planLocked(fn PlanFunc) (*table.Table, *planner.Result, error) {
+	specs, specSlot := s.activeSpecsLocked()
 	if len(specs) == 0 {
 		return nil, nil, fmt.Errorf("core: no active VMs to plan for")
 	}
@@ -207,7 +321,7 @@ func (s *System) Plan() (*table.Table, *planner.Result, error) {
 	if s.RotateSplits {
 		opts.SplitRotation = int(s.generation)
 	}
-	online := s.onlineCores()
+	online := s.onlineCoresLocked()
 	if len(online) == 0 {
 		return nil, nil, fmt.Errorf("core: every core has failed")
 	}
@@ -215,11 +329,24 @@ func (s *System) Plan() (*table.Table, *planner.Result, error) {
 	// gate that decides whether a degraded host can still carry the
 	// reserved utilization.
 	opts.Cores = len(online)
-	res, err := s.plan(specs, opts)
+	if len(opts.Affinity) > 0 {
+		aff, err := s.affinityForLocked(specs, online)
+		if err != nil {
+			return nil, nil, err
+		}
+		opts.Affinity = aff
+	}
+	var res *planner.Result
+	var err error
+	if fn != nil {
+		res, err = fn(specs, opts)
+	} else {
+		res, err = s.plan(specs, opts)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
-	tbl, err := s.remap(res.Table, specSlot)
+	tbl, err := s.remapLocked(res.Table, specSlot)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -231,6 +358,42 @@ func (s *System) Plan() (*table.Table, *planner.Result, error) {
 	tbl.Generation = s.generation
 	res.Table = tbl
 	return tbl, res, nil
+}
+
+// affinityForLocked narrows the configured physical-core affinity sets
+// onto the current topology, renumbering to the planner's logical
+// survivor ids. An active VM whose entire affinity set has failed is a
+// planning error: silently placing it on a non-affine survivor would
+// violate the placement constraint the affinity encoded. Inactive or
+// unknown names whose sets empty out are dropped instead (an empty set
+// means "unrestricted" to the planner, which would be the opposite of
+// what was asked).
+func (s *System) affinityForLocked(specs []planner.VCPUSpec, online []int) (map[string][]int, error) {
+	logical := make(map[int]int, len(online))
+	for l, phys := range online {
+		logical[phys] = l
+	}
+	planned := make(map[string]bool, len(specs))
+	for _, sp := range specs {
+		planned[sp.Name] = true
+	}
+	out := make(map[string][]int, len(s.plannerOpts.Affinity))
+	for name, cores := range s.plannerOpts.Affinity {
+		var allowed []int
+		for _, c := range cores {
+			if l, ok := logical[c]; ok {
+				allowed = append(allowed, l)
+			}
+		}
+		if len(allowed) == 0 {
+			if planned[name] {
+				return nil, fmt.Errorf("core: affinity of %q unsatisfiable: every allowed core of %v has failed", name, cores)
+			}
+			continue
+		}
+		out[name] = allowed
+	}
+	return out, nil
 }
 
 // plan generates (or looks up) the planner result for the given specs.
@@ -249,13 +412,13 @@ func (s *System) plan(specs []planner.VCPUSpec, opts planner.Options) (*planner.
 	return shared.Clone(), nil
 }
 
-// remap rewrites a planner table (vCPU ids = active-spec order, core
-// ids = logical survivor order) into the slot-id and physical-core
+// remapLocked rewrites a planner table (vCPU ids = active-spec order,
+// core ids = logical survivor order) into the slot-id and physical-core
 // universe: empty entries for inactive slots, and — when cores have
 // failed — logical planner cores renumbered onto the live physical
 // ids, with empty CoreTables holding the dead cores' positions.
-func (s *System) remap(in *table.Table, specSlot []int) (*table.Table, error) {
-	online := s.onlineCores()
+func (s *System) remapLocked(in *table.Table, specSlot []int) (*table.Table, error) {
+	online := s.onlineCoresLocked()
 	if len(in.Cores) > len(online) {
 		return nil, fmt.Errorf("core: planner produced %d core tables for %d online cores", len(in.Cores), len(online))
 	}
@@ -313,11 +476,15 @@ func (s *System) BuildDispatcher() (*dispatch.Dispatcher, *planner.Result, error
 	return dispatch.New(tbl, s.dispatchOpts), res, nil
 }
 
-// Push replans and stages the new table on a live dispatcher: the
-// paper's reconfiguration path (planner daemon regenerates, pushes via
-// hypercall, dispatcher switches at a safe boundary).
-func (s *System) Push(d *dispatch.Dispatcher) (*planner.Result, error) {
-	tbl, res, err := s.Plan()
+// Push replans and stages the new table on a live sink: the paper's
+// reconfiguration path (planner daemon regenerates, pushes via
+// hypercall, dispatcher switches at a safe boundary). The plan and the
+// install happen under the system lock, so concurrent pushes cannot
+// interleave a stale table after a fresher one.
+func (s *System) Push(d TableSink) (*planner.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tbl, res, err := s.planLocked(nil)
 	if err != nil {
 		return nil, err
 	}
@@ -329,15 +496,23 @@ func (s *System) Push(d *dispatch.Dispatcher) (*planner.Result, error) {
 
 // EmergencyReplan is the control plane's fail-stop reaction: mark the
 // core failed, replan the whole population onto the survivors, and
-// stage the recovery table on the live dispatcher. The planner's
-// admission check gates the recovery — if the surviving cores cannot
-// carry the reserved utilization, the error is returned and the
-// dispatcher stays in best-effort degraded mode (the core remains
-// marked failed either way, so a later retry plans on the same
-// surviving set).
-func (s *System) EmergencyReplan(d *dispatch.Dispatcher, core int) (*planner.Result, error) {
-	if err := s.MarkCoreFailed(core); err != nil {
+// stage the recovery table on the live sink. The planner's admission
+// check gates the recovery — if the surviving cores cannot carry the
+// reserved utilization, the error is returned and the dispatcher stays
+// in best-effort degraded mode (the core remains marked failed either
+// way, so a later retry plans on the same surviving set).
+func (s *System) EmergencyReplan(d TableSink, core int) (*planner.Result, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.markCoreFailedLocked(core); err != nil {
 		return nil, err
 	}
-	return s.Push(d)
+	tbl, res, err := s.planLocked(nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.PushTable(tbl); err != nil {
+		return nil, err
+	}
+	return res, nil
 }

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+	"tableau/internal/table"
+)
+
+// raceSink is a mutex-guarded TableSink that checks the serialized
+// replan pipeline's key property: tables arrive in strictly increasing
+// generation order, because each plan+push happens under the system
+// lock. It never calls back into the system.
+type raceSink struct {
+	mu         sync.Mutex
+	pushes     int
+	lastGen    uint64
+	violations int
+}
+
+func (r *raceSink) PushTable(tbl *table.Table) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pushes++
+	if tbl.Generation <= r.lastGen {
+		r.violations++
+	}
+	r.lastGen = tbl.Generation
+	return nil
+}
+
+// TestSystemConcurrentChurnRace hammers one System (and a Controller on
+// top of it) from 8 goroutines mixing AddVM, RemoveVM/SetActive,
+// Reconfigure, Plan, Push, EmergencyReplan, and the Submit/Flush
+// pipeline. Run under -race this is the memory-safety half of the
+// churn-hardening story; the semantic half (transactionality) lives in
+// controller_test.go. Slots 0–3 stay active throughout so planning
+// always has a population; only core 3 ever fails so the host stays
+// admissible.
+func TestSystemConcurrentChurnRace(t *testing.T) {
+	s := NewSystem(4, planner.Options{}, dispatch.Options{})
+	for i := 0; i < 8; i++ {
+		if _, err := s.AddVM(VMConfig{
+			Name:        fmt.Sprintf("vm%d", i),
+			Util:        Util{Num: 1, Den: 8},
+			LatencyGoal: 20_000_000,
+			Capped:      true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := &raceSink{}
+	_, res, err := s.Plan()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl, err := NewController(s, sink, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, iters = 8, 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				switch g % 4 {
+				case 0: // churn the spare slots directly
+					id := 4 + (g+i)%4
+					if i%2 == 0 {
+						_ = s.SetActive(id, true)
+					} else {
+						_ = s.RemoveVM(id)
+					}
+				case 1: // reconfigure the resident slots; grow the population
+					if i%10 == 9 {
+						_, _ = s.AddVM(VMConfig{
+							Name:        fmt.Sprintf("extra%d.%d", g, i),
+							Util:        Util{Num: 1, Den: 8},
+							LatencyGoal: 20_000_000,
+							Capped:      true,
+						})
+						continue
+					}
+					goal := int64(20_000_000 + (i%3)*5_000_000)
+					_ = s.Reconfigure((g+i)%4, Util{Num: 1, Den: 8}, goal)
+				case 2: // replan-and-push, with occasional fail-stop recovery
+					if i%8 == 7 {
+						_, _ = s.EmergencyReplan(sink, 3)
+					} else {
+						_, _ = s.Push(sink)
+					}
+				case 3: // the coalescing pipeline
+					ctrl.Submit(Op{Kind: OpActivate, Slot: 4 + (g+i)%4})
+					if i%2 == 1 {
+						_, _ = ctrl.Flush()
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sink.mu.Lock()
+	pushes, violations := sink.pushes, sink.violations
+	sink.mu.Unlock()
+	if pushes == 0 {
+		t.Error("no table was ever pushed")
+	}
+	if violations > 0 {
+		t.Errorf("%d pushes arrived out of generation order", violations)
+	}
+	// The system must still be consistent enough to plan.
+	if _, _, err := s.Plan(); err != nil {
+		t.Fatalf("final plan: %v", err)
+	}
+	if _, err := ctrl.Flush(); err != nil {
+		t.Fatalf("final flush: %v", err)
+	}
+}

@@ -263,6 +263,30 @@ func (d *Dispatcher) PushTable(tbl *table.Table) error {
 	return nil
 }
 
+// Staged returns the staged table awaiting adoption, or nil.
+func (d *Dispatcher) Staged() *table.Table { return d.next }
+
+// AbortStaged withdraws a staged table no core has begun adopting and
+// returns it; it returns nil when nothing is staged or when adoption is
+// already underway (a partially-adopted switch must roll forward — some
+// cores already enact the new table, so withdrawing it would leave the
+// machine split across generations forever). The control plane's
+// rollback path uses this to keep the dispatcher on the previous epoch
+// when an emergency replan cannot produce a successor.
+func (d *Dispatcher) AbortStaged() *table.Table {
+	if d.next == nil {
+		return nil
+	}
+	for i := range d.cores {
+		if d.cores[i].tbl == d.next {
+			return nil
+		}
+	}
+	t := d.next
+	d.next = nil
+	return t
+}
+
 // tableFor returns the table core c should use at time now, adopting a
 // staged table when the core crosses the activation boundary.
 func (d *Dispatcher) tableFor(c int, now int64) *table.Table {

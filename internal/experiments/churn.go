@@ -1,0 +1,558 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"tableau/internal/core"
+	"tableau/internal/dispatch"
+	"tableau/internal/faults"
+	"tableau/internal/planner"
+	"tableau/internal/plannersvc"
+	"tableau/internal/schedulers/credit"
+	"tableau/internal/sim"
+	"tableau/internal/table"
+	"tableau/internal/trace"
+	"tableau/internal/vmm"
+	"tableau/internal/workload"
+)
+
+// The churnchaos experiment drives an arrival/departure storm through
+// the transactional control plane while an intrinsic-latency probe
+// watches from a VM that never churns. Six op bursts land inside
+// [0.3h, 0.6h): spares arrive, residents depart and return, and a
+// deliberately oversized final burst overflows admission so rejections
+// and (under a racing fail-stop) rollbacks are exercised, not just the
+// happy path. Under Tableau every burst is coalesced by the Controller
+// into one planner invocation and one versioned epoch transition;
+// under Credit the same guest-side churn happens with no control plane
+// at all. Fault cells race the storm with a fail-stop of the probe's
+// home core, or with a planner-service outage served by the
+// plannersvc breaker + local-fallback path.
+
+// ChurnFaults are the fault cells of the churn matrix. The planner
+// outage is Tableau-only (Credit has no planner to lose).
+const (
+	ChurnFaultNone     = "none"
+	ChurnFaultFailStop = faults.KindPCPUFailStop
+	ChurnFaultOutage   = faults.KindPlannerOutage
+)
+
+// ChurnPoint is one cell of the churn matrix.
+type ChurnPoint struct {
+	Scheduler SchedulerKind
+	Fault     string
+	// Arrivals/Departures are the op counts the storm submits.
+	Arrivals, Departures int64
+	// Control-plane counters (zero for Credit): epochs installed,
+	// planner invocations, individually rejected ops, whole-batch
+	// rollbacks.
+	Transitions, PlannerCalls, Rejected, Rollbacks int64
+	// Remote-planning counters for the outage cell: successful remote
+	// plans, failed remote attempts, and bursts served by the local
+	// fallback planner.
+	RemoteOK, RemoteFail, Fallbacks int64
+	// WorstBlackout is the longest trace-observed no-service gap that
+	// spans an epoch adoption for a VM holding a guarantee in both
+	// epochs; WorstBound is the corresponding analytical allowance
+	// (B_prev + B_next for that VM). BoundViolations counts gaps that
+	// exceeded their allowance — the acceptance gate demands zero.
+	WorstBlackout, WorstBound int64
+	BoundViolations           int64
+	// Probe-observed maximum scheduling delay before/during/after the
+	// storm window.
+	MaxBefore, MaxDuring, MaxAfter int64
+	Samples                        int64
+}
+
+// churnWindow is a [start, end) span.
+type churnWindow struct{ start, end int64 }
+
+// churnBurst is one storm instant with its coalesced ops.
+type churnBurst struct {
+	at  int64
+	ops []core.Op
+}
+
+// churnPlan fixes the storm deterministically for a machine of C guest
+// cores and horizon h. Residents occupy (C-1)*4 - 2 slots of 1/4 core
+// each (1.5 cores of headroom so a mid-storm fail-stop is recoverable);
+// 8 spares follow, the last two oversized at 3/4 core so the final
+// burst overflows admission on any host.
+type churnPlan struct {
+	cores               int
+	horizon             int64
+	nRes, nSpare        int
+	stormStart, stormEnd int64
+	failAt              int64
+	bursts              []churnBurst
+	idle                [][]churnWindow // per slot: windows the guest blocks
+	utils               []planner.Util  // per slot
+}
+
+func makeChurnPlan(cores int, horizon int64) *churnPlan {
+	p := &churnPlan{
+		cores:      cores,
+		horizon:    horizon,
+		nRes:       (cores-1)*4 - 2,
+		nSpare:     8,
+		stormStart: 3 * horizon / 10,
+		stormEnd:   6 * horizon / 10,
+	}
+	step := (p.stormEnd - p.stormStart) / 6
+	t := func(b int) int64 { return p.stormStart + int64(b)*step }
+	p.failAt = (t(2) + t(3)) / 2
+
+	quarter := planner.Util{Num: 1, Den: 4}
+	big := planner.Util{Num: 3, Den: 4}
+	for i := 0; i < p.nRes; i++ {
+		p.utils = append(p.utils, quarter)
+	}
+	for i := 0; i < p.nSpare; i++ {
+		u := quarter
+		if i >= p.nSpare-2 {
+			u = big
+		}
+		p.utils = append(p.utils, u)
+	}
+
+	sp := func(i int) int { return p.nRes + i }
+	act := func(slot int) core.Op { return core.Op{Kind: core.OpActivate, Slot: slot} }
+	deact := func(slot int) core.Op { return core.Op{Kind: core.OpDeactivate, Slot: slot} }
+	p.bursts = []churnBurst{
+		{t(0), []core.Op{act(sp(0)), act(sp(1))}},
+		{t(1), []core.Op{deact(1), deact(2)}},
+		{t(2), []core.Op{act(sp(2)), act(sp(3))}},
+		// A mixed batch: two spares leave and the departed residents
+		// return, coalesced into one net-zero transition.
+		{t(3), []core.Op{deact(sp(0)), deact(sp(1)), act(1), act(2)}},
+		{t(4), []core.Op{deact(3), deact(4)}},
+		// The overflow burst: +0.25+0.25+0.75+0.75 cores exceeds any
+		// remaining headroom, so the tail of the batch is rejected.
+		{t(5), []core.Op{act(sp(4)), act(sp(5)), act(sp(6)), act(sp(7))}},
+	}
+
+	// Guest-side lifecycle: a slot blocks while departed (or not yet
+	// arrived) and hogs while resident. Identical under every
+	// scheduler, so the guest demand is scheduler-independent.
+	active := make([]bool, p.nRes+p.nSpare)
+	for i := 0; i < p.nRes; i++ {
+		active[i] = true
+	}
+	idleSince := make([]int64, p.nRes+p.nSpare)
+	p.idle = make([][]churnWindow, p.nRes+p.nSpare)
+	for _, b := range p.bursts {
+		for _, op := range b.ops {
+			switch op.Kind {
+			case core.OpActivate:
+				if !active[op.Slot] {
+					p.idle[op.Slot] = append(p.idle[op.Slot], churnWindow{idleSince[op.Slot], b.at})
+					active[op.Slot] = true
+				}
+			case core.OpDeactivate:
+				if active[op.Slot] {
+					active[op.Slot] = false
+					idleSince[op.Slot] = b.at
+				}
+			}
+		}
+	}
+	for slot, a := range active {
+		if !a {
+			p.idle[slot] = append(p.idle[slot], churnWindow{idleSince[slot], horizon})
+		}
+	}
+	return p
+}
+
+func (p *churnPlan) counts() (arrivals, departures int64) {
+	for _, b := range p.bursts {
+		for _, op := range b.ops {
+			switch op.Kind {
+			case core.OpActivate:
+				arrivals++
+			case core.OpDeactivate:
+				departures++
+			}
+		}
+	}
+	return
+}
+
+// lifecycleProgram hogs while the slot is resident and blocks through
+// its idle windows.
+func lifecycleProgram(idle []churnWindow) vmm.Program {
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		for _, w := range idle {
+			if now >= w.start && now < w.end {
+				return vmm.Block(w.end - now)
+			}
+		}
+		return vmm.Compute(1_000_000)
+	})
+}
+
+// RunChurnChaos runs one (scheduler, fault) cell of the churn matrix.
+// Zero-overhead dispatch keeps the analytical blackout bounds exact, as
+// in the verify harness.
+func RunChurnChaos(kind SchedulerKind, fault string, mode Mode, seed int64) (ChurnPoint, error) {
+	cores, horizon := 6, int64(1_200_000_000)
+	if mode == Full {
+		cores, horizon = 12, 5_000_000_000
+	}
+	p := makeChurnPlan(cores, horizon)
+	pt := ChurnPoint{Scheduler: kind, Fault: fault}
+	pt.Arrivals, pt.Departures = p.counts()
+
+	const latencyGoal = 20_000_000
+	probe := &workload.PhasedProbe{Chunk: 10_000, FaultStart: p.stormStart, FaultEnd: p.stormEnd}
+
+	var sched vmm.Scheduler
+	var sys *core.System
+	var disp *dispatch.Dispatcher
+	var res *planner.Result
+	switch kind {
+	case Tableau:
+		sys = core.NewSystem(cores, planner.Options{}, dispatch.Options{})
+		for slot, u := range p.utils {
+			if _, err := sys.AddVM(core.VMConfig{
+				Name: vmName(slot), Util: u, LatencyGoal: latencyGoal, Capped: true,
+			}); err != nil {
+				return pt, err
+			}
+		}
+		for i := 0; i < p.nSpare; i++ {
+			if err := sys.SetActive(p.nRes+i, false); err != nil {
+				return pt, err
+			}
+		}
+		var err error
+		disp, res, err = sys.BuildDispatcher()
+		if err != nil {
+			return pt, err
+		}
+		sched = disp
+	case Credit:
+		sched = credit.New(credit.Options{Timeslice: 5_000_000, CapPct: 25})
+	default:
+		return pt, fmt.Errorf("experiments: churnchaos does not run %q", kind)
+	}
+
+	m := vmm.New(sim.New(seed), cores, sched, vmm.NoOverheads())
+	var tr *trace.Tracer
+	if kind == Tableau {
+		tr = trace.New(1 << 16)
+		m.SetTracer(tr)
+	}
+	m.AddVCPU(vmName(0), probe.Program(), 256, true)
+	for slot := 1; slot < p.nRes+p.nSpare; slot++ {
+		m.AddVCPU(vmName(slot), lifecycleProgram(p.idle[slot]), 256, true)
+	}
+
+	// Fail the probe's home core mid-storm: the worst case for a
+	// table-driven scheduler, racing the replan pipeline with the storm.
+	failCore := 0
+	if disp != nil {
+		if hc := disp.ActiveTable().VCPUs[0].HomeCore; hc >= 0 {
+			failCore = hc
+		}
+	}
+	var inj *faults.Injector
+	switch fault {
+	case ChurnFaultNone:
+	case ChurnFaultFailStop:
+		plan := &faults.Plan{Seed: seed, Events: []faults.Event{
+			{Kind: faults.KindPCPUFailStop, At: p.failAt, Core: failCore},
+		}}
+		var err error
+		if inj, err = faults.Attach(m, plan); err != nil {
+			return pt, err
+		}
+	case ChurnFaultOutage:
+		if kind != Tableau {
+			return pt, fmt.Errorf("experiments: planner outage needs a planner (scheduler %q)", kind)
+		}
+		plan := &faults.Plan{Seed: seed, Events: []faults.Event{
+			{Kind: faults.KindPlannerOutage, At: p.stormStart, Duration: p.stormEnd - p.stormStart - horizon/10, Core: -1},
+		}}
+		var err error
+		if inj, err = faults.Attach(m, plan); err != nil {
+			return pt, err
+		}
+	default:
+		return pt, fmt.Errorf("experiments: unknown churn fault %q", fault)
+	}
+
+	var ctrl *core.Controller
+	var transitions []*core.Transition
+	if kind == Tableau {
+		var err error
+		ctrl, err = core.NewController(sys, disp, res)
+		if err != nil {
+			return pt, err
+		}
+		if fault == ChurnFaultOutage {
+			// The remote-planning path under outage: a breaker on the sim
+			// clock gates attempts; while the service is unreachable every
+			// failed attempt trips the breaker closer to open, and the
+			// storm is served by local fallback planning — arrivals are
+			// never turned away just because the planner service is down.
+			br := &plannersvc.Breaker{Threshold: 3, Cooldown: 100 * time.Millisecond}
+			br.SetClock(func() time.Time { return time.Unix(0, m.Eng.Now()) })
+			ctrl.PlanVia = func(specs []planner.VCPUSpec, opts planner.Options) (*planner.Result, error) {
+				if br.Allow() {
+					if inj.PlannerOutage(m.Eng.Now()) {
+						br.RecordFailure()
+						pt.RemoteFail++
+					} else {
+						br.RecordSuccess()
+						pt.RemoteOK++
+						return planner.Plan(specs, opts)
+					}
+				}
+				pt.Fallbacks++
+				return planner.Plan(specs, opts)
+			}
+		}
+		flush := func() {
+			if t, _ := ctrl.Flush(); t != nil {
+				transitions = append(transitions, t)
+			}
+		}
+		for _, b := range p.bursts {
+			burst := b
+			m.Eng.At(burst.at, func(int64) {
+				ctrl.SubmitBatch(burst.ops)
+				flush()
+			})
+		}
+		if fault == ChurnFaultFailStop {
+			// Control-plane detection latency: the emergency replan races
+			// whatever storm bursts are already queued.
+			m.Eng.At(p.failAt+10_000_000, func(int64) {
+				ctrl.Submit(core.Op{Kind: core.OpFailCore, Core: failCore})
+				flush()
+			})
+		}
+	}
+
+	m.Start()
+	m.Run(horizon)
+	m.Stop()
+	if tr != nil {
+		tr.FlushResidency(m.Now())
+	}
+
+	pt.MaxBefore = probe.MaxBefore()
+	pt.MaxDuring = probe.MaxDuring()
+	pt.MaxAfter = probe.MaxAfter()
+	pt.Samples = probe.Samples()
+
+	if ctrl != nil {
+		st := ctrl.ControllerStats()
+		pt.Transitions = st.Transitions
+		pt.PlannerCalls = st.PlannerCalls
+		pt.Rejected = st.Rejections
+		pt.Rollbacks = st.Rollbacks
+		if err := churnBlackouts(&pt, p, ctrl, transitions, tr, len(m.VCPUs)); err != nil {
+			return pt, err
+		}
+	}
+	return pt, nil
+}
+
+// churnBlackouts derives the per-transition blackout metric from the
+// trace: for every pair of consecutive enacted epochs and every slot
+// holding a guarantee in both, the longest no-service gap that spans
+// the newer epoch's adoption window must not exceed B_prev + B_next —
+// the adoption happens at an old-cycle boundary and the new table
+// resumes at an arbitrary phase, so the two bounds add. Gaps inside the
+// fail-stop detection-and-recovery window are excluded: that blackout
+// is charged to the fault, not to the transition protocol.
+func churnBlackouts(pt *ChurnPoint, p *churnPlan, ctrl *core.Controller, transitions []*core.Transition, tr *trace.Tracer, nv int) error {
+	var buf bytes.Buffer
+	if err := tr.Encode(&buf); err != nil {
+		return err
+	}
+	dump, err := trace.Decode(&buf)
+	if err != nil {
+		return err
+	}
+	if lost := dump.Lost(); lost != 0 {
+		return fmt.Errorf("experiments: churnchaos trace lost %d records — grow the ring", lost)
+	}
+	recs := dump.Merged()
+
+	type adoptWindow struct{ first, last int64 }
+	adopt := make(map[uint64]adoptWindow)
+	for i := range recs {
+		r := &recs[i]
+		if r.Type != trace.EvTableSwitch {
+			continue
+		}
+		gen := uint64(r.Arg0)
+		w, ok := adopt[gen]
+		if !ok {
+			w = adoptWindow{r.Time, r.Time}
+		}
+		if r.Time < w.first {
+			w.first = r.Time
+		}
+		if r.Time > w.last {
+			w.last = r.Time
+		}
+		adopt[gen] = w
+	}
+
+	hist := ctrl.History()
+	type enacted struct {
+		win      adoptWindow
+		blackout map[int]int64
+	}
+	bmap := func(gs []table.Guarantee) map[int]int64 {
+		m := make(map[int]int64, len(gs))
+		for _, g := range gs {
+			m[g.VCPU] = g.MaxBlackout
+		}
+		return m
+	}
+	var epochs []enacted
+	if len(hist) > 0 {
+		epochs = append(epochs, enacted{blackout: bmap(hist[0].Guarantees)})
+		for _, ep := range hist[1:] {
+			if w, ok := adopt[ep.Version]; ok {
+				epochs = append(epochs, enacted{w, bmap(ep.Guarantees)})
+			}
+		}
+	}
+
+	// Mask the fail-stop recovery: from the failure until the emergency
+	// epoch finished adopting (or forever, if it never did).
+	mask := churnWindow{-1, -1}
+	if pt.Fault == ChurnFaultFailStop {
+		mask = churnWindow{p.failAt, p.horizon}
+		for _, t := range transitions {
+			if !t.Emergency || t.Version == 0 {
+				continue
+			}
+			if w, ok := adopt[t.Version]; ok {
+				mask.end = w.last
+			}
+		}
+	}
+
+	// Running intervals per vCPU, then gap scan per transition.
+	runs := make([][]churnWindow, nv)
+	open := make([]int64, nv)
+	for v := range open {
+		open[v] = -1
+	}
+	for i := range recs {
+		r := &recs[i]
+		if r.Type != trace.EvRunstateChange {
+			continue
+		}
+		v := int(r.VCPU)
+		if v < 0 || v >= nv {
+			continue
+		}
+		switch {
+		case r.Arg1 == trace.StateRunning:
+			if open[v] < 0 {
+				open[v] = r.Time
+			}
+		case r.Arg0 == trace.StateRunning:
+			if open[v] >= 0 {
+				runs[v] = append(runs[v], churnWindow{open[v], r.Time})
+				open[v] = -1
+			}
+		}
+	}
+	for v := range open {
+		if open[v] >= 0 {
+			runs[v] = append(runs[v], churnWindow{open[v], p.horizon})
+		}
+	}
+	gapsOf := func(ivs []churnWindow) []churnWindow {
+		var gaps []churnWindow
+		prev := int64(0)
+		for _, iv := range ivs {
+			if iv.start > prev {
+				gaps = append(gaps, churnWindow{prev, iv.start})
+			}
+			if iv.end > prev {
+				prev = iv.end
+			}
+		}
+		if prev < p.horizon {
+			gaps = append(gaps, churnWindow{prev, p.horizon})
+		}
+		return gaps
+	}
+
+	for k := 0; k+1 < len(epochs); k++ {
+		cur, next := &epochs[k], &epochs[k+1]
+		for slot, bNext := range next.blackout {
+			bCur, held := cur.blackout[slot]
+			if !held || slot >= nv {
+				continue
+			}
+			allowed := bCur + bNext
+			for _, g := range gapsOf(runs[slot]) {
+				if g.end <= next.win.first || g.start > next.win.last {
+					continue // does not span this adoption
+				}
+				if mask.start >= 0 && g.end > mask.start && g.start <= mask.end {
+					continue
+				}
+				if g.end-g.start > pt.WorstBlackout {
+					pt.WorstBlackout = g.end - g.start
+					pt.WorstBound = allowed
+				}
+				if g.end-g.start > allowed {
+					pt.BoundViolations++
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ChurnChaos runs the full churn matrix and renders it.
+func ChurnChaos(mode Mode) (*Result, error) {
+	r := &Result{
+		Name:   "churnchaos",
+		Title:  "Control-plane churn storms: Tableau transactional replan pipeline vs Credit (probe delay + per-transition blackout)",
+		Header: []string{"scheduler", "fault", "arrivals", "departures", "transitions", "planner_calls", "rejected", "rollbacks", "remote_ok", "remote_fail", "fallbacks", "worst_blackout_ms", "worst_bound_ms", "bound_violations", "probe_before_ms", "probe_during_ms", "probe_after_ms", "samples"},
+		Note:   "Storm window = [0.3h, 0.6h), 6 coalesced bursts; final burst deliberately overflows admission. Fail-stop kills the probe's home core mid-storm (blackout inside the detection window is charged to the fault, not the protocol); planner-outage exercises the breaker + local-fallback path on the sim clock. Zero-overhead dispatch keeps blackout bounds exact; bound_violations must be 0.",
+	}
+	type cell struct {
+		kind  SchedulerKind
+		fault string
+	}
+	cells := []cell{
+		{Tableau, ChurnFaultNone},
+		{Tableau, ChurnFaultFailStop},
+		{Tableau, ChurnFaultOutage},
+		{Credit, ChurnFaultNone},
+		{Credit, ChurnFaultFailStop},
+	}
+	pts, err := Collect(len(cells), func(i int) (ChurnPoint, error) {
+		return RunChurnChaos(cells[i].kind, cells[i].fault, mode, 42)
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range pts {
+		r.Rows = append(r.Rows, []string{
+			string(p.Scheduler), p.Fault,
+			itoa(p.Arrivals), itoa(p.Departures),
+			itoa(p.Transitions), itoa(p.PlannerCalls), itoa(p.Rejected), itoa(p.Rollbacks),
+			itoa(p.RemoteOK), itoa(p.RemoteFail), itoa(p.Fallbacks),
+			ms(p.WorstBlackout), ms(p.WorstBound), itoa(p.BoundViolations),
+			ms(p.MaxBefore), ms(p.MaxDuring), ms(p.MaxAfter), itoa(p.Samples),
+		})
+	}
+	return r, nil
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// churnCSV renders a churnchaos run to CSV bytes at the given
+// parallelism, restoring the previous setting afterwards.
+func churnCSV(t *testing.T, parallel int) ([]byte, *Result) {
+	t.Helper()
+	prev := Parallelism()
+	SetParallelism(parallel)
+	defer SetParallelism(prev)
+
+	r, err := ChurnChaos(Quick)
+	if err != nil {
+		t.Fatalf("churnchaos at -parallel %d: %v", parallel, err)
+	}
+	path := filepath.Join(t.TempDir(), "churnchaos.csv")
+	if err := r.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, r
+}
+
+// TestChurnChaosDeterminism is the churn-short CI gate: the churnchaos
+// CSV must be byte-identical across runs and across -parallel settings,
+// every Tableau row must keep its worst observed per-transition
+// blackout within the analytical bound, and the storm must actually
+// exercise admission control (some op is rejected somewhere in the
+// matrix).
+func TestChurnChaosDeterminism(t *testing.T) {
+	seq, r := churnCSV(t, 1)
+	par, _ := churnCSV(t, 8)
+	if string(seq) != string(par) {
+		t.Fatalf("churnchaos CSV differs between -parallel 1 and -parallel 8:\n--- p1 ---\n%s\n--- p8 ---\n%s", seq, par)
+	}
+	again, _ := churnCSV(t, 1)
+	if string(seq) != string(again) {
+		t.Fatal("churnchaos CSV differs between two identical runs")
+	}
+
+	col := make(map[string]int, len(r.Header))
+	for i, h := range r.Header {
+		col[h] = i
+	}
+	num := func(row []string, name string) int64 {
+		v, err := strconv.ParseInt(row[col[name]], 10, 64)
+		if err != nil {
+			t.Fatalf("column %s: %v", name, err)
+		}
+		return v
+	}
+	var rejected int64
+	for _, row := range r.Rows {
+		rejected += num(row, "rejected")
+		if row[col["scheduler"]] != string(Tableau) {
+			continue
+		}
+		if v := num(row, "bound_violations"); v != 0 {
+			t.Errorf("%s/%s: %d per-transition blackout(s) exceeded B_prev+B_next", row[0], row[1], v)
+		}
+		if num(row, "transitions") == 0 {
+			t.Errorf("%s/%s: storm produced no epoch transitions", row[0], row[1])
+		}
+		if row[1] == ChurnFaultOutage {
+			if num(row, "fallbacks") == 0 {
+				t.Error("outage cell never used the local fallback planner")
+			}
+			if num(row, "remote_fail") == 0 {
+				t.Error("outage cell never observed a remote failure")
+			}
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("no op was rejected anywhere in the matrix — the overflow burst is not overflowing")
+	}
+}

@@ -33,8 +33,8 @@ func Verify(mode Mode) (*Result, error) {
 	r := &Result{
 		Name:   "verify",
 		Title:  "invariant soak over generated scenarios",
-		Header: []string{"seed", "cores", "vms", "hogs", "faults", "replans", "table_ms", "adoptions", "maxgap_ms", "violations"},
-		Note:   fmt.Sprintf("%d scenarios, %d violation(s); oracles: utilization, max-gap, conservation, trace-consistency (+ sampled metamorphic & differential)", rep.Scenarios, rep.Violations),
+		Header: []string{"seed", "cores", "vms", "hogs", "faults", "replans", "churn", "table_ms", "adoptions", "maxgap_ms", "violations"},
+		Note:   fmt.Sprintf("%d scenarios, %d violation(s); oracles: utilization, max-gap, conservation, trace-consistency, continuity (+ sampled metamorphic & differential)", rep.Scenarios, rep.Violations),
 	}
 	for _, row := range rep.Rows {
 		r.Rows = append(r.Rows, []string{
@@ -44,6 +44,7 @@ func Verify(mode Mode) (*Result, error) {
 			itoa(int64(row.Hogs)),
 			itoa(int64(row.Faults)),
 			itoa(int64(row.Replans)),
+			itoa(int64(row.Churn)),
 			ms(row.TableLenNs),
 			itoa(int64(row.Adopted)),
 			ms(row.MaxGapNs),

@@ -16,7 +16,7 @@ func TestVerifyQuick(t *testing.T) {
 	if len(r.Rows) != 120 {
 		t.Fatalf("quick verify produced %d rows, want 120", len(r.Rows))
 	}
-	if got, want := len(r.Header), 10; got != want {
+	if got, want := len(r.Header), 11; got != want {
 		t.Fatalf("verify header has %d columns, want %d", got, want)
 	}
 	for _, row := range r.Rows {

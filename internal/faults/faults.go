@@ -37,6 +37,13 @@ const (
 	// KindNICDrop makes NIC number Core (an index into the NIC list
 	// handed to Attach) reject every enqueue inside [At, At+Duration).
 	KindNICDrop = "nic-drop"
+	// KindPlannerOutage marks the remote planner service unreachable
+	// inside [At, At+Duration). It perturbs no machine hook: the control
+	// plane consults Injector.PlannerOutage on its remote-planning path
+	// (the plannersvc breaker/fallback pipeline) before each replan, so
+	// a storm arriving during the window exercises breaker trips and
+	// local fallback planning. Core is -1 (the outage is machine-wide).
+	KindPlannerOutage = "planner-outage"
 )
 
 // kindInfo describes the shape each kind requires.
@@ -45,12 +52,13 @@ var kindInfo = map[string]struct {
 	needsCore bool // Core must name a concrete core (no -1 wildcard)
 	needDelay bool // Delay must be > 0
 }{
-	KindPCPUFailStop: {windowed: false, needsCore: true, needDelay: false},
-	KindPCPUStall:    {windowed: true, needsCore: true, needDelay: false},
-	KindTimerDrift:   {windowed: true, needsCore: false, needDelay: true},
-	KindIPIDrop:      {windowed: true, needsCore: false, needDelay: false},
-	KindIPIDelay:     {windowed: true, needsCore: false, needDelay: true},
-	KindNICDrop:      {windowed: true, needsCore: true, needDelay: false},
+	KindPCPUFailStop:  {windowed: false, needsCore: true, needDelay: false},
+	KindPCPUStall:     {windowed: true, needsCore: true, needDelay: false},
+	KindTimerDrift:    {windowed: true, needsCore: false, needDelay: true},
+	KindIPIDrop:       {windowed: true, needsCore: false, needDelay: false},
+	KindIPIDelay:      {windowed: true, needsCore: false, needDelay: true},
+	KindNICDrop:       {windowed: true, needsCore: true, needDelay: false},
+	KindPlannerOutage: {windowed: true, needsCore: false, needDelay: false},
 }
 
 // Event is one fault. Core semantics depend on Kind: the target pCPU

@@ -39,8 +39,9 @@ type Injector struct {
 	plan    *Plan
 	applied []Applied
 
-	ipiWindows   []window // drop (delay == 0) and delay (delay > 0)
-	timerWindows []window
+	ipiWindows     []window // drop (delay == 0) and delay (delay > 0)
+	timerWindows   []window
+	plannerWindows []window
 }
 
 // Attach installs plan on m. nics, if given, are the targets of
@@ -74,6 +75,9 @@ func Attach(m *vmm.Machine, plan *Plan, nics ...*netdev.NIC) (*Injector, error) 
 			inj.logWindowOpen(m, e)
 		case KindIPIDelay:
 			inj.ipiWindows = append(inj.ipiWindows, window{start: e.At, end: e.End(), core: e.Core, delay: e.Delay})
+			inj.logWindowOpen(m, e)
+		case KindPlannerOutage:
+			inj.plannerWindows = append(inj.plannerWindows, window{start: e.At, end: e.End(), core: e.Core})
 			inj.logWindowOpen(m, e)
 		case KindNICDrop:
 			if e.Core >= len(nics) {
@@ -129,8 +133,21 @@ func traceFaultKind(k string) int64 {
 		return trace.FaultIPIDrop
 	case KindIPIDelay:
 		return trace.FaultIPIDelay
+	case KindPlannerOutage:
+		return trace.FaultPlannerOutage
 	}
 	return trace.FaultNICDrop
+}
+
+// PlannerOutage reports whether the remote planner service is down at
+// simulation time now. Pure in now, like every window fault.
+func (inj *Injector) PlannerOutage(now int64) bool {
+	for _, w := range inj.plannerWindows {
+		if now >= w.start && now < w.end {
+			return true
+		}
+	}
+	return false
 }
 
 // ipiFault implements the Machine IPI hook: pure in (core, now).

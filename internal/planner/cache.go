@@ -3,6 +3,7 @@ package planner
 import (
 	"container/list"
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -47,7 +48,11 @@ func NewCache(max int) *Cache {
 
 // CacheKey returns the canonical key for a planning input. Spec order
 // matters (worst-fit tie-breaking is order-sensitive), so no sorting is
-// applied.
+// applied. Every Options field that influences placement is part of the
+// key — including Affinity, which encodes the caller's view of the
+// machine topology: core.System narrows affinity sets to the surviving
+// cores after a fail-stop, so two plans before and after a topology
+// change must never collide on one cached table.
 func CacheKey(specs []VCPUSpec, opts Options) string {
 	opts = opts.withDefaults()
 	var b strings.Builder
@@ -55,6 +60,17 @@ func CacheKey(specs []VCPUSpec, opts Options) string {
 		opts.Cores, opts.TableLength, opts.CoalesceThreshold, opts.MaxSlicesPerCore,
 		opts.DisableSplitting, opts.DisableClustering, opts.Peephole,
 		opts.SplitCompensationPPM, opts.SplitRotation)
+	if len(opts.Affinity) > 0 {
+		names := make([]string, 0, len(opts.Affinity))
+		for name := range opts.Affinity {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "a%s:%v;", name, opts.Affinity[name])
+		}
+		b.WriteString("|")
+	}
 	for _, s := range specs {
 		fmt.Fprintf(&b, "%s,%d/%d,%d,%v;", s.Name, s.Util.Num, s.Util.Den, s.LatencyGoal, s.Capped)
 	}

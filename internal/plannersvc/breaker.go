@@ -35,6 +35,15 @@ type Breaker struct {
 	now func() time.Time
 }
 
+// SetClock replaces the breaker's time source (nil restores
+// time.Now). Simulation harnesses point it at the sim clock so
+// cooldowns elapse in simulated time.
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+}
+
 func (b *Breaker) clock() time.Time {
 	if b.now != nil {
 		return b.now()

@@ -225,6 +225,50 @@ func (c *Client) attempt(ctx context.Context, body []byte) (*table.Table, *PlanR
 	return tbl, &resp, nil
 }
 
+// PlanFunc adapts the client to the control plane's planning hook
+// (assignable to core.PlanFunc, e.g. Controller.PlanVia): specs and
+// options go out as a PlanRequest, and the response — remote or
+// local-fallback — comes back as a *planner.Result carrying the decoded
+// table and guarantees. Only Table and Guarantees are populated; that
+// is the contract the control plane consumes.
+func (c *Client) PlanFunc() func(specs []planner.VCPUSpec, opts planner.Options) (*planner.Result, error) {
+	return func(specs []planner.VCPUSpec, opts planner.Options) (*planner.Result, error) {
+		if len(opts.Affinity) > 0 {
+			// The wire format cannot express affinity sets; shipping the
+			// request without them would silently drop a placement
+			// constraint. Plan on-host instead.
+			return planner.Plan(specs, opts)
+		}
+		req := PlanRequest{
+			Cores:                opts.Cores,
+			TableLengthNS:        opts.TableLength,
+			Peephole:             opts.Peephole,
+			SplitCompensationPPM: opts.SplitCompensationPPM,
+			SplitRotation:        opts.SplitRotation,
+		}
+		for _, sp := range specs {
+			req.VMs = append(req.VMs, VMRequest{
+				Name:          sp.Name,
+				UtilNum:       sp.Util.Num,
+				UtilDen:       sp.Util.Den,
+				LatencyGoalNS: sp.LatencyGoal,
+				Capped:        sp.Capped,
+			})
+		}
+		tbl, resp, err := c.PlanWithFallback(context.Background(), req)
+		if err != nil {
+			return nil, err
+		}
+		res := &planner.Result{Table: tbl}
+		for _, g := range resp.Guarantees {
+			res.Guarantees = append(res.Guarantees, table.Guarantee{
+				VCPU: g.VCPU, Service: g.ServiceNS, WindowLen: g.WindowNS, MaxBlackout: g.MaxBlackout,
+			})
+		}
+		return res, nil
+	}
+}
+
 // PlanWithFallback tries the remote daemon and, if every attempt fails
 // (or the breaker is open), plans locally with the in-process planner.
 // The local table is round-tripped through the binary codec so both

@@ -1,0 +1,113 @@
+package plannersvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func getHealth(t *testing.T, url string) (int, healthResponse) {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h healthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, h
+}
+
+// TestHealthzOperationalFields pins the /healthz schema additions: the
+// queue depth is always present, and the breaker state appears once a
+// breaker is registered and tracks its transitions.
+func TestHealthzOperationalFields(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	code, h := getHealth(t, ts.URL)
+	if code != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", code)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if h.QueueDepth != 0 {
+		t.Errorf("idle queue_depth = %d, want 0", h.QueueDepth)
+	}
+	if h.BreakerState != "" {
+		t.Errorf("breaker_state = %q with no breaker registered", h.BreakerState)
+	}
+
+	br := &Breaker{Threshold: 1, Cooldown: time.Hour}
+	s.SetBreaker(br)
+	if _, h = getHealth(t, ts.URL); h.BreakerState != "closed" {
+		t.Errorf("breaker_state = %q, want closed", h.BreakerState)
+	}
+	br.RecordFailure()
+	if _, h = getHealth(t, ts.URL); h.BreakerState != "open" {
+		t.Errorf("breaker_state after trip = %q, want open", h.BreakerState)
+	}
+	br.RecordSuccess()
+	if _, h = getHealth(t, ts.URL); h.BreakerState != "closed" {
+		t.Errorf("breaker_state after recovery = %q, want closed", h.BreakerState)
+	}
+}
+
+// TestDrainRefusesPlans pins the graceful-shutdown contract: after
+// StartDrain, /plan answers 503 with a JSON error and /healthz flips to
+// 503/"draining" so probes pull the daemon out of rotation, while the
+// health body still carries the operational counters.
+func TestDrainRefusesPlans(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// Sanity: planning works before the drain.
+	c := &Client{BaseURL: ts.URL, MaxAttempts: 1}
+	if _, _, err := c.Plan(testRequest(2, 20_000_000)); err != nil {
+		t.Fatalf("pre-drain plan failed: %v", err)
+	}
+
+	s.StartDrain()
+	if !s.Draining() {
+		t.Fatal("Draining() = false after StartDrain")
+	}
+
+	body, _ := json.Marshal(testRequest(2, 20_000_000))
+	resp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining /plan = %d, want 503", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil || e.Error == "" {
+		t.Fatalf("draining /plan error body: %v (err %v)", e, err)
+	}
+
+	code, h := getHealth(t, ts.URL)
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining /healthz = %d, want 503", code)
+	}
+	if h.Status != "draining" {
+		t.Errorf("draining status = %q", h.Status)
+	}
+
+	// A drained daemon still refuses via the breaker-visible retryable
+	// path: the client treats 503 as a daemon-side failure and falls
+	// back locally rather than erroring out.
+	tbl, presp, err := c.PlanWithFallback(t.Context(), testRequest(2, 20_000_000))
+	if err != nil {
+		t.Fatalf("fallback during drain failed: %v", err)
+	}
+	if presp.Source != "local" {
+		t.Errorf("fallback source = %q, want local", presp.Source)
+	}
+	if tbl == nil {
+		t.Error("fallback returned no table")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"tableau/internal/planner"
@@ -84,6 +85,10 @@ type Server struct {
 	cache   *planner.Cache
 	started time.Time
 
+	inflight atomic.Int64
+	draining atomic.Bool
+	breaker  atomic.Pointer[Breaker]
+
 	// Logf receives server-side diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -96,6 +101,24 @@ func NewServer(cacheSize int) *Server {
 
 // CacheStats reports the central cache's hit/miss counters.
 func (s *Server) CacheStats() (hits, misses int64) { return s.cache.Stats() }
+
+// QueueDepth reports the number of planning requests currently being
+// served.
+func (s *Server) QueueDepth() int64 { return s.inflight.Load() }
+
+// StartDrain flips the server into draining mode: /plan answers 503 so
+// load balancers stop routing here, /healthz reports "draining" (also
+// 503), and requests already in flight run to completion. Call before
+// http.Server.Shutdown for a flap-free rollout.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// SetBreaker registers the circuit breaker whose state /healthz should
+// expose — typically the breaker the daemon's own upstream client uses,
+// surfaced so operators can see a tripped circuit without log-diving.
+func (s *Server) SetBreaker(b *Breaker) { s.breaker.Store(b) }
 
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
@@ -115,12 +138,15 @@ func (s *Server) Handler() http.Handler {
 
 // healthResponse is the body of GET /healthz: liveness plus the
 // counters an operator needs to see whether the central cache is doing
-// its job.
+// its job, how loaded the daemon is, and whether its upstream circuit
+// breaker (if one is registered) has tripped.
 type healthResponse struct {
 	Status        string  `json:"status"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
+	QueueDepth    int64   `json:"queue_depth"`
+	BreakerState  string  `json:"breaker_state,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -129,13 +155,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	hits, misses := s.cache.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(healthResponse{
+	resp := healthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
-	}); err != nil {
+		QueueDepth:    s.inflight.Load(),
+	}
+	if b := s.breaker.Load(); b != nil {
+		resp.BreakerState = b.State()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if s.draining.Load() {
+		// Draining is a readiness failure, not a liveness one: the body
+		// still describes the daemon, but the status code tells probes to
+		// pull it out of rotation.
+		resp.Status = "draining"
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		s.logf("plannersvc: writing /healthz response: %v", err)
 	}
 }
@@ -145,6 +183,12 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("plannersvc: draining"))
+		return
+	}
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -75,6 +75,9 @@ const (
 	FaultIPIDrop    int64 = 3
 	FaultIPIDelay   int64 = 4
 	FaultNICDrop    int64 = 5
+	// FaultPlannerOutage marks a remote-planner outage window opening: a
+	// control-plane fault, so the record rides the control ring (core -1).
+	FaultPlannerOutage int64 = 6
 )
 
 // FaultKindName returns the mnemonic for an EvFaultInjected Arg0.
@@ -92,6 +95,8 @@ func FaultKindName(k int64) string {
 		return "ipidelay"
 	case FaultNICDrop:
 		return "nicdrop"
+	case FaultPlannerOutage:
+		return "planneroutage"
 	}
 	return "unknown"
 }

@@ -29,6 +29,7 @@ package verify
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"tableau/internal/faults"
 	"tableau/internal/planner"
@@ -92,6 +93,21 @@ type ReplanSpec struct {
 	At      int64
 }
 
+// ChurnOp is one arrival (Activate) or departure (!Activate) of slot
+// Slot at time At, submitted through the transactional Controller
+// pipeline. Ops sharing an At form one burst: they are submitted
+// together and flushed as a single coalesced batch, so a storm becomes
+// one planner invocation and one epoch transition. Slot indexes the
+// combined population: resident VMs first (0..len(VMs)-1), then spares
+// (len(VMs)..). An activation the host cannot admit is *meant* to be
+// rejected — that exercises the rollback path the continuity oracle
+// guards.
+type ChurnOp struct {
+	At       int64
+	Slot     int
+	Activate bool
+}
+
 // Scenario is one fully materialized generated run. Every field is a
 // pure function of (seed, Config): Generate is deterministic, so a
 // seed identifies a scenario forever.
@@ -101,6 +117,38 @@ type Scenario struct {
 	VMs    []VMSpec
 	Faults *faults.Plan // nil when the scenario is fault-free
 	Replan *ReplanSpec  // nil when there is no mid-run replan
+
+	// Spares are VMs registered with the control plane but inactive at
+	// t=0; churn ops activate them mid-run. Some are deliberately
+	// oversized so arrival storms hit admission rejections. Non-empty
+	// only for churn scenarios.
+	Spares []VMSpec
+	// Churn is the arrival/departure storm, in canonical (At, Slot)
+	// order. Non-empty churn routes the run through a core.Controller.
+	Churn []ChurnOp
+}
+
+// NumSlots returns the combined population size (residents + spares).
+func (s *Scenario) NumSlots() int { return len(s.VMs) + len(s.Spares) }
+
+// VM returns the spec of combined slot id (resident or spare).
+func (s *Scenario) VM(slot int) *VMSpec {
+	if slot < len(s.VMs) {
+		return &s.VMs[slot]
+	}
+	return &s.Spares[slot-len(s.VMs)]
+}
+
+// churnedSlots returns the set of slots any churn op touches.
+func (s *Scenario) churnedSlots() map[int]bool {
+	if len(s.Churn) == 0 {
+		return nil
+	}
+	out := make(map[int]bool, len(s.Churn))
+	for _, op := range s.Churn {
+		out[op.Slot] = true
+	}
+	return out
 }
 
 // TotalUtil returns the population's exact reserved utilization in PPM.
@@ -141,6 +189,11 @@ func (s *Scenario) QuietEnd() int64 {
 	if s.Replan != nil && s.Replan.At < quiet {
 		quiet = s.Replan.At
 	}
+	for _, op := range s.Churn {
+		if op.At < quiet {
+			quiet = op.At
+		}
+	}
 	return quiet
 }
 
@@ -155,8 +208,8 @@ func (s *Scenario) String() string {
 	if s.Replan != nil {
 		nr = 1
 	}
-	return fmt.Sprintf("seed=%d cores=%d vms=%d util=%dppm faults=%d replans=%d",
-		s.Seed, s.Cores, len(s.VMs), s.TotalUtil(), nf, nr)
+	return fmt.Sprintf("seed=%d cores=%d vms=%d util=%dppm faults=%d replans=%d spares=%d churn=%d",
+		s.Seed, s.Cores, len(s.VMs), s.TotalUtil(), nf, nr, len(s.Spares), len(s.Churn))
 }
 
 // Config bounds the generator's distributions. The zero value selects
@@ -176,6 +229,11 @@ type Config struct {
 	// BlockyPct is the per-VM percentage of Blocky workloads
 	// (default 30).
 	BlockyPct int
+	// ChurnPct is the percentage of scenarios carrying an
+	// arrival/departure storm driven through the Controller pipeline
+	// (default 25). Churn is drawn independently of faults, so a storm
+	// can race a fail-stop. Negative disables churn.
+	ChurnPct int
 	// UtilBudgetPPM caps the population's total reserved utilization
 	// per core, in PPM (default 850_000 — admission with headroom, so
 	// generated scenarios never trip ErrOverUtilized by construction).
@@ -200,6 +258,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BlockyPct == 0 {
 		c.BlockyPct = 30
+	}
+	if c.ChurnPct == 0 {
+		c.ChurnPct = 25
 	}
 	if c.UtilBudgetPPM == 0 {
 		c.UtilBudgetPPM = 850_000
@@ -309,7 +370,68 @@ func Generate(seed int64, cfg Config) *Scenario {
 			At:      replanAt,
 		}
 	}
+	// Churn is drawn last so churn-free scenarios are identical to what
+	// pre-churn versions of the generator produced for the same seed.
+	if cfg.ChurnPct > 0 && rng.Intn(100) < cfg.ChurnPct {
+		genChurn(rng, sc)
+	}
 	return sc
+}
+
+// genChurn grows the scenario with a spare population and an
+// arrival/departure storm. Spares are always Hogs — they are the
+// subjects of the continuity oracle, and a blocking spare would forfeit
+// service legitimately. Roughly a quarter of spares are deliberately
+// oversized so that dense hosts reject them, exercising the
+// individual-rejection and rollback paths under load.
+func genChurn(rng *rand.Rand, sc *Scenario) {
+	nSpares := 1 + rng.Intn(3)
+	for i := 0; i < nSpares; i++ {
+		u := utilMenu[rng.Intn(5)] // 1/10 .. 1/4
+		if rng.Intn(100) < 25 {
+			u = utilMenu[6+rng.Intn(3)] // 1/2, 2/3 or 3/4: likely inadmissible
+		}
+		goals := latencyMenu(u)
+		sc.Spares = append(sc.Spares, VMSpec{
+			Name:        fmt.Sprintf("spare%d.0", i),
+			Util:        u,
+			LatencyGoal: goals[rng.Intn(len(goals))],
+			Capped:      rng.Intn(2) == 0,
+			Workload:    Hog,
+		})
+	}
+
+	// Desired activity state, used only to pick plausible op targets;
+	// the run's actual state depends on which activations are admitted.
+	active := make([]bool, sc.NumSlots())
+	for i := range sc.VMs {
+		active[i] = true
+	}
+
+	span := int64(faultLatest - faultEarliest)
+	nBursts := 2 + rng.Intn(3)
+	for b := 0; b < nBursts; b++ {
+		at := faultEarliest + rng.Int63n(span)
+		nOps := 1 + rng.Intn(4)
+		for o := 0; o < nOps; o++ {
+			var candidates []int
+			wantArrival := rng.Intn(100) < 60
+			for slot := range active {
+				if wantArrival != active[slot] && (wantArrival || slot != 0) {
+					candidates = append(candidates, slot)
+				}
+			}
+			if len(candidates) == 0 {
+				continue
+			}
+			slot := candidates[rng.Intn(len(candidates))]
+			active[slot] = wantArrival
+			sc.Churn = append(sc.Churn, ChurnOp{At: at, Slot: slot, Activate: wantArrival})
+		}
+	}
+	sort.SliceStable(sc.Churn, func(i, j int) bool {
+		return sc.Churn[i].At < sc.Churn[j].At
+	})
 }
 
 // genFaults draws a small deterministic fault plan. At most one

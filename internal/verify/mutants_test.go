@@ -10,7 +10,7 @@ import (
 // mutantCfg generates pure populations: no faults, no replans, no
 // blocking workloads — every deviation the oracles report is the
 // mutant's doing.
-var mutantCfg = Config{FaultPct: -1, ReplanPct: -1, BlockyPct: -1}
+var mutantCfg = Config{FaultPct: -1, ReplanPct: -1, BlockyPct: -1, ChurnPct: -1}
 
 // mutantSeed selects a deterministic scenario with at least two VMs so
 // starving one cannot be confused with an empty machine.
@@ -53,7 +53,7 @@ func TestMutationSmokeStarve(t *testing.T) {
 	sc := mutantScenario(t)
 	art, err := run(sc, func(inner vmm.Scheduler) vmm.Scheduler {
 		return newStarveMutant(inner, 0)
-	})
+	}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +70,7 @@ func TestMutationSmokeDelay(t *testing.T) {
 	delay := 2 * sc.VMs[0].LatencyGoal
 	art, err := run(sc, func(inner vmm.Scheduler) vmm.Scheduler {
 		return newDelayMutant(inner, 0, delay)
-	})
+	}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestMutationSmokePhantom(t *testing.T) {
 	sc := mutantScenario(t)
 	art, err := run(sc, func(inner vmm.Scheduler) vmm.Scheduler {
 		return newPhantomMutant(inner, 0, 5)
-	})
+	}, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +143,7 @@ func TestShrinkFindsSmallerRepro(t *testing.T) {
 		}
 		art, err := run(sc, func(inner vmm.Scheduler) vmm.Scheduler {
 			return newStarveMutant(inner, 0)
-		})
+		}, false)
 		if err != nil {
 			return false
 		}

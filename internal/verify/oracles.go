@@ -42,6 +42,7 @@ func CheckAll(a *Artifacts) []Violation {
 	out = append(out, CheckMaxGap(a)...)
 	out = append(out, CheckConservation(a)...)
 	out = append(out, CheckTraceConsistency(a)...)
+	out = append(out, CheckContinuity(a)...)
 	return out
 }
 
@@ -140,10 +141,10 @@ func hogGuarantees(a *Artifacts) map[int]struct {
 } {
 	out := make(map[int]struct{ service, window, blackout int64 })
 	for _, g := range a.Guarantees {
-		if g.VCPU < 0 || g.VCPU >= len(a.Scenario.VMs) {
+		if g.VCPU < 0 || g.VCPU >= a.Scenario.NumSlots() {
 			continue
 		}
-		if a.Scenario.VMs[g.VCPU].Workload != Hog {
+		if a.Scenario.VM(g.VCPU).Workload != Hog {
 			continue
 		}
 		out[g.VCPU] = struct{ service, window, blackout int64 }{g.Service, g.WindowLen, g.MaxBlackout}
@@ -322,7 +323,15 @@ func checkNotLost(a *Artifacts) []Violation {
 	if cutoff <= 0 {
 		return nil
 	}
+	// Slots the churn storm touches may legitimately be dark at the end
+	// (departed, or an arrival the host refused); the continuity oracle
+	// owns their epoch-to-epoch story. Untouched residents must still be
+	// receiving service.
+	churned := a.Scenario.churnedSlots()
 	for v := range hogGuarantees(a) {
+		if churned[v] {
+			continue
+		}
 		if serviceIn(runs[v], cutoff, Horizon) == 0 {
 			out = append(out, Violation{ClassConservation, v, fmt.Sprintf(
 				"no service in final [%d,%d) ns — vcpu lost across a table switch?", cutoff, Horizon)})

@@ -57,6 +57,22 @@ type Artifacts struct {
 	// Adopted counts EvTableSwitch records: how many cores adopted a
 	// staged table during the run.
 	Adopted int
+
+	// Controller is the transactional pipeline churn scenarios run
+	// through (nil for churn-free runs — those keep the direct
+	// Push/EmergencyReplan path bit-for-bit). Transitions records every
+	// Flush outcome with the sim time it ran, in time order; the
+	// continuity oracle replays them against the epoch history.
+	Controller  *core.Controller
+	Transitions []ChurnTransition
+}
+
+// ChurnTransition pairs one control-plane flush with the sim time it
+// ran. Tr is never nil; a rolled-back flush is recorded too (rollback
+// under a storm is legitimate behaviour the oracles must see).
+type ChurnTransition struct {
+	At int64
+	Tr *core.Transition
 }
 
 // Run executes the scenario under the Tableau stack and returns the
@@ -64,19 +80,29 @@ type Artifacts struct {
 // table dispatch delivers reservations exactly — the utilization and
 // max-gap oracles check strict inequalities, not tolerances.
 func Run(sc *Scenario) (*Artifacts, error) {
-	return run(sc, nil)
+	return run(sc, nil, false)
 }
 
-// run is Run plus an optional scheduler wrapper, the hook the
-// mutation-smoke tests use to install intentionally broken variants
-// between the dispatcher and the machine.
-func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler) (*Artifacts, error) {
+// run is Run plus two mutation-smoke hooks: an optional scheduler
+// wrapper installing intentionally broken variants between the
+// dispatcher and the machine, and the evict switch arming the
+// Controller's UnsafeEvictOnOverload defect.
+func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler, evict bool) (*Artifacts, error) {
 	sys := core.NewSystem(sc.Cores, planner.Options{}, dispatch.Options{})
-	for _, vm := range sc.VMs {
-		if _, err := sys.AddVM(core.VMConfig{
+	for slot := 0; slot < sc.NumSlots(); slot++ {
+		vm := sc.VM(slot)
+		id, err := sys.AddVM(core.VMConfig{
 			Name: vm.Name, Util: vm.Util, LatencyGoal: vm.LatencyGoal, Capped: vm.Capped,
-		}); err != nil {
+		})
+		if err != nil {
 			return nil, fmt.Errorf("verify: %s: %w", sc, err)
+		}
+		if slot >= len(sc.VMs) {
+			// Spares are registered but not part of the initial plan;
+			// churn ops activate them through the Controller.
+			if err := sys.SetActive(id, false); err != nil {
+				return nil, fmt.Errorf("verify: %s: %w", sc, err)
+			}
 		}
 	}
 	disp, res, err := sys.BuildDispatcher()
@@ -91,8 +117,9 @@ func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler) (*Artifacts
 	m := vmm.New(sim.New(sc.Seed), sc.Cores, sched, vmm.NoOverheads())
 	tr := trace.New(runRingSize)
 	m.SetTracer(tr)
-	for i, vm := range sc.VMs {
-		m.AddVCPU(vm.Name, programFor(sc, i), 256, vm.Capped)
+	for slot := 0; slot < sc.NumSlots(); slot++ {
+		vm := sc.VM(slot)
+		m.AddVCPU(vm.Name, programFor(sc, slot), 256, vm.Capped)
 	}
 
 	art := &Artifacts{
@@ -103,6 +130,27 @@ func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler) (*Artifacts
 		Dispatcher: disp,
 		Sys:        sys,
 		Tracer:     tr,
+	}
+
+	// Churn scenarios route every mid-run reconfiguration — bursts,
+	// emergency replans, scheduled replans — through the transactional
+	// Controller. Churn-free scenarios keep the direct System path so
+	// their runs stay bit-for-bit identical to earlier generators.
+	var ctrl *core.Controller
+	if len(sc.Spares) > 0 || len(sc.Churn) > 0 {
+		ctrl, err = core.NewController(sys, disp, res)
+		if err != nil {
+			return nil, fmt.Errorf("verify: %s: %w", sc, err)
+		}
+		ctrl.UnsafeEvictOnOverload = evict
+		art.Controller = ctrl
+	}
+	flush := func(now int64) *core.Transition {
+		tr, _ := ctrl.Flush()
+		if tr != nil {
+			art.Transitions = append(art.Transitions, ChurnTransition{At: now, Tr: tr})
+		}
+		return tr
 	}
 
 	if sc.Faults != nil {
@@ -117,6 +165,13 @@ func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler) (*Artifacts
 			}
 			failedCore := e.Core
 			m.Eng.At(e.At+emergencyDelay, func(now int64) {
+				if ctrl != nil {
+					ctrl.Submit(core.Op{Kind: core.OpFailCore, Core: failedCore})
+					if t := flush(now); t != nil && t.Err != nil {
+						art.ReplanErr = t.Err
+					}
+					return
+				}
 				if _, err := sys.EmergencyReplan(disp, failedCore); err != nil {
 					art.ReplanErr = err
 				}
@@ -126,6 +181,16 @@ func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler) (*Artifacts
 	if sc.Replan != nil {
 		rp := sc.Replan
 		m.Eng.At(rp.At, func(now int64) {
+			if ctrl != nil {
+				ctrl.Submit(core.Op{
+					Kind: core.OpReconfigure, Slot: rp.Slot,
+					Util: sc.VMs[rp.Slot].Util, LatencyGoal: rp.NewGoal,
+				})
+				if t := flush(now); t != nil && t.Err != nil {
+					art.PushErr = t.Err
+				}
+				return
+			}
 			if err := sys.Reconfigure(rp.Slot, sc.VMs[rp.Slot].Util, rp.NewGoal); err != nil {
 				art.PushErr = err
 				return
@@ -134,6 +199,24 @@ func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler) (*Artifacts
 				art.PushErr = err
 			}
 		})
+	}
+	for i := 0; i < len(sc.Churn); {
+		j := i
+		for j < len(sc.Churn) && sc.Churn[j].At == sc.Churn[i].At {
+			j++
+		}
+		burst := sc.Churn[i:j]
+		m.Eng.At(burst[0].At, func(now int64) {
+			for _, op := range burst {
+				kind := core.OpDeactivate
+				if op.Activate {
+					kind = core.OpActivate
+				}
+				ctrl.Submit(core.Op{Kind: kind, Slot: op.Slot})
+			}
+			flush(now)
+		})
+		i = j
 	}
 
 	m.Start()
@@ -162,11 +245,11 @@ func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler) (*Artifacts
 	return art, nil
 }
 
-// programFor builds the guest program for VM i. Blocky programs get a
-// per-vCPU seed derived from the scenario seed so runs stay
-// deterministic while VMs stay out of lockstep.
+// programFor builds the guest program for combined slot i. Blocky
+// programs get a per-vCPU seed derived from the scenario seed so runs
+// stay deterministic while VMs stay out of lockstep.
 func programFor(sc *Scenario, i int) vmm.Program {
-	vm := sc.VMs[i]
+	vm := sc.VM(i)
 	if vm.Workload == Blocky {
 		return workload.StressIO(vm.ComputeNs, vm.BlockNs, 20, sc.Seed*1000+int64(i))
 	}

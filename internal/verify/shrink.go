@@ -38,6 +38,7 @@ func Shrink(seed int64, cfg Config, fails func(*Scenario) bool) *ShrinkResult {
 		func(c *Config) { c.FaultPct = -1 },
 		func(c *Config) { c.ReplanPct = -1 },
 		func(c *Config) { c.BlockyPct = -1 },
+		func(c *Config) { c.ChurnPct = -1 },
 	} {
 		c := best
 		strip(&c)

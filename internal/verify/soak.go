@@ -28,6 +28,7 @@ type SoakRow struct {
 	Hogs       int
 	Faults     int
 	Replans    int
+	Churn      int
 	TableLenNs int64
 	Adopted    int
 	MaxGapNs   int64
@@ -94,6 +95,7 @@ func Soak(opts SoakOptions) (*SoakReport, error) {
 		if sc.Replan != nil {
 			row.Replans = 1
 		}
+		row.Churn = len(sc.Churn)
 		for _, v := range CheckAll(art) {
 			row.Violations = append(row.Violations, v.String())
 		}
