@@ -68,7 +68,7 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
 		./internal/sim ./internal/planner ./internal/table ./internal/dispatch \
 		./internal/stats ./internal/netdev ./internal/periodic ./internal/trace \
-		./internal/experiments
+		./internal/experiments ./internal/core
 
 # Quick perf-regression check against the committed BENCH_*.json
 # snapshot. Timings on shared/small machines are noisy, so the gate

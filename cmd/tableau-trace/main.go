@@ -75,7 +75,7 @@ type filter struct {
 func (f *filter) register(fs *flag.FlagSet) {
 	fs.IntVar(&f.cpu, "cpu", -1, "only records from this pCPU ring (-1 = all)")
 	fs.IntVar(&f.vcpu, "vcpu", -1, "only records about this vCPU (-1 = all)")
-	fs.StringVar(&f.typ, "type", "", "only this event type (runstate, ctxswitch, tableswitch, ipi, fault, l2pick, plannercall, migrate)")
+	fs.StringVar(&f.typ, "type", "", "only this event type (runstate, ctxswitch, tableswitch, ipi, fault, l2pick, plannercall, migrate, planorigin)")
 	fs.Int64Var(&f.from, "from", 0, "only records at or after this simulated ns")
 	fs.Int64Var(&f.to, "to", 0, "only records before this simulated ns (0 = no bound)")
 	fs.IntVar(&f.limit, "limit", 0, "stop after this many records (0 = all)")
@@ -136,6 +136,8 @@ func describe(r *trace.Record) string {
 			kind = "work-steal"
 		}
 		return fmt.Sprintf("%s from core %d", kind, r.Arg0)
+	case trace.EvPlanOrigin:
+		return fmt.Sprintf("%s, %d cores pinned", trace.PlanOriginName(r.Arg0), r.Arg1)
 	}
 	return fmt.Sprintf("arg0=%d arg1=%d", r.Arg0, r.Arg1)
 }
@@ -221,6 +223,10 @@ func cmdSummarize(out io.Writer, args []string) {
 
 	fmt.Fprintf(out, "counters: %d ctxswitch, %d tableswitch, %d plannercall, %d fault\n",
 		m.ContextSwitches, m.TableSwitches, m.PlannerCalls, m.FaultsInjected)
+	if n := m.PlansScratch + m.PlansCached + m.PlansIncremental + m.PlansSpeculative; n > 0 {
+		fmt.Fprintf(out, "plans:    %d scratch, %d cached, %d incremental, %d speculative, %d cores pinned\n",
+			m.PlansScratch, m.PlansCached, m.PlansIncremental, m.PlansSpeculative, m.PinnedCores)
+	}
 	fmt.Fprintf(out, "ipis:     %d sent, %d dropped, %d delayed\n\n",
 		m.IPIsSent, m.IPIsDropped, m.IPIsDelayed)
 

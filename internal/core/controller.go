@@ -1,12 +1,12 @@
 package core
 
 import (
-	"bytes"
 	"fmt"
 	"sync"
 
 	"tableau/internal/planner"
 	"tableau/internal/table"
+	"tableau/internal/trace"
 )
 
 // This file is the churn-hardened reconfiguration pipeline: the paper's
@@ -80,9 +80,10 @@ type Rejection struct {
 }
 
 // Epoch is one installed table version. Version equals the table's
-// Generation and increases monotonically; Bytes is the TBTBL1 encoding
-// of the table at install time, kept so tests and oracles can compare
-// epochs bit-for-bit.
+// Generation and increases monotonically; Bytes is the compact wire
+// encoding of the table at install time (slice index omitted — Decode
+// rebuilds it), kept so tests and oracles can compare epochs
+// bit-for-bit.
 type Epoch struct {
 	Version    uint64
 	Table      *table.Table
@@ -165,6 +166,54 @@ type Controller struct {
 	// victims losing their epoch-to-epoch guarantee. Never set outside
 	// tests.
 	UnsafeEvictOnOverload bool
+
+	// SpeculateNext, when positive, pre-plans up to that many likely
+	// next populations after each successful Flush (the queued batch,
+	// the next spare's arrival, the newest VM's departure), so a flush
+	// matching one commits a precomputed epoch in install time. Zero
+	// (the default) disables speculation. Speculation never touches the
+	// sink or the population — it is invisible to correctness — and in
+	// a simulated run costs zero sim time.
+	SpeculateNext int
+
+	// SpeculateAsync moves speculative planning onto a background
+	// goroutine. The default (synchronous) keeps SpecStats
+	// deterministic; async trades that for not blocking the flusher.
+	SpeculateAsync bool
+
+	// MaxHistory bounds the retained epoch history. Every committed
+	// epoch holds a full table plus its wire encoding, so an unbounded
+	// history grows the live heap linearly with churn on a long-lived
+	// host. When positive, only the newest MaxHistory epochs are kept
+	// (never fewer than 2, so the emergency-rollback predecessor stays
+	// reachable); zero, the default, retains everything for the
+	// verification oracles. Set before the first Flush.
+	MaxHistory int
+
+	// Tracer, when set, receives an EvPlanOrigin record for every
+	// installed epoch (alongside the dispatcher's plannercall record):
+	// where the plan came from and how much of it was reused. NowFn
+	// supplies the record timestamp (sim time); nil stamps zero.
+	Tracer *trace.Tracer
+	NowFn  func() int64
+
+	// specStore holds speculative results keyed by planner.CacheKey, in
+	// the planner universe. Guarded by mu; planOnceLocked's backend
+	// closure reads it with mu already held.
+	specStore map[string]*planner.Result
+	specStats SpecStats
+	specHit   bool // last planOnceLocked was served speculatively
+	specWG    sync.WaitGroup
+}
+
+// SpecStats are the speculation counters.
+type SpecStats struct {
+	// Planned counts speculative plans computed; Hits counts flushes
+	// served from the store; Wasted counts stored plans invalidated
+	// unconsumed (the population moved somewhere else).
+	Planned int64
+	Hits    int64
+	Wasted  int64
 }
 
 // NewController wraps sys, installing tables into sink. initial is the
@@ -184,15 +233,37 @@ func NewController(sys *System, sink TableSink, initial *planner.Result) (*Contr
 }
 
 func epochOf(tbl *table.Table, gs []table.Guarantee) (Epoch, error) {
-	var buf bytes.Buffer
-	if err := tbl.Encode(&buf); err != nil {
+	enc, err := tbl.AppendEncodedCompact(nil)
+	if err != nil {
 		return Epoch{}, fmt.Errorf("core: encoding epoch %d: %w", tbl.Generation, err)
 	}
 	return Epoch{
 		Version:    tbl.Generation,
 		Table:      tbl,
 		Guarantees: append([]table.Guarantee(nil), gs...),
-		Bytes:      buf.Bytes(),
+		Bytes:      enc,
+	}, nil
+}
+
+// epochOfLocked is epochOf with cross-epoch encode reuse: when the
+// system runs incrementally, cores whose schedules are unchanged from
+// the current epoch have their wire segments copied instead of
+// re-encoded (verified by content comparison, so the bytes are exactly
+// what a full encode would produce). Scratch-mode systems keep the
+// plain full encode as the no-reuse baseline.
+func (c *Controller) epochOfLocked(tbl *table.Table, gs []table.Guarantee) (Epoch, error) {
+	if !c.sys.Incremental || c.epoch.Table == nil {
+		return epochOf(tbl, gs)
+	}
+	enc, err := tbl.AppendEncodedReusingCompact(nil, c.epoch.Table, c.epoch.Bytes)
+	if err != nil {
+		return Epoch{}, fmt.Errorf("core: encoding epoch %d: %w", tbl.Generation, err)
+	}
+	return Epoch{
+		Version:    tbl.Generation,
+		Table:      tbl,
+		Guarantees: append([]table.Guarantee(nil), gs...),
+		Bytes:      enc,
 	}, nil
 }
 
@@ -265,6 +336,27 @@ func (c *Controller) ControllerStats() Stats {
 // rolled back. Individually rejected ops are not an error — callers
 // inspect Transition.Rejected.
 func (c *Controller) Flush() (*Transition, error) {
+	tr, err := c.flush()
+	if tr != nil && !tr.RolledBack && c.SpeculateNext > 0 {
+		if c.SpeculateAsync {
+			c.specWG.Add(1)
+			go func() {
+				defer c.specWG.Done()
+				c.speculate()
+			}()
+		} else {
+			c.speculate()
+		}
+	}
+	return tr, err
+}
+
+// WaitSpeculation blocks until background speculation kicked off by
+// previous Flushes has finished (a no-op in synchronous mode).
+func (c *Controller) WaitSpeculation() { c.specWG.Wait() }
+
+// flush is Flush's transactional body.
+func (c *Controller) flush() (*Transition, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	ops := c.pending
@@ -376,7 +468,7 @@ func (c *Controller) Flush() (*Transition, error) {
 		c.rollbackLocked(snap, tr, perr)
 		return tr, perr
 	}
-	ep, eerr := epochOf(tbl, res.Guarantees)
+	ep, eerr := c.epochOfLocked(tbl, res.Guarantees)
 	if eerr != nil {
 		// Encoding a just-validated table cannot fail in practice; treat
 		// it as an install failure for uniformity.
@@ -385,17 +477,73 @@ func (c *Controller) Flush() (*Transition, error) {
 	}
 	c.epoch = ep
 	c.history = append(c.history, ep)
+	if max := c.MaxHistory; max > 0 {
+		if max < 2 {
+			max = 2
+		}
+		if drop := len(c.history) - max; drop > 0 {
+			n := copy(c.history, c.history[drop:])
+			clear(c.history[n:])
+			c.history = c.history[:n]
+		}
+	}
 	c.stats.Transitions++
 	tr.Version = ep.Version
 	tr.Committed = applied
+	if c.Tracer != nil {
+		var now int64
+		if c.NowFn != nil {
+			now = c.NowFn()
+		}
+		origin := trace.PlanOriginScratch
+		switch {
+		case c.specHit:
+			origin = trace.PlanOriginSpeculative
+		case res.FromCache:
+			origin = trace.PlanOriginCached
+		case res.Incremental:
+			origin = trace.PlanOriginIncremental
+		}
+		c.Tracer.Emit(trace.EvPlanOrigin, -1, now, -1, origin, int64(res.PinnedCores))
+	}
 	return tr, nil
 }
 
-// planOnceLocked is one planner invocation with counters.
+// planOnceLocked is one planner invocation with counters. With
+// speculation enabled, the backend first consults the speculative
+// store: an exact CacheKey match means the stored result was planned
+// from the identical population, options, and previous plan the live
+// call would use, so returning it is indistinguishable from planning —
+// minus the latency.
 func (c *Controller) planOnceLocked(tr *Transition) (*table.Table, *planner.Result, error) {
 	tr.PlannerCalls++
 	c.stats.PlannerCalls++
-	return c.sys.planLocked(c.PlanVia)
+	c.specHit = false
+	fn := c.PlanVia
+	if c.SpeculateNext > 0 {
+		inner := fn
+		fn = func(specs []planner.VCPUSpec, opts planner.Options) (*planner.Result, error) {
+			key := planner.CacheKey(specs, opts)
+			if res, ok := c.specStore[key]; ok {
+				delete(c.specStore, key)
+				c.specStats.Hits++
+				c.specHit = true
+				return res, nil
+			}
+			if inner != nil {
+				return inner(specs, opts)
+			}
+			return c.sys.plan(specs, opts, c.sys.prev)
+		}
+	}
+	return c.sys.planLocked(fn)
+}
+
+// SpeculationStats returns the speculation counters.
+func (c *Controller) SpeculationStats() SpecStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.specStats
 }
 
 // rollbackLocked restores the snapshot and, for emergency batches,

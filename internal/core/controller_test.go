@@ -64,13 +64,15 @@ func attachMachine(s *System, d *dispatch.Dispatcher) *vmm.Machine {
 	return m
 }
 
+// activeBytes canonicalizes the dispatcher's active table in the same
+// compact encoding Epoch.Bytes uses, so the two are directly comparable.
 func activeBytes(t *testing.T, d *dispatch.Dispatcher) []byte {
 	t.Helper()
-	var buf bytes.Buffer
-	if err := d.ActiveTable().Encode(&buf); err != nil {
+	enc, err := d.ActiveTable().AppendEncodedCompact(nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	return buf.Bytes()
+	return enc
 }
 
 // TestControllerCoalescesBurstIntoOnePlan: a burst of queued ops is one
@@ -405,5 +407,44 @@ func TestControllerShedsLatestArrivalWhenPlacementFails(t *testing.T) {
 	}
 	if !s.Active(ids[2]) {
 		t.Error("committed arrival not active")
+	}
+}
+
+// TestMaxHistoryBounds: a bounded controller retains only the newest
+// MaxHistory epochs (never fewer than two, so the emergency-rollback
+// predecessor stays reachable), and the retained suffix matches what an
+// unbounded controller records for the same op sequence.
+func TestMaxHistoryBounds(t *testing.T) {
+	_, _, ctrl, ids, _ := churnRig(t, 2, 2, 1)
+	_, _, full, fullIDs, _ := churnRig(t, 2, 2, 1)
+	ctrl.MaxHistory = 3
+	toggle := func(c *Controller, slot int, active bool) {
+		t.Helper()
+		kind := OpDeactivate
+		if active {
+			kind = OpActivate
+		}
+		c.Submit(Op{Kind: kind, Slot: slot})
+		if tr, err := c.Flush(); err != nil || tr.Version == 0 {
+			t.Fatalf("flush: %v (%+v)", err, tr)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		active := i%2 == 1
+		toggle(ctrl, ids[2], active)
+		toggle(full, fullIDs[2], active)
+	}
+	got, want := ctrl.History(), full.History()
+	if len(got) != 3 {
+		t.Fatalf("bounded history has %d epochs, want 3", len(got))
+	}
+	tail := want[len(want)-3:]
+	for i := range got {
+		if got[i].Version != tail[i].Version || !bytes.Equal(got[i].Bytes, tail[i].Bytes) {
+			t.Fatalf("retained epoch %d = v%d, want v%d (unbounded tail)", i, got[i].Version, tail[i].Version)
+		}
+	}
+	if ctrl.Epoch().Version != full.Epoch().Version {
+		t.Fatalf("current epoch diverged: %d vs %d", ctrl.Epoch().Version, full.Epoch().Version)
 	}
 }

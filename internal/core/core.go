@@ -95,8 +95,26 @@ type System struct {
 	// input — the paper's Sec. 7.1 central table cache for commonly
 	// reused configurations. Cached results are shared (possibly across
 	// systems and goroutines), so Plan works on a private copy before
-	// remapping. Set it before the first Plan.
+	// remapping. Set it before the first Plan. The cache's attached
+	// SliceCache is wired into every local plan, so per-core EDF
+	// simulations are memoized even when the whole problem misses.
 	Cache *planner.Cache
+
+	// Incremental, when set, threads each successful plan's result into
+	// the next local plan (planner.PlanIncremental): cores whose VMs a
+	// churn batch left untouched keep their assignments and only the
+	// dirty remainder is re-placed. Tables may differ from scratch plans
+	// but pass the identical guarantee checks. Set before first use.
+	Incremental bool
+
+	// UnsafeStaleSliceReuse arms the planner's mutation-smoke defect of
+	// the same name on every local plan. Never set outside tests.
+	UnsafeStaleSliceReuse bool
+
+	// prev is the last successful plan in the planner universe (guarded
+	// by mu), the PlanIncremental input. Only maintained when
+	// Incremental is set.
+	prev *planner.PrevPlan
 }
 
 // NewSystem creates a system with the given number of guest cores.
@@ -317,36 +335,27 @@ func (s *System) planLocked(fn PlanFunc) (*table.Table, *planner.Result, error) 
 	if len(specs) == 0 {
 		return nil, nil, fmt.Errorf("core: no active VMs to plan for")
 	}
-	opts := s.plannerOpts
-	if s.RotateSplits {
-		opts.SplitRotation = int(s.generation)
-	}
-	online := s.onlineCoresLocked()
-	if len(online) == 0 {
-		return nil, nil, fmt.Errorf("core: every core has failed")
-	}
-	// Plan onto the survivors; the planner's admission check is the
-	// gate that decides whether a degraded host can still carry the
-	// reserved utilization.
-	opts.Cores = len(online)
-	if len(opts.Affinity) > 0 {
-		aff, err := s.affinityForLocked(specs, online)
-		if err != nil {
-			return nil, nil, err
-		}
-		opts.Affinity = aff
+	opts, err := s.planOptsLocked(specs)
+	if err != nil {
+		return nil, nil, err
 	}
 	var res *planner.Result
-	var err error
 	if fn != nil {
 		res, err = fn(specs, opts)
 	} else {
-		res, err = s.plan(specs, opts)
+		res, err = s.plan(specs, opts, s.prev)
 	}
 	if err != nil {
 		return nil, nil, err
 	}
-	tbl, err := s.remapLocked(res.Table, specSlot)
+	if s.Incremental {
+		// Capture the planner-universe result before the remap below
+		// rewrites guarantees into slot ids: it seeds the next plan's
+		// dirty-core diff. Any successful plan (local, cached, remote,
+		// speculative) is the population the next batch perturbs.
+		s.prev = &planner.PrevPlan{Specs: specs, Opts: opts, Res: res.Clone()}
+	}
+	tbl, err := s.remapLocked(res.Table, specSlot, fn == nil)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -396,20 +405,78 @@ func (s *System) affinityForLocked(specs []planner.VCPUSpec, online []int) (map[
 	return out, nil
 }
 
+// planOptsLocked derives the options one planning attempt should use:
+// the configured options adjusted for split rotation, the surviving
+// topology (the planner's admission check is the gate that decides
+// whether a degraded host can still carry the reserved utilization),
+// affinity narrowing, and the cache's slice memo. Controller
+// speculation uses the same derivation so a speculative key matches the
+// flush that later consumes it exactly.
+func (s *System) planOptsLocked(specs []planner.VCPUSpec) (planner.Options, error) {
+	opts := s.plannerOpts
+	if s.RotateSplits {
+		opts.SplitRotation = int(s.generation)
+	}
+	online := s.onlineCoresLocked()
+	if len(online) == 0 {
+		return opts, fmt.Errorf("core: every core has failed")
+	}
+	opts.Cores = len(online)
+	if len(opts.Affinity) > 0 {
+		aff, err := s.affinityForLocked(specs, online)
+		if err != nil {
+			return opts, err
+		}
+		opts.Affinity = aff
+	}
+	if s.Cache != nil {
+		opts.Slices = s.Cache.SliceCache()
+	}
+	if s.UnsafeStaleSliceReuse {
+		opts.UnsafeStaleSliceReuse = true
+	}
+	return opts, nil
+}
+
 // plan generates (or looks up) the planner result for the given specs.
 // When a cache serves the request, the shared Result is deep-cloned:
 // Plan remaps guarantees into the slot-id universe, and callers are
 // free to inspect or rewrite the returned Tasks and Splits — none of
 // which may reach through to the cached original other users share.
-func (s *System) plan(specs []planner.VCPUSpec, opts planner.Options) (*planner.Result, error) {
+// prev is the previous plan for the incremental path (ignored unless
+// s.Incremental); scratch results are published to the cache, while
+// incremental ones are not — their tables depend on planning history,
+// so sharing them across cache users would make cached contents depend
+// on who planned first.
+func (s *System) plan(specs []planner.VCPUSpec, opts planner.Options, prev *planner.PrevPlan) (*planner.Result, error) {
 	if s.Cache == nil {
+		if s.Incremental {
+			return planner.PlanIncremental(specs, opts, prev)
+		}
 		return planner.Plan(specs, opts)
 	}
-	shared, err := s.Cache.Plan(specs, opts)
+	if shared, ok := s.Cache.Lookup(specs, opts); ok {
+		cl := shared.Clone()
+		cl.FromCache = true
+		return cl, nil
+	}
+	var res *planner.Result
+	var err error
+	if s.Incremental {
+		res, err = planner.PlanIncremental(specs, opts, prev)
+	} else {
+		res, err = planner.Plan(specs, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
-	return shared.Clone(), nil
+	s.Cache.Add(specs, opts, res) // no-op for incremental results
+	if !res.Incremental {
+		// The cached copy is shared from here on; hand back a private
+		// clone like any cache hit.
+		return res.Clone(), nil
+	}
+	return res, nil
 }
 
 // remapLocked rewrites a planner table (vCPU ids = active-spec order,
@@ -417,7 +484,14 @@ func (s *System) plan(specs []planner.VCPUSpec, opts planner.Options) (*planner.
 // universe: empty entries for inactive slots, and — when cores have
 // failed — logical planner cores renumbered onto the live physical
 // ids, with empty CoreTables holding the dead cores' positions.
-func (s *System) remapLocked(in *table.Table, specSlot []int) (*table.Table, error) {
+//
+// trusted marks tables the in-process planner produced: those were
+// validated and guarantee-checked before they were returned, the remap
+// only renames ids (allocation timing is copied verbatim), and each
+// core's slice index transplants unchanged, so re-validating and
+// re-building here would redo work per churn flush. Tables from an
+// external backend (PlanVia) get the full treatment.
+func (s *System) remapLocked(in *table.Table, specSlot []int, trusted bool) (*table.Table, error) {
 	online := s.onlineCoresLocked()
 	if len(in.Cores) > len(online) {
 		return nil, fmt.Errorf("core: planner produced %d core tables for %d online cores", len(in.Cores), len(online))
@@ -446,21 +520,32 @@ func (s *System) remapLocked(in *table.Table, specSlot []int) (*table.Table, err
 	for c := range out.Cores {
 		out.Cores[c].Core = c
 	}
+	transplanted := true
 	for c := range in.Cores {
-		phys := online[in.Cores[c].Core]
-		for _, a := range in.Cores[c].Allocs {
+		src := &in.Cores[c]
+		phys := online[src.Core]
+		dst := &out.Cores[phys]
+		dst.Allocs = make([]table.Alloc, len(src.Allocs))
+		for i, a := range src.Allocs {
 			v := a.VCPU
 			if v != table.Idle {
 				v = specSlot[v]
 			}
-			out.Cores[phys].Allocs = append(out.Cores[phys].Allocs, table.Alloc{Start: a.Start, End: a.End, VCPU: v})
+			dst.Allocs[i] = table.Alloc{Start: a.Start, End: a.End, VCPU: v}
+		}
+		if !dst.TransplantSlices(src) {
+			transplanted = false
 		}
 	}
-	if err := out.Validate(); err != nil {
-		return nil, fmt.Errorf("core: remapped table invalid: %w", err)
+	if !trusted {
+		if err := out.Validate(); err != nil {
+			return nil, fmt.Errorf("core: remapped table invalid: %w", err)
+		}
 	}
-	if err := out.BuildSlices(s.plannerOpts.MaxSlicesPerCore); err != nil {
-		return nil, err
+	if !trusted || !transplanted {
+		if err := out.BuildSlices(s.plannerOpts.MaxSlicesPerCore); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"testing"
 	"time"
@@ -34,13 +36,55 @@ func TestControllerRemotePlanning(t *testing.T) {
 	if _, misses := svc.CacheStats(); misses == 0 {
 		t.Fatal("daemon never planned — PlanVia did not reach the service")
 	}
-	// The remotely planned epoch is what the dispatcher will enact.
-	var buf bytes.Buffer
-	if err := d.Staged().Encode(&buf); err != nil {
+	// The remotely planned epoch is what the dispatcher will enact
+	// (epoch bytes are the compact encoding, so compare in that form).
+	enc, err := d.Staged().AppendEncodedCompact(nil)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(buf.Bytes(), ctrl.Epoch().Bytes) {
+	if !bytes.Equal(enc, ctrl.Epoch().Bytes) {
 		t.Fatal("staged table differs from the controller's epoch")
+	}
+
+	// /healthz surfaces the daemon's cache counters and — through the
+	// registered hook — the colocated controller's speculation counters.
+	svc.SetSpeculationStats(func() (hits, wasted int64) {
+		st := ctrl.SpeculationStats()
+		return st.Hits, st.Wasted
+	})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h struct {
+		Status         string `json:"status"`
+		CacheHits      int64  `json:"cache_hits"`
+		CacheMisses    int64  `json:"cache_misses"`
+		CacheEvictions int64  `json:"cache_evictions"`
+		CacheBytes     int64  `json:"cache_bytes"`
+		SliceHits      int64  `json:"slice_hits"`
+		SliceMisses    int64  `json:"slice_misses"`
+		SpecHits       *int64 `json:"spec_hits"`
+		SpecWasted     *int64 `json:"spec_wasted"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz status = %q", h.Status)
+	}
+	if h.CacheMisses == 0 {
+		t.Error("healthz reports no cache misses after a planned request")
+	}
+	if h.CacheBytes == 0 {
+		t.Error("healthz reports an empty cache after a planned request")
+	}
+	if h.SliceMisses == 0 {
+		t.Error("healthz reports no slice-cache activity after a planned request")
+	}
+	if h.SpecHits == nil || h.SpecWasted == nil {
+		t.Error("healthz omitted the registered speculation counters")
 	}
 }
 

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"tableau/internal/planner"
+)
+
+// This file is the speculative plan-ahead layer. After each successful
+// Flush the Controller guesses the likeliest next populations and plans
+// them before anyone asks: under churn, the next batch is usually "the
+// ops already queued", "one more spare arrives", or "the newest VM
+// drains away" (heavy-tailed lifetimes make recent arrivals the most
+// likely departures). A speculative result is stored under its exact
+// planner.CacheKey; the next Flush whose (specs, options) match commits
+// it in install time. Keying by the full cache key makes staleness
+// impossible by construction — a population or topology that differs in
+// any placement-relevant way simply misses.
+//
+// Speculation is invisible to correctness: it never touches the
+// population, the sink, or the epoch history, and it plans with the
+// same previous-plan input the live flush would use, so a consumed
+// speculation is byte-identical to the plan the flush would have
+// computed. In a simulated run it also costs zero sim time — planning
+// happens in wall-clock time between engine events.
+
+// specCandidate is one guessed next population.
+type specCandidate struct {
+	specs []planner.VCPUSpec
+	opts  planner.Options
+	key   string
+}
+
+// speculate invalidates the previous round's unconsumed speculations
+// and pre-plans the next candidates. Called after a successful Flush —
+// synchronously by default, on a goroutine with SpeculateAsync.
+func (c *Controller) speculate() {
+	c.mu.Lock()
+	s := c.sys
+	s.mu.Lock()
+
+	if c.specStore == nil {
+		c.specStore = make(map[string]*planner.Result)
+	}
+	// Everything stored before this round was planned against a
+	// population that has since moved on: invalidate.
+	c.specStats.Wasted += int64(len(c.specStore))
+	for k := range c.specStore {
+		delete(c.specStore, k)
+	}
+
+	cands := c.candidatesLocked()
+	prev := s.prev
+	s.mu.Unlock()
+	c.mu.Unlock()
+
+	for _, cand := range cands {
+		res, err := s.plan(cand.specs, cand.opts, prev)
+		if err != nil {
+			continue // an infeasible guess is just not stored
+		}
+		c.mu.Lock()
+		c.specStore[cand.key] = res
+		c.specStats.Planned++
+		c.mu.Unlock()
+	}
+}
+
+// candidatesLocked builds up to SpeculateNext candidate populations, in
+// likelihood order, deduplicated by cache key. Both Controller.mu and
+// System.mu are held.
+func (c *Controller) candidatesLocked() []specCandidate {
+	s := c.sys
+	var cands []specCandidate
+	seen := make(map[string]bool)
+
+	add := func(toggle map[int]bool) {
+		if len(cands) >= c.SpeculateNext {
+			return
+		}
+		specs, _ := s.hypotheticalSpecsLocked(toggle)
+		if len(specs) == 0 {
+			return
+		}
+		opts, err := s.planOptsLocked(specs)
+		if err != nil {
+			return
+		}
+		key := planner.CacheKey(specs, opts)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		cands = append(cands, specCandidate{specs: specs, opts: opts, key: key})
+	}
+
+	// 1. The batch already queued: ops submitted but not yet flushed.
+	if len(c.pending) > 0 {
+		toggle := make(map[int]bool)
+		for _, op := range c.pending {
+			switch op.Kind {
+			case OpActivate:
+				toggle[op.Slot] = true
+			case OpDeactivate:
+				toggle[op.Slot] = false
+			}
+		}
+		if len(toggle) > 0 {
+			add(toggle)
+		}
+	}
+	// 2. Spare arrivals: the lowest-id inactive slots activate next.
+	for id := range s.slots {
+		if len(cands) >= c.SpeculateNext {
+			break
+		}
+		if !s.slots[id].active {
+			add(map[int]bool{id: true})
+		}
+	}
+	// 3. Draining departure: the newest (highest-id) active VM leaves.
+	for id := len(s.slots) - 1; id > 0; id-- {
+		if s.slots[id].active {
+			add(map[int]bool{id: false})
+			break
+		}
+	}
+	return cands
+}
+
+// hypotheticalSpecsLocked is activeSpecsLocked for a population with
+// per-slot activation overrides applied, without mutating the system.
+func (s *System) hypotheticalSpecsLocked(toggle map[int]bool) (specs []planner.VCPUSpec, specSlot []int) {
+	for id, sl := range s.slots {
+		active := sl.active
+		if v, ok := toggle[id]; ok {
+			active = v
+		}
+		if !active {
+			continue
+		}
+		specs = append(specs, planner.VCPUSpec{
+			Name:        sl.cfg.Name,
+			Util:        sl.cfg.Util,
+			LatencyGoal: sl.cfg.LatencyGoal,
+			Capped:      sl.cfg.Capped,
+		})
+		specSlot = append(specSlot, id)
+	}
+	return specs, specSlot
+}

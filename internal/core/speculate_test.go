@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"tableau/internal/planner"
+	"tableau/internal/trace"
+)
+
+// specRig is churnRig with the planning fast paths armed: cache,
+// incremental replanning, and n speculative candidates per flush.
+func specRig(t *testing.T, cores, nActive, nSpare, speculate int) (*System, *Controller, []int) {
+	t.Helper()
+	s, _, ctrl, ids, _ := churnRig(t, cores, nActive, nSpare)
+	s.Cache = planner.NewCache(0)
+	s.Incremental = true
+	ctrl.SpeculateNext = speculate
+	return s, ctrl, ids
+}
+
+// TestSpeculativeFlushHit: after a flush, the controller pre-plans the
+// next spare's arrival; the flush that activates it is served from the
+// speculative store, and the committed epoch is byte-identical to what
+// a non-speculating controller installs for the same op sequence.
+func TestSpeculativeFlushHit(t *testing.T) {
+	_, ctrl, ids := specRig(t, 2, 2, 3, 3)
+	_, baseCtrl, baseIDs := specRig(t, 2, 2, 3, 0) // control: no speculation
+
+	for _, step := range []int{2, 3} {
+		ctrl.Submit(Op{Kind: OpActivate, Slot: ids[step]})
+		tr, err := ctrl.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Version == 0 {
+			t.Fatalf("step %d did not commit", step)
+		}
+		baseCtrl.Submit(Op{Kind: OpActivate, Slot: baseIDs[step]})
+		if _, err := baseCtrl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ctrl.Epoch().Bytes, baseCtrl.Epoch().Bytes) {
+			t.Fatalf("step %d: speculative epoch differs from the non-speculative one", step)
+		}
+	}
+
+	st := ctrl.SpeculationStats()
+	if st.Planned == 0 {
+		t.Fatal("no speculative plans were computed")
+	}
+	// The second activation targeted the lowest-id inactive slot — the
+	// first arrival candidate speculated after the first flush.
+	if st.Hits == 0 {
+		t.Fatalf("second flush was not served speculatively: %+v", st)
+	}
+	if base := baseCtrl.SpeculationStats(); base.Planned != 0 || base.Hits != 0 {
+		t.Fatalf("disabled speculation still planned: %+v", base)
+	}
+}
+
+// TestSpeculationInvalidation: stored candidates a flush does not
+// consume are invalidated by the next round and counted as wasted; an
+// unforeseen op (a reconfiguration is never speculated) must plan live.
+func TestSpeculationInvalidation(t *testing.T) {
+	_, ctrl, ids := specRig(t, 2, 2, 2, 2)
+
+	ctrl.Submit(Op{Kind: OpActivate, Slot: ids[2]})
+	if _, err := ctrl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := ctrl.SpeculationStats()
+	if before.Planned == 0 {
+		t.Fatal("flush did not speculate")
+	}
+
+	ctrl.Submit(Op{Kind: OpReconfigure, Slot: ids[0], Util: Util{Num: 1, Den: 4}, LatencyGoal: 20_000_000})
+	if _, err := ctrl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	after := ctrl.SpeculationStats()
+	if after.Hits != before.Hits {
+		t.Fatalf("unforeseen reconfiguration was served speculatively: %+v", after)
+	}
+	if after.Wasted == 0 {
+		t.Fatal("unconsumed speculations were not invalidated")
+	}
+}
+
+// TestSpeculateAsync exercises the background-goroutine mode (under
+// -race this checks the store's locking): flushes still commit, and
+// WaitSpeculation drains the worker before stats are read.
+func TestSpeculateAsync(t *testing.T) {
+	_, ctrl, ids := specRig(t, 2, 2, 3, 2)
+	ctrl.SpeculateAsync = true
+
+	for _, step := range []int{2, 3} {
+		ctrl.Submit(Op{Kind: OpActivate, Slot: ids[step]})
+		tr, err := ctrl.Flush()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Version == 0 {
+			t.Fatalf("step %d did not commit", step)
+		}
+		ctrl.WaitSpeculation()
+	}
+	if st := ctrl.SpeculationStats(); st.Planned == 0 {
+		t.Fatalf("async speculation never planned: %+v", st)
+	}
+}
+
+// TestPlanOriginTrace: every installed epoch emits one EvPlanOrigin
+// record, and the derived metrics classify the pipeline correctly —
+// scratch first (nothing to diff), then speculative or incremental.
+func TestPlanOriginTrace(t *testing.T) {
+	s, ctrl, ids := specRig(t, 2, 2, 3, 2)
+	tr := trace.New(1 << 12)
+	tr.Bind(s.Cores(), s.NumSlots())
+	ctrl.Tracer = tr
+
+	for _, step := range []int{2, 3, 4} {
+		ctrl.Submit(Op{Kind: OpActivate, Slot: ids[step]})
+		if _, err := ctrl.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m := tr.Metrics()
+	total := m.PlansScratch + m.PlansCached + m.PlansIncremental + m.PlansSpeculative
+	if total != 3 {
+		t.Fatalf("plan-origin records = %d, want one per installed epoch (3)", total)
+	}
+	if m.PlansSpeculative == 0 {
+		t.Errorf("no flush was classified speculative: %+v", *m)
+	}
+	if spec := ctrl.SpeculationStats(); int64(spec.Hits) != m.PlansSpeculative {
+		t.Errorf("trace says %d speculative, controller says %d", m.PlansSpeculative, spec.Hits)
+	}
+}

@@ -81,14 +81,14 @@ type churnBurst struct {
 // 8 spares follow, the last two oversized at 3/4 core so the final
 // burst overflows admission on any host.
 type churnPlan struct {
-	cores               int
-	horizon             int64
-	nRes, nSpare        int
+	cores                int
+	horizon              int64
+	nRes, nSpare         int
 	stormStart, stormEnd int64
-	failAt              int64
-	bursts              []churnBurst
-	idle                [][]churnWindow // per slot: windows the guest blocks
-	utils               []planner.Util  // per slot
+	failAt               int64
+	bursts               []churnBurst
+	idle                 [][]churnWindow // per slot: windows the guest blocks
+	utils                []planner.Util  // per slot
 }
 
 func makeChurnPlan(cores int, horizon int64) *churnPlan {

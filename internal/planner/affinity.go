@@ -111,7 +111,7 @@ func leastUtilizedFitAffine(cores []*coreState, tk periodic.Task, allow map[int]
 		}
 	}
 	sort.SliceStable(idx, func(i, j int) bool {
-		if c := idx[i].util.Cmp(idx[j].util); c != 0 {
+		if c := idx[i].util.cmp(&idx[j].util); c != 0 {
 			return c < 0
 		}
 		return idx[i].id < idx[j].id

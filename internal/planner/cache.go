@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -19,32 +20,65 @@ import (
 // immutable, which every consumer in this repository does (the
 // dispatcher only reads tables, and core.System re-maps into fresh
 // tables).
+//
+// The cache is bounded twice over: by entry count and by an estimated
+// byte budget, both enforced with LRU eviction — a churn soak that
+// keeps minting fresh population shapes ages out the cold ones instead
+// of growing without limit. It also carries a SliceCache, the per-core
+// memo level below whole-problem hits.
 type Cache struct {
-	mu      sync.Mutex
-	max     int
-	entries map[string]*list.Element
-	order   *list.List // LRU: front = most recent
-	hits    int64
-	misses  int64
+	mu       sync.Mutex
+	max      int
+	maxBytes int64
+	bytes    int64
+	entries  map[string]*list.Element
+	order    *list.List // LRU: front = most recent
+	hits     int64
+	misses   int64
+	evicted  int64
+	slices   *SliceCache
 }
 
 type cacheEntry struct {
-	key string
-	res *Result
+	key  string
+	res  *Result
+	size int64
 }
 
-// NewCache returns a cache holding at most max results (LRU eviction).
-// max <= 0 selects a default of 128.
+// DefaultCacheBytes is the byte budget NewCache installs.
+const DefaultCacheBytes = 64 << 20
+
+// NewCache returns a cache holding at most max results (LRU eviction),
+// within a DefaultCacheBytes estimated-footprint budget. max <= 0
+// selects a default of 128.
 func NewCache(max int) *Cache {
 	if max <= 0 {
 		max = 128
 	}
 	return &Cache{
-		max:     max,
-		entries: make(map[string]*list.Element),
-		order:   list.New(),
+		max:      max,
+		maxBytes: DefaultCacheBytes,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+		slices:   NewSliceCache(0),
 	}
 }
+
+// SetMaxBytes replaces the byte budget (<= 0 restores the default) and
+// evicts immediately if the cache is already over it.
+func (c *Cache) SetMaxBytes(n int64) {
+	if n <= 0 {
+		n = DefaultCacheBytes
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.maxBytes = n
+	c.evictLocked()
+}
+
+// SliceCache returns the per-core EDF simulation memo attached to this
+// cache, for wiring into Options.Slices.
+func (c *Cache) SliceCache() *SliceCache { return c.slices }
 
 // CacheKey returns the canonical key for a planning input. Spec order
 // matters (worst-fit tie-breaking is order-sensitive), so no sorting is
@@ -52,7 +86,9 @@ func NewCache(max int) *Cache {
 // key — including Affinity, which encodes the caller's view of the
 // machine topology: core.System narrows affinity sets to the surviving
 // cores after a fail-stop, so two plans before and after a topology
-// change must never collide on one cached table.
+// change must never collide on one cached table. Execution-shape fields
+// (PlannerWorkers, Slices) are deliberately excluded: they cannot
+// change the produced table.
 func CacheKey(specs []VCPUSpec, opts Options) string {
 	opts = opts.withDefaults()
 	var b strings.Builder
@@ -71,10 +107,57 @@ func CacheKey(specs []VCPUSpec, opts Options) string {
 		}
 		b.WriteString("|")
 	}
+	// The per-spec section dominates the key and is on the replan hot
+	// path: append with strconv, not fmt.
+	buf := make([]byte, 0, 32*len(specs))
 	for _, s := range specs {
-		fmt.Fprintf(&b, "%s,%d/%d,%d,%v;", s.Name, s.Util.Num, s.Util.Den, s.LatencyGoal, s.Capped)
+		buf = append(buf, s.Name...)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, s.Util.Num, 10)
+		buf = append(buf, '/')
+		buf = strconv.AppendInt(buf, s.Util.Den, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, s.LatencyGoal, 10)
+		buf = append(buf, ',')
+		if s.Capped {
+			buf = append(buf, 't', ';')
+		} else {
+			buf = append(buf, 'f', ';')
+		}
 	}
+	b.Write(buf)
 	return b.String()
+}
+
+// resultFootprint estimates a cached result's resident bytes: the
+// dominant terms are the table's allocation lists and slice indices,
+// plus the task and guarantee slices. An estimate is enough — the
+// budget exists to bound growth, not to account exactly.
+func resultFootprint(key string, res *Result) int64 {
+	const (
+		allocSize     = 24
+		taskSize      = 96 // incl. name header + typical payload
+		guaranteeSize = 32
+		vcpuInfoSize  = 64
+		fixed         = 512
+	)
+	n := int64(fixed) + int64(len(key))
+	if tbl := res.Table; tbl != nil {
+		n += int64(len(tbl.VCPUs)) * vcpuInfoSize
+		for i := range tbl.Cores {
+			ct := &tbl.Cores[i]
+			n += int64(len(ct.Allocs)) * allocSize
+			if ct.SliceLen > 0 {
+				n += (tbl.Len/ct.SliceLen + 1) * 4
+			}
+		}
+	}
+	n += int64(len(res.Tasks)) * taskSize
+	n += int64(len(res.Guarantees)) * guaranteeSize
+	for _, ts := range res.CoreTasks {
+		n += int64(len(ts)) * taskSize
+	}
+	return n
 }
 
 // Plan returns a cached result for the input if one exists, planning
@@ -107,22 +190,35 @@ func (c *Cache) Plan(specs []VCPUSpec, opts Options) (*Result, error) {
 		c.order.MoveToFront(el)
 		return el.Value.(*cacheEntry).res, nil
 	}
-	el := c.order.PushFront(&cacheEntry{key: key, res: res})
-	c.entries[key] = el
-	for c.order.Len() > c.max {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
-	}
+	c.addLocked(key, res)
 	return res, nil
+}
+
+// Lookup returns the cached result for the input without planning on a
+// miss. Hit/miss counters advance exactly as for Plan.
+func (c *Cache) Lookup(specs []VCPUSpec, opts Options) (*Result, bool) {
+	key := CacheKey(specs, opts)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		return el.Value.(*cacheEntry).res, true
+	}
+	c.misses++
+	return nil, false
 }
 
 // Add inserts an externally planned result for the given input, so
 // callers that must time or instrument Plan directly can still publish
 // the table for reuse. An existing entry for the key is kept (callers
 // sharing the cache keep sharing one table); Add counts as neither hit
-// nor miss.
+// nor miss. Incremental results must not be published — their tables
+// depend on planning history, not just the key — so Add ignores them.
 func (c *Cache) Add(specs []VCPUSpec, opts Options, res *Result) {
+	if res.Incremental {
+		return
+	}
 	key := CacheKey(specs, opts)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -130,12 +226,29 @@ func (c *Cache) Add(specs []VCPUSpec, opts Options, res *Result) {
 		c.order.MoveToFront(el)
 		return
 	}
-	el := c.order.PushFront(&cacheEntry{key: key, res: res})
+	c.addLocked(key, res)
+}
+
+// addLocked inserts and then enforces both bounds.
+func (c *Cache) addLocked(key string, res *Result) {
+	size := resultFootprint(key, res)
+	el := c.order.PushFront(&cacheEntry{key: key, res: res, size: size})
 	c.entries[key] = el
-	for c.order.Len() > c.max {
+	c.bytes += size
+	c.evictLocked()
+}
+
+// evictLocked drops LRU entries until both the count and byte bounds
+// hold. At least one entry is always kept: a single over-budget result
+// would otherwise thrash forever between insert and evict.
+func (c *Cache) evictLocked() {
+	for (c.order.Len() > c.max || c.bytes > c.maxBytes) && c.order.Len() > 1 {
 		oldest := c.order.Back()
+		ent := oldest.Value.(*cacheEntry)
 		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		delete(c.entries, ent.key)
+		c.bytes -= ent.size
+		c.evicted++
 	}
 }
 
@@ -144,6 +257,29 @@ func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// CacheStats is the full counter set, including the attached slice
+// cache's.
+type CacheStats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+	Slice     SliceCacheStats
+}
+
+// FullStats returns every counter the cache keeps.
+func (c *Cache) FullStats() CacheStats {
+	c.mu.Lock()
+	st := CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evicted,
+		Entries: c.order.Len(), Bytes: c.bytes,
+	}
+	c.mu.Unlock()
+	st.Slice = c.slices.Stats()
+	return st
 }
 
 // Len returns the number of cached results.

@@ -229,7 +229,7 @@ func growCluster(cores []*coreState, unplaced periodic.TaskSet) (cluster []*core
 		}
 	}
 	sort.SliceStable(elig, func(i, j int) bool {
-		if c := elig[i].util.Cmp(elig[j].util); c != 0 {
+		if c := elig[i].util.cmp(&elig[j].util); c != 0 {
 			return c < 0
 		}
 		return elig[i].id < elig[j].id

@@ -1,0 +1,76 @@
+package planner
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// TestFracMatchesBigRat cross-checks the hot-path fraction arithmetic
+// against math/big on random sums and comparisons, mixing small
+// period-like denominators with values chosen to force the int64
+// overflow spill.
+func TestFracMatchesBigRat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dens := []int64{1, 2, 4, 8, 16, 100, 1_000_000, 20_000_000, 102_700_800,
+		math.MaxInt64 - 1, math.MaxInt64}
+	for trial := 0; trial < 500; trial++ {
+		f := zeroFrac()
+		want := new(big.Rat)
+		n := 1 + rng.Intn(40)
+		for i := 0; i < n; i++ {
+			den := dens[rng.Intn(len(dens))]
+			num := 1 + rng.Int63n(den)
+			f.add(num, den)
+			want.Add(want, big.NewRat(num, den))
+		}
+		if f.rat().Cmp(want) != 0 {
+			t.Fatalf("trial %d: frac = %v, big.Rat = %v", trial, f.rat(), want)
+		}
+		for _, v := range []int64{0, 1, 2, 40} {
+			if got, want := f.cmpInt(v), want.Cmp(new(big.Rat).SetInt64(v)); got != want {
+				t.Fatalf("trial %d: cmpInt(%d) = %d, want %d (value %v)", trial, v, got, want, f.rat())
+			}
+		}
+	}
+}
+
+// TestFracCmp pins pairwise comparison across the fast/spilled regimes.
+func TestFracCmp(t *testing.T) {
+	mk := func(pairs ...[2]int64) frac {
+		f := zeroFrac()
+		for _, p := range pairs {
+			f.add(p[0], p[1])
+		}
+		return f
+	}
+	half := mk([2]int64{1, 2})
+	threeEighths := mk([2]int64{1, 4}, [2]int64{1, 8})
+	spilled := mk([2]int64{1, math.MaxInt64}, [2]int64{1, math.MaxInt64 - 1})
+	if spilled.spill == nil {
+		t.Fatal("coprime huge denominators did not spill to big.Rat")
+	}
+	for _, tc := range []struct {
+		a, b frac
+		want int
+	}{
+		{half, threeEighths, 1},
+		{threeEighths, half, -1},
+		{half, half, 0},
+		{spilled, half, -1},
+		{half, spilled, 1},
+		{spilled, spilled, 0},
+	} {
+		if got := tc.a.cmp(&tc.b); got != tc.want {
+			t.Errorf("cmp(%v, %v) = %d, want %d", tc.a.rat(), tc.b.rat(), got, tc.want)
+		}
+	}
+	// A spilled accumulator keeps summing exactly.
+	s := spilled.clone()
+	s.add(1, 2)
+	want := new(big.Rat).Add(spilled.rat(), big.NewRat(1, 2))
+	if s.rat().Cmp(want) != 0 {
+		t.Errorf("post-spill add: %v, want %v", s.rat(), want)
+	}
+}

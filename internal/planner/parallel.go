@@ -1,0 +1,121 @@
+package planner
+
+import (
+	"fmt"
+	"sync"
+
+	"tableau/internal/periodic"
+	"tableau/internal/table"
+)
+
+// This file parallelizes stage 4 of planning — the per-core EDF
+// simulations that materialize slice tables. The jobs are
+// embarrassingly parallel (each reads only its own core's task set) and
+// their outputs are merged strictly in job order, so the generated
+// table and the planner's counters are byte-identical at any
+// Options.PlannerWorkers setting. The fan-out shape follows
+// internal/experiments: a fixed worker pool draining an index channel,
+// results parked in a pre-sized slice.
+
+// synthJob is one core's stage-4 synthesis work. When adopt is
+// non-nil the core is pinned and its previous final (post-coalesce)
+// schedule is reused verbatim: the EDF simulation still runs for the
+// preemption/switch counters (a SliceCache hit makes it nearly free),
+// but tiling is skipped and the merge installs adopt instead, then
+// transplants the slice index from adoptFrom — the adopted intervals
+// are byte-identical to the source core's, only vCPU ids differ, and
+// the index never references ids.
+type synthJob struct {
+	core      int
+	tasks     periodic.TaskSet
+	adopt     []table.Alloc
+	adoptFrom *table.CoreTable
+}
+
+// synthOut is one job's result, parked at the job's index until the
+// deterministic in-order merge.
+type synthOut struct {
+	allocs      []table.Alloc
+	preemptions int
+	switches    int
+	sliceHit    bool
+	err         error
+}
+
+// synthesizeCores runs every job (serially or on a worker pool), then
+// merges outputs in job order into tbl and res. The merge order — not
+// the completion order — determines every observable effect, which is
+// what makes worker counts invisible in the output.
+func synthesizeCores(tbl *table.Table, res *Result, jobs []synthJob, tableLen int64, opts Options) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	outs := make([]synthOut, len(jobs))
+	runOne := func(i int) {
+		j := jobs[i]
+		o := &outs[i]
+		coreH, err := j.tasks.Hyperperiod()
+		if err != nil {
+			o.err = err
+			return
+		}
+		sim, hit, err := simulateCore(j.tasks, coreH, opts.Slices)
+		if err != nil {
+			o.err = fmt.Errorf("planner: core %d EDF simulation failed: %w", j.core, err)
+			return
+		}
+		o.sliceHit = hit
+		reps := int(tableLen / coreH)
+		o.preemptions = sim.Preemptions * reps
+		o.switches = sim.ContextSwitches * reps
+		if j.adopt != nil {
+			o.allocs = j.adopt
+		} else {
+			o.allocs = tileSlots(sim.Slots, j.tasks, coreH, tableLen)
+		}
+	}
+
+	workers := opts.PlannerWorkers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i := range jobs {
+			runOne(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runOne(i)
+				}
+			}()
+		}
+		for i := range jobs {
+			idx <- i
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	for i := range outs {
+		o := &outs[i]
+		if o.err != nil {
+			return o.err
+		}
+		tbl.Cores[jobs[i].core].Allocs = o.allocs
+		if jobs[i].adopt != nil {
+			tbl.Cores[jobs[i].core].TransplantSlices(jobs[i].adoptFrom)
+		}
+		res.Preemptions += o.preemptions
+		res.ContextSwitches += o.switches
+		if o.sliceHit {
+			res.SliceHits++
+		}
+	}
+	return nil
+}

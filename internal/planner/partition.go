@@ -1,7 +1,6 @@
 package planner
 
 import (
-	"math/big"
 	"sort"
 
 	"tableau/internal/periodic"
@@ -11,7 +10,7 @@ import (
 type coreState struct {
 	id    int
 	tasks periodic.TaskSet
-	util  *big.Rat
+	util  frac
 	// constrained is true once the core hosts a subtask with D < T
 	// (from C=D splitting); such cores need the full QPA test and are
 	// excluded from cluster formation.
@@ -23,7 +22,7 @@ type coreState struct {
 func newCoreStates(n int) []*coreState {
 	cs := make([]*coreState, n)
 	for i := range cs {
-		cs[i] = &coreState{id: i, util: new(big.Rat)}
+		cs[i] = &coreState{id: i, util: zeroFrac()}
 	}
 	return cs
 }
@@ -35,8 +34,9 @@ func (c *coreState) fits(tk periodic.Task) bool {
 	if c.dedicated {
 		return false
 	}
-	u := new(big.Rat).Add(c.util, tk.Util())
-	if u.Cmp(ratOne) > 0 {
+	u := c.util.clone()
+	u.add(tk.WCET, tk.Period)
+	if u.cmpInt(1) > 0 {
 		return false
 	}
 	if !c.constrained && tk.Implicit() {
@@ -48,13 +48,11 @@ func (c *coreState) fits(tk periodic.Task) bool {
 
 func (c *coreState) add(tk periodic.Task) {
 	c.tasks = append(c.tasks, tk)
-	c.util.Add(c.util, tk.Util())
+	c.util.add(tk.WCET, tk.Period)
 	if !tk.Implicit() {
 		c.constrained = true
 	}
 }
-
-var ratOne = big.NewRat(1, 1)
 
 // partitionWFD assigns tasks to cores using the worst-fit-decreasing
 // heuristic (paper Sec. 5): tasks in order of decreasing utilization,
@@ -98,7 +96,7 @@ func leastUtilizedFit(cores []*coreState, tk periodic.Task) *coreState {
 		}
 	}
 	sort.SliceStable(idx, func(i, j int) bool {
-		if c := idx[i].util.Cmp(idx[j].util); c != 0 {
+		if c := idx[i].util.cmp(&idx[j].util); c != 0 {
 			return c < 0
 		}
 		return idx[i].id < idx[j].id

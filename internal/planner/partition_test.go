@@ -1,7 +1,6 @@
 package planner
 
 import (
-	"math/big"
 	"testing"
 
 	"tableau/internal/periodic"
@@ -41,8 +40,8 @@ func TestPartitionWFDRespectsCapacity(t *testing.T) {
 		t.Fatalf("unplaced = %v, want exactly one", unplaced)
 	}
 	for _, c := range cores {
-		if c.util.Cmp(ratOne) > 0 {
-			t.Errorf("core %d over-utilized: %v", c.id, c.util)
+		if c.util.cmpInt(1) > 0 {
+			t.Errorf("core %d over-utilized: %v", c.id, c.util.rat())
 		}
 	}
 }
@@ -63,7 +62,7 @@ func TestPartitionWFDSkipsDedicated(t *testing.T) {
 }
 
 func TestCoreStateFitsConstrained(t *testing.T) {
-	c := &coreState{id: 0, util: new(big.Rat)}
+	c := &coreState{id: 0, util: zeroFrac()}
 	c.add(periodic.Task{Name: "cd", WCET: 40, Deadline: 40, Period: 100})
 	// A second C=D task of 40 would demand 80 by t=40: infeasible even
 	// though utilization is only 0.8.

@@ -2,6 +2,7 @@ package planner
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 
@@ -67,6 +68,23 @@ type Result struct {
 	// SwitchesSaved counts context switches removed by the peephole
 	// pass (zero unless Options.Peephole).
 	SwitchesSaved int
+	// CoreTasks records, per planner core id, the ordered task set the
+	// per-core EDF stage simulated for that core (nil for dedicated,
+	// cluster-scheduled, and empty cores). PlanIncremental pins these
+	// assignments on the next plan so cores untouched by a churn batch
+	// skip partitioning and re-simulation.
+	CoreTasks []periodic.TaskSet
+	// Incremental reports the plan reused per-core assignments from a
+	// previous result (PlanIncremental's pinning path); PinnedCores
+	// counts the cores reused that way.
+	Incremental bool
+	PinnedCores int
+	// SliceHits counts cores whose EDF simulation was served from
+	// Options.Slices instead of being re-run.
+	SliceHits int
+	// FromCache is set by consumers (core.System) on clones served from
+	// a whole-problem cache hit; Plan itself always leaves it false.
+	FromCache bool
 }
 
 // Clone returns a copy of the result that shares no mutable slice
@@ -85,6 +103,12 @@ func (r *Result) Clone() *Result {
 	out.Splits = append([]SplitInfo(nil), r.Splits...)
 	for i := range out.Splits {
 		out.Splits[i].Cores = append([]int(nil), out.Splits[i].Cores...)
+	}
+	if r.CoreTasks != nil {
+		out.CoreTasks = make([]periodic.TaskSet, len(r.CoreTasks))
+		for i, ts := range r.CoreTasks {
+			out.CoreTasks[i] = append(periodic.TaskSet(nil), ts...)
+		}
 	}
 	return &out
 }
@@ -107,7 +131,26 @@ func candidates() []int64 {
 // checked against the per-vCPU guarantees; Plan never returns an
 // unverified table.
 func Plan(specs []VCPUSpec, opts Options) (*Result, error) {
+	return planWith(specs, opts, nil)
+}
+
+// planWith is Plan plus an optional pinning: task sets frozen onto
+// their previous cores by the incremental path. Pinned specs skip
+// period selection and partitioning; their tasks are seeded into the
+// core states verbatim, so every later stage (splitting, clustering,
+// synthesis, coalescing, the final Check) treats them exactly like
+// freshly placed tasks. Correctness therefore never depends on the
+// pinning being fresh: the full guarantee check still gates the result.
+func planWith(specs []VCPUSpec, opts Options, pin *pinning) (*Result, error) {
 	opts = opts.withDefaults()
+	if pin != nil && len(pin.override) > 0 {
+		// The UnsafeStaleSliceReuse defect: plan against the stale specs
+		// so the internally consistent (but wrong) table passes Check.
+		specs = append([]VCPUSpec(nil), specs...)
+		for i, stale := range pin.override {
+			specs[i] = stale
+		}
+	}
 	if err := Admit(specs, opts.Cores); err != nil {
 		return nil, err
 	}
@@ -151,11 +194,19 @@ func Plan(specs []VCPUSpec, opts Options) (*Result, error) {
 			nextDedicated++
 			continue
 		}
+		if pin != nil && pin.pinnedSpec[i] {
+			continue // placement frozen; seeded below
+		}
 		tk, err := TaskFor(s.Name, i, s.Util, s.LatencyGoal, candidates())
 		if err != nil {
 			return nil, err
 		}
 		tasks = append(tasks, tk)
+	}
+	if pin != nil {
+		if err := seedPinned(cores, pin, res); err != nil {
+			return nil, err
+		}
 	}
 
 	// Stage 1: partitioning.
@@ -287,21 +338,36 @@ func Plan(specs []VCPUSpec, opts Options) (*Result, error) {
 		tbl.Cores[c].Allocs = []table.Alloc{{Start: 0, End: tableLen, VCPU: v}}
 		tbl.VCPUs[v].HomeCore = c
 	}
+	res.CoreTasks = make([]periodic.TaskSet, opts.Cores)
+	var jobs []synthJob
+	// Schedule adoption: a pinned core whose task set survived placement
+	// untouched (no new VM was packed onto it) reuses the previous
+	// plan's final post-coalesce schedule, renumbered into the current
+	// spec universe. Synthesis then skips tiling and the coalesce pass
+	// skips the core entirely, making post-processing O(dirty cores).
+	// Disabled under the peephole pass, whose SwitchesSaved accounting
+	// would otherwise drift. Safety never rests on this: the final
+	// Validate + Check below gate adopted output like any other.
+	adopted := make([]bool, opts.Cores)
+	adoptable := pin != nil && !opts.Peephole && pin.prevTable != nil &&
+		pin.prevTable.Len == tableLen && len(pin.prevTable.Cores) == opts.Cores
 	for _, c := range cores {
 		if c.dedicated || inCluster[c.id] || len(c.tasks) == 0 {
 			continue
 		}
-		coreH, err := c.tasks.Hyperperiod()
-		if err != nil {
-			return nil, err
+		res.CoreTasks[c.id] = c.tasks
+		j := synthJob{core: c.id, tasks: c.tasks}
+		if adoptable && len(pin.coreTasks[c.id]) > 0 && slices.Equal(c.tasks, pin.coreTasks[c.id]) {
+			if a, ok := renumberAllocs(pin.prevTable.Cores[c.id].Allocs, pin.renumber); ok {
+				j.adopt = a
+				j.adoptFrom = &pin.prevTable.Cores[c.id]
+				adopted[c.id] = true
+			}
 		}
-		sim, err := periodic.SimulateEDF(c.tasks, coreH)
-		if err != nil {
-			return nil, fmt.Errorf("planner: core %d EDF simulation failed: %w", c.id, err)
-		}
-		res.Preemptions += sim.Preemptions * int(tableLen/coreH)
-		res.ContextSwitches += sim.ContextSwitches * int(tableLen/coreH)
-		tbl.Cores[c.id].Allocs = tileSlots(sim.Slots, c.tasks, coreH, tableLen)
+		jobs = append(jobs, j)
+	}
+	if err := synthesizeCores(tbl, res, jobs, tableLen, opts); err != nil {
+		return nil, err
 	}
 	if len(clusterSlots) > 0 {
 		clusterH, err := clusterTasks.Hyperperiod()
@@ -326,6 +392,14 @@ func Plan(specs []VCPUSpec, opts Options) (*Result, error) {
 	splitVCPU := markSplit(tbl)
 	donated := make(map[donationKey]int64)
 	for ci := range tbl.Cores {
+		if adopted[ci] {
+			// The adopted schedule is the previous plan's post-coalesce
+			// output; its embedded donations are visible to later
+			// affordability checks through VCPUSlots, and pinned vCPUs
+			// never share donation budgets with dirty cores (a split
+			// chain pins all of its hosts or none).
+			continue
+		}
 		ct := &tbl.Cores[ci]
 		ct.Allocs = coalesceCore(ct.Allocs, opts.CoalesceThreshold, tableLen,
 			func(v int) bool { return !splitVCPU[v] },
@@ -365,7 +439,24 @@ func Plan(specs []VCPUSpec, opts Options) (*Result, error) {
 	if err := tbl.Validate(); err != nil {
 		return nil, fmt.Errorf("planner: generated table failed validation: %w", err)
 	}
-	if err := tbl.BuildSlices(opts.MaxSlicesPerCore); err != nil {
+	// Slice-index reuse: a core whose final allocation list is
+	// bit-identical to the previous plan's (pinned cores after identical
+	// coalescing, the common case under churn) adopts that plan's index
+	// instead of rebuilding it — the index is a pure function of (table
+	// length, slice length, allocation intervals). Content equality is
+	// checked here, so a stale prevTable can only miss, never corrupt.
+	if pin != nil && pin.prevTable != nil && pin.prevTable.Len == tbl.Len &&
+		len(pin.prevTable.Cores) == len(tbl.Cores) {
+		for ci := range tbl.Cores {
+			if tbl.Cores[ci].SliceLen != 0 {
+				continue // adopted at synthesis merge, index already present
+			}
+			if slices.Equal(tbl.Cores[ci].Allocs, pin.prevTable.Cores[ci].Allocs) {
+				tbl.Cores[ci].TransplantSlices(&pin.prevTable.Cores[ci])
+			}
+		}
+	}
+	if err := tbl.BuildMissingSlices(opts.MaxSlicesPerCore); err != nil {
 		return nil, err
 	}
 	if err := tbl.Check(res.Guarantees); err != nil {

@@ -94,6 +94,28 @@ type Options struct {
 	// turns rather than borne by one unlucky vCPU. core.System advances
 	// it on every replan when rotation is enabled.
 	SplitRotation int
+
+	// PlannerWorkers bounds the goroutines used for the per-core EDF
+	// table-synthesis stage; values <= 1 run it serially. Synthesis
+	// jobs are independent per core and their outputs are merged in
+	// core order, so the generated table is byte-identical at any
+	// worker count. Execution shape only: excluded from CacheKey.
+	PlannerWorkers int
+
+	// Slices, when set, memoizes per-core EDF simulations across plans
+	// keyed by the core's ordered task parameters (see SliceCache). A
+	// hit returns the identical simulation a fresh run would produce,
+	// so tables stay byte-identical with or without the cache; excluded
+	// from CacheKey.
+	Slices *SliceCache
+
+	// UnsafeStaleSliceReuse is a mutation-smoke defect switch for
+	// PlanIncremental: a same-named vCPU is treated as unchanged even
+	// when its reservation was reconfigured, so its stale per-core
+	// placement (and the stale spec that makes the planner's own final
+	// Check pass) is reused. The verify oracles must catch the epoch
+	// that under-serves the reconfigured VM. Never set outside tests.
+	UnsafeStaleSliceReuse bool
 }
 
 func (o Options) withDefaults() Options {
@@ -123,7 +145,7 @@ func Admit(specs []VCPUSpec, cores int) error {
 		return fmt.Errorf("planner: non-positive core count %d", cores)
 	}
 	seen := make(map[string]struct{}, len(specs))
-	total := new(big.Rat)
+	total := zeroFrac()
 	for _, s := range specs {
 		if err := s.Validate(); err != nil {
 			return err
@@ -132,10 +154,10 @@ func Admit(specs []VCPUSpec, cores int) error {
 			return fmt.Errorf("planner: duplicate vCPU name %q", s.Name)
 		}
 		seen[s.Name] = struct{}{}
-		total.Add(total, big.NewRat(s.Util.Num, s.Util.Den))
+		total.add(s.Util.Num, s.Util.Den)
 	}
-	if total.Cmp(new(big.Rat).SetInt64(int64(cores))) > 0 {
-		return &ErrOverUtilized{Total: total, Cores: cores}
+	if total.cmpInt(int64(cores)) > 0 {
+		return &ErrOverUtilized{Total: total.rat(), Cores: cores}
 	}
 	return nil
 }

@@ -151,7 +151,7 @@ func eligibleCores(cores []*coreState, used map[int]bool) []*coreState {
 		}
 	}
 	sort.SliceStable(out, func(i, j int) bool {
-		if c := out[i].util.Cmp(out[j].util); c != 0 {
+		if c := out[i].util.cmp(&out[j].util); c != 0 {
 			return c < 0
 		}
 		return out[i].id < out[j].id

@@ -88,6 +88,7 @@ type Server struct {
 	inflight atomic.Int64
 	draining atomic.Bool
 	breaker  atomic.Pointer[Breaker]
+	spec     atomic.Pointer[func() (hits, wasted int64)]
 
 	// Logf receives server-side diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
@@ -120,6 +121,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // surfaced so operators can see a tripped circuit without log-diving.
 func (s *Server) SetBreaker(b *Breaker) { s.breaker.Store(b) }
 
+// SetSpeculationStats registers a source for the host controller's
+// speculation counters (core.Controller.SpeculationStats), so a daemon
+// colocated with a controller surfaces hits/wasted on /healthz next to
+// the cache counters. The function is called on every /healthz request.
+func (s *Server) SetSpeculationStats(fn func() (hits, wasted int64)) { s.spec.Store(&fn) }
+
 func (s *Server) logf(format string, args ...any) {
 	if s.Logf != nil {
 		s.Logf(format, args...)
@@ -145,8 +152,19 @@ type healthResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	CacheHits     int64   `json:"cache_hits"`
 	CacheMisses   int64   `json:"cache_misses"`
-	QueueDepth    int64   `json:"queue_depth"`
-	BreakerState  string  `json:"breaker_state,omitempty"`
+	// CacheEvictions / CacheBytes describe the whole-problem LRU; the
+	// slice_* counters are the per-core EDF memo one level below it.
+	CacheEvictions int64 `json:"cache_evictions"`
+	CacheBytes     int64 `json:"cache_bytes"`
+	SliceHits      int64 `json:"slice_hits"`
+	SliceMisses    int64 `json:"slice_misses"`
+	SliceEvictions int64 `json:"slice_evictions"`
+	// SpecHits / SpecWasted mirror the registered controller's
+	// speculation counters (SetSpeculationStats); absent otherwise.
+	SpecHits     *int64 `json:"spec_hits,omitempty"`
+	SpecWasted   *int64 `json:"spec_wasted,omitempty"`
+	QueueDepth   int64  `json:"queue_depth"`
+	BreakerState string `json:"breaker_state,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -154,13 +172,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
 		return
 	}
-	hits, misses := s.cache.Stats()
+	st := s.cache.FullStats()
 	resp := healthResponse{
-		Status:        "ok",
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		CacheHits:     hits,
-		CacheMisses:   misses,
-		QueueDepth:    s.inflight.Load(),
+		Status:         "ok",
+		UptimeSeconds:  time.Since(s.started).Seconds(),
+		CacheHits:      st.Hits,
+		CacheMisses:    st.Misses,
+		CacheEvictions: st.Evictions,
+		CacheBytes:     st.Bytes,
+		SliceHits:      st.Slice.Hits,
+		SliceMisses:    st.Slice.Misses,
+		SliceEvictions: st.Slice.Evictions,
+		QueueDepth:     s.inflight.Load(),
+	}
+	if fn := s.spec.Load(); fn != nil {
+		hits, wasted := (*fn)()
+		resp.SpecHits, resp.SpecWasted = &hits, &wasted
 	}
 	if b := s.breaker.Load(); b != nil {
 		resp.BreakerState = b.State()
@@ -204,6 +231,10 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// The daemon's per-core memo serves whole-problem misses that still
+	// share core-level task multisets with earlier requests (excluded
+	// from the cache key: it cannot change the produced table).
+	opts.Slices = s.cache.SliceCache()
 	hitsBefore, _ := s.cache.Stats()
 	start := time.Now()
 	res, err := s.cache.Plan(specs, opts)

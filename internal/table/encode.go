@@ -21,99 +21,6 @@ const (
 	flagSplit
 )
 
-// Encode writes the table, including slice tables, in the binary wire
-// format. BuildSlices should have been called if the consumer expects
-// O(1) lookup structures (a table with no slice data is still valid and
-// the decoder rebuilds slices on demand).
-func (t *Table) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(formatMagic); err != nil {
-		return err
-	}
-	le := binary.LittleEndian
-	var scratch [8]byte
-	put16 := func(v uint16) error { le.PutUint16(scratch[:2], v); _, err := bw.Write(scratch[:2]); return err }
-	put32 := func(v uint32) error { le.PutUint32(scratch[:4], v); _, err := bw.Write(scratch[:4]); return err }
-	put64 := func(v uint64) error { le.PutUint64(scratch[:8], v); _, err := bw.Write(scratch[:8]); return err }
-
-	if err := put16(formatVersion); err != nil {
-		return err
-	}
-	if err := put64(t.Generation); err != nil {
-		return err
-	}
-	if err := put64(uint64(t.Len)); err != nil {
-		return err
-	}
-	if err := put32(uint32(len(t.Cores))); err != nil {
-		return err
-	}
-	if err := put32(uint32(len(t.VCPUs))); err != nil {
-		return err
-	}
-	for _, v := range t.VCPUs {
-		if len(v.Name) > 0xffff {
-			return fmt.Errorf("table: vcpu name too long (%d bytes)", len(v.Name))
-		}
-		if err := put16(uint16(len(v.Name))); err != nil {
-			return err
-		}
-		if _, err := bw.WriteString(v.Name); err != nil {
-			return err
-		}
-		var fl byte
-		if v.Capped {
-			fl |= flagCapped
-		}
-		if v.Split {
-			fl |= flagSplit
-		}
-		if err := bw.WriteByte(fl); err != nil {
-			return err
-		}
-		if err := put32(uint32(v.HomeCore)); err != nil {
-			return err
-		}
-		if err := put64(uint64(v.UtilizationPPM)); err != nil {
-			return err
-		}
-		if err := put64(uint64(v.LatencyGoal)); err != nil {
-			return err
-		}
-	}
-	for _, ct := range t.Cores {
-		if err := put32(uint32(ct.Core)); err != nil {
-			return err
-		}
-		if err := put64(uint64(ct.SliceLen)); err != nil {
-			return err
-		}
-		if err := put32(uint32(len(ct.Allocs))); err != nil {
-			return err
-		}
-		for _, a := range ct.Allocs {
-			if err := put64(uint64(a.Start)); err != nil {
-				return err
-			}
-			if err := put64(uint64(a.End)); err != nil {
-				return err
-			}
-			if err := put32(uint32(int32(a.VCPU))); err != nil {
-				return err
-			}
-		}
-		if err := put32(uint32(len(ct.slices))); err != nil {
-			return err
-		}
-		for _, s := range ct.slices {
-			if err := put32(uint32(s)); err != nil {
-				return err
-			}
-		}
-	}
-	return bw.Flush()
-}
-
 // EncodedSize returns the exact number of bytes Encode will produce.
 // This is what the Fig. 4 memory-overhead experiment measures.
 func (t *Table) EncodedSize() int {

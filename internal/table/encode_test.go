@@ -48,6 +48,62 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+// Compact encoding drops the slice index; Decode rebuilds it, so the
+// round trip is lossless and the decoded table matches the original
+// exactly. Segment reuse against a previous compact encoding must be
+// byte-identical to a fresh compact encode.
+func TestEncodeCompactRoundTripAndReuse(t *testing.T) {
+	tbl := sampleTable(t)
+	enc, err := tbl.AppendEncodedCompact(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(enc), tbl.EncodedSizeCompact(); got != want {
+		t.Errorf("encoded %d bytes, EncodedSizeCompact predicted %d", got, want)
+	}
+	if full := tbl.EncodedSize(); len(enc) >= full {
+		t.Errorf("compact encoding (%d bytes) not smaller than full (%d)", len(enc), full)
+	}
+	got, err := Decode(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tbl) {
+		t.Errorf("compact round trip mismatch:\n got %+v\nwant %+v", got, tbl)
+	}
+
+	// A successor table with one core changed: reuse from (tbl, enc)
+	// must produce exactly what a fresh compact encode produces.
+	next := sampleTable(t)
+	next.Generation = 8
+	next.Cores[1].Allocs = []Alloc{{750, 950, 1}}
+	if err := next.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := next.BuildSlices(0); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := next.AppendEncodedCompact(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := next.AppendEncodedReusingCompact(nil, tbl, enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, reused) {
+		t.Error("segment-reusing compact encode differs from fresh compact encode")
+	}
+	// Mismatched prevBytes must degrade to a full encode, not corrupt.
+	reused, err = next.AppendEncodedReusingCompact(nil, tbl, enc[:len(enc)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, reused) {
+		t.Error("compact encode with rejected prevBytes differs from fresh encode")
+	}
+}
+
 func TestDecodeRejectsGarbage(t *testing.T) {
 	cases := map[string][]byte{
 		"empty":     {},

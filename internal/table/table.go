@@ -104,11 +104,17 @@ func (t *Table) Validate() error {
 				i, t.VCPUs[i].Name, hc, len(t.Cores))
 		}
 	}
-	type span struct {
-		start, end int64
-		core       int
+	// onCore[v] is the single core vCPU v has been seen on, -1 before
+	// the first sighting, or multiCore once a second core appears. Only
+	// multi-core vCPUs (splits) can violate the parallel-run invariant,
+	// so the span-collection pass below runs just for them — the common
+	// all-home-core table skips it entirely, and no map is involved.
+	const multiCore = -2
+	onCore := make([]int32, len(t.VCPUs))
+	for i := range onCore {
+		onCore[i] = -1
 	}
-	byVCPU := make(map[int][]span)
+	nMulti := 0
 	seenCore := make([]bool, len(t.Cores))
 	for _, ct := range t.Cores {
 		if ct.Core < 0 || ct.Core >= len(t.Cores) {
@@ -130,9 +136,31 @@ func (t *Table) Validate() error {
 				if a.VCPU < 0 || a.VCPU >= len(t.VCPUs) {
 					return fmt.Errorf("table: core %d alloc %d references unknown vcpu %d", ct.Core, i, a.VCPU)
 				}
-				byVCPU[a.VCPU] = append(byVCPU[a.VCPU], span{a.Start, a.End, ct.Core})
+				switch onCore[a.VCPU] {
+				case -1:
+					onCore[a.VCPU] = int32(ct.Core)
+				case int32(ct.Core), multiCore:
+				default:
+					onCore[a.VCPU] = multiCore
+					nMulti++
+				}
 			}
 			prevEnd = a.End
+		}
+	}
+	if nMulti == 0 {
+		return nil
+	}
+	type span struct {
+		start, end int64
+		core       int
+	}
+	byVCPU := make(map[int][]span, nMulti)
+	for _, ct := range t.Cores {
+		for _, a := range ct.Allocs {
+			if a.VCPU != Idle && onCore[a.VCPU] == multiCore {
+				byVCPU[a.VCPU] = append(byVCPU[a.VCPU], span{a.Start, a.End, ct.Core})
+			}
 		}
 	}
 	for v, spans := range byVCPU {
@@ -153,6 +181,19 @@ func (t *Table) Validate() error {
 // (guarding against pathological memory use; pass 0 for the default of
 // 4 Mi entries per core).
 func (t *Table) BuildSlices(maxSlices int) error {
+	return t.buildSlices(maxSlices, false)
+}
+
+// BuildMissingSlices is BuildSlices restricted to cores that have no
+// index yet: cores that adopted one via TransplantSlices keep it
+// untouched (the transplant is only valid for an unchanged allocation
+// list, so recomputing would produce the identical array). Callers
+// must not mutate a transplanted core's allocations afterwards.
+func (t *Table) BuildMissingSlices(maxSlices int) error {
+	return t.buildSlices(maxSlices, true)
+}
+
+func (t *Table) buildSlices(maxSlices int, skipBuilt bool) error {
 	const defaultMax = 4 << 20
 	if maxSlices <= 0 {
 		maxSlices = defaultMax
@@ -162,6 +203,9 @@ func (t *Table) BuildSlices(maxSlices int) error {
 		if len(ct.Allocs) == 0 {
 			ct.SliceLen = 0
 			ct.slices = nil
+			continue
+		}
+		if skipBuilt && ct.SliceLen != 0 && ct.slices != nil {
 			continue
 		}
 		shortest := ct.Allocs[0].Len()
@@ -187,6 +231,23 @@ func (t *Table) BuildSlices(maxSlices int) error {
 		}
 	}
 	return nil
+}
+
+// TransplantSlices adopts src's slice index (slice length and backing
+// array, shared — slice data is immutable once built). It is valid
+// exactly when ct's allocation list has the same interval sequence as
+// src's: slice entries are indices into the allocation list and never
+// mention vCPUs or cores, so renaming vCPU ids or renumbering the core
+// leaves the index bit-identical to what BuildSlices would recompute.
+// It reports false, leaving ct untouched, when src has allocations but
+// no built index to adopt.
+func (ct *CoreTable) TransplantSlices(src *CoreTable) bool {
+	if len(src.Allocs) > 0 && src.SliceLen == 0 {
+		return false
+	}
+	ct.SliceLen = src.SliceLen
+	ct.slices = src.slices
+	return true
 }
 
 // CheckSlices verifies that every core's slice index is exactly what
@@ -349,8 +410,50 @@ type Guarantee struct {
 // first violation found, or nil if every guarantee holds. WindowLen must
 // divide the table length (the planner arranges this by construction).
 func (t *Table) Check(gs []Guarantee) error {
+	if len(gs) == 0 {
+		return nil
+	}
+	// Bucket every vCPU's allocations in one pass over the table: the
+	// per-guarantee VCPUSlots scan made checking O(guarantees x total
+	// allocations), which dominated plan verification on dense hosts.
+	// Buckets share one backing array sized by a counting pass; a
+	// vCPU's allocations arrive core by core (each core's list already
+	// start-sorted), so only multi-core vCPUs (splits) need the sort.
+	counts := make([]int32, len(t.VCPUs))
+	total := 0
+	for _, ct := range t.Cores {
+		for _, a := range ct.Allocs {
+			if a.VCPU >= 0 && a.VCPU < len(t.VCPUs) {
+				counts[a.VCPU]++
+				total++
+			}
+		}
+	}
+	backing := make([]Alloc, 0, total)
+	buckets := make([][]Alloc, len(t.VCPUs))
+	off := 0
+	for v, c := range counts {
+		buckets[v] = backing[off : off : off+int(c)]
+		off += int(c)
+	}
+	for _, ct := range t.Cores {
+		for _, a := range ct.Allocs {
+			if a.VCPU >= 0 && a.VCPU < len(t.VCPUs) {
+				buckets[a.VCPU] = append(buckets[a.VCPU], a)
+			}
+		}
+	}
+	for v := range buckets {
+		s := buckets[v]
+		if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i].Start < s[j].Start }) {
+			sort.Slice(s, func(i, j int) bool { return s[i].Start < s[j].Start })
+		}
+	}
 	for _, g := range gs {
-		slots := t.VCPUSlots(g.VCPU)
+		var slots []Alloc
+		if g.VCPU >= 0 && g.VCPU < len(buckets) {
+			slots = buckets[g.VCPU]
+		}
 		name := ""
 		if g.VCPU >= 0 && g.VCPU < len(t.VCPUs) {
 			name = t.VCPUs[g.VCPU].Name
@@ -360,9 +463,21 @@ func (t *Table) Check(gs []Guarantee) error {
 				return &GuaranteeViolation{g.VCPU, name, "service",
 					fmt.Sprintf("window %d does not divide table length %d", g.WindowLen, t.Len)}
 			}
-			for w := int64(0); w < t.Len; w += g.WindowLen {
-				var svc int64
-				for _, a := range slots {
+			// One pass over the slots, crediting each allocation to the
+			// windows it overlaps, then one pass over the windows.
+			svc := make([]int64, t.Len/g.WindowLen)
+			for _, a := range slots {
+				// Clamp to the table: Check does not assume Validate ran,
+				// and the original window scan only ever covered [0, Len).
+				first := a.Start - a.Start%g.WindowLen
+				if first < 0 {
+					first = 0
+				}
+				end := a.End
+				if end > t.Len {
+					end = t.Len
+				}
+				for w := first; w < end; w += g.WindowLen {
 					lo, hi := a.Start, a.End
 					if lo < w {
 						lo = w
@@ -371,12 +486,15 @@ func (t *Table) Check(gs []Guarantee) error {
 						hi = w + g.WindowLen
 					}
 					if hi > lo {
-						svc += hi - lo
+						svc[w/g.WindowLen] += hi - lo
 					}
 				}
-				if svc < g.Service {
+			}
+			for wi, got := range svc {
+				if got < g.Service {
+					w := int64(wi) * g.WindowLen
 					return &GuaranteeViolation{g.VCPU, name, "service",
-						fmt.Sprintf("window [%d,%d): got %d ns, want >= %d ns", w, w+g.WindowLen, svc, g.Service)}
+						fmt.Sprintf("window [%d,%d): got %d ns, want >= %d ns", w, w+g.WindowLen, got, g.Service)}
 				}
 			}
 		}

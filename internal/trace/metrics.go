@@ -19,6 +19,15 @@ type Metrics struct {
 	FaultsInjected  int64
 	ContextSwitches int64
 
+	// Plan-origin counters (EvPlanOrigin): how each installed epoch's
+	// table was produced, and the total cores reused verbatim from the
+	// previous plan across incremental epochs.
+	PlansScratch     int64
+	PlansCached      int64
+	PlansIncremental int64
+	PlansSpeculative int64
+	PinnedCores      int64
+
 	// lastState/lastAt track each vCPU's current runstate for residency
 	// and latency accounting. Initial state is Runnable at t=0, matching
 	// the machine's vCPU construction.
@@ -97,6 +106,18 @@ func (m *Metrics) observe(r *Record) {
 		m.TableSwitches++
 	case EvPlannerCall:
 		m.PlannerCalls++
+	case EvPlanOrigin:
+		switch r.Arg0 {
+		case PlanOriginCached:
+			m.PlansCached++
+		case PlanOriginIncremental:
+			m.PlansIncremental++
+		case PlanOriginSpeculative:
+			m.PlansSpeculative++
+		default:
+			m.PlansScratch++
+		}
+		m.PinnedCores += r.Arg1
 	case EvIPI:
 		switch r.Arg0 {
 		case IPIDropped:

@@ -45,10 +45,38 @@ const (
 	// Arg1 = 1 for an explicit scheduler work-steal, 0 for a placement
 	// migration observed by the machine at dispatch.
 	EvMigrate uint8 = 8
+	// EvPlanOrigin annotates an installed epoch with where its plan
+	// came from (emitted by the controller alongside the dispatcher's
+	// plannercall record). Arg0 = origin (PlanOrigin*); Arg1 = cores
+	// whose assignments were pinned from the previous plan.
+	EvPlanOrigin uint8 = 9
 )
 
 // evMax bounds the valid event type range for decoders.
-const evMax = EvMigrate
+const evMax = EvPlanOrigin
+
+// Plan origins carried by EvPlanOrigin Arg0.
+const (
+	PlanOriginScratch     int64 = 0
+	PlanOriginCached      int64 = 1
+	PlanOriginIncremental int64 = 2
+	PlanOriginSpeculative int64 = 3
+)
+
+// PlanOriginName returns the mnemonic for an EvPlanOrigin Arg0.
+func PlanOriginName(o int64) string {
+	switch o {
+	case PlanOriginScratch:
+		return "scratch"
+	case PlanOriginCached:
+		return "cached"
+	case PlanOriginIncremental:
+		return "incremental"
+	case PlanOriginSpeculative:
+		return "speculative"
+	}
+	return "unknown"
+}
 
 // Runstate codes carried by EvRunstateChange. These deliberately
 // mirror (but do not import) vmm's vCPU states, keeping the trace
@@ -120,6 +148,8 @@ func EventName(t uint8) string {
 		return "plannercall"
 	case EvMigrate:
 		return "migrate"
+	case EvPlanOrigin:
+		return "planorigin"
 	}
 	return "unknown"
 }

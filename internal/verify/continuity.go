@@ -2,6 +2,7 @@ package verify
 
 import (
 	"fmt"
+	"math/big"
 
 	"tableau/internal/core"
 	"tableau/internal/faults"
@@ -57,8 +58,98 @@ func CheckContinuity(a *Artifacts) []Violation {
 	enacted := enactedEpochs(a, hist)
 
 	var out []Violation
+	out = append(out, checkEpochFidelity(a, hist)...)
 	out = append(out, checkRetention(a, enacted)...)
 	out = append(out, checkContinuityGaps(a, enacted)...)
+	return out
+}
+
+// checkEpochFidelity replays the committed control-plane ops against the
+// scenario's initial population to reconstruct what each epoch promised,
+// then demands the epoch's guarantees honour it: every expected-active
+// slot holds a guarantee whose blackout bound is within the slot's
+// current latency goal and whose service fraction covers the slot's
+// current reservation, and no inactive slot holds one. Retention alone
+// cannot catch a planner that keeps serving a reconfigured VM its stale
+// pre-reconfiguration reservation (UnsafeStaleSliceReuse): the stale
+// epoch is self-consistent — table, guarantees, and trace all agree —
+// and only disagrees with the obligations the committed ops created.
+func checkEpochFidelity(a *Artifacts, hist []core.Epoch) []Violation {
+	sc := a.Scenario
+	type obligation struct {
+		active bool
+		util   core.Util
+		goal   int64
+	}
+	exp := make([]obligation, sc.NumSlots())
+	for slot := range exp {
+		vm := sc.VM(slot)
+		exp[slot] = obligation{active: slot < len(sc.VMs), util: vm.Util, goal: vm.LatencyGoal}
+	}
+
+	var out []Violation
+	ti := 0
+	for _, ep := range hist {
+		// Fold in every committed transition up to this epoch — including
+		// ones whose own epochs were later withdrawn by an emergency
+		// rollback: their population changes persist (only the staged
+		// table was revoked), so later epochs still answer for them.
+		for ti < len(a.Transitions) {
+			tr := a.Transitions[ti].Tr
+			if tr.Version == 0 {
+				ti++ // rolled back or all-rejected: population unchanged
+				continue
+			}
+			if tr.Version > ep.Version {
+				break
+			}
+			for _, op := range tr.Committed {
+				switch op.Kind {
+				case core.OpActivate:
+					exp[op.Slot].active = true
+				case core.OpDeactivate:
+					exp[op.Slot].active = false
+				case core.OpReconfigure:
+					exp[op.Slot].util = op.Util
+					exp[op.Slot].goal = op.LatencyGoal
+				}
+			}
+			ti++
+		}
+
+		held := make(map[int]int, len(ep.Guarantees))
+		for i := range ep.Guarantees {
+			held[ep.Guarantees[i].VCPU] = i
+		}
+		for slot, ob := range exp {
+			gi, ok := held[slot]
+			if !ob.active {
+				if ok {
+					out = append(out, Violation{ClassContinuity, slot, fmt.Sprintf(
+						"epoch %d carries a guarantee for a slot deactivated by its committed ops", ep.Version)})
+				}
+				continue
+			}
+			if !ok {
+				out = append(out, Violation{ClassContinuity, slot, fmt.Sprintf(
+					"active slot holds no guarantee in epoch %d — arrival silently dropped?", ep.Version)})
+				continue
+			}
+			g := &ep.Guarantees[gi]
+			if g.MaxBlackout > ob.goal {
+				out = append(out, Violation{ClassContinuity, slot, fmt.Sprintf(
+					"epoch %d blackout bound %d ns exceeds the committed latency goal %d ns — stale reservation?",
+					ep.Version, g.MaxBlackout, ob.goal)})
+			}
+			got := new(big.Rat).SetFrac64(g.Service, g.WindowLen)
+			want := new(big.Rat).SetFrac64(ob.util.Num, ob.util.Den)
+			if got.Cmp(want) < 0 {
+				out = append(out, Violation{ClassContinuity, slot, fmt.Sprintf(
+					"epoch %d serves %d/%d ns but the committed reservation is %d/%d — stale reservation?",
+					ep.Version, g.Service, g.WindowLen, ob.util.Num, ob.util.Den)})
+			}
+		}
+	}
 	return out
 }
 

@@ -79,16 +79,47 @@ type ChurnTransition struct {
 // artifacts for oracle replay. The run uses the zero overhead model so
 // table dispatch delivers reservations exactly — the utilization and
 // max-gap oracles check strict inequalities, not tolerances.
+//
+// Controller-routed scenarios (spares or churn present) run with the
+// production planning fast paths armed — whole-problem cache,
+// incremental replanning, and speculative plan-ahead — so every churn
+// soak exercises exactly the pipeline a dense host would use. Churn-free
+// scenarios keep the direct System path bit-for-bit.
 func Run(sc *Scenario) (*Artifacts, error) {
-	return run(sc, nil, false)
+	return runWith(sc, runKnobs{})
 }
 
-// run is Run plus two mutation-smoke hooks: an optional scheduler
-// wrapper installing intentionally broken variants between the
-// dispatcher and the machine, and the evict switch arming the
-// Controller's UnsafeEvictOnOverload defect.
+// run keeps the historical mutation-smoke signature: an optional
+// scheduler wrapper and the UnsafeEvictOnOverload switch.
 func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler, evict bool) (*Artifacts, error) {
+	return runWith(sc, runKnobs{wrap: wrap, evict: evict})
+}
+
+// runKnobs selects run variants for tests: mutation-smoke defect
+// switches and planning-path overrides.
+type runKnobs struct {
+	// wrap installs an intentionally broken scheduler variant between
+	// the dispatcher and the machine.
+	wrap func(inner vmm.Scheduler) vmm.Scheduler
+	// evict arms the Controller's UnsafeEvictOnOverload defect.
+	evict bool
+	// staleSlice arms the planner's UnsafeStaleSliceReuse defect.
+	staleSlice bool
+	// scratch disables the planning fast paths (cache, incremental,
+	// speculation) so every controller plan is computed from scratch.
+	scratch bool
+}
+
+func runWith(sc *Scenario, k runKnobs) (*Artifacts, error) {
 	sys := core.NewSystem(sc.Cores, planner.Options{}, dispatch.Options{})
+	churny := len(sc.Spares) > 0 || len(sc.Churn) > 0
+	if churny && !k.scratch {
+		// Arm the planning fast paths before the initial plan so the
+		// controller's very first flush can already diff against it.
+		sys.Cache = planner.NewCache(0)
+		sys.Incremental = true
+	}
+	sys.UnsafeStaleSliceReuse = k.staleSlice
 	for slot := 0; slot < sc.NumSlots(); slot++ {
 		vm := sc.VM(slot)
 		id, err := sys.AddVM(core.VMConfig{
@@ -111,8 +142,8 @@ func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler, evict bool)
 	}
 
 	var sched vmm.Scheduler = disp
-	if wrap != nil {
-		sched = wrap(disp)
+	if k.wrap != nil {
+		sched = k.wrap(disp)
 	}
 	m := vmm.New(sim.New(sc.Seed), sc.Cores, sched, vmm.NoOverheads())
 	tr := trace.New(runRingSize)
@@ -137,12 +168,20 @@ func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler, evict bool)
 	// Controller. Churn-free scenarios keep the direct System path so
 	// their runs stay bit-for-bit identical to earlier generators.
 	var ctrl *core.Controller
-	if len(sc.Spares) > 0 || len(sc.Churn) > 0 {
+	if churny {
 		ctrl, err = core.NewController(sys, disp, res)
 		if err != nil {
 			return nil, fmt.Errorf("verify: %s: %w", sc, err)
 		}
-		ctrl.UnsafeEvictOnOverload = evict
+		ctrl.UnsafeEvictOnOverload = k.evict
+		if !k.scratch {
+			// Speculation runs synchronously so runs stay deterministic;
+			// it costs wall-clock only, never sim time. The tracer records
+			// each installed epoch's plan origin for the oracles.
+			ctrl.SpeculateNext = 2
+			ctrl.Tracer = tr
+			ctrl.NowFn = m.Eng.Now
+		}
 		art.Controller = ctrl
 	}
 	flush := func(now int64) *core.Transition {
