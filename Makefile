@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench benchdiff fuzz verify-short mutation-smoke churn-short ci
+.PHONY: build vet staticcheck test race bench benchdiff fuzz verify-short mutation-smoke churn-short recover-short ci
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ test:
 race:
 	$(GO) test -race ./internal/experiments ./internal/sim ./internal/planner \
 		./internal/dispatch ./internal/faults ./internal/plannersvc ./internal/vmm \
-		./internal/trace ./internal/core
+		./internal/trace ./internal/core ./internal/journal
 
 # Short fuzz smoke over the untrusted-input surfaces (the binary table
 # and trace decoders) and the whole generate→run→oracle pipeline. The
@@ -39,6 +39,7 @@ fuzz:
 	$(GO) test ./internal/table -run '^$$' -fuzz '^FuzzTableDecode$$' -fuzztime 10s
 	$(GO) test ./internal/trace -run '^$$' -fuzz '^FuzzTraceDecode$$' -fuzztime 10s
 	$(GO) test ./internal/verify -run '^$$' -fuzz '^FuzzScenario$$' -fuzztime 10s
+	$(GO) test ./internal/journal -run '^$$' -fuzz '^FuzzJournalDecode$$' -fuzztime 10s
 
 # Bounded property-based verification: generator determinism, the
 # invariant oracles over generated scenarios (-short trims the seed
@@ -63,6 +64,17 @@ churn-short:
 	$(GO) test ./internal/experiments -run 'TestChurnChaosDeterminism' -v
 	$(GO) test -short ./internal/verify -run 'TestChurn|TestGenerateChurnShape'
 
+# Crash-recovery gate: the journal codec and crash injector test
+# suites, the ~120-scenario quick crash matrix (seeded crash storms →
+# recovery-equivalence + crash-seam oracles, zero violations), and the
+# crashchaos CSV determinism check (byte-identical across runs and
+# -parallel settings).
+recover-short:
+	$(GO) test ./internal/journal ./internal/faults
+	$(GO) test -short ./internal/verify -run 'TestCrash|TestGenerateCrashScenario|TestRunCrash'
+	$(GO) test ./internal/experiments -run 'TestCrashChaosDeterminism' -v
+	$(GO) test ./internal/core -run 'TestJournal|TestRecover|TestClose|TestAttachJournal|TestEmergencyRollback'
+
 # Full micro-benchmark pass over the hot-path packages.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
@@ -78,4 +90,4 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -count 1 -tolerance 40 -gate \
 		-out /tmp/tableau-benchdiff -against $$(ls BENCH_*.json | tail -1)
 
-ci: vet staticcheck build test race verify-short mutation-smoke churn-short fuzz benchdiff
+ci: vet staticcheck build test race verify-short mutation-smoke churn-short recover-short fuzz benchdiff

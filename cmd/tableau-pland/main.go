@@ -6,6 +6,7 @@
 // Usage:
 //
 //	tableau-pland [-listen :7077] [-cache 256] [-pprof 127.0.0.1:6060]
+//	              [-journal plans.tbjl] [-journal-sync always|demand]
 //
 // API: POST /plan with a JSON body
 //
@@ -22,6 +23,12 @@
 // draining mode first (/plan and /healthz answer 503 so balancers stop
 // routing here), then in-flight planning requests get a drain window
 // before the process exits.
+//
+// With -journal, every served plan is appended to a durable,
+// CRC-framed journal file (the same format the host controller's epoch
+// journal uses), giving a replayable audit of every table the daemon
+// handed out; the journal is synced when the drain begins and closed
+// after the drain window.
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"syscall"
 	"time"
 
+	"tableau/internal/journal"
 	"tableau/internal/plannersvc"
 )
 
@@ -45,6 +53,8 @@ func main() {
 	cacheSize := flag.Int("cache", 256, "central table-cache capacity")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
+	journalPath := flag.String("journal", "", "append every served plan to this durable journal file (empty = off)")
+	journalSync := flag.String("journal-sync", "always", "journal fsync policy: always (fsync per append) or demand (fsync on drain/exit)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -59,6 +69,24 @@ func main() {
 	}
 
 	svc := plannersvc.NewServer(*cacheSize)
+	var jw *journal.Writer
+	if *journalPath != "" {
+		policy := journal.SyncAlways
+		switch *journalSync {
+		case "always":
+		case "demand":
+			policy = journal.SyncOnDemand
+		default:
+			log.Fatalf("tableau-pland: unknown -journal-sync %q (want always or demand)", *journalSync)
+		}
+		fs, err := journal.OpenFile(*journalPath, policy)
+		if err != nil {
+			log.Fatalf("tableau-pland: opening plan journal: %v", err)
+		}
+		jw = journal.NewWriter(fs)
+		svc.SetJournal(jw)
+		log.Printf("tableau-pland: journaling served plans to %s (sync=%s)", *journalPath, *journalSync)
+	}
 	// Slow-client protection: a peer that dribbles headers or never
 	// reads the response must not pin a connection forever. Planning
 	// itself is CPU-bound and fast, so tight bounds are safe.
@@ -96,5 +124,13 @@ func main() {
 	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("tableau-pland: shutdown: %v", err)
 		os.Exit(1)
+	}
+	if jw != nil {
+		// StartDrain already synced the records served before the drain;
+		// this covers any that completed inside the drain window.
+		if err := jw.Close(); err != nil {
+			log.Printf("tableau-pland: closing plan journal: %v", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"tableau/internal/journal"
 	"tableau/internal/planner"
 	"tableau/internal/table"
 	"tableau/internal/trace"
@@ -197,6 +198,14 @@ type Controller struct {
 	Tracer *trace.Tracer
 	NowFn  func() int64
 
+	// journal, when set, receives one durable record per committed
+	// epoch and is the commit point of every Flush: a batch whose
+	// record cannot be appended rolls back (the staged table is
+	// withdrawn), so the log never disagrees with the installed epoch
+	// history. Set via AttachJournal, or by Recover when resuming from
+	// a previous journal.
+	journal *journal.Writer
+
 	// specStore holds speculative results keyed by planner.CacheKey, in
 	// the planner universe. Guarded by mu; planOnceLocked's backend
 	// closure reads it with mu already held.
@@ -204,6 +213,11 @@ type Controller struct {
 	specStats SpecStats
 	specHit   bool // last planOnceLocked was served speculatively
 	specWG    sync.WaitGroup
+
+	// closed is set by Close: in-flight speculation bails at the next
+	// candidate boundary, no new speculation starts, and Flush refuses
+	// further batches.
+	closed bool
 }
 
 // SpecStats are the speculation counters.
@@ -267,6 +281,76 @@ func (c *Controller) epochOfLocked(tbl *table.Table, gs []table.Guarantee) (Epoc
 	}, nil
 }
 
+// AttachJournal makes w the controller's durable epoch log and
+// immediately journals the current epoch as the baseline record, so a
+// recovery replaying the journal always finds the population the
+// history started from. Attach before the first Flush; every committed
+// epoch from here on is appended (and is only committed once the
+// append succeeds).
+func (c *Controller) AttachJournal(w *journal.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.sys
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c.epoch.Table == nil {
+		return fmt.Errorf("core: no epoch to journal — create the controller with the initial plan first")
+	}
+	if err := w.Append(c.sys.journalRecordLocked(c.epoch)); err != nil {
+		return err
+	}
+	c.journal = w
+	return nil
+}
+
+// Journal returns the attached epoch journal (nil when none).
+func (c *Controller) Journal() *journal.Writer { return c.journal }
+
+// journalRecordLocked is System's half of the epoch record: the
+// committed epoch plus the population and topology facts recovery
+// needs. System.mu is held, so the snapshot is the exact state the
+// epoch was planned from.
+func (s *System) journalRecordLocked(ep Epoch) *journal.EpochRecord {
+	rec := &journal.EpochRecord{
+		Version:    ep.Version,
+		Guarantees: append([]table.Guarantee(nil), ep.Guarantees...),
+		TableBytes: append([]byte(nil), ep.Bytes...),
+	}
+	for _, sl := range s.slots {
+		rec.Slots = append(rec.Slots, journal.SlotConfig{
+			Name:        sl.cfg.Name,
+			UtilNum:     sl.cfg.Util.Num,
+			UtilDen:     sl.cfg.Util.Den,
+			LatencyGoal: sl.cfg.LatencyGoal,
+			Capped:      sl.cfg.Capped,
+			Active:      sl.active,
+		})
+	}
+	for core, failed := range s.failed {
+		if failed {
+			rec.FailedCores = append(rec.FailedCores, core)
+		}
+	}
+	return rec
+}
+
+// Close shuts the controller down: no further Flush is accepted, any
+// in-flight SpeculateAsync work is cancelled (it bails at the next
+// candidate boundary) and waited for, and the journal — if attached —
+// is synced so every committed epoch is durable. Safe to call more
+// than once.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	alreadyClosed := c.closed
+	c.closed = true
+	c.mu.Unlock()
+	c.specWG.Wait()
+	if c.journal != nil && !alreadyClosed {
+		return c.journal.Sync()
+	}
+	return nil
+}
+
 // Submit enqueues one operation. Safe from any goroutine; the op takes
 // effect at the next Flush.
 func (c *Controller) Submit(op Op) {
@@ -287,6 +371,12 @@ func (c *Controller) Pending() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.pending)
+}
+
+// System returns the population the controller plans over. Recovery
+// harnesses use it to rebind a machine to a recovered dispatcher.
+func (c *Controller) System() *System {
+	return c.sys
 }
 
 // Epoch returns the current installed epoch.
@@ -359,6 +449,9 @@ func (c *Controller) WaitSpeculation() { c.specWG.Wait() }
 func (c *Controller) flush() (*Transition, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return nil, fmt.Errorf("core: controller closed")
+	}
 	ops := c.pending
 	c.pending = nil
 	if len(ops) == 0 {
@@ -475,6 +568,20 @@ func (c *Controller) flush() (*Transition, error) {
 		c.rollbackLocked(snap, tr, eerr)
 		return tr, eerr
 	}
+	if c.journal != nil {
+		// The journal is the commit point: the record must be durable
+		// before the epoch exists. The table just staged has not been
+		// adopted (no sim time has passed since PushTable), so a failed
+		// append withdraws it and rolls the whole batch back — the
+		// journal and the epoch history never disagree.
+		if jerr := c.journal.Append(c.sys.journalRecordLocked(ep)); jerr != nil {
+			if a, ok := c.sink.(stagedAborter); ok {
+				a.AbortStaged()
+			}
+			c.rollbackLocked(snap, tr, jerr)
+			return tr, jerr
+		}
+	}
 	c.epoch = ep
 	c.history = append(c.history, ep)
 	if max := c.MaxHistory; max > 0 {
@@ -565,6 +672,17 @@ func (c *Controller) rollbackLocked(snap []slot, tr *Transition, err error) {
 			if n := len(c.history); n >= 2 {
 				c.history = c.history[:n-1]
 				c.epoch = c.history[n-2]
+				if c.journal != nil {
+					// The withdrawn epoch's record is already durable, so
+					// re-commit the reverted-to epoch verbatim: replay then
+					// ends on the predecessor, matching the history.
+					// Recovery keeps version monotonicity by resuming from
+					// the journal's maximum version, not the last record's.
+					// Best effort — if the append fails the journal is left
+					// one (never-adopted) epoch ahead of the truth, which a
+					// post-recovery emergency replan supersedes anyway.
+					_ = c.journal.Append(c.sys.journalRecordLocked(c.epoch))
+				}
 			}
 		}
 	}

@@ -37,6 +37,11 @@ func (c *Controller) speculate() {
 	s := c.sys
 	s.mu.Lock()
 
+	if c.closed {
+		s.mu.Unlock()
+		c.mu.Unlock()
+		return
+	}
 	if c.specStore == nil {
 		c.specStore = make(map[string]*planner.Result)
 	}
@@ -53,11 +58,23 @@ func (c *Controller) speculate() {
 	c.mu.Unlock()
 
 	for _, cand := range cands {
+		// Close cancels speculation at candidate granularity: a closing
+		// controller stops planning guesses nobody will consume.
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
+		c.mu.Unlock()
 		res, err := s.plan(cand.specs, cand.opts, prev)
 		if err != nil {
 			continue // an infeasible guess is just not stored
 		}
 		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return
+		}
 		c.specStore[cand.key] = res
 		c.specStats.Planned++
 		c.mu.Unlock()

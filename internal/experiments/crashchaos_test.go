@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// crashCSV renders a crashchaos run to CSV bytes at the given
+// parallelism, restoring the previous setting afterwards.
+func crashCSV(t *testing.T, parallel int) ([]byte, *Result) {
+	t.Helper()
+	prev := Parallelism()
+	SetParallelism(parallel)
+	defer SetParallelism(prev)
+
+	r, err := CrashChaos(Quick)
+	if err != nil {
+		t.Fatalf("crashchaos at -parallel %d: %v", parallel, err)
+	}
+	path := filepath.Join(t.TempDir(), "crashchaos.csv")
+	if err := r.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, r
+}
+
+// TestCrashChaosDeterminism is the recovery CI gate: the crashchaos
+// CSV must be byte-identical across runs and across -parallel
+// settings, every row must recover bit-identically onto its expected
+// version with zero oracle violations, and the matrix must exercise
+// all four crash kinds.
+func TestCrashChaosDeterminism(t *testing.T) {
+	seq, r := crashCSV(t, 1)
+	par, _ := crashCSV(t, 8)
+	if string(seq) != string(par) {
+		t.Fatal("crashchaos CSV differs between -parallel 1 and -parallel 8")
+	}
+	again, _ := crashCSV(t, 1)
+	if string(seq) != string(again) {
+		t.Fatal("crashchaos CSV differs between two identical runs")
+	}
+
+	if len(r.Rows) < 200 {
+		t.Fatalf("matrix has %d storms, want >= 200", len(r.Rows))
+	}
+	col := make(map[string]int, len(r.Header))
+	for i, h := range r.Header {
+		col[h] = i
+	}
+	num := func(row []string, name string) int64 {
+		v, err := strconv.ParseInt(row[col[name]], 10, 64)
+		if err != nil {
+			t.Fatalf("column %s: %v", name, err)
+		}
+		return v
+	}
+	kinds := map[string]int{}
+	damaged := 0
+	for _, row := range r.Rows {
+		kinds[row[col["kind"]]]++
+		if v := num(row, "violations"); v != 0 {
+			t.Errorf("seed %s (%s): %d recovery violations", row[0], row[col["kind"]], v)
+		}
+		if row[col["bit_identical"]] != "1" {
+			t.Errorf("seed %s: recovered epoch not bit-identical to shadow", row[0])
+		}
+		if got, want := num(row, "recovered_version"), num(row, "expected_version"); got != want {
+			t.Errorf("seed %s: recovered version %d, want %d", row[0], got, want)
+		}
+		if num(row, "seam_version") <= num(row, "recovered_version") {
+			t.Errorf("seed %s: seam flush did not advance past the recovered epoch", row[0])
+		}
+		if num(row, "truncated_bytes") > 0 {
+			damaged++
+			if row[col["replanned"]] != "1" {
+				t.Errorf("seed %s: damaged tail without an emergency replan", row[0])
+			}
+		}
+	}
+	if len(kinds) != 4 {
+		t.Fatalf("matrix drew %d crash kinds, want all 4: %v", len(kinds), kinds)
+	}
+	if damaged == 0 {
+		t.Fatal("no storm damaged the journal tail — torn/bit-flip kinds are not biting")
+	}
+}

@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"tableau/internal/journal"
+)
+
+// This file is the crash-point injector for the durable epoch journal:
+// a journal.Store wrapper that kills the "host" at a chosen write
+// boundary, deterministically from a seed, and freezes the bytes that
+// would have survived on disk. Recovery tests then hand the surviving
+// image to core.Recover and compare against the pre-crash ground truth.
+//
+// The crash model follows the append path of a write-ahead log:
+//
+//	pre-append   — the process dies before any byte of the record
+//	               reaches the store; the record is simply absent.
+//	torn         — the process (or power) dies mid-write; a strict
+//	               prefix of the record persists. The journal's framing
+//	               CRC detects the tear and recovery truncates it.
+//	post-append  — the record is fully durable, then the process dies
+//	               before doing anything else (for a file store: after
+//	               the write, before any later rename/compaction). The
+//	               epoch it carries IS committed; recovery must adopt it.
+//	bit-flip     — the record persists at full length but one bit is
+//	               corrupted in flight; the CRC catches it and recovery
+//	               truncates back to the last intact record.
+
+// Crash kinds, matching the write boundaries above.
+const (
+	CrashPreAppend  = "crash-pre-append"
+	CrashTorn       = "crash-torn-write"
+	CrashPostAppend = "crash-post-append"
+	CrashBitFlip    = "crash-bit-flip"
+)
+
+// CrashKinds lists every crash kind, in a fixed order tests and
+// experiments index with a seeded draw.
+var CrashKinds = []string{CrashPreAppend, CrashTorn, CrashPostAppend, CrashBitFlip}
+
+// ErrCrashed is returned by every CrashStore operation once the crash
+// point has fired: the process this store belonged to is dead.
+var ErrCrashed = errors.New("faults: journal store crashed")
+
+// CrashPlan places one crash at a journal append boundary.
+type CrashPlan struct {
+	// AtAppend is the 1-based index of the Append call the crash fires
+	// on. An index past the run's total appends means the crash never
+	// fires (a clean shutdown).
+	AtAppend int
+	// Kind is one of the Crash* constants.
+	Kind string
+	// Seed drives the torn-write length and the bit-flip position.
+	Seed int64
+}
+
+// Validate checks the plan shape.
+func (p CrashPlan) Validate() error {
+	if p.AtAppend < 1 {
+		return fmt.Errorf("faults: crash at append %d (counting is 1-based)", p.AtAppend)
+	}
+	switch p.Kind {
+	case CrashPreAppend, CrashTorn, CrashPostAppend, CrashBitFlip:
+		return nil
+	}
+	return fmt.Errorf("faults: unknown crash kind %q", p.Kind)
+}
+
+// CrashStore wraps a journal.Store and fires the plan's crash at the
+// configured append. After the crash every operation returns
+// ErrCrashed; Surviving returns the frozen post-crash disk image.
+type CrashStore struct {
+	mu      sync.Mutex
+	inner   journal.Store
+	plan    CrashPlan
+	rng     *rand.Rand
+	appends int
+	crashed bool
+}
+
+// NewCrashStore wraps inner with the given plan.
+func NewCrashStore(inner journal.Store, plan CrashPlan) (*CrashStore, error) {
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return &CrashStore{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}, nil
+}
+
+// Crashed reports whether the crash point has fired.
+func (c *CrashStore) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// Appends returns the number of Append calls observed (including the
+// crashing one).
+func (c *CrashStore) Appends() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.appends
+}
+
+// Surviving returns the disk image as a post-crash recovery would find
+// it. Valid before the crash too (the image simply has no tear yet).
+func (c *CrashStore) Surviving() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.inner.Load()
+}
+
+func (c *CrashStore) Append(rec []byte) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	c.appends++
+	if c.appends != c.plan.AtAppend {
+		return c.inner.Append(rec)
+	}
+	c.crashed = true
+	switch c.plan.Kind {
+	case CrashPreAppend:
+		// Nothing reached the store.
+	case CrashTorn:
+		// A strict prefix persists: at least one byte short, at least
+		// one byte written (a zero-byte tear is pre-append).
+		if len(rec) > 1 {
+			n := 1 + c.rng.Intn(len(rec)-1)
+			if err := c.inner.Append(rec[:n]); err != nil {
+				return err
+			}
+		}
+	case CrashPostAppend:
+		// Fully durable, then death: the append itself succeeded, so
+		// the record is committed even though the caller never learns
+		// it — exactly the ambiguity recovery has to resolve.
+		if err := c.inner.Append(rec); err != nil {
+			return err
+		}
+	case CrashBitFlip:
+		mut := append([]byte(nil), rec...)
+		bit := c.rng.Intn(len(mut) * 8)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if err := c.inner.Append(mut); err != nil {
+			return err
+		}
+	}
+	return ErrCrashed
+}
+
+func (c *CrashStore) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return c.inner.Sync()
+}
+
+func (c *CrashStore) Load() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return nil, ErrCrashed
+	}
+	return c.inner.Load()
+}
+
+func (c *CrashStore) Truncate(n int64) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return c.inner.Truncate(n)
+}
+
+func (c *CrashStore) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	return c.inner.Close()
+}

@@ -1,0 +1,198 @@
+package journal
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// SyncPolicy selects when a FileStore fsyncs.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: the journal is the commit
+	// point, so a daemon that must not lose a committed epoch to a
+	// power cut runs with this (the default).
+	SyncAlways SyncPolicy = iota
+	// SyncOnDemand fsyncs only on explicit Sync/Close calls (the
+	// control plane's drain path): committed epochs survive a process
+	// crash but a simultaneous power cut may drop the unsynced tail —
+	// which recovery then truncates like any torn write.
+	SyncOnDemand
+)
+
+// FileStore is the file-backed Store for daemons. Appends go straight
+// to the journal file; truncation (recovery cutting a torn tail)
+// rewrites the intact prefix to a temporary file in the same directory
+// and atomically renames it over the journal, so a crash during the
+// cut leaves either the old image or the new one, never a half-written
+// hybrid.
+type FileStore struct {
+	mu     sync.Mutex
+	f      *os.File
+	path   string
+	policy SyncPolicy
+}
+
+// OpenFile opens (or creates) a journal file. A new or empty file gets
+// the journal header; an existing one must start with it.
+func OpenFile(path string, policy SyncPolicy) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: stat %s: %w", path, err)
+	}
+	if st.Size() == 0 {
+		if _, err := f.Write(AppendHeader(nil)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: writing header to %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: syncing header of %s: %w", path, err)
+		}
+	} else {
+		hdr := make([]byte, HeaderSize)
+		if _, err := f.ReadAt(hdr, 0); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("journal: reading header of %s: %w", path, err)
+		}
+		if string(hdr[:len(fileMagic)]) != fileMagic {
+			f.Close()
+			return nil, fmt.Errorf("journal: %s is not a journal (magic %q)", path, hdr[:len(fileMagic)])
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: seeking %s: %w", path, err)
+	}
+	return &FileStore{f: f, path: path, policy: policy}, nil
+}
+
+func (s *FileStore) Append(rec []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("journal: append to closed store %s", s.path)
+	}
+	if _, err := s.f.Write(rec); err != nil {
+		return fmt.Errorf("journal: append to %s: %w", s.path, err)
+	}
+	if s.policy == SyncAlways {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync %s: %w", s.path, err)
+		}
+	}
+	return nil
+}
+
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("journal: sync of closed store %s", s.path)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("journal: sync %s: %w", s.path, err)
+	}
+	return nil
+}
+
+func (s *FileStore) Load() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil, fmt.Errorf("journal: load from closed store %s", s.path)
+	}
+	st, err := s.f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("journal: stat %s: %w", s.path, err)
+	}
+	buf := make([]byte, st.Size())
+	if _, err := s.f.ReadAt(buf, 0); err != nil && err != io.EOF {
+		return nil, fmt.Errorf("journal: read %s: %w", s.path, err)
+	}
+	return buf, nil
+}
+
+// Truncate cuts the journal back to n bytes via write-temp +
+// fsync + atomic rename (+ directory fsync), so a crash mid-cut cannot
+// leave a partially truncated file.
+func (s *FileStore) Truncate(n int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("journal: truncate of closed store %s", s.path)
+	}
+	st, err := s.f.Stat()
+	if err != nil {
+		return fmt.Errorf("journal: stat %s: %w", s.path, err)
+	}
+	if n < 0 || n > st.Size() {
+		return fmt.Errorf("journal: truncate offset %d out of range [0,%d]", n, st.Size())
+	}
+	if n == st.Size() {
+		return nil
+	}
+	keep := make([]byte, n)
+	if _, err := s.f.ReadAt(keep, 0); err != nil {
+		return fmt.Errorf("journal: read %s: %w", s.path, err)
+	}
+	tmpPath := s.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: create %s: %w", tmpPath, err)
+	}
+	if _, err := tmp.Write(keep); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: write %s: %w", tmpPath, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: sync %s: %w", tmpPath, err)
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("journal: rename %s: %w", tmpPath, err)
+	}
+	// The rename is only durable once the directory entry is; best
+	// effort on platforms where directories cannot be fsynced.
+	if dir, derr := os.Open(filepath.Dir(s.path)); derr == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	old := s.f
+	s.f = tmp
+	old.Close()
+	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("journal: seeking %s: %w", s.path, err)
+	}
+	return nil
+}
+
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Sync()
+	cerr := s.f.Close()
+	s.f = nil
+	if err != nil {
+		return fmt.Errorf("journal: sync %s: %w", s.path, err)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: close %s: %w", s.path, cerr)
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.journal")
+	st, err := OpenFile(path, SyncAlways)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	w := NewWriter(st)
+	r1, r2 := testRecord(t, 1), testRecord(t, 2)
+	if err := w.Append(r1); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Append(r2); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: the image must replay to both records.
+	st, err = OpenFile(path, SyncOnDemand)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st.Close()
+	rep, err := DecodeAll(mustLoad(t, st))
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(rep.Records) != 2 || rep.TailErr != nil {
+		t.Fatalf("replayed %d records (tail %v), want 2 clean", len(rep.Records), rep.TailErr)
+	}
+
+	// Appends after reopen land after the existing records.
+	if err := st.Append(mustEncode(t, testRecord(t, 3))); err != nil {
+		t.Fatalf("append after reopen: %v", err)
+	}
+	rep, err = DecodeAll(mustLoad(t, st))
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(rep.Records) != 3 || rep.Records[2].Version != 3 {
+		t.Fatalf("got %d records after reopen-append", len(rep.Records))
+	}
+}
+
+func TestFileStoreTruncateAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.journal")
+	st, err := OpenFile(path, SyncOnDemand)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer st.Close()
+	r1 := testRecord(t, 1)
+	img1 := appendRecords(t, r1)
+	if err := st.Append(mustEncode(t, r1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	// A torn half-record tail, as a crash would leave it.
+	torn := mustEncode(t, testRecord(t, 2))
+	if err := st.Append(torn[:len(torn)/2]); err != nil {
+		t.Fatalf("Append torn: %v", err)
+	}
+
+	if err := st.Truncate(int64(len(img1))); err != nil {
+		t.Fatalf("Truncate: %v", err)
+	}
+	got := mustLoad(t, st)
+	if !bytes.Equal(got, img1) {
+		t.Fatalf("post-truncate image is %d bytes, want %d", len(got), len(img1))
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("temp file left behind: %v", err)
+	}
+	// The store stays appendable through the renamed file.
+	if err := st.Append(mustEncode(t, testRecord(t, 2))); err != nil {
+		t.Fatalf("append after truncate: %v", err)
+	}
+	rep, err := DecodeAll(mustLoad(t, st))
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if len(rep.Records) != 2 || rep.TailErr != nil {
+		t.Fatalf("replayed %d records (tail %v) after truncate+append", len(rep.Records), rep.TailErr)
+	}
+	// And the on-disk file (not just the open handle) has the bytes.
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if !bytes.Equal(onDisk, mustLoad(t, st)) {
+		t.Fatal("on-disk image differs from the store's view")
+	}
+}
+
+func TestFileStoreTruncateNoopAtSize(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.journal")
+	st, err := OpenFile(path, SyncOnDemand)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	defer st.Close()
+	if err := st.Append(mustEncode(t, testRecord(t, 1))); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	before := mustLoad(t, st)
+	if err := st.Truncate(int64(len(before))); err != nil {
+		t.Fatalf("Truncate at size: %v", err)
+	}
+	if err := st.Truncate(int64(len(before) + 1)); err == nil {
+		t.Fatal("truncate past end accepted")
+	}
+	if !bytes.Equal(mustLoad(t, st), before) {
+		t.Fatal("no-op truncate changed the image")
+	}
+}
+
+func TestOpenFileRejectsForeign(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-a-journal")
+	if err := os.WriteFile(path, []byte("something else entirely"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenFile(path, SyncAlways); err == nil {
+		t.Fatal("foreign file accepted as journal")
+	}
+}
+
+func TestFileStoreClosedOps(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "epochs.journal")
+	st, err := OpenFile(path, SyncAlways)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := st.Append([]byte{1}); err == nil {
+		t.Fatal("append on closed store accepted")
+	}
+	if _, err := st.Load(); err == nil {
+		t.Fatal("load on closed store accepted")
+	}
+	if err := st.Sync(); err == nil {
+		t.Fatal("sync on closed store accepted")
+	}
+	if err := st.Truncate(0); err == nil {
+		t.Fatal("truncate on closed store accepted")
+	}
+}
+
+func mustEncode(t *testing.T, r *EpochRecord) []byte {
+	t.Helper()
+	b, err := AppendRecord(nil, r)
+	if err != nil {
+		t.Fatalf("AppendRecord: %v", err)
+	}
+	return b
+}

@@ -1,0 +1,160 @@
+package journal
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Store is the pluggable byte-level persistence under a journal: an
+// append-only log of framed records plus the recovery-side operations.
+// Implementations must make Append atomic at the record granularity
+// from the caller's perspective — either the whole record is accepted
+// or an error is returned — though what actually survives a crash is
+// the store's business (the crash-point tests drive exactly that
+// boundary through faults.CrashStore).
+type Store interface {
+	// Append appends one framed record (as produced by AppendRecord).
+	Append(rec []byte) error
+	// Sync makes previously appended bytes durable (fsync for files, a
+	// no-op for memory).
+	Sync() error
+	// Load returns the complete journal image for replay.
+	Load() ([]byte, error)
+	// Truncate drops every byte past offset n — recovery cuts a torn
+	// or corrupt tail back to the last intact record with it.
+	Truncate(n int64) error
+	// Close releases the store; a closed store refuses every operation.
+	Close() error
+}
+
+// MemStore is the in-memory Store used by simulations and crash-point
+// tests: the "disk" is a byte slice. Safe for concurrent use.
+type MemStore struct {
+	mu     sync.Mutex
+	buf    []byte
+	closed bool
+}
+
+// NewMemStore returns an empty in-memory store with the journal header
+// already written, ready for a Writer.
+func NewMemStore() *MemStore {
+	return &MemStore{buf: AppendHeader(nil)}
+}
+
+// NewMemStoreFrom returns an in-memory store seeded with an existing
+// journal image (a crash-test's surviving bytes).
+func NewMemStoreFrom(image []byte) *MemStore {
+	return &MemStore{buf: append([]byte(nil), image...)}
+}
+
+func (m *MemStore) Append(rec []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("journal: append to closed store")
+	}
+	m.buf = append(m.buf, rec...)
+	return nil
+}
+
+func (m *MemStore) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("journal: sync of closed store")
+	}
+	return nil
+}
+
+func (m *MemStore) Load() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("journal: load from closed store")
+	}
+	return append([]byte(nil), m.buf...), nil
+}
+
+func (m *MemStore) Truncate(n int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("journal: truncate of closed store")
+	}
+	if n < 0 || n > int64(len(m.buf)) {
+		return fmt.Errorf("journal: truncate offset %d out of range [0,%d]", n, len(m.buf))
+	}
+	m.buf = m.buf[:n]
+	return nil
+}
+
+func (m *MemStore) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return nil
+}
+
+// Len returns the current image size (tests assert on it).
+func (m *MemStore) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.buf)
+}
+
+// Writer frames epoch records onto a Store. It is safe for concurrent
+// use; the store sees records whole and in append order.
+type Writer struct {
+	mu      sync.Mutex
+	store   Store
+	scratch []byte
+	records int64
+}
+
+// NewWriter wraps a store. The store must already hold a valid journal
+// image (NewMemStore and OpenFile arrange the header).
+func NewWriter(store Store) *Writer {
+	return &Writer{store: store}
+}
+
+// Append journals one epoch record.
+func (w *Writer) Append(r *EpochRecord) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	buf, err := AppendRecord(w.scratch[:0], r)
+	if err != nil {
+		return err
+	}
+	w.scratch = buf[:0]
+	if err := w.store.Append(buf); err != nil {
+		return err
+	}
+	w.records++
+	return nil
+}
+
+// Sync forces durability of everything appended so far.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.store.Sync()
+}
+
+// Close syncs and closes the underlying store.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.store.Sync(); err != nil {
+		w.store.Close()
+		return err
+	}
+	return w.store.Close()
+}
+
+// Records returns the number of records appended through this writer
+// (not counting whatever the store already held).
+func (w *Writer) Records() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}

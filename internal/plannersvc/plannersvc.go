@@ -21,10 +21,13 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"tableau/internal/journal"
 	"tableau/internal/planner"
+	"tableau/internal/table"
 )
 
 // VMRequest is one vCPU in a planning request.
@@ -90,6 +93,13 @@ type Server struct {
 	breaker  atomic.Pointer[Breaker]
 	spec     atomic.Pointer[func() (hits, wasted int64)]
 
+	// jmu serializes the plan journal: appends take a sequence number
+	// and must reach the writer in that order.
+	jmu         sync.Mutex
+	journal     *journal.Writer
+	jseq        uint64
+	journalErrs atomic.Int64
+
 	// Logf receives server-side diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -110,8 +120,41 @@ func (s *Server) QueueDepth() int64 { return s.inflight.Load() }
 // StartDrain flips the server into draining mode: /plan answers 503 so
 // load balancers stop routing here, /healthz reports "draining" (also
 // 503), and requests already in flight run to completion. Call before
-// http.Server.Shutdown for a flap-free rollout.
-func (s *Server) StartDrain() { s.draining.Store(true) }
+// http.Server.Shutdown for a flap-free rollout. If a plan journal is
+// attached it is synced here, so every plan served before the drain
+// began is durable even if the process is killed inside the drain
+// window.
+func (s *Server) StartDrain() {
+	s.draining.Store(true)
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.journal != nil {
+		if err := s.journal.Sync(); err != nil {
+			s.logf("plannersvc: syncing plan journal on drain: %v", err)
+		}
+	}
+}
+
+// SetJournal attaches a durable plan journal: every successfully served
+// /plan response is appended as one epoch record (the request's VM
+// population plus the produced table and guarantees), giving operators
+// a replayable audit of every table this daemon ever handed out.
+// Journaling is best-effort for the request path — an append failure is
+// counted and logged, not surfaced to the client — and the journal is
+// synced when a drain begins. Set before mounting the handler.
+func (s *Server) SetJournal(w *journal.Writer) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	s.journal = w
+}
+
+// JournalRecords reports how many plan records this server appended
+// (0 with no journal attached).
+func (s *Server) JournalRecords() int64 {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	return int64(s.jseq)
+}
 
 // Draining reports whether StartDrain has been called.
 func (s *Server) Draining() bool { return s.draining.Load() }
@@ -161,10 +204,14 @@ type healthResponse struct {
 	SliceEvictions int64 `json:"slice_evictions"`
 	// SpecHits / SpecWasted mirror the registered controller's
 	// speculation counters (SetSpeculationStats); absent otherwise.
-	SpecHits     *int64 `json:"spec_hits,omitempty"`
-	SpecWasted   *int64 `json:"spec_wasted,omitempty"`
-	QueueDepth   int64  `json:"queue_depth"`
-	BreakerState string `json:"breaker_state,omitempty"`
+	SpecHits   *int64 `json:"spec_hits,omitempty"`
+	SpecWasted *int64 `json:"spec_wasted,omitempty"`
+	// JournalRecords / JournalErrors describe the attached plan journal
+	// (SetJournal); absent otherwise.
+	JournalRecords *int64 `json:"journal_records,omitempty"`
+	JournalErrors  *int64 `json:"journal_errors,omitempty"`
+	QueueDepth     int64  `json:"queue_depth"`
+	BreakerState   string `json:"breaker_state,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -189,6 +236,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		hits, wasted := (*fn)()
 		resp.SpecHits, resp.SpecWasted = &hits, &wasted
 	}
+	s.jmu.Lock()
+	if s.journal != nil {
+		records := int64(s.jseq)
+		errs := s.journalErrs.Load()
+		resp.JournalRecords, resp.JournalErrors = &records, &errs
+	}
+	s.jmu.Unlock()
 	if b := s.breaker.Load(); b != nil {
 		resp.BreakerState = b.State()
 	}
@@ -265,6 +319,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 			VCPU: g.VCPU, ServiceNS: g.Service, WindowNS: g.WindowLen, MaxBlackout: g.MaxBlackout,
 		})
 	}
+	s.journalPlan(req, res)
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		// The status line is already on the wire, so the client sees a
@@ -272,6 +327,46 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		// instead of failing silently.
 		s.logf("plannersvc: writing /plan response: %v", err)
 	}
+}
+
+// journalPlan appends one epoch record for a served plan: the
+// requested VM population as the slot snapshot and the produced table
+// in the journal's compact encoding. Failures are counted and logged —
+// the client already has its table; losing one audit record must not
+// fail the request.
+func (s *Server) journalPlan(req PlanRequest, res *planner.Result) {
+	s.jmu.Lock()
+	defer s.jmu.Unlock()
+	if s.journal == nil {
+		return
+	}
+	enc, err := res.Table.AppendEncodedCompact(nil)
+	if err != nil {
+		s.journalErrs.Add(1)
+		s.logf("plannersvc: encoding table for plan journal: %v", err)
+		return
+	}
+	rec := &journal.EpochRecord{
+		Version:    s.jseq + 1,
+		Guarantees: append([]table.Guarantee(nil), res.Guarantees...),
+		TableBytes: enc,
+	}
+	for _, vm := range req.VMs {
+		rec.Slots = append(rec.Slots, journal.SlotConfig{
+			Name:        vm.Name,
+			UtilNum:     vm.UtilNum,
+			UtilDen:     vm.UtilDen,
+			LatencyGoal: vm.LatencyGoalNS,
+			Capped:      vm.Capped,
+			Active:      true,
+		})
+	}
+	if err := s.journal.Append(rec); err != nil {
+		s.journalErrs.Add(1)
+		s.logf("plannersvc: appending plan journal record: %v", err)
+		return
+	}
+	s.jseq++
 }
 
 func (r PlanRequest) toPlannerInput() ([]planner.VCPUSpec, planner.Options, error) {

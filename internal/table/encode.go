@@ -2,6 +2,7 @@ package table
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -210,6 +211,12 @@ func Decode(r io.Reader) (*Table, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// DecodeBytes is Decode over an in-memory image — the shape the epoch
+// journal stores tables in.
+func DecodeBytes(b []byte) (*Table, error) {
+	return Decode(bytes.NewReader(b))
 }
 
 func minU32(v uint32, cap uint32) int {
