@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench benchdiff fuzz verify-short mutation-smoke churn-short recover-short ci
+.PHONY: build vet staticcheck test race bench benchdiff fuzz verify-short mutation-smoke churn-short recover-short fleet-short ci
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,7 @@ test:
 race:
 	$(GO) test -race ./internal/experiments ./internal/sim ./internal/planner \
 		./internal/dispatch ./internal/faults ./internal/plannersvc ./internal/vmm \
-		./internal/trace ./internal/core ./internal/journal
+		./internal/trace ./internal/core ./internal/journal ./internal/fleet
 
 # Short fuzz smoke over the untrusted-input surfaces (the binary table
 # and trace decoders) and the whole generate→run→oracle pipeline. The
@@ -75,12 +75,21 @@ recover-short:
 	$(GO) test ./internal/experiments -run 'TestCrashChaosDeterminism' -v
 	$(GO) test ./internal/core -run 'TestJournal|TestRecover|TestClose|TestAttachJournal|TestEmergencyRollback'
 
+# Fleet placement gate: the arbiter's unit + protocol tests, the
+# fleet CSV determinism check (byte-identical across -parallel
+# settings, zero oracle violations, nonzero conflict-retry counts),
+# and the cross-host continuity oracle soak under -short.
+fleet-short:
+	$(GO) test ./internal/fleet
+	$(GO) test -short ./internal/experiments -run 'TestFleetDeterminism' -v
+	$(GO) test -short ./internal/verify -run 'TestCheckFleet'
+
 # Full micro-benchmark pass over the hot-path packages.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
 		./internal/sim ./internal/planner ./internal/table ./internal/dispatch \
 		./internal/stats ./internal/netdev ./internal/periodic ./internal/trace \
-		./internal/experiments ./internal/core
+		./internal/experiments ./internal/core ./internal/fleet
 
 # Quick perf-regression check against the committed BENCH_*.json
 # snapshot. Timings on shared/small machines are noisy, so the gate
@@ -90,4 +99,4 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -count 1 -tolerance 40 -gate \
 		-out /tmp/tableau-benchdiff -against $$(ls BENCH_*.json | tail -1)
 
-ci: vet staticcheck build test race verify-short mutation-smoke churn-short recover-short fuzz benchdiff
+ci: vet staticcheck build test race verify-short mutation-smoke churn-short recover-short fleet-short fuzz benchdiff

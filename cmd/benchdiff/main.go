@@ -33,7 +33,7 @@ import (
 // defaultPkgs are the micro-benchmark packages: fast, stable timings.
 // The root-level figure benchmarks run whole simulations for seconds
 // each and belong to `go test -bench . .`, not the regression gate.
-const defaultPkgs = "./internal/sim,./internal/planner,./internal/table,./internal/dispatch,./internal/stats,./internal/netdev,./internal/periodic,./internal/trace,./internal/experiments,./internal/core"
+const defaultPkgs = "./internal/sim,./internal/planner,./internal/table,./internal/dispatch,./internal/stats,./internal/netdev,./internal/periodic,./internal/trace,./internal/experiments,./internal/core,./internal/fleet"
 
 func main() {
 	pkgs := flag.String("pkgs", defaultPkgs, "comma-separated packages to benchmark")

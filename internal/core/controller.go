@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"tableau/internal/journal"
 	"tableau/internal/planner"
@@ -213,6 +214,17 @@ type Controller struct {
 	specStats SpecStats
 	specHit   bool // last planOnceLocked was served speculatively
 	specWG    sync.WaitGroup
+
+	// specRounds counts entries into speculate(), including rounds that
+	// bail immediately on closed. The Close/Flush regression tests read
+	// it to prove no round starts after Close has returned.
+	specRounds atomic.Int64
+
+	// testHookPreKickoff, when set, runs between Flush's transactional
+	// body and its speculation-kickoff decision — the window the
+	// Close/Flush race regression test needs to land a Close in
+	// deterministically. Never set outside tests.
+	testHookPreKickoff func()
 
 	// closed is set by Close: in-flight speculation bails at the next
 	// candidate boundary, no new speculation starts, and Flush refuses
@@ -427,16 +439,35 @@ func (c *Controller) ControllerStats() Stats {
 // inspect Transition.Rejected.
 func (c *Controller) Flush() (*Transition, error) {
 	tr, err := c.flush()
-	if tr != nil && !tr.RolledBack && c.SpeculateNext > 0 {
-		if c.SpeculateAsync {
-			c.specWG.Add(1)
-			go func() {
-				defer c.specWG.Done()
-				c.speculate()
-			}()
-		} else {
+	if h := c.testHookPreKickoff; h != nil {
+		h()
+	}
+	if tr == nil || tr.RolledBack {
+		return tr, err
+	}
+	// The speculation-kickoff decision must happen under the mutex,
+	// gated on closed: Close sets closed and then returns from
+	// specWG.Wait, so an unguarded Add here could follow that Wait —
+	// the documented WaitGroup misuse — and start a speculation
+	// goroutine after Close already synced the journal. Holding mu also
+	// makes the SpeculateNext/SpeculateAsync reads consistent with the
+	// flush that just committed.
+	c.mu.Lock()
+	if c.closed || c.SpeculateNext <= 0 {
+		c.mu.Unlock()
+		return tr, err
+	}
+	async := c.SpeculateAsync
+	if async {
+		c.specWG.Add(1)
+		go func() {
+			defer c.specWG.Done()
 			c.speculate()
-		}
+		}()
+	}
+	c.mu.Unlock()
+	if !async {
+		c.speculate()
 	}
 	return tr, err
 }

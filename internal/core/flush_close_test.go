@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFlushSpeculationKickoffGatedOnClose is the regression test for the
+// Flush/Close race: Flush used to decide the speculation kickoff outside
+// the mutex, so a Close landing between the transactional body and the
+// kickoff could return (and sync the journal) before Flush called
+// specWG.Add — the documented WaitGroup misuse of adding after Wait has
+// returned — and a speculation round would start on a controller that
+// was already shut down. The test drops a Close into exactly that window
+// via the test hook and demands no speculation round starts after it.
+func TestFlushSpeculationKickoffGatedOnClose(t *testing.T) {
+	for _, async := range []bool{false, true} {
+		t.Run(fmt.Sprintf("async=%v", async), func(t *testing.T) {
+			_, _, ctrl, ids, _ := churnRig(t, 2, 2, 2)
+			ctrl.SpeculateNext = 2
+			ctrl.SpeculateAsync = async
+			ctrl.testHookPreKickoff = func() {
+				if err := ctrl.Close(); err != nil {
+					t.Errorf("Close: %v", err)
+				}
+			}
+			ctrl.Submit(Op{Kind: OpActivate, Slot: ids[2]})
+			if _, err := ctrl.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			ctrl.WaitSpeculation()
+			if got := ctrl.specRounds.Load(); got != 0 {
+				t.Fatalf("%d speculation round(s) started after Close returned, want 0", got)
+			}
+		})
+	}
+}
+
+// TestControllerCloseFlushSubmitRace hammers one controller with
+// concurrent Submit/Flush traffic racing a Close, with async speculation
+// armed — the -race stress for the kickoff-under-mutex fix. Whatever the
+// interleaving, Close must win cleanly: after it returns and
+// WaitSpeculation settles, no flush is accepted and the controller's
+// counters are quiescent.
+func TestControllerCloseFlushSubmitRace(t *testing.T) {
+	for round := 0; round < 25; round++ {
+		_, _, ctrl, ids, _ := churnRig(t, 2, 2, 4)
+		ctrl.SpeculateNext = 2
+		ctrl.SpeculateAsync = true
+
+		const goroutines = 6
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 10; i++ {
+					switch g % 3 {
+					case 0:
+						ctrl.Submit(Op{Kind: OpActivate, Slot: ids[2+(g+i)%4]})
+						_, _ = ctrl.Flush()
+					case 1:
+						ctrl.Submit(Op{Kind: OpDeactivate, Slot: ids[2+(g+i)%4]})
+						_, _ = ctrl.Flush()
+					case 2:
+						if i == 5 {
+							_ = ctrl.Close()
+						} else {
+							_, _ = ctrl.Flush()
+						}
+					}
+				}
+			}(g)
+		}
+		close(start)
+		wg.Wait()
+		if err := ctrl.Close(); err != nil {
+			t.Fatal(err)
+		}
+		ctrl.WaitSpeculation()
+		rounds := ctrl.specRounds.Load()
+		if _, err := ctrl.Flush(); err == nil {
+			t.Fatal("Flush accepted after Close")
+		}
+		// Quiescent: nothing may start speculation once Close has
+		// returned and the WaitGroup has settled.
+		if got := ctrl.specRounds.Load(); got != rounds {
+			t.Fatalf("speculation rounds moved %d -> %d after Close settled", rounds, got)
+		}
+	}
+}

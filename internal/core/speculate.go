@@ -33,6 +33,7 @@ type specCandidate struct {
 // and pre-plans the next candidates. Called after a successful Flush —
 // synchronously by default, on a goroutine with SpeculateAsync.
 func (c *Controller) speculate() {
+	c.specRounds.Add(1)
 	c.mu.Lock()
 	s := c.sys
 	s.mu.Lock()

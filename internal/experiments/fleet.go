@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tableau/internal/fleet"
+	"tableau/internal/planner"
+	"tableau/internal/verify"
+)
+
+// The fleet experiment drives the shared-state placement arbiter
+// (internal/fleet) through scripted churn storms: a fill wave placing
+// the whole population, churn storms that depart a seeded fraction and
+// replace it with fresh arrivals, and a surge of large VMs that pushes
+// the fleet to the admission edge — where cross-partition fallbacks
+// collide placers on the same hosts (optimistic-commit conflicts), the
+// hosts' authoritative admission checks refuse what advisory snapshot
+// headroom predicted would fit, rejected VMs shed-retry into the spare
+// pool, and the overflow tail exhausts its attempts. Every storm is a
+// CSV row; after each one the cross-host continuity oracle
+// (verify.CheckFleet) replays all host ledgers — oracle_violations
+// must be 0. Placement fan-out runs on the deterministic ForEach pool,
+// so the rows are byte-identical at any -parallel setting.
+
+// fleetParams sizes one fleet run.
+type fleetParams struct {
+	hosts, cores, slots int
+	spares, placers     int
+	maxAttempts         int
+	vms                 int // fill-wave population
+	churnStorms         int
+	churnPct            int // % of live VMs replaced per churn storm
+	surge               int // surge arrivals (3/4-core VMs)
+	seed                int64
+}
+
+func fleetQuickParams() fleetParams {
+	return fleetParams{
+		hosts: 1000, cores: 8, slots: 20,
+		spares: 40, placers: 8, maxAttempts: 4,
+		vms: 10_000, churnStorms: 4, churnPct: 8, surge: 5_000,
+		seed: 42,
+	}
+}
+
+// fleetShortParams is the CI-sized variant the -short tests run: same
+// code paths (fill, churn, surge past the admission edge), two orders
+// of magnitude fewer flushes.
+func fleetShortParams() fleetParams {
+	return fleetParams{
+		hosts: 48, cores: 8, slots: 20,
+		spares: 4, placers: 6, maxAttempts: 4,
+		vms: 480, churnStorms: 2, churnPct: 10, surge: 280,
+		seed: 42,
+	}
+}
+
+// fleetUtil draws a guest reservation from the fill/churn menu
+// (weights sum to 100): mostly quarter- and half-core VMs with a
+// big-VM tail, averaging ≈0.44 cores so the fill wave lands the fleet
+// near 60% reserved.
+func fleetUtil(rng *rand.Rand) planner.Util {
+	switch d := rng.Intn(100); {
+	case d < 5:
+		return planner.Util{Num: 1, Den: 8}
+	case d < 40:
+		return planner.Util{Num: 1, Den: 4}
+	case d < 80:
+		return planner.Util{Num: 1, Den: 2}
+	default:
+		return planner.Util{Num: 3, Den: 4}
+	}
+}
+
+// Fleet runs the fleet placement experiment. Full mode doubles the
+// churn storms and deepens the surge overflow.
+func Fleet(mode Mode) (*Result, error) {
+	p := fleetQuickParams()
+	if mode == Full {
+		p.churnStorms = 8
+		p.surge += 1_000
+	}
+	return runFleet(p)
+}
+
+func runFleet(p fleetParams) (*Result, error) {
+	cache := planner.NewCache(8192)
+	arb, err := fleet.New(fleet.Config{
+		Hosts: p.hosts, Cores: p.cores, SlotsPerHost: p.slots,
+		Placers: p.placers, MaxAttempts: p.maxAttempts, SpareHosts: p.spares,
+		Cache: cache, ForEach: ForEach,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer arb.Close()
+
+	r := &Result{
+		Name:  "fleet",
+		Title: fmt.Sprintf("Fleet placement arbiter: %d hosts x %d VMs, optimistic snapshot/commit/retry under churn storms", p.hosts, p.vms),
+		Header: []string{
+			"storm", "arrivals", "departures",
+			"placed", "departed", "conflicts", "retries",
+			"admission_rejects", "slot_rejects", "spare_placements", "unplaced",
+			"transitions", "planner_calls", "oracle_violations",
+		},
+		Note: "Snapshot headroom is advisory; each host's admission check is the authoritative gate. conflicts = commits lost to a stale host version (the loser refreshes and retries, bounded); the surge deliberately overflows the fleet so rejects, spare placements and unplaced VMs are exercised. oracle_violations replays every host ledger through verify.CheckFleet cumulatively after the storm and must be 0.",
+	}
+
+	prevTotals := arb.ControllerTotals()
+	row := func(storm string, arrivals, departures int, bs fleet.Stats) {
+		totals := arb.ControllerTotals()
+		viol := len(verify.CheckFleet(arb))
+		r.Rows = append(r.Rows, []string{
+			storm, itoa(int64(arrivals)), itoa(int64(departures)),
+			itoa(bs.Placed), itoa(bs.Departed), itoa(bs.Conflicts), itoa(bs.Retries),
+			itoa(bs.AdmissionRejects), itoa(bs.SlotRejects), itoa(bs.SparePlacements), itoa(bs.Unplaced),
+			itoa(totals.Transitions - prevTotals.Transitions),
+			itoa(totals.PlannerCalls - prevTotals.PlannerCalls),
+			itoa(int64(viol)),
+		})
+		prevTotals = totals
+	}
+
+	rng := rand.New(rand.NewSource(p.seed))
+	mkVMs := func(prefix string, n int, u *planner.Util) []fleet.VM {
+		vms := make([]fleet.VM, n)
+		for i := range vms {
+			util := fleetUtil(rng)
+			if u != nil {
+				util = *u
+			}
+			vms[i] = fleet.VM{
+				Name:        fmt.Sprintf("%s%d", prefix, i),
+				Util:        util,
+				LatencyGoal: 20_000_000,
+			}
+		}
+		return vms
+	}
+
+	bs, err := arb.PlaceBatch(mkVMs("v", p.vms, nil))
+	if err != nil {
+		return nil, err
+	}
+	row("fill", p.vms, 0, bs)
+
+	for k := 1; k <= p.churnStorms; k++ {
+		live := arb.PlacedNames()
+		n := len(live) * p.churnPct / 100
+		perm := rng.Perm(len(live))
+		departs := make([]string, n)
+		for i := 0; i < n; i++ {
+			departs[i] = live[perm[i]]
+		}
+		db, err := arb.DepartBatch(departs)
+		if err != nil {
+			return nil, err
+		}
+		pb, err := arb.PlaceBatch(mkVMs(fmt.Sprintf("c%d-", k), n, nil))
+		if err != nil {
+			return nil, err
+		}
+		db.Placed += pb.Placed
+		db.Conflicts += pb.Conflicts
+		db.Retries += pb.Retries
+		db.AdmissionRejects += pb.AdmissionRejects
+		db.SlotRejects += pb.SlotRejects
+		db.SparePlacements += pb.SparePlacements
+		db.Unplaced += pb.Unplaced
+		row(fmt.Sprintf("churn%d", k), n, n, db)
+	}
+
+	big := planner.Util{Num: 3, Den: 4}
+	bs, err = arb.PlaceBatch(mkVMs("g", p.surge, &big))
+	if err != nil {
+		return nil, err
+	}
+	row("surge", p.surge, 0, bs)
+	return r, nil
+}

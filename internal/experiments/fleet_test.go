@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"testing"
+)
+
+func csvBytes(t *testing.T, r *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write(r.Header); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteAll(r.Rows); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func fleetColumn(t *testing.T, r *Result, name string) []int64 {
+	t.Helper()
+	col := -1
+	for i, h := range r.Header {
+		if h == name {
+			col = i
+		}
+	}
+	if col < 0 {
+		t.Fatalf("fleet result has no %q column", name)
+	}
+	out := make([]int64, len(r.Rows))
+	for i, row := range r.Rows {
+		v, err := strconv.ParseInt(row[col], 10, 64)
+		if err != nil {
+			t.Fatalf("row %d %s = %q: %v", i, name, row[col], err)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// TestFleetDeterminism runs the fleet churn-storm experiment at
+// -parallel 1 and -parallel 8 and demands byte-identical CSV: the
+// placement rounds freeze snapshots and aggregate in deterministic
+// order, so worker count must not leak into any counter. It also
+// gates the experiment's claims: zero oracle violations after every
+// storm, and nonzero conflict-retry and admission-reject counts (the
+// optimistic protocol's contention paths really ran). -short runs the
+// CI-sized fleet; the full test runs the real 1000-host x 10k-VM one.
+func TestFleetDeterminism(t *testing.T) {
+	p := fleetQuickParams()
+	if testing.Short() {
+		p = fleetShortParams()
+	}
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	run := func(par int) *Result {
+		SetParallelism(par)
+		r, err := runFleet(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1 := run(1)
+	r8 := run(8)
+	b1, b8 := csvBytes(t, r1), csvBytes(t, r8)
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("fleet CSV differs between -parallel 1 and 8:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", b1, b8)
+	}
+
+	for _, v := range fleetColumn(t, r1, "oracle_violations") {
+		if v != 0 {
+			t.Fatalf("fleet run has oracle violations:\n%s", b1)
+		}
+	}
+	sum := func(name string) (total int64) {
+		for _, v := range fleetColumn(t, r1, name) {
+			total += v
+		}
+		return
+	}
+	if sum("placed") == 0 || sum("departed") == 0 {
+		t.Fatalf("fleet storm placed/departed nothing:\n%s", b1)
+	}
+	if sum("conflicts") == 0 || sum("retries") == 0 {
+		t.Fatalf("fleet storm exercised no optimistic-commit conflicts:\n%s", b1)
+	}
+	if sum("admission_rejects") == 0 {
+		t.Fatalf("fleet storm never hit the authoritative admission gate:\n%s", b1)
+	}
+}

@@ -1,0 +1,626 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"tableau/internal/core"
+	"tableau/internal/planner"
+)
+
+// Config sizes the fleet.
+type Config struct {
+	// Hosts is the number of simulated hosts; Cores the guest cores per
+	// host; SlotsPerHost the VM slots per host (slot 0 is the resident
+	// system VM). SlotsPerHost defaults to 2*Cores+4.
+	Hosts, Cores, SlotsPerHost int
+	// Placers is the number of logical placer partitions arrivals are
+	// hashed across (default 8, clamped to Hosts). Each placer prefers
+	// hosts of its home partition (host%Placers == placer), so same-host
+	// contention is rare but real on the cross-partition fallback.
+	Placers int
+	// MaxAttempts bounds placement attempts per VM, conflicts and
+	// rejects combined (default 4).
+	MaxAttempts int
+	// SpareHosts reserves that many hosts at the tail of the id space
+	// as a spare pool: placers only consider them for VMs that have
+	// already been rejected somewhere (the fleet-level shed-retry).
+	SpareHosts int
+	// Cache, when set, is shared by every host's planner — the paper's
+	// central table cache at fleet scale.
+	Cache *planner.Cache
+	// ForEach, when set, runs fn(i) for i in [0,n) with slot-indexed
+	// determinism (experiments.ForEach); nil runs serially. The arbiter
+	// only relies on per-cell isolation, never on execution order, so
+	// any such runner keeps batch placement deterministic.
+	ForEach func(n int, fn func(i int) error) error
+}
+
+func (c *Config) setDefaults() error {
+	if c.Hosts <= 0 || c.Cores <= 0 {
+		return fmt.Errorf("fleet: config needs Hosts and Cores >= 1, got %d/%d", c.Hosts, c.Cores)
+	}
+	if c.SlotsPerHost == 0 {
+		c.SlotsPerHost = 2*c.Cores + 4
+	}
+	if c.Placers <= 0 {
+		c.Placers = 8
+	}
+	if c.Placers > c.Hosts {
+		c.Placers = c.Hosts
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.SpareHosts < 0 || c.SpareHosts >= c.Hosts {
+		return fmt.Errorf("fleet: SpareHosts %d out of range for %d hosts", c.SpareHosts, c.Hosts)
+	}
+	return nil
+}
+
+// Arbiter is the fleet's shared-state placement layer: N hosts, a
+// registry of which host holds which VM, and the optimistic
+// snapshot/commit/retry protocol placers run against the hosts.
+type Arbiter struct {
+	cfg     Config
+	hosts   []*Host
+	seqCtr  atomic.Uint64
+
+	mu       sync.Mutex
+	vmHost   map[string]int
+	order    []string // live VM names, deterministic under deterministic traffic
+	orderPos map[string]int
+	stats    Stats
+
+	// UnsafeDoublePlace is a mutation-smoke defect switch: each
+	// PlaceBatch also commits its first placed VM to a second host
+	// behind the registry's back. The cross-host continuity oracle must
+	// catch the VM live on two hosts. Never set outside tests.
+	UnsafeDoublePlace bool
+}
+
+// New builds the fleet: Hosts hosts, each planned and wrapped in its
+// own Controller (fanned out through Config.ForEach — with a shared
+// cache the first host's initial plan serves all of them).
+func New(cfg Config) (*Arbiter, error) {
+	if err := cfg.setDefaults(); err != nil {
+		return nil, err
+	}
+	a := &Arbiter{
+		cfg:      cfg,
+		hosts:    make([]*Host, cfg.Hosts),
+		vmHost:   make(map[string]int),
+		orderPos: make(map[string]int),
+	}
+	err := a.forEach(cfg.Hosts, func(i int) error {
+		h, err := newHost(i, cfg.Cores, cfg.SlotsPerHost, cfg.Cache, a.nextSeq)
+		if err != nil {
+			return err
+		}
+		a.hosts[i] = h
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+func (a *Arbiter) nextSeq() uint64 { return a.seqCtr.Add(1) }
+
+func (a *Arbiter) forEach(n int, fn func(i int) error) error {
+	if a.cfg.ForEach != nil {
+		return a.cfg.ForEach(n, fn)
+	}
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// regularHosts returns the number of non-spare hosts.
+func (a *Arbiter) regularHosts() int { return a.cfg.Hosts - a.cfg.SpareHosts }
+
+// Hosts returns the fleet's hosts in id order.
+func (a *Arbiter) Hosts() []*Host { return append([]*Host(nil), a.hosts...) }
+
+// Stats returns the cumulative placement counters.
+func (a *Arbiter) Stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.stats
+}
+
+// Assignments returns a copy of the live VM -> host registry.
+func (a *Arbiter) Assignments() map[string]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[string]int, len(a.vmHost))
+	for k, v := range a.vmHost {
+		out[k] = v
+	}
+	return out
+}
+
+// PlacedNames returns the live VM names in a deterministic order (the
+// registry's insertion order with swap-removals — stable across runs
+// for the same deterministic op sequence).
+func (a *Arbiter) PlacedNames() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.order...)
+}
+
+// ControllerTotals sums the hosts' controller counters.
+func (a *Arbiter) ControllerTotals() core.Stats {
+	var t core.Stats
+	for _, h := range a.hosts {
+		s := h.ControllerStats()
+		t.Flushes += s.Flushes
+		t.Transitions += s.Transitions
+		t.OpsCoalesced += s.OpsCoalesced
+		t.Rejections += s.Rejections
+		t.Rollbacks += s.Rollbacks
+		t.PlannerCalls += s.PlannerCalls
+	}
+	return t
+}
+
+// Close shuts every host down.
+func (a *Arbiter) Close() error {
+	var first error
+	for _, h := range a.hosts {
+		if err := h.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (a *Arbiter) snapshotAll() []Snapshot {
+	snaps := make([]Snapshot, len(a.hosts))
+	for i, h := range a.hosts {
+		snaps[i] = h.Snapshot()
+	}
+	return snaps
+}
+
+// hostView is a placer's private, virtually-decremented copy of the
+// advisory headroom.
+type hostView struct {
+	freeSlots int
+	freePPM   int64
+}
+
+func viewsOf(snaps []Snapshot) []hostView {
+	views := make([]hostView, len(snaps))
+	for i, s := range snaps {
+		views[i] = hostView{freeSlots: s.FreeSlots, freePPM: s.FreePPM}
+	}
+	return views
+}
+
+// pend is one VM still looking for a host.
+type pend struct {
+	vm       VM
+	attempts int
+	spareOK  bool // rejected somewhere: eligible for the spare pool
+	banned   map[int]bool
+}
+
+func (p *pend) ban(host int) {
+	if p.banned == nil {
+		p.banned = make(map[int]bool)
+	}
+	p.banned[host] = true
+	p.spareOK = true
+}
+
+// pickHost chooses a target host from the placer's view, worst-fit
+// (most free reserved headroom, ties to the lowest id) so load spreads:
+//  1. home-partition hosts the headroom says fit,
+//  2. any regular host that fits (the cross-partition fallback — where
+//     placers meet and conflicts happen),
+//  3. the spare pool, for VMs already rejected somewhere,
+//  4. the pressure valve: the emptiest unbanned host even though the
+//     advisory headroom says it won't fit — the host's admission check
+//     is the authoritative gate, and near-full fleets must probe it
+//     rather than give up on an estimate.
+//
+// Returns -1 when no unbanned host has a free slot.
+func (a *Arbiter) pickHost(views []hostView, pd *pend, placer int) int {
+	need := pd.vm.ppm()
+	nReg := a.regularHosts()
+	pick := func(lo, hi int, homeOnly, mustFit bool) int {
+		best, bestFree := -1, int64(-1)
+		for h := lo; h < hi; h++ {
+			v := &views[h]
+			if v.freeSlots <= 0 || pd.banned[h] {
+				continue
+			}
+			if homeOnly && h%a.cfg.Placers != placer {
+				continue
+			}
+			if mustFit && v.freePPM < need {
+				continue
+			}
+			if v.freePPM > bestFree {
+				best, bestFree = h, v.freePPM
+			}
+		}
+		return best
+	}
+	if h := pick(0, nReg, true, true); h >= 0 {
+		return h
+	}
+	if h := pick(0, nReg, false, true); h >= 0 {
+		return h
+	}
+	if pd.spareOK {
+		if h := pick(nReg, len(views), false, true); h >= 0 {
+			return h
+		}
+	}
+	if h := pick(0, nReg, false, false); h >= 0 {
+		return h
+	}
+	if pd.spareOK {
+		if h := pick(nReg, len(views), false, false); h >= 0 {
+			return h
+		}
+	}
+	return -1
+}
+
+// PlaceBatch places a batch of VMs through the optimistic protocol,
+// deterministically at any parallelism. Each round freezes one
+// snapshot of every host, partitions the still-unplaced VMs across the
+// placers (fanned out via Config.ForEach), and lets every placer pick
+// targets against its own virtually-decremented view; then the chosen
+// placements commit per host, placer-ordered. The first committer on a
+// host wins; later placers' batches named the round-start version, so
+// they lose with ErrConflict and retry next round against a fresh
+// snapshot — the same protocol concurrent placers run, with the race
+// made reproducible. Rejected VMs ban the host, gain spare-pool
+// eligibility, and retry; MaxAttempts bounds every retry path.
+func (a *Arbiter) PlaceBatch(vms []VM) (Stats, error) {
+	work := make([]*pend, len(vms))
+	for i, vm := range vms {
+		work[i] = &pend{vm: vm}
+	}
+	var bs Stats
+	var firstPlaced *pend
+	firstHost := -1
+	for len(work) > 0 {
+		snaps := a.snapshotAll()
+		base := viewsOf(snaps)
+
+		parts := make([][]*pend, a.cfg.Placers)
+		for _, pd := range work {
+			p := partition(pd.vm.Name, a.cfg.Placers)
+			parts[p] = append(parts[p], pd)
+		}
+		type decision struct {
+			pd   *pend
+			host int
+		}
+		decisions := make([][]decision, a.cfg.Placers)
+		_ = a.forEach(a.cfg.Placers, func(p int) error {
+			view := append([]hostView(nil), base...)
+			for _, pd := range parts[p] {
+				h := a.pickHost(view, pd, p)
+				decisions[p] = append(decisions[p], decision{pd, h})
+				if h >= 0 {
+					view[h].freeSlots--
+					view[h].freePPM -= pd.vm.ppm()
+				}
+			}
+			return nil
+		})
+
+		// Group decisions into per-(host, placer) commit batches. The
+		// outer placer loop ascends, so each host's batch list is
+		// placer-ordered — the deterministic stand-in for arrival order.
+		type hostBatch struct {
+			pends    []*pend
+			result   CommitResult
+			conflict bool
+			err      error
+		}
+		byHost := make([][]*hostBatch, len(a.hosts))
+		var touched []int
+		var noHost []*pend
+		for p := 0; p < a.cfg.Placers; p++ {
+			batchOf := make(map[int]*hostBatch)
+			for _, d := range decisions[p] {
+				if d.host < 0 {
+					noHost = append(noHost, d.pd)
+					continue
+				}
+				b := batchOf[d.host]
+				if b == nil {
+					b = &hostBatch{}
+					batchOf[d.host] = b
+					if len(byHost[d.host]) == 0 {
+						touched = append(touched, d.host)
+					}
+					byHost[d.host] = append(byHost[d.host], b)
+				}
+				b.pends = append(b.pends, d.pd)
+			}
+		}
+
+		_ = a.forEach(len(touched), func(i int) error {
+			h := touched[i]
+			for _, b := range byHost[h] {
+				batch := make([]VM, len(b.pends))
+				for j, pd := range b.pends {
+					batch[j] = pd.vm
+				}
+				res, err := a.hosts[h].CommitPlacements(snaps[h].Version, batch)
+				switch {
+				case errors.Is(err, ErrConflict):
+					b.conflict = true
+				case err != nil:
+					b.err = err
+				default:
+					b.result = res
+				}
+			}
+			return nil
+		})
+
+		// Aggregate in deterministic order: hosts ascending, batches
+		// placer-ordered, pends in decision order.
+		var next []*pend
+		retry := func(pd *pend) {
+			pd.attempts++
+			if pd.attempts < a.cfg.MaxAttempts {
+				bs.Retries++
+				next = append(next, pd)
+			} else {
+				bs.Unplaced++
+			}
+		}
+		a.mu.Lock()
+		for h := range byHost {
+			for _, b := range byHost[h] {
+				if b.err != nil {
+					a.mu.Unlock()
+					return bs, b.err
+				}
+				if b.conflict {
+					for _, pd := range b.pends {
+						bs.Conflicts++
+						retry(pd)
+					}
+					continue
+				}
+				placed := make(map[string]bool, len(b.result.Placed))
+				for _, name := range b.result.Placed {
+					placed[name] = true
+				}
+				rejects := make(map[string]Reject, len(b.result.Rejects))
+				for _, rj := range b.result.Rejects {
+					rejects[rj.VM.Name] = rj
+				}
+				for _, pd := range b.pends {
+					if placed[pd.vm.Name] {
+						bs.Placed++
+						if h >= a.regularHosts() {
+							bs.SparePlacements++
+						}
+						a.recordPlacedLocked(pd.vm.Name, h)
+						if firstPlaced == nil {
+							firstPlaced, firstHost = pd, h
+						}
+						continue
+					}
+					if rejects[pd.vm.Name].NoSlot {
+						bs.SlotRejects++
+					} else {
+						bs.AdmissionRejects++
+					}
+					pd.ban(h)
+					retry(pd)
+				}
+			}
+		}
+		a.mu.Unlock()
+		// VMs no unbanned host could even hold a slot for are terminal.
+		bs.Unplaced += int64(len(noHost))
+		work = next
+	}
+	a.mu.Lock()
+	a.stats.add(bs)
+	a.mu.Unlock()
+	if a.UnsafeDoublePlace && firstPlaced != nil {
+		a.doublePlace(firstPlaced.vm, firstHost)
+	}
+	return bs, nil
+}
+
+// doublePlace implements the UnsafeDoublePlace defect: commit vm to a
+// second host without telling the registry.
+func (a *Arbiter) doublePlace(vm VM, not int) {
+	for h := range a.hosts {
+		if h == not {
+			continue
+		}
+		snap := a.hosts[h].Snapshot()
+		if snap.FreeSlots == 0 {
+			continue
+		}
+		if res, err := a.hosts[h].CommitPlacements(snap.Version, []VM{vm}); err == nil && len(res.Placed) == 1 {
+			return
+		}
+	}
+}
+
+// DepartBatch tears the named VMs down on their owning hosts,
+// deterministically at any parallelism: departures group by owner and
+// each host's group commits with a refresh-on-conflict loop (conflicts
+// cannot occur from DepartBatch itself — one committer per host — but
+// the loop keeps the protocol uniform). Every name must be live.
+func (a *Arbiter) DepartBatch(names []string) (Stats, error) {
+	var bs Stats
+	a.mu.Lock()
+	byHost := make(map[int][]string)
+	var touched []int
+	for _, name := range names {
+		h, ok := a.vmHost[name]
+		if !ok {
+			a.mu.Unlock()
+			return bs, fmt.Errorf("fleet: departure of unknown VM %q", name)
+		}
+		if len(byHost[h]) == 0 {
+			touched = append(touched, h)
+		}
+		byHost[h] = append(byHost[h], name)
+	}
+	a.mu.Unlock()
+
+	conflicts := make([]int64, len(touched))
+	err := a.forEach(len(touched), func(i int) error {
+		h := touched[i]
+		for attempt := 0; ; attempt++ {
+			snap := a.hosts[h].Snapshot()
+			_, err := a.hosts[h].CommitDepartures(snap.Version, byHost[h])
+			if errors.Is(err, ErrConflict) && attempt < 8 {
+				conflicts[i]++
+				continue
+			}
+			return err
+		}
+	})
+	if err != nil {
+		return bs, err
+	}
+	a.mu.Lock()
+	for i, h := range touched {
+		bs.Conflicts += conflicts[i]
+		bs.Retries += conflicts[i]
+		for _, name := range byHost[h] {
+			a.removePlacedLocked(name)
+			bs.Departed++
+		}
+	}
+	a.stats.add(bs)
+	a.mu.Unlock()
+	return bs, nil
+}
+
+// Place runs one VM through the live optimistic protocol: snapshot,
+// pick, commit, and on conflict or reject refresh and retry, up to
+// MaxAttempts. Unlike PlaceBatch this races genuinely against other
+// goroutines — it is the arbiter's concurrent API (and what the -race
+// stress tests hammer). Returns the placed host.
+func (a *Arbiter) Place(vm VM) (int, error) {
+	pd := &pend{vm: vm}
+	p := partition(vm.Name, a.cfg.Placers)
+	var bs Stats
+	defer func() {
+		a.mu.Lock()
+		a.stats.add(bs)
+		a.mu.Unlock()
+	}()
+	for pd.attempts < a.cfg.MaxAttempts {
+		snaps := a.snapshotAll()
+		h := a.pickHost(viewsOf(snaps), pd, p)
+		if h < 0 {
+			break
+		}
+		res, err := a.hosts[h].CommitPlacements(snaps[h].Version, []VM{vm})
+		if errors.Is(err, ErrConflict) {
+			bs.Conflicts++
+			pd.attempts++
+			if pd.attempts < a.cfg.MaxAttempts {
+				bs.Retries++
+			}
+			continue
+		}
+		if err != nil {
+			return -1, err
+		}
+		if len(res.Placed) == 1 {
+			bs.Placed++
+			if h >= a.regularHosts() {
+				bs.SparePlacements++
+			}
+			a.mu.Lock()
+			a.recordPlacedLocked(vm.Name, h)
+			a.mu.Unlock()
+			return h, nil
+		}
+		if res.Rejects[0].NoSlot {
+			bs.SlotRejects++
+		} else {
+			bs.AdmissionRejects++
+		}
+		pd.ban(h)
+		pd.attempts++
+		if pd.attempts < a.cfg.MaxAttempts {
+			bs.Retries++
+		}
+	}
+	bs.Unplaced++
+	return -1, ErrUnplaced
+}
+
+// Depart tears one VM down through the live protocol, retrying commits
+// that lose to concurrent placements on the same host.
+func (a *Arbiter) Depart(name string) error {
+	a.mu.Lock()
+	h, ok := a.vmHost[name]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("fleet: departure of unknown VM %q", name)
+	}
+	for attempt := 0; ; attempt++ {
+		snap := a.hosts[h].Snapshot()
+		_, err := a.hosts[h].CommitDepartures(snap.Version, []string{name})
+		if errors.Is(err, ErrConflict) {
+			if attempt >= 64 {
+				return fmt.Errorf("fleet: departure of %q starved by conflicts", name)
+			}
+			a.mu.Lock()
+			a.stats.Conflicts++
+			a.stats.Retries++
+			a.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		break
+	}
+	a.mu.Lock()
+	a.removePlacedLocked(name)
+	a.stats.Departed++
+	a.mu.Unlock()
+	return nil
+}
+
+func (a *Arbiter) recordPlacedLocked(name string, host int) {
+	a.vmHost[name] = host
+	a.orderPos[name] = len(a.order)
+	a.order = append(a.order, name)
+}
+
+func (a *Arbiter) removePlacedLocked(name string) {
+	delete(a.vmHost, name)
+	pos, ok := a.orderPos[name]
+	if !ok {
+		return
+	}
+	last := len(a.order) - 1
+	moved := a.order[last]
+	a.order[pos] = moved
+	a.orderPos[moved] = pos
+	a.order = a.order[:last]
+	delete(a.orderPos, name)
+}

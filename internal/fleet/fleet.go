@@ -1,0 +1,134 @@
+// Package fleet is the cluster layer above the single-host control
+// plane: a shared-state placement arbiter that assigns incoming VMs to
+// one of N simulated Tableau hosts, each running its own planner and
+// core.Controller.
+//
+// The concurrency model is optimistic, in the style of shared-state
+// cluster schedulers: placers work from versioned per-host snapshots
+// (the version is the host's committed Epoch.Version), decide a target
+// host from the snapshot's advisory headroom, and try to commit by
+// submitting the placement batch to the target host's Controller and
+// flushing it. The host checks the expected version under its lock —
+// a concurrent commit that raced on the same host finds the version
+// moved, loses with ErrConflict, refreshes its snapshot, and retries
+// (bounded by Config.MaxAttempts, with conflict counters).
+//
+// Snapshot headroom is advisory; the host's admission check (the
+// planner's exact utilization test inside Controller.Flush) is the
+// authoritative gate. A placement the snapshot thought would fit can
+// still be rejected at the host, in which case the placer bans that
+// host for the VM, becomes eligible for the spare-host pool, and
+// retries elsewhere — the shed-retry path of the fleet.
+//
+// Arrivals are hash-partitioned across P placers by VM name, and each
+// placer prefers hosts of its home partition (host%P == placer), so
+// same-host contention is rare but exercised: the cross-partition
+// fallback and the spare pool are exactly where two placers meet on
+// one host and one of them must retry.
+package fleet
+
+import (
+	"errors"
+	"hash/fnv"
+
+	"tableau/internal/core"
+	"tableau/internal/planner"
+)
+
+// VM is one guest VM a placer must find a host for. Fleet VMs are
+// single-vCPU and capped (reservation-bound), matching the paper's
+// high-density dark-slice model: the reservation is the contract, so
+// the fleet's headroom arithmetic composes across hosts.
+type VM struct {
+	// Name identifies the VM fleet-wide. Placement is idempotent per
+	// name: a VM may be live on at most one host at a time.
+	Name string
+	// Util is the reserved utilization in (0, 1].
+	Util planner.Util
+	// LatencyGoal is the maximum scheduling latency L in ns.
+	LatencyGoal int64
+}
+
+// ppm returns the VM's reserved utilization in parts-per-million of
+// one core — the unit of the fleet's headroom arithmetic.
+func (v VM) ppm() int64 {
+	if v.Util.Den <= 0 {
+		return 0
+	}
+	return v.Util.Num * 1_000_000 / v.Util.Den
+}
+
+// Snapshot is one placer's view of a host: the committed epoch version
+// plus advisory headroom. A commit against the host names the version
+// it read; if the host has moved on, the commit loses with ErrConflict.
+type Snapshot struct {
+	Host    int
+	Version uint64
+	// FreeSlots is the number of unoccupied VM slots.
+	FreeSlots int
+	// FreePPM is the unreserved utilization in ppm of a core, summed
+	// over the host's cores. Advisory: the host's admission check is
+	// the authoritative gate.
+	FreePPM int64
+}
+
+// ErrConflict reports that a commit named a stale snapshot version:
+// another placer committed to the host first. The loser refreshes and
+// retries.
+var ErrConflict = errors.New("fleet: stale snapshot: host epoch moved")
+
+// ErrUnplaced reports that a VM exhausted its placement attempts (or no
+// host had a free slot at all).
+var ErrUnplaced = errors.New("fleet: no host could place the VM")
+
+// Stats are the arbiter's cumulative placement counters.
+type Stats struct {
+	// Placed counts successful placements; Departed counts completed
+	// departures.
+	Placed, Departed int64
+	// Conflicts counts commits lost to a stale snapshot version;
+	// Retries counts VMs re-queued for another attempt (after a
+	// conflict or a reject).
+	Conflicts, Retries int64
+	// AdmissionRejects counts placements the target host's admission
+	// check refused; SlotRejects counts placements refused for slot
+	// scarcity before admission ran.
+	AdmissionRejects, SlotRejects int64
+	// SparePlacements counts placements that landed on the reserved
+	// spare-host pool; Unplaced counts VMs that exhausted MaxAttempts.
+	SparePlacements, Unplaced int64
+}
+
+// add accumulates o into s.
+func (s *Stats) add(o Stats) {
+	s.Placed += o.Placed
+	s.Departed += o.Departed
+	s.Conflicts += o.Conflicts
+	s.Retries += o.Retries
+	s.AdmissionRejects += o.AdmissionRejects
+	s.SlotRejects += o.SlotRejects
+	s.SparePlacements += o.SparePlacements
+	s.Unplaced += o.Unplaced
+}
+
+// Commit is one committed host transition in the fleet's ledger: the
+// epoch it installed, the fleet-level VM names it placed or departed,
+// and the committed slot ops. Seq is a fleet-global sequence number
+// drawn under the host lock at commit time, so sorting all hosts'
+// commits by Seq yields a total order consistent with both per-host
+// commit order and real-time order — the replay order of the
+// cross-host continuity oracle.
+type Commit struct {
+	Seq     uint64
+	Version uint64 // installed epoch (0: every op was rejected)
+	Placed  []string
+	Departed []string
+	Ops     []core.Op
+}
+
+// partition returns the placer partition a VM name hashes to.
+func partition(name string, placers int) int {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int(h.Sum32() % uint32(placers))
+}

@@ -1,0 +1,314 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"tableau/internal/core"
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+	"tableau/internal/table"
+)
+
+// The resident system VM every host keeps in slot 0: it never departs,
+// so the host's planner always has a population and every epoch carries
+// at least one guarantee. Its tiny reservation is the host's fixed
+// overhead in the fleet's headroom arithmetic.
+var residentUtil = planner.Util{Num: 1, Den: 64}
+
+const (
+	residentName = "sys"
+	residentGoal = int64(100_000_000)
+)
+
+// nullSink discards installed tables: fleet hosts exercise the control
+// plane (planning, admission, epochs), not second-level dispatch.
+type nullSink struct{}
+
+func (nullSink) PushTable(*table.Table) error { return nil }
+
+// Host is one Tableau host in the fleet: a core.System population, the
+// core.Controller serializing its replans, and the occupancy metadata
+// the arbiter's optimistic protocol needs — a committed version, free
+// slots, reserved utilization, and a ledger of committed transitions.
+//
+// Slot ids are fixed at host construction (vCPU ids are fixed at
+// machine start); fleet-level VM identity lives in the name<->slot
+// maps here, because slots are recycled across guest generations.
+// Slot names are the generic "s1".."sN" on every host, so two hosts
+// whose populations coincide share planner.Cache entries.
+type Host struct {
+	id    int
+	cores int
+	seq   func() uint64
+
+	mu      sync.Mutex
+	sys     *core.System
+	ctrl    *core.Controller
+	version uint64
+	usedPPM int64
+	free    []int // LIFO stack of unoccupied slots
+	slotVM  []string
+	slotPPM []int64
+	vmSlot  map[string]int
+	ledger  []Commit
+}
+
+func newHost(id, cores, slots int, cache *planner.Cache, seq func() uint64) (*Host, error) {
+	if slots < 2 {
+		return nil, fmt.Errorf("fleet: host %d needs at least 2 slots (1 resident + 1 guest), got %d", id, slots)
+	}
+	sys := core.NewSystem(cores, planner.Options{}, dispatch.Options{})
+	sys.Cache = cache
+	if _, err := sys.AddVM(core.VMConfig{
+		Name: residentName, Util: residentUtil, LatencyGoal: residentGoal, Capped: true,
+	}); err != nil {
+		return nil, err
+	}
+	for s := 1; s < slots; s++ {
+		if _, err := sys.AddVM(core.VMConfig{
+			Name: fmt.Sprintf("s%d", s), Util: residentUtil, LatencyGoal: residentGoal, Capped: true,
+		}); err != nil {
+			return nil, err
+		}
+		if err := sys.SetActive(s, false); err != nil {
+			return nil, err
+		}
+	}
+	_, res, err := sys.Plan()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: host %d initial plan: %w", id, err)
+	}
+	ctrl, err := core.NewController(sys, nullSink{}, res)
+	if err != nil {
+		return nil, err
+	}
+	h := &Host{
+		id:      id,
+		cores:   cores,
+		seq:     seq,
+		sys:     sys,
+		ctrl:    ctrl,
+		version: ctrl.Epoch().Version,
+		usedPPM: VM{Util: residentUtil}.ppm(),
+		slotVM:  make([]string, slots),
+		slotPPM: make([]int64, slots),
+		vmSlot:  make(map[string]int),
+	}
+	// Push free slots in descending order so the pop order (and with it
+	// slot reuse, table shape, and cache keys) ascends deterministically.
+	for s := slots - 1; s >= 1; s-- {
+		h.free = append(h.free, s)
+	}
+	return h, nil
+}
+
+// ID returns the host's fleet-wide id.
+func (h *Host) ID() int { return h.id }
+
+// Snapshot returns the host's committed version and advisory headroom.
+func (h *Host) Snapshot() Snapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Snapshot{
+		Host:      h.id,
+		Version:   h.version,
+		FreeSlots: len(h.free),
+		FreePPM:   int64(h.cores)*1_000_000 - h.usedPPM,
+	}
+}
+
+// Reject is one VM a commit could not place, with the reason. NoSlot
+// marks slot scarcity (refused before admission ran).
+type Reject struct {
+	VM     VM
+	Err    error
+	NoSlot bool
+}
+
+// CommitResult reports the outcome of one versioned commit: the host's
+// version after the commit, the VM names placed, and the per-VM
+// rejects.
+type CommitResult struct {
+	Version uint64
+	Placed  []string
+	Rejects []Reject
+}
+
+// CommitPlacements atomically places vms on the host, provided the
+// host's committed version still equals expect — otherwise the commit
+// loses with ErrConflict and changes nothing. A winning commit assigns
+// each VM a free slot and flushes one [reconfigure, activate] pair per
+// VM through the Controller as a single transactional batch; the
+// planner's admission check inside the flush is the authoritative
+// gate, so individual VMs can come back rejected even though the
+// caller's snapshot predicted a fit. Placed and rejected VMs are
+// reported per name; only a stale version is an error.
+func (h *Host) CommitPlacements(expect uint64, vms []VM) (CommitResult, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.version != expect {
+		return CommitResult{Version: h.version}, ErrConflict
+	}
+	res := CommitResult{Version: h.version}
+	var ops []core.Op
+	var taken []int // slots handed out, in vm order
+	slotVM := make(map[int]VM)
+	for _, vm := range vms {
+		spec := planner.VCPUSpec{Name: vm.Name, Util: vm.Util, LatencyGoal: vm.LatencyGoal, Capped: true}
+		if err := spec.Validate(); err != nil {
+			res.Rejects = append(res.Rejects, Reject{VM: vm, Err: err})
+			continue
+		}
+		if _, dup := h.vmSlot[vm.Name]; dup {
+			res.Rejects = append(res.Rejects, Reject{VM: vm, Err: fmt.Errorf("fleet: VM %q already on host %d", vm.Name, h.id)})
+			continue
+		}
+		if len(h.free) == 0 {
+			res.Rejects = append(res.Rejects, Reject{VM: vm, Err: fmt.Errorf("fleet: host %d has no free slot", h.id), NoSlot: true})
+			continue
+		}
+		slot := h.free[len(h.free)-1]
+		h.free = h.free[:len(h.free)-1]
+		taken = append(taken, slot)
+		slotVM[slot] = vm
+		ops = append(ops,
+			core.Op{Kind: core.OpReconfigure, Slot: slot, Util: vm.Util, LatencyGoal: vm.LatencyGoal},
+			core.Op{Kind: core.OpActivate, Slot: slot},
+		)
+	}
+	if len(ops) == 0 {
+		return res, nil
+	}
+	h.ctrl.SubmitBatch(ops)
+	tr, err := h.ctrl.Flush()
+	if err != nil {
+		// The whole batch rolled back: the population is unchanged, so
+		// hand the slots back (restoring pop order) and report every
+		// attempted VM rejected with the rollback error.
+		for i := len(taken) - 1; i >= 0; i-- {
+			h.free = append(h.free, taken[i])
+		}
+		for _, slot := range taken {
+			res.Rejects = append(res.Rejects, Reject{VM: slotVM[slot], Err: err})
+		}
+		return res, nil
+	}
+	rejected := make(map[int]error)
+	for _, rj := range tr.Rejected {
+		if rj.Op.Kind == core.OpActivate {
+			rejected[rj.Op.Slot] = rj.Err
+		}
+	}
+	for _, slot := range taken {
+		vm := slotVM[slot]
+		if rerr, ok := rejected[slot]; ok {
+			// Admission (or shed) refused the activate; its paired
+			// reconfigure may have committed on the inactive slot, which
+			// is harmless — the next occupant reconfigures it again.
+			h.free = append(h.free, slot)
+			res.Rejects = append(res.Rejects, Reject{VM: vm, Err: rerr})
+			continue
+		}
+		h.vmSlot[vm.Name] = slot
+		h.slotVM[slot] = vm.Name
+		h.slotPPM[slot] = vm.ppm()
+		h.usedPPM += vm.ppm()
+		res.Placed = append(res.Placed, vm.Name)
+	}
+	if tr.Version != 0 {
+		h.version = tr.Version
+		h.ledger = append(h.ledger, Commit{
+			Seq:     h.seq(),
+			Version: tr.Version,
+			Placed:  append([]string(nil), res.Placed...),
+			Ops:     append([]core.Op(nil), tr.Committed...),
+		})
+	}
+	res.Version = h.version
+	return res, nil
+}
+
+// CommitDepartures atomically tears the named VMs down, under the same
+// versioned-commit rule as CommitPlacements. Every name must be live
+// on this host. Departures shed no utilization, so the flush cannot
+// reject them; any flush failure is returned as a real error.
+func (h *Host) CommitDepartures(expect uint64, names []string) (CommitResult, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.version != expect {
+		return CommitResult{Version: h.version}, ErrConflict
+	}
+	res := CommitResult{Version: h.version}
+	ops := make([]core.Op, 0, len(names))
+	for _, name := range names {
+		slot, ok := h.vmSlot[name]
+		if !ok {
+			return res, fmt.Errorf("fleet: host %d does not hold VM %q", h.id, name)
+		}
+		ops = append(ops, core.Op{Kind: core.OpDeactivate, Slot: slot})
+	}
+	if len(ops) == 0 {
+		return res, nil
+	}
+	h.ctrl.SubmitBatch(ops)
+	tr, err := h.ctrl.Flush()
+	if err != nil {
+		return res, fmt.Errorf("fleet: host %d departure flush: %w", h.id, err)
+	}
+	for _, name := range names {
+		slot := h.vmSlot[name]
+		delete(h.vmSlot, name)
+		h.slotVM[slot] = ""
+		h.usedPPM -= h.slotPPM[slot]
+		h.slotPPM[slot] = 0
+		h.free = append(h.free, slot)
+	}
+	if tr.Version != 0 {
+		h.version = tr.Version
+		h.ledger = append(h.ledger, Commit{
+			Seq:      h.seq(),
+			Version:  tr.Version,
+			Departed: append([]string(nil), names...),
+			Ops:      append([]core.Op(nil), tr.Committed...),
+		})
+	}
+	res.Version = h.version
+	return res, nil
+}
+
+// Ledger returns a copy of the host's committed transitions in commit
+// order.
+func (h *Host) Ledger() []Commit {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]Commit(nil), h.ledger...)
+}
+
+// History returns the host's committed epoch history.
+func (h *Host) History() []core.Epoch {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ctrl.History()
+}
+
+// ControllerStats returns the host controller's cumulative counters.
+func (h *Host) ControllerStats() core.Stats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ctrl.ControllerStats()
+}
+
+// VMs returns the number of live guest VMs (the resident excluded).
+func (h *Host) VMs() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.vmSlot)
+}
+
+// Close shuts the host's controller down.
+func (h *Host) Close() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.ctrl.Close()
+}

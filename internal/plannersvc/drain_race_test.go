@@ -1,0 +1,213 @@
+package plannersvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"tableau/internal/journal"
+)
+
+// opOrderStore records the order of Append and Sync calls on the
+// wrapped store, so tests can assert the drain's "final" sync really
+// covers every record a served plan appended.
+type opOrderStore struct {
+	journal.Store
+	mu  sync.Mutex
+	ops []string
+}
+
+func (s *opOrderStore) Append(rec []byte) error {
+	s.mu.Lock()
+	s.ops = append(s.ops, "append")
+	s.mu.Unlock()
+	return s.Store.Append(rec)
+}
+
+func (s *opOrderStore) Sync() error {
+	s.mu.Lock()
+	s.ops = append(s.ops, "sync")
+	s.mu.Unlock()
+	return s.Store.Sync()
+}
+
+// unsyncedAppends returns how many appends follow the last sync.
+func (s *opOrderStore) unsyncedAppends() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, op := range s.ops {
+		if op == "sync" {
+			n = 0
+		} else {
+			n++
+		}
+	}
+	return n
+}
+
+// TestDrainWaitsForInflightPlans is the regression test for the drain
+// race: handlePlan used to check draining before incrementing inflight,
+// and StartDrain synced the journal without waiting for in-flight
+// requests — so a request that slipped past the check appended its
+// journal record after the "final" sync, breaking the documented
+// "every plan served before the drain began is durable" guarantee.
+//
+// The test parks one admitted request inside the handler (blocked
+// reading its own body), starts a drain, then lets the request finish:
+// the drain must wait it out, and the journal's op order must show the
+// request's append covered by a sync when everything settles.
+func TestDrainWaitsForInflightPlans(t *testing.T) {
+	s, ts := newTestServer(t)
+	store := &opOrderStore{Store: journal.NewMemStore()}
+	s.SetJournal(journal.NewWriter(store))
+
+	body, err := json.Marshal(testRequest(4, 20_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	served := make(chan error, 1)
+	go func() {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/plan", pr)
+		if err != nil {
+			served <- err
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			served <- err
+			return
+		}
+		defer resp.Body.Close()
+		if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+			served <- err
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			served <- fmt.Errorf("admitted request answered %d, want 200", resp.StatusCode)
+			return
+		}
+		served <- nil
+	}()
+
+	// Feed half the body, then wait until the handler is in flight: it
+	// has passed the drain check and is blocked reading the rest.
+	if _, err := pw.Write(body[:len(body)/2]); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueDepth() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never showed up in flight")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	drained := make(chan int, 1)
+	go func() {
+		s.StartDrain()
+		drained <- store.unsyncedAppends()
+	}()
+
+	// Give the (fixed) drain a moment to start waiting, then let the
+	// parked request run to completion. A pre-fix drain has already
+	// returned by now — without syncing the record the request is about
+	// to append.
+	select {
+	case <-drained:
+		// Pre-fix path: the drain did not wait for the in-flight
+		// request. The assertions below catch the consequence.
+		drained <- 0
+	case <-time.After(50 * time.Millisecond):
+	}
+	if _, err := pw.Write(body[len(body)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := pw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-served; err != nil {
+		t.Fatalf("request admitted before the drain must be served: %v", err)
+	}
+	unsyncedAtDrain := <-drained
+
+	if got := s.JournalRecords(); got != 1 {
+		t.Fatalf("JournalRecords = %d, want 1", got)
+	}
+	if unsyncedAtDrain != 0 {
+		t.Fatalf("%d journal append(s) not covered when StartDrain returned", unsyncedAtDrain)
+	}
+	if n := store.unsyncedAppends(); n != 0 {
+		t.Fatalf("%d journal append(s) landed after the drain's final sync — a served plan is not durable", n)
+	}
+}
+
+// TestDrainPlanStress races StartDrain against a burst of concurrent
+// /plan requests under -race: every 200 response must have its journal
+// record covered by the drain's sync, every post-drain request must be
+// turned away with 503, and the server's inflight gauge must return to
+// zero.
+func TestDrainPlanStress(t *testing.T) {
+	s, ts := newTestServer(t)
+	store := &opOrderStore{Store: journal.NewMemStore()}
+	s.SetJournal(journal.NewWriter(store))
+
+	body, err := json.Marshal(testRequest(4, 20_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients, perClient = 8, 6
+	var served, refused atomic.Int64
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			for i := 0; i < perClient; i++ {
+				resp, err := http.Post(ts.URL+"/plan", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("POST /plan: %v", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					served.Add(1)
+				case http.StatusServiceUnavailable:
+					refused.Add(1)
+				default:
+					t.Errorf("POST /plan: status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	close(start)
+	time.Sleep(time.Millisecond)
+	s.StartDrain()
+	unsyncedAtDrain := store.unsyncedAppends()
+	wg.Wait()
+
+	if s.QueueDepth() != 0 {
+		t.Fatalf("inflight = %d after all requests settled", s.QueueDepth())
+	}
+	if served.Load()+refused.Load() != clients*perClient {
+		t.Fatalf("served %d + refused %d != %d requests", served.Load(), refused.Load(), clients*perClient)
+	}
+	if got := s.JournalRecords(); got != served.Load() {
+		t.Fatalf("JournalRecords = %d but %d plans served", got, served.Load())
+	}
+	if unsyncedAtDrain != 0 {
+		t.Fatalf("%d journal append(s) not covered when StartDrain returned", unsyncedAtDrain)
+	}
+}

@@ -100,6 +100,12 @@ type Server struct {
 	jseq        uint64
 	journalErrs atomic.Int64
 
+	// DrainWait bounds how long StartDrain waits for in-flight requests
+	// to finish before syncing the journal (<= 0 selects 5s). A drain
+	// that times out logs the stragglers and syncs anyway — shutdown
+	// must not hang on a wedged request.
+	DrainWait time.Duration
+
 	// Logf receives server-side diagnostics (default log.Printf).
 	Logf func(format string, args ...any)
 }
@@ -124,8 +130,28 @@ func (s *Server) QueueDepth() int64 { return s.inflight.Load() }
 // attached it is synced here, so every plan served before the drain
 // began is durable even if the process is killed inside the drain
 // window.
+//
+// StartDrain waits (bounded by DrainWait) for in-flight requests to
+// reach zero before the sync: a request increments inflight before it
+// checks draining, so once the count drains every request that slipped
+// past the check has finished — journal append included — and the sync
+// really is final. Without the wait, a request admitted just before the
+// flag flipped could append its record after the "final" sync, leaving
+// a served plan non-durable.
 func (s *Server) StartDrain() {
 	s.draining.Store(true)
+	bound := s.DrainWait
+	if bound <= 0 {
+		bound = 5 * time.Second
+	}
+	deadline := time.Now().Add(bound)
+	for s.inflight.Load() > 0 {
+		if time.Now().After(deadline) {
+			s.logf("plannersvc: drain: %d request(s) still in flight after %v; syncing anyway", s.inflight.Load(), bound)
+			break
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
 	s.jmu.Lock()
 	defer s.jmu.Unlock()
 	if s.journal != nil {
@@ -264,12 +290,19 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
 		return
 	}
+	// Inflight is incremented before the drain check: StartDrain flips
+	// draining first and then waits for inflight to reach zero, so a
+	// request is either turned away here or visible to the drain's wait
+	// — never running invisibly past the "final" journal sync. The
+	// reverse order (check, then increment) left a window where a
+	// request slipped past the check and appended its journal record
+	// after the drain had already synced.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
 	if s.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("plannersvc: draining"))
 		return
 	}
-	s.inflight.Add(1)
-	defer s.inflight.Add(-1)
 	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)

@@ -1,0 +1,151 @@
+package verify
+
+import (
+	"fmt"
+	"sort"
+
+	"tableau/internal/core"
+	"tableau/internal/fleet"
+)
+
+// ClassFleet marks cross-host continuity findings: every admitted VM
+// is live on exactly one host at every epoch seam, and each host's
+// epoch history tracks its committed placement ledger exactly.
+const ClassFleet = "fleet"
+
+// CheckFleet is the fleet arbitration oracle. Per host it replays the
+// committed-op ledger against the controller's epoch history: versions
+// must increase strictly, ledger commits and installed epochs must
+// correspond one-to-one in order, and after each commit the epoch's
+// guarantee-holding slot set must equal the replayed active set (the
+// resident slot 0 included) — which also proves every slot live across
+// an epoch seam held a guarantee on both sides. Across hosts it merges
+// all ledgers by the arbiter's global commit sequence and replays
+// placements and departures: a VM placed while live anywhere, or
+// departed from a host that does not hold it, is a violation; at the
+// end the replayed owner map must equal the arbiter's registry.
+func CheckFleet(a *fleet.Arbiter) []Violation {
+	var out []Violation
+	v := func(format string, args ...any) {
+		out = append(out, Violation{Class: ClassFleet, VCPU: -1, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	type seqCommit struct {
+		host int
+		c    fleet.Commit
+	}
+	var all []seqCommit
+	seqOwner := make(map[uint64]int)
+	for _, h := range a.Hosts() {
+		ledger := h.Ledger()
+		checkHostContinuity(h.ID(), ledger, h.History(), v)
+		for _, c := range ledger {
+			if prev, dup := seqOwner[c.Seq]; dup {
+				v("commit seq %d issued to both host %d and host %d", c.Seq, prev, h.ID())
+			}
+			seqOwner[c.Seq] = h.ID()
+			all = append(all, seqCommit{h.ID(), c})
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i].c.Seq < all[j].c.Seq })
+	owner := make(map[string]int)
+	for _, sc := range all {
+		for _, name := range sc.c.Placed {
+			if oh, live := owner[name]; live {
+				v("VM %q placed on host %d while live on host %d (seq %d)", name, sc.host, oh, sc.c.Seq)
+			}
+			owner[name] = sc.host
+		}
+		for _, name := range sc.c.Departed {
+			oh, live := owner[name]
+			switch {
+			case !live:
+				v("VM %q departed host %d while not live anywhere (seq %d)", name, sc.host, sc.c.Seq)
+			case oh != sc.host:
+				v("VM %q departed host %d but lives on host %d (seq %d)", name, sc.host, oh, sc.c.Seq)
+			default:
+				delete(owner, name)
+			}
+		}
+	}
+
+	asg := a.Assignments()
+	for name, h := range asg {
+		oh, live := owner[name]
+		switch {
+		case !live:
+			v("registry holds VM %q on host %d but the ledgers say it is not live", name, h)
+		case oh != h:
+			v("registry holds VM %q on host %d but the ledgers say host %d", name, h, oh)
+		}
+	}
+	for name, h := range owner {
+		if _, ok := asg[name]; !ok {
+			v("VM %q live on host %d by the ledgers but absent from the registry", name, h)
+		}
+	}
+	return out
+}
+
+// checkHostContinuity replays one host's ledger against its epoch
+// history. Slot 0 is the resident system VM, active from epoch 1 on.
+func checkHostContinuity(host int, ledger []fleet.Commit, hist []core.Epoch, v func(string, ...any)) {
+	if len(hist) == 0 {
+		v("host %d has no epoch history", host)
+		return
+	}
+	for i := 1; i < len(hist); i++ {
+		if hist[i].Version <= hist[i-1].Version {
+			v("host %d epoch versions not strictly increasing: %d after %d", host, hist[i].Version, hist[i-1].Version)
+		}
+	}
+	if len(hist)-1 != len(ledger) {
+		v("host %d installed %d epochs after the initial one but committed %d ledger entries", host, len(hist)-1, len(ledger))
+		return
+	}
+
+	active := map[int]bool{0: true}
+	check := func(ep core.Epoch, when string) {
+		held := make(map[int]bool, len(ep.Guarantees))
+		for _, g := range ep.Guarantees {
+			if held[g.VCPU] {
+				v("host %d epoch %d holds duplicate guarantees for slot %d", host, ep.Version, g.VCPU)
+			}
+			held[g.VCPU] = true
+		}
+		for slot := range active {
+			if !held[slot] {
+				v("host %d epoch %d (%s): live slot %d lost its guarantee", host, ep.Version, when, slot)
+			}
+		}
+		for slot := range held {
+			if !active[slot] {
+				v("host %d epoch %d (%s): slot %d holds a guarantee but no committed op activated it", host, ep.Version, when, slot)
+			}
+		}
+	}
+	check(hist[0], "initial")
+	for i, c := range ledger {
+		ep := hist[i+1]
+		if c.Version != ep.Version {
+			v("host %d ledger commit %d installed version %d but the epoch history has %d", host, i, c.Version, ep.Version)
+			return
+		}
+		for _, op := range c.Ops {
+			switch op.Kind {
+			case core.OpActivate:
+				if active[op.Slot] {
+					v("host %d commit seq %d activates slot %d twice", host, c.Seq, op.Slot)
+				}
+				active[op.Slot] = true
+			case core.OpDeactivate:
+				if !active[op.Slot] {
+					v("host %d commit seq %d deactivates inactive slot %d", host, c.Seq, op.Slot)
+				}
+				delete(active, op.Slot)
+			}
+		}
+		check(ep, "after commit")
+	}
+}

@@ -1,0 +1,99 @@
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"tableau/internal/fleet"
+	"tableau/internal/planner"
+)
+
+// runFleetStorm drives one seeded random churn storm through a small
+// fleet and returns the arbiter for the oracle to inspect.
+func runFleetStorm(t *testing.T, seed int64, defect bool) *fleet.Arbiter {
+	t.Helper()
+	a, err := fleet.New(fleet.Config{
+		Hosts: 10, Cores: 4, SlotsPerHost: 10, Placers: 3,
+		SpareHosts: 2, MaxAttempts: 4, Cache: planner.NewCache(256),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = a.Close() })
+	a.UnsafeDoublePlace = defect
+
+	rng := rand.New(rand.NewSource(seed))
+	utils := []planner.Util{{Num: 1, Den: 8}, {Num: 1, Den: 4}, {Num: 1, Den: 2}, {Num: 3, Den: 4}}
+	mkVMs := func(prefix string, n int) []fleet.VM {
+		vms := make([]fleet.VM, n)
+		for i := range vms {
+			vms[i] = fleet.VM{
+				Name:        fmt.Sprintf("s%d-%s%d", seed, prefix, i),
+				Util:        utils[rng.Intn(len(utils))],
+				LatencyGoal: 20_000_000,
+			}
+		}
+		return vms
+	}
+
+	if _, err := a.PlaceBatch(mkVMs("v", 20+rng.Intn(25))); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		live := a.PlacedNames()
+		n := len(live) / 4
+		perm := rng.Perm(len(live))
+		departs := make([]string, n)
+		for i := 0; i < n; i++ {
+			departs[i] = live[perm[i]]
+		}
+		if _, err := a.DepartBatch(departs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.PlaceBatch(mkVMs(fmt.Sprintf("c%d-", round), n+rng.Intn(8))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A surge of big VMs past the admission edge: rejects, spare-pool
+	// sheds and unplaced tails must all leave the ledgers consistent.
+	if _, err := a.PlaceBatch(mkVMs("g", 12+rng.Intn(10))); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestCheckFleetSeeds soaks the cross-host continuity oracle: 120
+// seeded random churn storms (30 under -short), each replayed through
+// CheckFleet — every admitted VM must be live on exactly one host at
+// every epoch seam, and every host's guarantee history must track its
+// committed ledger exactly.
+func TestCheckFleetSeeds(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 30
+	}
+	for seed := 0; seed < seeds; seed++ {
+		a := runFleetStorm(t, int64(seed), false)
+		if vs := CheckFleet(a); len(vs) != 0 {
+			for _, v := range vs {
+				t.Errorf("seed %d: %s", seed, v)
+			}
+			t.Fatalf("seed %d: %d fleet continuity violations", seed, len(vs))
+		}
+	}
+}
+
+// TestCheckFleetCatchesDoublePlace arms the UnsafeDoublePlace defect
+// (a VM committed to a second host behind the registry's back) and
+// demands the oracle convict it.
+func TestCheckFleetCatchesDoublePlace(t *testing.T) {
+	caught := false
+	for seed := int64(0); seed < 5 && !caught; seed++ {
+		a := runFleetStorm(t, seed, true)
+		caught = len(CheckFleet(a)) > 0
+	}
+	if !caught {
+		t.Fatal("UnsafeDoublePlace escaped the fleet continuity oracle on every seed")
+	}
+}
