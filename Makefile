@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build vet staticcheck test race bench benchdiff fuzz verify-short mutation-smoke churn-short recover-short fleet-short ci
+.PHONY: build vet staticcheck test race bench benchdiff fuzz verify-short mutation-smoke churn-short recover-short fleet-short tenancy-short ci
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,16 @@ fleet-short:
 	$(GO) test -short ./internal/experiments -run 'TestFleetDeterminism' -v
 	$(GO) test -short ./internal/verify -run 'TestCheckFleet'
 
+# Mixed-criticality tenancy gate: the tenancy CSV must be
+# byte-identical across runs and -parallel settings (steady cell sheds
+# nothing, surge cell sheds BE while LS keeps serving), and the
+# class-aware chapters of the verify harness (tenancy continuity soak,
+# shed-order mutation conviction) must hold under -short.
+tenancy-short:
+	$(GO) test ./internal/experiments -run 'TestTenancyDeterminism' -v
+	$(GO) test -short ./internal/verify -run 'TestTenancyContinuity'
+	$(GO) test ./internal/workload -run 'TestSLOServer|TestScheduleBursts'
+
 # Full micro-benchmark pass over the hot-path packages.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem \
@@ -99,4 +109,4 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -count 1 -tolerance 40 -gate \
 		-out /tmp/tableau-benchdiff -against $$(ls BENCH_*.json | tail -1)
 
-ci: vet staticcheck build test race verify-short mutation-smoke churn-short recover-short fleet-short fuzz benchdiff
+ci: vet staticcheck build test race verify-short mutation-smoke churn-short recover-short fleet-short tenancy-short fuzz benchdiff

@@ -61,6 +61,21 @@ type Op struct {
 	Util        Util  // Reconfigure
 	LatencyGoal int64 // Reconfigure
 	Core        int   // FailCore
+
+	// SetClass, on a Reconfigure, additionally changes the slot's
+	// tenancy class to Class (fleet hosts recycle slots across
+	// placements of different classes). Zero value leaves the class
+	// untouched.
+	SetClass bool
+	Class    Class
+
+	// Shed marks a committed OpDeactivate the controller synthesized
+	// itself: a best-effort guest deactivated to make room for a
+	// latency-sensitive admission under overload. Shed ops appear in
+	// Transition.Committed and in the journaled epoch like any other
+	// deactivation — the class-continuity oracle requires every BE
+	// absence to be explained by exactly such a committed op.
+	Shed bool
 }
 
 func (o Op) String() string {
@@ -69,6 +84,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("failcore(%d)", o.Core)
 	case OpReconfigure:
 		return fmt.Sprintf("reconfigure(%d,%d/%d,%d)", o.Slot, o.Util.Num, o.Util.Den, o.LatencyGoal)
+	case OpDeactivate:
+		if o.Shed {
+			return fmt.Sprintf("shed(%d)", o.Slot)
+		}
 	}
 	return fmt.Sprintf("%s(%d)", o.Kind, o.Slot)
 }
@@ -161,13 +180,13 @@ type Controller struct {
 	// before the first Flush.
 	PlanVia PlanFunc
 
-	// UnsafeEvictOnOverload is a mutation-smoke defect switch: instead
-	// of rejecting an inadmissible arrival (and rolling its effects
-	// back), the controller "makes room" by silently evicting already-
-	// admitted VMs. The guarantee-continuity oracle must catch the
-	// victims losing their epoch-to-epoch guarantee. Never set outside
+	// UnsafeShedLSFirst is a mutation-smoke defect switch: it inverts
+	// the class-aware shed order, so an overloaded admission sheds
+	// latency-sensitive guests while best-effort guests keep running.
+	// The class-continuity oracle must convict the inverted order (an
+	// LS guest shed while BE guests remain active). Never set outside
 	// tests.
-	UnsafeEvictOnOverload bool
+	UnsafeShedLSFirst bool
 
 	// SpeculateNext, when positive, pre-plans up to that many likely
 	// next populations after each successful Flush (the queued batch,
@@ -336,6 +355,7 @@ func (s *System) journalRecordLocked(ep Epoch) *journal.EpochRecord {
 			LatencyGoal: sl.cfg.LatencyGoal,
 			Capped:      sl.cfg.Capped,
 			Active:      sl.active,
+			BestEffort:  sl.cfg.Class == BE,
 		})
 	}
 	for core, failed := range s.failed {
@@ -513,16 +533,24 @@ func (c *Controller) flush() (*Transition, error) {
 			tr.Emergency = true
 			applied = append(applied, op)
 		case OpActivate:
-			if err := s.setActiveLocked(op.Slot, true); err != nil {
-				reject(op, err)
+			if op.Slot < 0 || op.Slot >= len(s.slots) {
+				reject(op, fmt.Errorf("core: no VM slot %d", op.Slot))
 				continue
 			}
+			// Undoing a rejected activation must restore the pre-op state,
+			// not blindly deactivate: bursts can carry a redundant
+			// activation of an already-admitted guest (and a degraded,
+			// over-utilized host can fail admission for it), which must
+			// not become a silent teardown.
+			wasActive := s.slots[op.Slot].active
+			s.slots[op.Slot].active = true
 			if err := c.admitLocked(); err != nil {
-				if c.UnsafeEvictOnOverload && c.evictLocked(op.Slot) {
+				if shed := c.shedForLocked(op.Slot); len(shed) > 0 {
+					applied = append(applied, shed...)
 					applied = append(applied, op)
 					continue
 				}
-				_ = s.setActiveLocked(op.Slot, false)
+				s.slots[op.Slot].active = wasActive
 				reject(op, err)
 				continue
 			}
@@ -539,11 +567,20 @@ func (c *Controller) flush() (*Transition, error) {
 				continue
 			}
 			prev := s.slots[op.Slot].cfg
+			if op.SetClass {
+				s.slots[op.Slot].cfg.Class = op.Class
+			}
 			if err := s.reconfigureLocked(op.Slot, op.Util, op.LatencyGoal); err != nil {
+				s.slots[op.Slot].cfg = prev
 				reject(op, err)
 				continue
 			}
 			if err := c.admitLocked(); err != nil {
+				if shed := c.shedForLocked(op.Slot); len(shed) > 0 {
+					applied = append(applied, shed...)
+					applied = append(applied, op)
+					continue
+				}
 				s.slots[op.Slot].cfg = prev
 				reject(op, err)
 				continue
@@ -562,8 +599,9 @@ func (c *Controller) flush() (*Transition, error) {
 	tbl, res, err := c.planOnceLocked(tr)
 	for err != nil {
 		// Admission passed but placement failed. Shed the most recent
-		// utilization-adding op and retry with one fewer arrival.
-		i := lastSheddable(applied)
+		// utilization-adding op — best-effort subjects before latency-
+		// sensitive ones — and retry with one fewer arrival.
+		i := c.lastSheddableLocked(snap, applied)
 		if i < 0 {
 			break
 		}
@@ -730,32 +768,98 @@ func (c *Controller) admitLocked() error {
 	return planner.Admit(specs, len(online))
 }
 
-// evictLocked implements the UnsafeEvictOnOverload defect: deactivate
-// already-admitted VMs (lowest slot first, sparing keep) until the
-// population admits again. Returns whether it succeeded. The victims
-// are recorded nowhere — exactly the silent guarantee loss the
-// continuity oracle exists to catch.
-func (c *Controller) evictLocked(keep int) bool {
+// admitLSLocked checks whether the latency-sensitive subpopulation
+// alone fits the surviving cores — the gate that decides whether
+// shedding best-effort guests can save an LS admission.
+func (c *Controller) admitLSLocked() error {
+	specs, _ := c.sys.activeSpecsLocked()
+	online := c.sys.onlineCoresLocked()
+	if len(online) == 0 {
+		return fmt.Errorf("core: every core has failed")
+	}
+	return planner.AdmitLS(specs, len(online))
+}
+
+// shedForLocked makes room for the latency-sensitive guest in slot
+// keep by shedding best-effort guests: active BE slots are deactivated
+// (highest id first — the youngest arrivals) until the population
+// admits again. Each victim becomes a committed, journaled
+// OpDeactivate (Shed: true) in the installed epoch — never a silent
+// eviction. Shedding is gated on planner.AdmitLS: it only proceeds
+// when the LS guarantees alone are admissible, so an LS admission can
+// displace BE slack but never another LS guarantee. BE subjects never
+// shed anyone. Returns nil — with every victim restored — when
+// shedding cannot save the admission.
+//
+// UnsafeShedLSFirst inverts the victim class: LS guests are shed while
+// BE guests keep running, the defect the class-continuity oracle must
+// convict.
+func (c *Controller) shedForLocked(keep int) []Op {
 	s := c.sys
-	for id := range s.slots {
-		if id == keep || !s.slots[id].active {
+	if keep < 0 || keep >= len(s.slots) || s.slots[keep].cfg.Class != LS {
+		return nil
+	}
+	if c.admitLSLocked() != nil {
+		return nil
+	}
+	victim := BE
+	if c.UnsafeShedLSFirst {
+		victim = LS
+	}
+	var shed []Op
+	for id := len(s.slots) - 1; id >= 0; id-- {
+		if id == keep || !s.slots[id].active || s.slots[id].cfg.Class != victim {
 			continue
 		}
 		s.slots[id].active = false
+		shed = append(shed, Op{Kind: OpDeactivate, Slot: id, Shed: true})
 		if c.admitLocked() == nil {
-			return true
+			return shed
 		}
 	}
-	return c.admitLocked() == nil
+	for _, op := range shed {
+		s.slots[op.Slot].active = true
+	}
+	return nil
 }
 
-// lastSheddable returns the index of the most recent utilization-adding
-// op, or -1.
-func lastSheddable(ops []Op) int {
+// lastSheddableLocked returns the index of the utilization-adding op
+// the plan-failure retry loop should shed next: the most recent one
+// with a best-effort subject, falling back to the most recent one of
+// any class. UnsafeShedLSFirst inverts the class preference.
+//
+// An OpActivate qualifies only if its slot was inactive at the batch
+// snapshot: shedding an activation deactivates the slot, and a
+// redundant activation of an already-admitted guest (bursts can carry
+// them) must not turn into a teardown the epoch never committed.
+func (c *Controller) lastSheddableLocked(snap []slot, ops []Op) int {
+	prefer := BE
+	if c.UnsafeShedLSFirst {
+		prefer = LS
+	}
+	sheddable := func(op Op) bool {
+		if op.Slot < 0 || op.Slot >= len(c.sys.slots) {
+			return false
+		}
+		switch op.Kind {
+		case OpActivate:
+			return op.Slot >= len(snap) || !snap[op.Slot].active
+		case OpReconfigure:
+			return true
+		}
+		return false
+	}
+	fallback := -1
 	for i := len(ops) - 1; i >= 0; i-- {
-		if ops[i].Kind == OpActivate || ops[i].Kind == OpReconfigure {
+		if !sheddable(ops[i]) {
+			continue
+		}
+		if fallback < 0 {
+			fallback = i
+		}
+		if c.sys.slots[ops[i].Slot].cfg.Class == prefer {
 			return i
 		}
 	}
-	return -1
+	return fallback
 }

@@ -25,6 +25,18 @@ import (
 // Util re-exports the planner's exact utilization type.
 type Util = planner.Util
 
+// Class re-exports the planner's tenancy class (LS or BE). The zero
+// value is LS, so class-free configurations behave exactly as before
+// the class existed.
+type Class = planner.Class
+
+// LS and BE re-export the tenancy classes for callers that only import
+// core.
+const (
+	LS = planner.LS
+	BE = planner.BE
+)
+
 // TableSink is where the control plane installs regenerated tables: the
 // paper's hypercall that hands a table to the hypervisor for a
 // boundary-synchronized switch. *dispatch.Dispatcher satisfies it; unit
@@ -52,6 +64,9 @@ type VMConfig struct {
 	LatencyGoal int64
 	// Capped VMs may not exceed their reservation.
 	Capped bool
+	// Class is the tenancy class: LS (the zero value) holds a hard
+	// guarantee, BE soaks slack and is shed first under overload.
+	Class Class
 }
 
 type slot struct {
@@ -173,7 +188,7 @@ func (s *System) onlineCoresLocked() []int {
 // backs a running machine, because vCPU ids are fixed at machine start;
 // use SetActive to model creation and teardown afterwards.
 func (s *System) AddVM(cfg VMConfig) (int, error) {
-	spec := planner.VCPUSpec{Name: cfg.Name, Util: cfg.Util, LatencyGoal: cfg.LatencyGoal, Capped: cfg.Capped}
+	spec := planner.VCPUSpec{Name: cfg.Name, Util: cfg.Util, LatencyGoal: cfg.LatencyGoal, Capped: cfg.Capped, Class: cfg.Class}
 	if err := spec.Validate(); err != nil {
 		return 0, err
 	}
@@ -253,11 +268,27 @@ func (s *System) reconfigureLocked(id int, u Util, latencyGoal int64) error {
 	cfg := s.slots[id].cfg
 	cfg.Util = u
 	cfg.LatencyGoal = latencyGoal
-	spec := planner.VCPUSpec{Name: cfg.Name, Util: cfg.Util, LatencyGoal: cfg.LatencyGoal, Capped: cfg.Capped}
+	spec := planner.VCPUSpec{Name: cfg.Name, Util: cfg.Util, LatencyGoal: cfg.LatencyGoal, Capped: cfg.Capped, Class: cfg.Class}
 	if err := spec.Validate(); err != nil {
 		return err
 	}
 	s.slots[id].cfg = cfg
+	return nil
+}
+
+// SetClass changes a slot's tenancy class. Fleet hosts recycle slots
+// across placements, so the class is settable like the reservation.
+func (s *System) SetClass(id int, c Class) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.setClassLocked(id, c)
+}
+
+func (s *System) setClassLocked(id int, c Class) error {
+	if id < 0 || id >= len(s.slots) {
+		return fmt.Errorf("core: no VM slot %d", id)
+	}
+	s.slots[id].cfg.Class = c
 	return nil
 }
 
@@ -304,6 +335,7 @@ func (s *System) activeSpecsLocked() (specs []planner.VCPUSpec, specSlot []int) 
 			Util:        sl.cfg.Util,
 			LatencyGoal: sl.cfg.LatencyGoal,
 			Capped:      sl.cfg.Capped,
+			Class:       sl.cfg.Class,
 		})
 		specSlot = append(specSlot, id)
 	}

@@ -129,11 +129,16 @@ func Recover(store journal.Store, opts RecoverOptions) (*Controller, *dispatch.D
 	sys := NewSystem(len(lastTbl.Cores), opts.Planner, opts.Dispatch)
 	sys.Incremental = opts.Incremental
 	for i, sc := range last.Slots {
+		class := LS
+		if sc.BestEffort {
+			class = BE
+		}
 		id, err := sys.AddVM(VMConfig{
 			Name:        sc.Name,
 			Util:        Util{Num: sc.UtilNum, Den: sc.UtilDen},
 			LatencyGoal: sc.LatencyGoal,
 			Capped:      sc.Capped,
+			Class:       class,
 		})
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("core: re-registering slot %d (%q): %w", i, sc.Name, err)

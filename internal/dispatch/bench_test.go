@@ -40,6 +40,48 @@ func BenchmarkDispatcherHotPath(b *testing.B) {
 	}
 }
 
+// BenchmarkTenancyPick measures the second-level pick on a dark slice
+// with a mixed-class membership: half the uncapped vCPUs are marked
+// best-effort, so every pick walks the LS-over-BE preference order.
+// The class check must stay O(members) with zero allocations, like the
+// class-blind pick it extends.
+func BenchmarkTenancyPick(b *testing.B) {
+	tbl := &table.Table{Len: 11_411_400}
+	half := tbl.Len / 2
+	for i := 0; i < 8; i++ {
+		tbl.VCPUs = append(tbl.VCPUs, table.VCPUInfo{Name: fmt.Sprintf("v%d", i), HomeCore: 0})
+		s := int64(i) * (half / 8)
+		tbl.Cores = appendAlloc(tbl.Cores, 0, s, s+half/8, i)
+	}
+	if err := tbl.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	if err := tbl.BuildSlices(0); err != nil {
+		b.Fatal(err)
+	}
+	d := New(tbl, Options{})
+	m := vmm.New(sim.New(1), 1, d, vmm.NoOverheads())
+	for i := 0; i < 8; i++ {
+		m.AddVCPU(fmt.Sprintf("v%d", i), vmm.ProgramFunc(func(mm *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+			return vmm.Compute(1_000_000)
+		}), 256, false)
+	}
+	be := make([]bool, 8)
+	for i := range be {
+		be[i] = i%2 == 1
+	}
+	d.SetBestEffort(be)
+	m.Start()
+	m.Run(1_000) // settle
+	cpu := m.CPUs[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Offsets in the dark second half of the frame: every pick goes
+		// through the second-level scheduler.
+		d.PickNext(cpu, half+int64(i)*7919%half)
+	}
+}
+
 func appendAlloc(cores []table.CoreTable, core int, s, e int64, v int) []table.CoreTable {
 	for len(cores) <= core {
 		cores = append(cores, table.CoreTable{Core: len(cores)})

@@ -109,6 +109,14 @@ type Dispatcher struct {
 	// tracing is off.
 	tr *trace.Tracer
 
+	// be[v] marks vCPU v best-effort for second-level ordering: LS
+	// members are picked before BE members in slack slots, and an LS
+	// wakeup preempts a running BE slack dispatch. The table math is
+	// class-blind — guarantees are unaffected — so the registry is a
+	// side channel (SetBestEffort), not part of the table wire format.
+	// nil means every vCPU is latency-sensitive.
+	be []bool
+
 	stats Stats
 }
 
@@ -127,6 +135,23 @@ func New(tbl *table.Table, opts Options) *Dispatcher {
 
 // Name implements vmm.Scheduler.
 func (d *Dispatcher) Name() string { return "tableau" }
+
+// SetBestEffort installs the per-vCPU tenancy classes (true = BE),
+// indexed by vCPU id. nil (the default) marks every vCPU LS, which
+// reproduces the pre-class second level exactly. Classes only order
+// slack distribution; table-guaranteed dispatch ignores them.
+func (d *Dispatcher) SetBestEffort(be []bool) {
+	if be == nil {
+		d.be = nil
+		return
+	}
+	d.be = append(d.be[:0], be...)
+}
+
+// isBE reports vCPU id's class under the installed registry.
+func (d *Dispatcher) isBE(id int) bool {
+	return id < len(d.be) && d.be[id]
+}
 
 // Stats returns a copy of the dispatcher's decision statistics.
 func (d *Dispatcher) Stats() Stats { return d.stats }
@@ -446,12 +471,15 @@ func (d *Dispatcher) updateTrailingCore(vid, c int, tbl *table.Table) {
 
 // pickSecondLevel returns the ready core-local vCPU with the highest
 // remaining budget, replenishing budgets when every ready member is
-// exhausted (paper Sec. 4).
+// exhausted (paper Sec. 4). Latency-sensitive members outrank
+// best-effort ones: a BE member receives slack only when no LS member
+// with budget is ready, so BE guests soak the idle time LS guests
+// leave behind without ever delaying them.
 func (d *Dispatcher) pickSecondLevel(cpu *vmm.PCPU, now int64) (*vmm.VCPU, int64) {
 	cs := &d.cores[cpu.ID]
 	pick := func() (*vmm.VCPU, int64) {
-		var best *vmm.VCPU
-		var bestBudget int64
+		var bestLS, bestBE *vmm.VCPU
+		var budgetLS, budgetBE int64
 		for _, vid := range cs.l2List {
 			v := d.m.VCPUs[vid]
 			if !d.readyForL2(v, cpu.ID) {
@@ -461,11 +489,20 @@ func (d *Dispatcher) pickSecondLevel(cpu *vmm.PCPU, now int64) (*vmm.VCPU, int64
 			if b <= 0 {
 				continue
 			}
-			if best == nil || b > bestBudget || (b == bestBudget && v.ID < best.ID) {
-				best, bestBudget = v, b
+			if d.isBE(vid) {
+				if bestBE == nil || b > budgetBE || (b == budgetBE && v.ID < bestBE.ID) {
+					bestBE, budgetBE = v, b
+				}
+			} else {
+				if bestLS == nil || b > budgetLS || (b == budgetLS && v.ID < bestLS.ID) {
+					bestLS, budgetLS = v, b
+				}
 			}
 		}
-		return best, bestBudget
+		if bestLS != nil {
+			return bestLS, budgetLS
+		}
+		return bestBE, budgetBE
 	}
 	if v, b := pick(); v != nil {
 		return v, b
@@ -538,7 +575,14 @@ func (d *Dispatcher) OnWake(v *vmm.VCPU, now int64) {
 			continue
 		}
 		if d.cores[c].l2Member[v.ID] {
-			if d.m.CPUs[c].Current == nil {
+			cur := d.m.CPUs[c].Current
+			switch {
+			case cur == nil:
+				d.m.Kick(c)
+			case !d.isBE(v.ID) && d.cores[c].l2Running == cur.ID && d.isBE(cur.ID):
+				// A latency-sensitive wakeup preempts a best-effort
+				// slack dispatch: the kick forces a re-pick, where the
+				// LS member outranks the BE one.
 				d.m.Kick(c)
 			}
 			return

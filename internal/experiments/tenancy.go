@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+
+	"tableau/internal/core"
+	"tableau/internal/dispatch"
+	"tableau/internal/planner"
+	"tableau/internal/sim"
+	"tableau/internal/stats"
+	"tableau/internal/vmm"
+	"tableau/internal/workload"
+)
+
+// The tenancy experiment measures mixed-criticality serving on one
+// dense host: latency-sensitive (LS) and best-effort (BE) guests run
+// identical open-loop bursty SLO servers, so every per-class latency
+// difference is the scheduler's doing — the class-aware second level
+// hands slack to LS wakeups before BE, and under an LS admission surge
+// the controller sheds BE guests (committed, journaled deactivations)
+// rather than refuse the arrival. The steady cell has no surge and
+// shows per-class burst absorption; the surge cell activates spare LS
+// guests past the admission edge mid-run and shows BE paying for LS
+// continuity.
+
+// Tenancy cells.
+const (
+	TenancyCellSteady = "steady"
+	TenancyCellSurge  = "surge"
+)
+
+// TenancyPoint is one (cell, class) row of the tenancy experiment: the
+// aggregated per-request latency distribution of every server of that
+// class, with SLO attainment and the sheds the cell committed.
+type TenancyPoint struct {
+	Cell  string
+	Class planner.Class
+	// VMs is the number of guests of this class registered in the cell
+	// (spares included).
+	VMs int
+	// Requests counts scheduled open-loop arrivals; Completed the ones
+	// served by the horizon; SLOMet the completions within the SLO. A
+	// shed BE guest stops serving, so its tail shows up as Requests -
+	// Completed, not as censored latency.
+	Requests, Completed, SLOMet int64
+	// P50/P90/P99/Max summarize the per-class latency CDF in ns.
+	P50, P90, P99, Max int64
+	// Sheds counts committed Shed deactivations (BE guests displaced by
+	// LS admission); zero in the steady cell.
+	Sheds int64
+}
+
+// RunTenancy runs one cell of the tenancy experiment and returns the
+// LS row followed by the BE row.
+func RunTenancy(cell string, mode Mode, seed int64) ([]TenancyPoint, error) {
+	scale := 1
+	horizon := int64(1_000_000_000)
+	if mode == Full {
+		scale = 2
+		horizon = 4_000_000_000
+	}
+	cores := 2 * scale
+	nLS, nBE, nSpare := 2*scale, 2*scale, scale
+	surgeAt := horizon / 2
+	const latencyGoal = 20_000_000
+
+	// Population: LS guests reserve 1/2 core, BE guests 1/4, spares are
+	// LS at 3/4. Active sum = 1.5*scale on 2*scale cores, so the table
+	// leaves slack for the second level; the surge adds 0.75*scale,
+	// overflowing admission by 0.25*scale — exactly `scale` BE sheds.
+	type guest struct {
+		class planner.Class
+		util  planner.Util
+		spare bool
+	}
+	var guests []guest
+	for i := 0; i < nLS; i++ {
+		guests = append(guests, guest{planner.LS, planner.Util{Num: 1, Den: 2}, false})
+	}
+	for i := 0; i < nBE; i++ {
+		guests = append(guests, guest{planner.BE, planner.Util{Num: 1, Den: 4}, false})
+	}
+	for i := 0; i < nSpare; i++ {
+		guests = append(guests, guest{planner.LS, planner.Util{Num: 3, Den: 4}, true})
+	}
+
+	sys := core.NewSystem(cores, planner.Options{}, dispatch.Options{})
+	for slot, g := range guests {
+		if _, err := sys.AddVM(core.VMConfig{
+			Name: fmt.Sprintf("t%d", slot), Util: g.util, LatencyGoal: latencyGoal, Class: g.class,
+		}); err != nil {
+			return nil, err
+		}
+		if g.spare {
+			if err := sys.SetActive(slot, false); err != nil {
+				return nil, err
+			}
+		}
+	}
+	disp, res, err := sys.BuildDispatcher()
+	if err != nil {
+		return nil, err
+	}
+	m := vmm.New(sim.New(seed), cores, disp, vmm.NoOverheads())
+
+	servers := make([]*workload.SLOServer, len(guests))
+	for slot := range guests {
+		srv := &workload.SLOServer{Cost: 20_000, SLO: 10_000_000}
+		servers[slot] = srv
+		// Uncapped: the reservation is the guarantee, bursts ride the
+		// second level — the layer whose class policy is under test.
+		v := m.AddVCPU(fmt.Sprintf("t%d", slot), srv.Program(), 256, false)
+		srv.Bind(v)
+	}
+	be := make([]bool, len(guests))
+	for slot, g := range guests {
+		be[slot] = g.class == planner.BE
+	}
+	disp.SetBestEffort(be)
+
+	// Identical bursty open-loop streams per guest: modest base rate
+	// with heavy bursts, seeded per slot so guests stay out of lockstep.
+	// Spares start serving only after the surge activates them.
+	requests := make([]int64, len(guests))
+	for slot, g := range guests {
+		start, span := int64(0), horizon
+		if g.spare {
+			if cell != TenancyCellSurge {
+				continue
+			}
+			start, span = surgeAt, horizon-surgeAt
+		}
+		requests[slot] = int64(workload.ScheduleBursts(
+			m, servers[slot], start, span,
+			2_000, 20_000, 20_000_000, 10_000_000,
+			seed*1000+int64(slot)))
+	}
+
+	var surgeTr *core.Transition
+	if cell == TenancyCellSurge {
+		ctrl, err := core.NewController(sys, disp, res)
+		if err != nil {
+			return nil, err
+		}
+		m.Eng.At(surgeAt, func(int64) {
+			for slot, g := range guests {
+				if g.spare {
+					ctrl.Submit(core.Op{Kind: core.OpActivate, Slot: slot})
+				}
+			}
+			surgeTr, _ = ctrl.Flush()
+		})
+	}
+
+	m.Start()
+	m.Run(horizon)
+	m.Stop()
+
+	pts := []TenancyPoint{
+		{Cell: cell, Class: planner.LS},
+		{Cell: cell, Class: planner.BE},
+	}
+	hists := []*stats.Histogram{stats.NewHistogram(), stats.NewHistogram()}
+	for slot, g := range guests {
+		k := 0
+		if g.class == planner.BE {
+			k = 1
+		}
+		pts[k].VMs++
+		pts[k].Requests += requests[slot]
+		pts[k].Completed += servers[slot].Completed()
+		pts[k].SLOMet += servers[slot].SLOMet()
+		hists[k].Merge(servers[slot].Latencies())
+	}
+	for k := range pts {
+		pts[k].P50 = hists[k].Quantile(0.50)
+		pts[k].P90 = hists[k].Quantile(0.90)
+		pts[k].P99 = hists[k].P99()
+		pts[k].Max = hists[k].Max()
+	}
+	if surgeTr != nil {
+		for _, op := range surgeTr.Committed {
+			if op.Shed {
+				pts[0].Sheds++
+				pts[1].Sheds++
+			}
+		}
+	}
+	return pts, nil
+}
+
+// Tenancy runs both tenancy cells and renders the per-class rows.
+func Tenancy(mode Mode) (*Result, error) {
+	cells := []string{TenancyCellSteady, TenancyCellSurge}
+	pts, err := Collect(len(cells), func(i int) ([]TenancyPoint, error) {
+		return RunTenancy(cells[i], mode, 42)
+	})
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Name:   "tenancy",
+		Title:  "Mixed-criticality serving: per-class SLO attainment and latency CDF under bursty open-loop load",
+		Header: []string{"cell", "class", "vms", "requests", "completed", "slo_met", "slo_pct", "p50_ms", "p90_ms", "p99_ms", "max_ms", "sheds"},
+		Note: "Identical bursty SLO servers per guest; only the tenancy class differs. The surge cell activates spare LS guests past the admission edge mid-run: " +
+			"the controller sheds BE guests (committed Shed deactivations) to admit them, so BE shows Requests > Completed while LS keeps serving. SLO = 10 ms per request, coordinated-omission correct.",
+	}
+	for _, cellPts := range pts {
+		for _, p := range cellPts {
+			pct := "-"
+			if p.Completed > 0 {
+				pct = fmt.Sprintf("%.1f%%", 100*float64(p.SLOMet)/float64(p.Completed))
+			}
+			r.Rows = append(r.Rows, []string{
+				p.Cell, p.Class.String(), itoa(int64(p.VMs)),
+				itoa(p.Requests), itoa(p.Completed), itoa(p.SLOMet), pct,
+				ms(p.P50), ms(p.P90), ms(p.P99), ms(p.Max), itoa(p.Sheds),
+			})
+		}
+	}
+	return r, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// tenancyCSV renders a tenancy run to CSV bytes at the given
+// parallelism, restoring the previous setting afterwards.
+func tenancyCSV(t *testing.T, parallel int) ([]byte, *Result) {
+	t.Helper()
+	prev := Parallelism()
+	SetParallelism(parallel)
+	defer SetParallelism(prev)
+
+	r, err := Tenancy(Quick)
+	if err != nil {
+		t.Fatalf("tenancy at -parallel %d: %v", parallel, err)
+	}
+	path := filepath.Join(t.TempDir(), "tenancy.csv")
+	if err := r.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data, r
+}
+
+// TestTenancyDeterminism is the tenancy-short CI gate: the tenancy CSV
+// must be byte-identical across runs and across -parallel settings,
+// the surge cell must actually shed (BE pays for LS admission), the
+// steady cell must not, and LS must keep serving through the surge
+// while the shed BE guests leave an unserved tail.
+func TestTenancyDeterminism(t *testing.T) {
+	seq, r := tenancyCSV(t, 1)
+	par, _ := tenancyCSV(t, 8)
+	if string(seq) != string(par) {
+		t.Fatalf("tenancy CSV differs between -parallel 1 and -parallel 8:\n--- p1 ---\n%s\n--- p8 ---\n%s", seq, par)
+	}
+	again, _ := tenancyCSV(t, 1)
+	if string(seq) != string(again) {
+		t.Fatal("tenancy CSV differs between two identical runs")
+	}
+
+	col := make(map[string]int, len(r.Header))
+	for i, h := range r.Header {
+		col[h] = i
+	}
+	num := func(row []string, name string) int64 {
+		v, err := strconv.ParseInt(row[col[name]], 10, 64)
+		if err != nil {
+			t.Fatalf("column %s: %v", name, err)
+		}
+		return v
+	}
+	for _, row := range r.Rows {
+		cell, class := row[col["cell"]], row[col["class"]]
+		sheds := num(row, "sheds")
+		requests, completed := num(row, "requests"), num(row, "completed")
+		if completed == 0 {
+			t.Errorf("%s/%s: no request completed", cell, class)
+		}
+		switch cell {
+		case TenancyCellSteady:
+			if sheds != 0 {
+				t.Errorf("steady cell committed %d sheds, want 0", sheds)
+			}
+			if completed != requests {
+				t.Errorf("steady/%s: %d of %d requests unserved without any shed", class, requests-completed, requests)
+			}
+		case TenancyCellSurge:
+			if sheds == 0 {
+				t.Errorf("surge cell committed no shed — the LS wave did not overflow admission")
+			}
+			if class == "LS" && completed != requests {
+				t.Errorf("surge/LS: %d of %d requests unserved — LS must keep serving through the surge", requests-completed, requests)
+			}
+			if class == "BE" && completed >= requests {
+				t.Errorf("surge/BE: all %d requests served — the shed left no tail, so the shed path was not exercised", requests)
+			}
+		}
+	}
+}

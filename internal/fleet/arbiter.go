@@ -428,6 +428,14 @@ func (a *Arbiter) PlaceBatch(vms []VM) (Stats, error) {
 					pd.ban(h)
 					retry(pd)
 				}
+				// Best-effort guests the host shed to admit this batch are
+				// gone from the host; drop them from the registry. Runs
+				// after the pend loop so a VM placed and shed in the same
+				// commit is recorded and then removed.
+				for _, name := range b.result.Shed {
+					a.removePlacedLocked(name)
+					bs.Shed++
+				}
 			}
 		}
 		a.mu.Unlock()
@@ -553,6 +561,10 @@ func (a *Arbiter) Place(vm VM) (int, error) {
 			}
 			a.mu.Lock()
 			a.recordPlacedLocked(vm.Name, h)
+			for _, name := range res.Shed {
+				a.removePlacedLocked(name)
+				bs.Shed++
+			}
 			a.mu.Unlock()
 			return h, nil
 		}

@@ -47,6 +47,11 @@ type VM struct {
 	Util planner.Util
 	// LatencyGoal is the maximum scheduling latency L in ns.
 	LatencyGoal int64
+	// Class is the tenancy class. The zero value is latency-sensitive;
+	// best-effort guests are the fleet's sheddable tier — a host may
+	// deactivate them (a committed, journaled shed) to admit an LS
+	// placement its headroom could not otherwise hold.
+	Class planner.Class
 }
 
 // ppm returns the VM's reserved utilization in parts-per-million of
@@ -97,6 +102,9 @@ type Stats struct {
 	// SparePlacements counts placements that landed on the reserved
 	// spare-host pool; Unplaced counts VMs that exhausted MaxAttempts.
 	SparePlacements, Unplaced int64
+	// Shed counts best-effort VMs a host deactivated to admit a
+	// latency-sensitive placement.
+	Shed int64
 }
 
 // add accumulates o into s.
@@ -109,6 +117,7 @@ func (s *Stats) add(o Stats) {
 	s.SlotRejects += o.SlotRejects
 	s.SparePlacements += o.SparePlacements
 	s.Unplaced += o.Unplaced
+	s.Shed += o.Shed
 }
 
 // Commit is one committed host transition in the fleet's ledger: the
@@ -123,7 +132,11 @@ type Commit struct {
 	Version uint64 // installed epoch (0: every op was rejected)
 	Placed  []string
 	Departed []string
-	Ops     []core.Op
+	// Shed names the best-effort VMs this commit deactivated to admit
+	// an LS placement — departures the host initiated, matched by
+	// Shed-marked deactivations in Ops.
+	Shed []string
+	Ops  []core.Op
 }
 
 // partition returns the placer partition a VM name hashes to.

@@ -119,6 +119,64 @@ func TestAdmissionRejectSparePoolAndUnplaced(t *testing.T) {
 	}
 }
 
+// TestShedAdmitsLSOverBE is the regression test for the class-blind
+// shed-retry path: before tenancy classes, an LS arrival on a full
+// host burned every attempt on admission rejects and came back
+// ErrUnplaced even though a best-effort guest held sheddable capacity.
+// Now the host sheds the BE guest — a committed, ledgered departure —
+// and admits the LS VM; the shed is surfaced through CommitResult,
+// the ledger, the registry, and Stats.Shed. A BE arrival past the
+// same edge must still be refused: best-effort has no claim on
+// anyone's slack.
+func TestShedAdmitsLSOverBE(t *testing.T) {
+	a := testArbiter(t, Config{Hosts: 1, Cores: 1, Placers: 1})
+	if _, err := a.Place(VM{Name: "be0", Util: big(), LatencyGoal: 20_000_000, Class: planner.BE}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Place(VM{Name: "be1", Util: planner.Util{Num: 1, Den: 2}, LatencyGoal: 20_000_000, Class: planner.BE}); !errors.Is(err, ErrUnplaced) {
+		t.Fatalf("BE arrival past the admission edge returned %v, want ErrUnplaced", err)
+	}
+	if got := a.Hosts()[0].VMs(); got != 1 {
+		t.Fatalf("host holds %d VMs after the rejected BE probe, want just be0", got)
+	}
+
+	h, err := a.Place(VM{Name: "ls0", Util: planner.Util{Num: 1, Den: 2}, LatencyGoal: 20_000_000})
+	if err != nil {
+		t.Fatalf("LS arrival returned %v while a BE slot was sheddable", err)
+	}
+	if h != 0 {
+		t.Fatalf("LS arrival landed on host %d, want 0", h)
+	}
+	asg := a.Assignments()
+	if host, live := asg["ls0"]; !live || host != 0 {
+		t.Fatalf("registry %v: ls0 must be live on host 0", asg)
+	}
+	if _, live := asg["be0"]; live {
+		t.Fatalf("registry %v: shed be0 must be gone", asg)
+	}
+	if st := a.Stats(); st.Shed != 1 || st.Unplaced != 1 {
+		t.Fatalf("stats %+v, want Shed 1 (be0) and Unplaced 1 (be1)", st)
+	}
+	ledger := a.Hosts()[0].Ledger()
+	last := ledger[len(ledger)-1]
+	if !reflect.DeepEqual(last.Placed, []string{"ls0"}) || !reflect.DeepEqual(last.Shed, []string{"be0"}) {
+		t.Fatalf("ledger tail placed %v shed %v, want [ls0]/[be0]", last.Placed, last.Shed)
+	}
+	sheds := 0
+	for _, op := range last.Ops {
+		if op.Shed {
+			sheds++
+		}
+	}
+	if sheds != 1 {
+		t.Fatalf("ledger tail ops %+v, want exactly one Shed deactivation", last.Ops)
+	}
+	// The freed capacity is really free: another quarter-core BE fits.
+	if _, err := a.Place(VM{Name: "be2", Util: quarter(), LatencyGoal: 20_000_000, Class: planner.BE}); err != nil {
+		t.Fatalf("placement into shed capacity returned %v", err)
+	}
+}
+
 func TestDepartBatchFreesCapacityAndSlots(t *testing.T) {
 	a := testArbiter(t, Config{Hosts: 2, Cores: 2, Placers: 2})
 	var vms []VM

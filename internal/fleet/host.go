@@ -128,10 +128,13 @@ type Reject struct {
 
 // CommitResult reports the outcome of one versioned commit: the host's
 // version after the commit, the VM names placed, and the per-VM
-// rejects.
+// rejects. Shed names the best-effort VMs the host deactivated to
+// admit this commit's latency-sensitive placements — the caller must
+// drop them from any fleet-level registry.
 type CommitResult struct {
 	Version uint64
 	Placed  []string
+	Shed    []string
 	Rejects []Reject
 }
 
@@ -155,7 +158,7 @@ func (h *Host) CommitPlacements(expect uint64, vms []VM) (CommitResult, error) {
 	var taken []int // slots handed out, in vm order
 	slotVM := make(map[int]VM)
 	for _, vm := range vms {
-		spec := planner.VCPUSpec{Name: vm.Name, Util: vm.Util, LatencyGoal: vm.LatencyGoal, Capped: true}
+		spec := planner.VCPUSpec{Name: vm.Name, Util: vm.Util, LatencyGoal: vm.LatencyGoal, Capped: true, Class: vm.Class}
 		if err := spec.Validate(); err != nil {
 			res.Rejects = append(res.Rejects, Reject{VM: vm, Err: err})
 			continue
@@ -172,8 +175,10 @@ func (h *Host) CommitPlacements(expect uint64, vms []VM) (CommitResult, error) {
 		h.free = h.free[:len(h.free)-1]
 		taken = append(taken, slot)
 		slotVM[slot] = vm
+		// SetClass rides the reconfigure: slots are recycled across guest
+		// generations, so the class must be restamped even back to LS.
 		ops = append(ops,
-			core.Op{Kind: core.OpReconfigure, Slot: slot, Util: vm.Util, LatencyGoal: vm.LatencyGoal},
+			core.Op{Kind: core.OpReconfigure, Slot: slot, Util: vm.Util, LatencyGoal: vm.LatencyGoal, SetClass: true, Class: vm.Class},
 			core.Op{Kind: core.OpActivate, Slot: slot},
 		)
 	}
@@ -216,12 +221,34 @@ func (h *Host) CommitPlacements(expect uint64, vms []VM) (CommitResult, error) {
 		h.usedPPM += vm.ppm()
 		res.Placed = append(res.Placed, vm.Name)
 	}
+	// Release the slots of any best-effort guests the controller shed to
+	// admit this batch: a Shed-marked deactivation is a committed,
+	// journaled departure the host initiated, so the occupant's
+	// bookkeeping is torn down exactly like CommitDepartures'. This runs
+	// after the placed loop so a guest placed and then shed within the
+	// same batch is released too.
+	for _, op := range tr.Committed {
+		if !op.Shed {
+			continue
+		}
+		name := h.slotVM[op.Slot]
+		if name == "" {
+			continue
+		}
+		delete(h.vmSlot, name)
+		h.slotVM[op.Slot] = ""
+		h.usedPPM -= h.slotPPM[op.Slot]
+		h.slotPPM[op.Slot] = 0
+		h.free = append(h.free, op.Slot)
+		res.Shed = append(res.Shed, name)
+	}
 	if tr.Version != 0 {
 		h.version = tr.Version
 		h.ledger = append(h.ledger, Commit{
 			Seq:     h.seq(),
 			Version: tr.Version,
 			Placed:  append([]string(nil), res.Placed...),
+			Shed:    append([]string(nil), res.Shed...),
 			Ops:     append([]core.Op(nil), tr.Committed...),
 		})
 	}

@@ -51,6 +51,11 @@ const (
 const (
 	slotFlagCapped = 1 << iota
 	slotFlagActive
+	// slotFlagBE marks a best-effort tenancy class. Old journals never
+	// set the bit (it was an unknown — and therefore rejected — flag),
+	// so every pre-class record decodes to LS slots and re-encodes
+	// bit-identically.
+	slotFlagBE
 )
 
 // HeaderSize is the fixed file prefix length.
@@ -80,6 +85,8 @@ type SlotConfig struct {
 	LatencyGoal int64
 	Capped      bool
 	Active      bool
+	// BestEffort marks the BE tenancy class; false is LS.
+	BestEffort bool
 }
 
 // EpochRecord is one committed epoch as journaled.
@@ -132,6 +139,9 @@ func appendPayload(dst []byte, r *EpochRecord) ([]byte, error) {
 		}
 		if s.Active {
 			fl |= slotFlagActive
+		}
+		if s.BestEffort {
+			fl |= slotFlagBE
 		}
 		dst = append(dst, fl)
 		dst = le.AppendUint64(dst, uint64(s.UtilNum))
@@ -308,11 +318,12 @@ func decodePayload(payload []byte) (EpochRecord, error) {
 		var s SlotConfig
 		s.Name = string(p.take(int(p.u16())))
 		fl := p.u8()
-		if p.err == nil && fl&^(slotFlagCapped|slotFlagActive) != 0 {
+		if p.err == nil && fl&^(slotFlagCapped|slotFlagActive|slotFlagBE) != 0 {
 			return rec, fmt.Errorf("unknown slot flags %#x", fl)
 		}
 		s.Capped = fl&slotFlagCapped != 0
 		s.Active = fl&slotFlagActive != 0
+		s.BestEffort = fl&slotFlagBE != 0
 		s.UtilNum = int64(p.u64())
 		s.UtilDen = int64(p.u64())
 		s.LatencyGoal = int64(p.u64())

@@ -120,10 +120,14 @@ func CacheKey(specs []VCPUSpec, opts Options) string {
 		buf = strconv.AppendInt(buf, s.LatencyGoal, 10)
 		buf = append(buf, ',')
 		if s.Capped {
-			buf = append(buf, 't', ';')
+			buf = append(buf, 't')
 		} else {
-			buf = append(buf, 'f', ';')
+			buf = append(buf, 'f')
 		}
+		if s.Class == BE {
+			buf = append(buf, 'b')
+		}
+		buf = append(buf, ';')
 	}
 	b.Write(buf)
 	return b.String()

@@ -5,6 +5,30 @@ import (
 	"math/big"
 )
 
+// Class is a vCPU's tenancy class, in the Akita style: latency-
+// sensitive (LS) guests hold hard guarantees that survive overload,
+// best-effort (BE) guests soak slack and are the first to shed. The
+// zero value is LS, so populations that never mention classes behave
+// exactly as before the class existed.
+type Class uint8
+
+const (
+	// LS marks a latency-sensitive guest: its admitted guarantee is
+	// never displaced by another admission.
+	LS Class = iota
+	// BE marks a best-effort guest: admitted into remaining headroom,
+	// deprioritized in the second-level scheduler, shed first under
+	// overload (as a committed, journaled deactivation).
+	BE
+)
+
+func (c Class) String() string {
+	if c == BE {
+		return "BE"
+	}
+	return "LS"
+}
+
 // A VCPUSpec is the planner's per-vCPU input: the reserved utilization U
 // and the maximum acceptable scheduling latency L (paper Sec. 5). These
 // may come from an explicit SLA, from price-differentiated service tiers,
@@ -19,6 +43,11 @@ type VCPUSpec struct {
 	// Capped vCPUs may only use their reservation; uncapped vCPUs also
 	// participate in the second-level scheduler.
 	Capped bool
+	// Class is the tenancy class (LS or BE). The table math is
+	// class-blind — a BE reservation is planned exactly like an LS one —
+	// but admission under overload, the second-level pick order, and the
+	// controller's shed policy read it.
+	Class Class
 }
 
 // Validate checks a single vCPU spec.
@@ -154,6 +183,37 @@ func Admit(specs []VCPUSpec, cores int) error {
 			return fmt.Errorf("planner: duplicate vCPU name %q", s.Name)
 		}
 		seen[s.Name] = struct{}{}
+		total.add(s.Util.Num, s.Util.Den)
+	}
+	if total.cmpInt(int64(cores)) > 0 {
+		return &ErrOverUtilized{Total: total.rat(), Cores: cores}
+	}
+	return nil
+}
+
+// AdmitLS checks admission over the latency-sensitive subpopulation
+// only: sum(U of LS specs) <= Cores. This is the gate that decides
+// whether an overloaded host may save an LS admission by shedding BE
+// guests — the LS guarantees alone must fit, so no LS guest is ever
+// displaced to make room for another. BE specs are validated but do
+// not count against capacity here.
+func AdmitLS(specs []VCPUSpec, cores int) error {
+	if cores <= 0 {
+		return fmt.Errorf("planner: non-positive core count %d", cores)
+	}
+	seen := make(map[string]struct{}, len(specs))
+	total := zeroFrac()
+	for _, s := range specs {
+		if err := s.Validate(); err != nil {
+			return err
+		}
+		if _, dup := seen[s.Name]; dup {
+			return fmt.Errorf("planner: duplicate vCPU name %q", s.Name)
+		}
+		seen[s.Name] = struct{}{}
+		if s.Class != LS {
+			continue
+		}
 		total.add(s.Util.Num, s.Util.Den)
 	}
 	if total.cmpInt(int64(cores)) > 0 {

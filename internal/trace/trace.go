@@ -198,8 +198,16 @@ type Record struct {
 	VCPU  int32  // subject vCPU id, -1 when not about a vCPU
 	CPU   uint16
 	Type  uint8
-	Flags uint8 // reserved, always 0
+	Flags uint8 // Flag* bits; 0 for records about no or an LS vCPU
 }
+
+// FlagBestEffort marks a record whose subject vCPU is best-effort
+// (tenancy class BE). Stamped at emission from the tracer's class
+// registry (SetBestEffort), so per-class analyses can split a decoded
+// dump without access to the live population. Records about LS vCPUs —
+// and every record from a run with no registry — carry Flags == 0,
+// keeping pre-class dumps bit-identical.
+const FlagBestEffort uint8 = 1 << 0
 
 // ring is one per-CPU buffer. n counts records ever emitted; when
 // n > len(buf) the oldest records have been overwritten. Capacity is a
@@ -261,6 +269,11 @@ type Tracer struct {
 	metrics  Metrics // cache of the last replay; valid when !dirty
 	dirty    bool
 	bound    bool
+
+	// be[v] marks vCPU v best-effort; Emit stamps FlagBestEffort on its
+	// records. Set via SetBestEffort; survives Bind (class is population
+	// configuration, not per-run state).
+	be []bool
 }
 
 // New creates a tracer whose per-CPU rings hold ringSize records each
@@ -296,6 +309,20 @@ func (t *Tracer) Bind(ncpus, nvcpus int) {
 	t.bound = true
 }
 
+// SetBestEffort installs the per-vCPU tenancy classes (true = BE),
+// indexed by vCPU id. Emit stamps FlagBestEffort on records about BE
+// vCPUs from then on. nil clears the registry (all LS).
+func (t *Tracer) SetBestEffort(be []bool) {
+	if t == nil {
+		return
+	}
+	if be == nil {
+		t.be = nil
+		return
+	}
+	t.be = append(t.be[:0], be...)
+}
+
 // Emit appends a record. cpu < 0 (or out of range) routes to the
 // control ring and is stored as ControlCPU. Emit on a nil or unbound
 // tracer is a no-op, so instrumentation sites stay branch-cheap. Emit
@@ -306,6 +333,9 @@ func (t *Tracer) Emit(typ uint8, cpu int, now int64, vcpu int, arg0, arg1 int64)
 		return
 	}
 	rec := Record{Time: now, Seq: t.seq, Arg0: arg0, Arg1: arg1, VCPU: int32(vcpu), Type: typ}
+	if vcpu >= 0 && vcpu < len(t.be) && t.be[vcpu] {
+		rec.Flags = FlagBestEffort
+	}
 	t.seq++
 	ri := len(t.rings) - 1
 	if cpu >= 0 && cpu < len(t.rings)-1 {

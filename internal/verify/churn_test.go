@@ -79,23 +79,26 @@ func TestChurnContinuity(t *testing.T) {
 	}
 }
 
-// TestMutationSmokeEvictOnOverload proves the continuity oracle earns
-// its keep: a controller defect that silently evicts admitted VMs to
-// make room for an inadmissible arrival must be caught as a retention
-// violation, while the correct controller rejects the arrival and
-// stays clean.
+// TestMutationSmokeShedLSFirst proves the class-aware continuity
+// oracle earns its keep: a controller defect that inverts the shed
+// order — taking a latency-sensitive guarantee while a best-effort
+// guest still holds the slack — must be caught as a shed-order
+// violation, while the correct controller sheds the BE guest and stays
+// clean. The inverted shed is committed and journaled, so retention
+// alone cannot object; only the class check convicts it.
 //
-// The host is one core at 3/4 utilization; the arriving spare wants
-// another 1/2. A correct controller refuses it (1.25 cores of
-// reservation cannot be placed); the defective one deactivates the
-// lowest admitted slot with no deactivation on record.
-func TestMutationSmokeEvictOnOverload(t *testing.T) {
+// The host is one core: vm0 is LS at 1/2, vm1 is BE at 1/4, and the
+// arriving LS spare wants another 1/2 (total 1.25 cores). The LS
+// subpopulation alone fits exactly (1/2 + 1/2), so admission is
+// entitled to displace BE slack: the correct controller sheds vm1 and
+// admits the spare; the defective one sheds vm0 while vm1 remains.
+func TestMutationSmokeShedLSFirst(t *testing.T) {
 	sc := &Scenario{
 		Seed:  7,
 		Cores: 1,
 		VMs: []VMSpec{
 			{Name: "vm0.0", Util: planner.Util{Num: 1, Den: 2}, LatencyGoal: 20_000_000, Capped: true},
-			{Name: "vm1.0", Util: planner.Util{Num: 1, Den: 4}, LatencyGoal: 20_000_000, Capped: true},
+			{Name: "vm1.0", Util: planner.Util{Num: 1, Den: 4}, LatencyGoal: 20_000_000, Capped: true, Class: planner.BE},
 		},
 		Spares: []VMSpec{
 			{Name: "spare0.0", Util: planner.Util{Num: 1, Den: 2}, LatencyGoal: 20_000_000, Capped: true},
@@ -110,8 +113,24 @@ func TestMutationSmokeEvictOnOverload(t *testing.T) {
 	if vs := CheckAll(clean); len(vs) != 0 {
 		t.Fatalf("correct controller flagged: %v", vs)
 	}
-	if len(clean.Transitions) != 1 || len(clean.Transitions[0].Tr.Rejected) != 1 {
-		t.Fatalf("correct controller should reject the oversized arrival, got %+v", clean.Transitions)
+	if len(clean.Transitions) != 1 {
+		t.Fatalf("expected one transition, got %+v", clean.Transitions)
+	}
+	tr := clean.Transitions[0].Tr
+	if len(tr.Rejected) != 0 {
+		t.Fatalf("correct controller should admit the LS arrival by shedding BE, rejected %+v", tr.Rejected)
+	}
+	shed := 0
+	for _, op := range tr.Committed {
+		if op.Shed {
+			shed++
+			if op.Slot != 1 {
+				t.Errorf("correct controller shed slot %d, want the BE slot 1", op.Slot)
+			}
+		}
+	}
+	if shed != 1 {
+		t.Fatalf("correct controller committed %d sheds, want 1 (%+v)", shed, tr.Committed)
 	}
 
 	evil, err := run(sc, nil, true)
@@ -119,9 +138,9 @@ func TestMutationSmokeEvictOnOverload(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The defect must have actually fired: the arrival was admitted by
-	// evicting someone, producing a second epoch.
+	// shedding the LS guest, producing a second epoch.
 	if len(evil.Controller.History()) < 2 {
-		t.Fatalf("evict defect did not install a new epoch (history %d)", len(evil.Controller.History()))
+		t.Fatalf("shed defect did not install a new epoch (history %d)", len(evil.Controller.History()))
 	}
 	found := false
 	for _, v := range CheckAll(evil) {
@@ -131,7 +150,57 @@ func TestMutationSmokeEvictOnOverload(t *testing.T) {
 		}
 	}
 	if !found {
-		t.Fatal("continuity oracle missed the silent eviction")
+		t.Fatal("continuity oracle missed the inverted shed order")
+	}
+}
+
+// TestTenancyContinuity soaks the class-aware oracles over seeded
+// mixed-class churn storms: across every storm, LS guarantees that
+// admission accepted survive, every BE absence is explained by a
+// committed deactivation, and no shed ever takes an LS slot while a BE
+// guest remains. The class draw rides after every structural draw, so
+// these are the same storms TestChurnContinuity replays, relabeled.
+// 200 scenarios in full mode (the acceptance floor), 50 under -short.
+func TestTenancyContinuity(t *testing.T) {
+	n := int64(200)
+	if testing.Short() {
+		n = 50
+	}
+	cfg := Config{ChurnPct: 100, BEPct: 50}
+	mixed, sheds := 0, 0
+	for seed := int64(1); seed <= n; seed++ {
+		sc := Generate(seed, cfg)
+		ls, be := 0, 0
+		for slot := 0; slot < sc.NumSlots(); slot++ {
+			if sc.VM(slot).Class == planner.BE {
+				be++
+			} else {
+				ls++
+			}
+		}
+		if ls > 0 && be > 0 {
+			mixed++
+		}
+		art, err := Run(sc)
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sc, err)
+		}
+		for _, ct := range art.Transitions {
+			for _, op := range ct.Tr.Committed {
+				if op.Shed {
+					sheds++
+				}
+			}
+		}
+		for _, v := range CheckAll(art) {
+			t.Errorf("seed %d (%s): %s", seed, sc, v)
+		}
+	}
+	if mixed < int(n)/2 {
+		t.Fatalf("only %d/%d scenarios drew a mixed-class population at BEPct=50", mixed, n)
+	}
+	if sheds == 0 {
+		t.Fatal("no storm exercised the shed path — the soak lost its teeth")
 	}
 }
 

@@ -31,8 +31,13 @@ type enactedEpoch struct {
 //   - retention: a slot holding a guarantee in enacted epoch k must
 //     hold one in enacted epoch k+1 unless a committed OpDeactivate for
 //     it exists in a transition with version in (v_k, v_{k+1}]. This is
-//     the check that catches UnsafeEvictOnOverload: an evicted victim
-//     loses its guarantee with no deactivation on record.
+//     the check that catches silent eviction: a victim that loses its
+//     guarantee with no deactivation on record.
+//   - shed order: a committed shed deactivation (Op.Shed) may take a
+//     latency-sensitive slot only when no best-effort slot remains
+//     active. This is the check that convicts UnsafeShedLSFirst: its
+//     sheds are committed and journaled — retention cannot object — but
+//     they take LS guarantees while BE guests still hold the slack.
 //   - gaps: for each Hog slot, every observed no-service gap [g0, g1)
 //     must satisfy g1-g0 <= sum of the slot's blackout bounds over the
 //     epochs the gap touches. A gap inside one fully-adopted epoch gets
@@ -59,8 +64,48 @@ func CheckContinuity(a *Artifacts) []Violation {
 
 	var out []Violation
 	out = append(out, checkEpochFidelity(a, hist)...)
+	out = append(out, checkShedOrder(a)...)
 	out = append(out, checkRetention(a, enacted)...)
 	out = append(out, checkContinuityGaps(a, enacted)...)
+	return out
+}
+
+// checkShedOrder replays the committed ops and holds the controller to
+// the class-aware shed policy: under overload, best-effort guests are
+// shed before any latency-sensitive guarantee is touched. Classes come
+// from the scenario's ground truth, never the controller's self-report,
+// so an inverted order is convicted even though its deactivations are
+// properly committed and journaled.
+func checkShedOrder(a *Artifacts) []Violation {
+	sc := a.Scenario
+	active := make([]bool, sc.NumSlots())
+	for i := range sc.VMs {
+		active[i] = true
+	}
+	var out []Violation
+	for _, ct := range a.Transitions {
+		if ct.Tr.Version == 0 {
+			continue // rolled back or all-rejected: population unchanged
+		}
+		for _, op := range ct.Tr.Committed {
+			switch op.Kind {
+			case core.OpActivate:
+				active[op.Slot] = true
+			case core.OpDeactivate:
+				if op.Shed && sc.VM(op.Slot).Class == core.LS {
+					for slot := range active {
+						if active[slot] && slot != op.Slot && sc.VM(slot).Class == core.BE {
+							out = append(out, Violation{ClassContinuity, op.Slot, fmt.Sprintf(
+								"transition %d sheds LS slot %d while BE slot %d is still active — inverted shed order",
+								ct.Tr.Version, op.Slot, slot)})
+							break
+						}
+					}
+				}
+				active[op.Slot] = false
+			}
+		}
+	}
 	return out
 }
 

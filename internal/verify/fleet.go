@@ -21,9 +21,9 @@ const ClassFleet = "fleet"
 // resident slot 0 included) — which also proves every slot live across
 // an epoch seam held a guarantee on both sides. Across hosts it merges
 // all ledgers by the arbiter's global commit sequence and replays
-// placements and departures: a VM placed while live anywhere, or
-// departed from a host that does not hold it, is a violation; at the
-// end the replayed owner map must equal the arbiter's registry.
+// placements, departures, and sheds: a VM placed while live anywhere,
+// or departed/shed from a host that does not hold it, is a violation;
+// at the end the replayed owner map must equal the arbiter's registry.
 func CheckFleet(a *fleet.Arbiter) []Violation {
 	var out []Violation
 	v := func(format string, args ...any) {
@@ -64,6 +64,19 @@ func CheckFleet(a *fleet.Arbiter) []Violation {
 				v("VM %q departed host %d while not live anywhere (seq %d)", name, sc.host, sc.c.Seq)
 			case oh != sc.host:
 				v("VM %q departed host %d but lives on host %d (seq %d)", name, sc.host, oh, sc.c.Seq)
+			default:
+				delete(owner, name)
+			}
+		}
+		// A shed is a host-initiated departure: the victim must have been
+		// live on exactly the shedding host, and is gone afterwards.
+		for _, name := range sc.c.Shed {
+			oh, live := owner[name]
+			switch {
+			case !live:
+				v("VM %q shed from host %d while not live anywhere (seq %d)", name, sc.host, sc.c.Seq)
+			case oh != sc.host:
+				v("VM %q shed from host %d but lives on host %d (seq %d)", name, sc.host, oh, sc.c.Seq)
 			default:
 				delete(owner, name)
 			}

@@ -34,6 +34,13 @@ func runFleetStorm(t *testing.T, seed int64, defect bool) *fleet.Arbiter {
 				LatencyGoal: 20_000_000,
 			}
 		}
+		// Class draw last, after every structural draw: ~40% best-effort,
+		// so the surge waves trigger real class-aware sheds on full hosts.
+		for i := range vms {
+			if rng.Intn(100) < 40 {
+				vms[i].Class = planner.BE
+			}
+		}
 		return vms
 	}
 
@@ -64,15 +71,18 @@ func runFleetStorm(t *testing.T, seed int64, defect bool) *fleet.Arbiter {
 }
 
 // TestCheckFleetSeeds soaks the cross-host continuity oracle: 120
-// seeded random churn storms (30 under -short), each replayed through
-// CheckFleet — every admitted VM must be live on exactly one host at
-// every epoch seam, and every host's guarantee history must track its
-// committed ledger exactly.
+// seeded random mixed-class churn storms (30 under -short), each
+// replayed through CheckFleet — every admitted VM must be live on
+// exactly one host at every epoch seam, every host's guarantee history
+// must track its committed ledger exactly, and every shed must name a
+// best-effort guest that was live on the shedding host. The soak must
+// actually exercise the shed path across the seed set.
 func TestCheckFleetSeeds(t *testing.T) {
 	seeds := 120
 	if testing.Short() {
 		seeds = 30
 	}
+	var sheds int64
 	for seed := 0; seed < seeds; seed++ {
 		a := runFleetStorm(t, int64(seed), false)
 		if vs := CheckFleet(a); len(vs) != 0 {
@@ -81,6 +91,10 @@ func TestCheckFleetSeeds(t *testing.T) {
 			}
 			t.Fatalf("seed %d: %d fleet continuity violations", seed, len(vs))
 		}
+		sheds += a.Stats().Shed
+	}
+	if sheds == 0 {
+		t.Fatal("no storm exercised the class-aware shed path — the soak lost its teeth")
 	}
 }
 

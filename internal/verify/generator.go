@@ -81,6 +81,11 @@ type VMSpec struct {
 	Workload    WorkloadKind
 	// ComputeNs/BlockNs parameterize Blocky workloads.
 	ComputeNs, BlockNs int64
+	// Class is the tenancy class. BE VMs soak second-level slack behind
+	// LS ones and are the shed victims when an LS arrival overloads the
+	// host; the class-continuity oracle holds the controller to exactly
+	// that order.
+	Class planner.Class
 }
 
 // ReplanSpec is an optional mid-run reconfiguration: at time At the
@@ -238,6 +243,11 @@ type Config struct {
 	// per core, in PPM (default 850_000 — admission with headroom, so
 	// generated scenarios never trip ErrOverUtilized by construction).
 	UtilBudgetPPM int64
+	// BEPct is the per-VM percentage of best-effort (BE) tenancy
+	// (default 25), applied to residents and spares alike. Negative
+	// keeps every VM latency-sensitive, reproducing pre-class
+	// populations exactly.
+	BEPct int
 }
 
 func (c Config) withDefaults() Config {
@@ -264,6 +274,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.UtilBudgetPPM == 0 {
 		c.UtilBudgetPPM = 850_000
+	}
+	if c.BEPct == 0 {
+		c.BEPct = 25
 	}
 	return c
 }
@@ -374,6 +387,21 @@ func Generate(seed int64, cfg Config) *Scenario {
 	// pre-churn versions of the generator produced for the same seed.
 	if cfg.ChurnPct > 0 && rng.Intn(100) < cfg.ChurnPct {
 		genChurn(rng, sc)
+	}
+	// Tenancy classes are drawn after every structural draw, so each
+	// seed's population shape, faults, and churn are identical to what
+	// pre-class generators produced — classes only relabel it.
+	if cfg.BEPct > 0 {
+		for i := range sc.VMs {
+			if rng.Intn(100) < cfg.BEPct {
+				sc.VMs[i].Class = planner.BE
+			}
+		}
+		for i := range sc.Spares {
+			if rng.Intn(100) < cfg.BEPct {
+				sc.Spares[i].Class = planner.BE
+			}
+		}
 	}
 	return sc
 }

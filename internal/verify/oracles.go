@@ -324,17 +324,36 @@ func checkNotLost(a *Artifacts) []Violation {
 		return nil
 	}
 	// Slots the churn storm touches may legitimately be dark at the end
-	// (departed, or an arrival the host refused); the continuity oracle
-	// owns their epoch-to-epoch story. Untouched residents must still be
-	// receiving service.
+	// (departed, or an arrival the host refused), and so may slots a
+	// committed shed deactivated to admit an LS arrival; the continuity
+	// oracle owns their epoch-to-epoch story. Untouched residents must
+	// still be receiving service.
 	churned := a.Scenario.churnedSlots()
+	shed := shedSlots(a)
 	for v := range hogGuarantees(a) {
-		if churned[v] {
+		if churned[v] || shed[v] {
 			continue
 		}
 		if serviceIn(runs[v], cutoff, Horizon) == 0 {
 			out = append(out, Violation{ClassConservation, v, fmt.Sprintf(
 				"no service in final [%d,%d) ns — vcpu lost across a table switch?", cutoff, Horizon)})
+		}
+	}
+	return out
+}
+
+// shedSlots returns the slots some committed shed deactivated at any
+// point in the run (empty for controller-free runs).
+func shedSlots(a *Artifacts) map[int]bool {
+	var out map[int]bool
+	for _, ct := range a.Transitions {
+		for _, op := range ct.Tr.Committed {
+			if op.Shed {
+				if out == nil {
+					out = make(map[int]bool)
+				}
+				out[op.Slot] = true
+			}
 		}
 	}
 	return out

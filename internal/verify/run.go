@@ -90,9 +90,9 @@ func Run(sc *Scenario) (*Artifacts, error) {
 }
 
 // run keeps the historical mutation-smoke signature: an optional
-// scheduler wrapper and the UnsafeEvictOnOverload switch.
-func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler, evict bool) (*Artifacts, error) {
-	return runWith(sc, runKnobs{wrap: wrap, evict: evict})
+// scheduler wrapper and the UnsafeShedLSFirst switch.
+func run(sc *Scenario, wrap func(inner vmm.Scheduler) vmm.Scheduler, shedLSFirst bool) (*Artifacts, error) {
+	return runWith(sc, runKnobs{wrap: wrap, shedLSFirst: shedLSFirst})
 }
 
 // runKnobs selects run variants for tests: mutation-smoke defect
@@ -101,8 +101,8 @@ type runKnobs struct {
 	// wrap installs an intentionally broken scheduler variant between
 	// the dispatcher and the machine.
 	wrap func(inner vmm.Scheduler) vmm.Scheduler
-	// evict arms the Controller's UnsafeEvictOnOverload defect.
-	evict bool
+	// shedLSFirst arms the Controller's UnsafeShedLSFirst defect.
+	shedLSFirst bool
 	// staleSlice arms the planner's UnsafeStaleSliceReuse defect.
 	staleSlice bool
 	// scratch disables the planning fast paths (cache, incremental,
@@ -124,6 +124,7 @@ func runWith(sc *Scenario, k runKnobs) (*Artifacts, error) {
 		vm := sc.VM(slot)
 		id, err := sys.AddVM(core.VMConfig{
 			Name: vm.Name, Util: vm.Util, LatencyGoal: vm.LatencyGoal, Capped: vm.Capped,
+			Class: vm.Class,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("verify: %s: %w", sc, err)
@@ -152,6 +153,23 @@ func runWith(sc *Scenario, k runKnobs) (*Artifacts, error) {
 		vm := sc.VM(slot)
 		m.AddVCPU(vm.Name, programFor(sc, slot), 256, vm.Capped)
 	}
+	// Hand the population's tenancy classes to the runtime side channels:
+	// the dispatcher orders second-level slack by them, the tracer stamps
+	// FlagBestEffort on BE records. All-LS populations install nothing,
+	// keeping pre-class runs bit-for-bit.
+	var be []bool
+	for slot := 0; slot < sc.NumSlots(); slot++ {
+		if sc.VM(slot).Class == planner.BE {
+			if be == nil {
+				be = make([]bool, sc.NumSlots())
+			}
+			be[slot] = true
+		}
+	}
+	if be != nil {
+		disp.SetBestEffort(be)
+		tr.SetBestEffort(be)
+	}
 
 	art := &Artifacts{
 		Scenario:   sc,
@@ -173,7 +191,7 @@ func runWith(sc *Scenario, k runKnobs) (*Artifacts, error) {
 		if err != nil {
 			return nil, fmt.Errorf("verify: %s: %w", sc, err)
 		}
-		ctrl.UnsafeEvictOnOverload = k.evict
+		ctrl.UnsafeShedLSFirst = k.shedLSFirst
 		if !k.scratch {
 			// Speculation runs synchronously so runs stay deterministic;
 			// it costs wall-clock only, never sim time. The tracer records

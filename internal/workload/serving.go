@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"math/rand"
+
+	"tableau/internal/stats"
+	"tableau/internal/vmm"
+)
+
+// SLOServer is the mixed-criticality serving guest of the tenancy
+// experiment: an open-loop request responder with per-request SLO
+// accounting. Each request costs Cost CPU time; latency is measured
+// from the request's *intended* arrival time to completion of its
+// compute (coordinated-omission correct — a request delayed behind a
+// backlog charges the whole wait), and each completion is classified
+// against the per-request latency objective SLO.
+type SLOServer struct {
+	// Cost is the CPU time to serve one request; default 20 µs.
+	Cost int64
+	// SLO is the per-request latency objective; default 10 ms.
+	SLO int64
+
+	vcpu    *vmm.VCPU
+	queue   []int64 // intended arrival times, FIFO
+	serving int64   // intended time of the in-flight request; -1 none
+	hist    stats.Histogram
+	met     int64
+}
+
+// Bind attaches the server to its vCPU; call after AddVCPU.
+func (s *SLOServer) Bind(v *vmm.VCPU) { s.vcpu = v; s.serving = -1 }
+
+// Program returns the responder program.
+func (s *SLOServer) Program() vmm.Program {
+	if s.Cost == 0 {
+		s.Cost = 20_000
+	}
+	if s.SLO == 0 {
+		s.SLO = 10_000_000
+	}
+	return vmm.ProgramFunc(func(m *vmm.Machine, v *vmm.VCPU, now int64) vmm.Action {
+		if s.serving >= 0 {
+			lat := now - s.serving
+			s.hist.Record(lat)
+			if lat <= s.SLO {
+				s.met++
+			}
+			s.serving = -1
+		}
+		if len(s.queue) == 0 {
+			return vmm.BlockIndefinitely()
+		}
+		s.serving = s.queue[0]
+		s.queue = s.queue[1:]
+		return vmm.Compute(s.Cost)
+	})
+}
+
+// Arrive enqueues a request with the given intended arrival time,
+// waking the server.
+func (s *SLOServer) Arrive(m *vmm.Machine, intended int64) {
+	s.queue = append(s.queue, intended)
+	m.Wake(s.vcpu)
+}
+
+// Completed returns the number of served requests.
+func (s *SLOServer) Completed() int64 { return s.hist.Count() }
+
+// SLOMet returns the number of served requests that met the objective.
+func (s *SLOServer) SLOMet() int64 { return s.met }
+
+// Latencies returns the recorded request-latency distribution
+// (intended arrival to compute completion).
+func (s *SLOServer) Latencies() *stats.Histogram { return &s.hist }
+
+// ScheduleBursts schedules an open-loop bursty request stream onto the
+// server: the window [start, start+duration) alternates quiet segments
+// (baseRate requests/s) and bursts (burstRate requests/s), with each
+// segment's length jittered in [0.5, 1.5)x its nominal quietLen or
+// burstLen. Arrival events fire at the intended times regardless of
+// server state — the open-loop property that makes the SLO accounting
+// coordinated-omission correct. Returns the number of requests
+// scheduled.
+func ScheduleBursts(m *vmm.Machine, s *SLOServer, start, duration int64,
+	baseRate, burstRate float64, quietLen, burstLen int64, seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	n := 0
+	t := start
+	end := start + duration
+	inBurst := false
+	for t < end {
+		nom, rate := quietLen, baseRate
+		if inBurst {
+			nom, rate = burstLen, burstRate
+		}
+		seg := nom/2 + rng.Int63n(max1(nom))
+		if t+seg > end {
+			seg = end - t
+		}
+		if k := int(rate * float64(seg) / 1e9); k > 0 {
+			for _, at := range stats.OpenLoop(t, rate, k) {
+				intended := at
+				m.Eng.At(intended, func(int64) { s.Arrive(m, intended) })
+				n++
+			}
+		}
+		t += seg
+		inBurst = !inBurst
+	}
+	return n
+}
