@@ -4,11 +4,17 @@
 //
 // Usage:
 //
-//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation|chaos|churnchaos|crashchaos|fleet|tenancy|fig5trace|verify] [-csv dir] [-parallel N]
+//	experiments [-mode quick|full] [-run all|fig3|fig4|fig5|fig6|fig7|fig8|tab1|tab2|level2|ablation|chaos|churnchaos|crashchaos|fleet|failover|tenancy|fig5trace|verify] [-csv dir] [-parallel N]
 //
 // fleet drives the shared-state placement arbiter (internal/fleet):
 // 1000 simulated hosts, a 10k-VM fill wave, seeded churn storms and an
 // overflow surge, with the cross-host continuity oracle replayed after
+// every storm. Rows are byte-identical at any -parallel setting.
+//
+// failover drives the fleet's failure domains: a journaled 1000-host
+// fleet absorbs seeded crash storms killing ~5% of the hosts mid-churn,
+// and the arbiter recovers each victim from its surviving journal image
+// or evacuates it LS-first, with the failure-seam oracle replayed after
 // every storm. Rows are byte-identical at any -parallel setting.
 //
 // tenancy measures mixed-criticality serving: latency-sensitive and
@@ -47,7 +53,7 @@ import (
 
 func main() {
 	modeFlag := flag.String("mode", "quick", "experiment scale: quick or full")
-	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation, chaos, churnchaos, crashchaos, fleet, tenancy, fig5trace, verify)")
+	runFlag := flag.String("run", "all", "comma-separated experiments to run (all, fig3, fig4, tab1, tab2, fig5, fig6, fig7, fig8, level2, ablation, chaos, churnchaos, crashchaos, fleet, failover, tenancy, fig5trace, verify)")
 	csvDir := flag.String("csv", "", "directory to write per-experiment CSV files (optional)")
 	parallel := flag.Int("parallel", 0, "worker count for independent experiment cells (0 = GOMAXPROCS, 1 = serial)")
 	traceOut := flag.String("trace-out", "", "directory to write fig5trace's raw binary trace dumps (optional)")
@@ -182,6 +188,13 @@ func main() {
 	}
 	if selected("fleet") {
 		r, err := experiments.Fleet(mode)
+		if err != nil {
+			fail(err)
+		}
+		results = append(results, r)
+	}
+	if selected("failover") {
+		r, err := experiments.Failover(mode)
 		if err != nil {
 			fail(err)
 		}

@@ -112,3 +112,25 @@ func TestCompareToleranceBoundary(t *testing.T) {
 		t.Errorf("over-tolerance not flagged: %v", reg)
 	}
 }
+
+// TestCompareAllocSlack pins the allocation-gate policy: amortization
+// noise on alloc-carrying benchmarks passes, real growth is flagged,
+// and zero-alloc benchmarks stay strict (any new alloc is +Inf%).
+func TestCompareAllocSlack(t *testing.T) {
+	old := map[string]Metrics{"a": mm(100, 24000, 124), "z": mm(100, 0, 0)}
+	// Within slack: one amortized alloc and <1% B/op drift.
+	reg, _ := Compare(old, map[string]Metrics{"a": mm(100, 24200, 125), "z": mm(100, 0, 0)}, 10)
+	if len(reg) != 0 {
+		t.Errorf("amortization noise flagged as regression: %v", reg)
+	}
+	// Beyond slack: both allocation units regress.
+	reg, _ = Compare(old, map[string]Metrics{"a": mm(100, 26000, 130), "z": mm(100, 0, 0)}, 10)
+	if len(reg) != 2 {
+		t.Errorf("real allocation growth not flagged on both units: %v", reg)
+	}
+	// Zero-alloc benchmark gains one alloc: +Inf%, slack never excuses it.
+	reg, _ = Compare(old, map[string]Metrics{"a": mm(100, 24000, 124), "z": mm(100, 16, 1)}, 10)
+	if len(reg) != 2 {
+		t.Errorf("zero->nonzero alloc not flagged: %v", reg)
+	}
+}

@@ -42,6 +42,10 @@ type RecoverOptions struct {
 	// like any emergency replan). A replan failure is reported, not
 	// fatal: the controller stays on the last good epoch.
 	ReplanTorn bool
+	// Sink, when non-nil, is installed as the rebuilt controller's table
+	// sink instead of a fresh dispatcher (the fleet's hosts own their
+	// sinks). Recover then returns a nil Dispatcher.
+	Sink TableSink
 }
 
 // RecoveryReport describes what Recover found and did.
@@ -105,16 +109,10 @@ func Recover(store journal.Store, opts RecoverOptions) (*Controller, *dispatch.D
 	}
 
 	// Fold the replayed records into the epoch sequence the live
-	// controller held. An emergency rollback re-commits the reverted-to
-	// epoch verbatim, so a record whose version does not exceed the
-	// current top is a revert: pop back to below it, then append.
-	records := make([]journal.EpochRecord, 0, len(rep.Records))
+	// controller held (rollback re-commits pop their superseded tops).
+	records := journal.FoldEpochs(rep.Records)
 	var maxVersion uint64
 	for _, rec := range rep.Records {
-		for len(records) > 0 && records[len(records)-1].Version >= rec.Version {
-			records = records[:len(records)-1]
-		}
-		records = append(records, rec)
 		if rec.Version > maxVersion {
 			maxVersion = rec.Version
 		}
@@ -214,10 +212,15 @@ func Recover(store journal.Store, opts RecoverOptions) (*Controller, *dispatch.D
 	}
 
 	cur := history[len(history)-1]
-	d := dispatch.New(cur.Table, opts.Dispatch)
+	var d *dispatch.Dispatcher
+	sink := opts.Sink
+	if sink == nil {
+		d = dispatch.New(cur.Table, opts.Dispatch)
+		sink = d
+	}
 	c := &Controller{
 		sys:        sys,
-		sink:       d,
+		sink:       sink,
 		epoch:      cur,
 		history:    history,
 		MaxHistory: opts.MaxHistory,

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFailoverDeterminism runs the fleet failure-domain experiment at
+// -parallel 1 and -parallel 8 and demands byte-identical CSV: per-host
+// commit order is placer-ordered and round-frozen, so each armed crash
+// fires at the same append boundary at any worker count, and the
+// recover/evacuate accounting must not leak parallelism into any
+// counter. It also gates the experiment's claims: zero oracle
+// violations after every storm, and both resolution paths — recovery
+// and evacuation — actually taken across the sweep. -short runs the
+// CI-sized fleet; the full test runs the real 1000-host one.
+func TestFailoverDeterminism(t *testing.T) {
+	p := failoverQuickParams()
+	if testing.Short() {
+		p = failoverShortParams()
+	}
+	prev := Parallelism()
+	defer SetParallelism(prev)
+
+	run := func(par int) *Result {
+		SetParallelism(par)
+		r, err := runFailover(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1 := run(1)
+	r8 := run(8)
+	b1, b8 := csvBytes(t, r1), csvBytes(t, r8)
+	if !bytes.Equal(b1, b8) {
+		t.Fatalf("failover CSV differs between -parallel 1 and 8:\n--- parallel 1 ---\n%s--- parallel 8 ---\n%s", b1, b8)
+	}
+
+	for _, v := range fleetColumn(t, r1, "oracle_violations") {
+		if v != 0 {
+			t.Fatalf("failover run has oracle violations:\n%s", b1)
+		}
+	}
+	sum := func(name string) (total int64) {
+		for _, v := range fleetColumn(t, r1, name) {
+			total += v
+		}
+		return
+	}
+	if sum("hosts_down") == 0 || sum("displaced") == 0 {
+		t.Fatalf("failover storms took no host down:\n%s", b1)
+	}
+	if sum("recovered") == 0 {
+		t.Fatalf("no host recovered from its journal image:\n%s", b1)
+	}
+	if sum("evacuated") == 0 {
+		t.Fatalf("no guest was evacuated off a dead host:\n%s", b1)
+	}
+	// Truthful accounting: every displaced guest recovered in place,
+	// evacuated, or was explicitly lost.
+	if sum("displaced") < sum("evacuated")+sum("lost") {
+		t.Fatalf("displaced < evacuated+lost — the accounting invented guests:\n%s", b1)
+	}
+}

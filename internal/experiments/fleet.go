@@ -103,14 +103,18 @@ func runFleet(p fleetParams) (*Result, error) {
 			"storm", "arrivals", "departures",
 			"placed", "departed", "conflicts", "retries",
 			"admission_rejects", "slot_rejects", "spare_placements", "unplaced",
-			"transitions", "planner_calls", "oracle_violations",
+			"transitions", "planner_calls",
+			"hosts_down", "recovered", "evacuated", "evac_sheds",
+			"oracle_violations",
 		},
-		Note: "Snapshot headroom is advisory; each host's admission check is the authoritative gate. conflicts = commits lost to a stale host version (the loser refreshes and retries, bounded); the surge deliberately overflows the fleet so rejects, spare placements and unplaced VMs are exercised. oracle_violations replays every host ledger through verify.CheckFleet cumulatively after the storm and must be 0.",
+		Note: "Snapshot headroom is advisory; each host's admission check is the authoritative gate. conflicts = commits lost to a stale host version (the loser refreshes and retries, bounded); the surge deliberately overflows the fleet so rejects, spare placements and unplaced VMs are exercised. hosts_down/recovered/evacuated/evac_sheds are the failure-domain counters — this experiment injects no crashes, so they are pinned at 0 (the failover experiment exercises them). oracle_violations replays every host ledger through verify.CheckFleet cumulatively after the storm and must be 0.",
 	}
 
 	prevTotals := arb.ControllerTotals()
+	prevStats := arb.Stats()
 	row := func(storm string, arrivals, departures int, bs fleet.Stats) {
 		totals := arb.ControllerTotals()
+		stats := arb.Stats()
 		viol := len(verify.CheckFleet(arb))
 		r.Rows = append(r.Rows, []string{
 			storm, itoa(int64(arrivals)), itoa(int64(departures)),
@@ -118,9 +122,14 @@ func runFleet(p fleetParams) (*Result, error) {
 			itoa(bs.AdmissionRejects), itoa(bs.SlotRejects), itoa(bs.SparePlacements), itoa(bs.Unplaced),
 			itoa(totals.Transitions - prevTotals.Transitions),
 			itoa(totals.PlannerCalls - prevTotals.PlannerCalls),
+			itoa(stats.HostsDown - prevStats.HostsDown),
+			itoa(stats.Recovered - prevStats.Recovered),
+			itoa(stats.Evacuated - prevStats.Evacuated),
+			itoa(stats.EvacSheds - prevStats.EvacSheds),
 			itoa(int64(viol)),
 		})
 		prevTotals = totals
+		prevStats = stats
 	}
 
 	rng := rand.New(rand.NewSource(p.seed))

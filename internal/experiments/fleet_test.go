@@ -97,4 +97,11 @@ func TestFleetDeterminism(t *testing.T) {
 	if sum("admission_rejects") == 0 {
 		t.Fatalf("fleet storm never hit the authoritative admission gate:\n%s", b1)
 	}
+	// This experiment injects no crashes: the failure-domain counters
+	// must be pinned at zero (the failover experiment owns them).
+	for _, name := range []string{"hosts_down", "recovered", "evacuated", "evac_sheds"} {
+		if sum(name) != 0 {
+			t.Fatalf("fault-free fleet run has nonzero %s:\n%s", name, b1)
+		}
+	}
 }

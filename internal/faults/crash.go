@@ -30,17 +30,28 @@ import (
 //	               corrupted in flight; the CRC catches it and recovery
 //	               truncates back to the last intact record.
 
-// Crash kinds, matching the write boundaries above.
+// Crash kinds, matching the write boundaries above. CrashFailStop is
+// the fleet-level extra: the host dies permanently — nothing of the
+// crashing append persists and the journal image is unreadable (the
+// disk went with the machine), so recovery is impossible and the
+// arbiter must evacuate.
 const (
 	CrashPreAppend  = "crash-pre-append"
 	CrashTorn       = "crash-torn-write"
 	CrashPostAppend = "crash-post-append"
 	CrashBitFlip    = "crash-bit-flip"
+	CrashFailStop   = "crash-fail-stop"
 )
 
-// CrashKinds lists every crash kind, in a fixed order tests and
-// experiments index with a seeded draw.
+// CrashKinds lists every recoverable crash kind, in a fixed order tests
+// and experiments index with a seeded draw. Fail-stop is deliberately
+// absent: single-host recovery scenarios draw from here, and a
+// fail-stop host has no surviving image to recover.
 var CrashKinds = []string{CrashPreAppend, CrashTorn, CrashPostAppend, CrashBitFlip}
+
+// HostCrashKinds is the fleet-level draw set: every recoverable kind
+// plus permanent fail-stop.
+var HostCrashKinds = []string{CrashPreAppend, CrashTorn, CrashPostAppend, CrashBitFlip, CrashFailStop}
 
 // ErrCrashed is returned by every CrashStore operation once the crash
 // point has fired: the process this store belonged to is dead.
@@ -64,7 +75,7 @@ func (p CrashPlan) Validate() error {
 		return fmt.Errorf("faults: crash at append %d (counting is 1-based)", p.AtAppend)
 	}
 	switch p.Kind {
-	case CrashPreAppend, CrashTorn, CrashPostAppend, CrashBitFlip:
+	case CrashPreAppend, CrashTorn, CrashPostAppend, CrashBitFlip, CrashFailStop:
 		return nil
 	}
 	return fmt.Errorf("faults: unknown crash kind %q", p.Kind)
@@ -72,22 +83,63 @@ func (p CrashPlan) Validate() error {
 
 // CrashStore wraps a journal.Store and fires the plan's crash at the
 // configured append. After the crash every operation returns
-// ErrCrashed; Surviving returns the frozen post-crash disk image.
+// ErrCrashed; Surviving returns the frozen post-crash disk image
+// (except fail-stop, where the disk died with the host). A store built
+// by NewIdleCrashStore starts unarmed — a transparent pass-through —
+// and can be armed with a plan later; Arm resets the append count so
+// AtAppend is relative to the arming, which lets a fleet re-arm a
+// recovered host's fresh store for a later storm.
 type CrashStore struct {
 	mu      sync.Mutex
 	inner   journal.Store
 	plan    CrashPlan
+	armed   bool
 	rng     *rand.Rand
 	appends int
 	crashed bool
 }
 
-// NewCrashStore wraps inner with the given plan.
+// NewCrashStore wraps inner with the given plan, armed immediately.
 func NewCrashStore(inner journal.Store, plan CrashPlan) (*CrashStore, error) {
 	if err := plan.Validate(); err != nil {
 		return nil, err
 	}
-	return &CrashStore{inner: inner, plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}, nil
+	return &CrashStore{
+		inner: inner, plan: plan, armed: true,
+		rng: rand.New(rand.NewSource(plan.Seed)),
+	}, nil
+}
+
+// NewIdleCrashStore wraps inner with no crash armed: every operation
+// passes through until Arm installs a plan.
+func NewIdleCrashStore(inner journal.Store) *CrashStore {
+	return &CrashStore{inner: inner}
+}
+
+// Arm installs (or replaces) the crash plan. The append counter resets,
+// so plan.AtAppend counts from this arming, not from construction.
+// Arming a store that already crashed is an error — the host is dead.
+func (c *CrashStore) Arm(plan CrashPlan) error {
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return ErrCrashed
+	}
+	c.plan = plan
+	c.armed = true
+	c.appends = 0
+	c.rng = rand.New(rand.NewSource(plan.Seed))
+	return nil
+}
+
+// Armed reports whether a crash plan is installed and not yet fired.
+func (c *CrashStore) Armed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.armed && !c.crashed
 }
 
 // Crashed reports whether the crash point has fired.
@@ -97,8 +149,18 @@ func (c *CrashStore) Crashed() bool {
 	return c.crashed
 }
 
-// Appends returns the number of Append calls observed (including the
-// crashing one).
+// Kind returns the armed plan's crash kind ("" when unarmed).
+func (c *CrashStore) Kind() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.armed {
+		return ""
+	}
+	return c.plan.Kind
+}
+
+// Appends returns the number of Append calls observed since the last
+// arming (including the crashing one).
 func (c *CrashStore) Appends() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -107,9 +169,13 @@ func (c *CrashStore) Appends() int {
 
 // Surviving returns the disk image as a post-crash recovery would find
 // it. Valid before the crash too (the image simply has no tear yet).
+// After a fail-stop crash it returns ErrCrashed: the disk is gone.
 func (c *CrashStore) Surviving() ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.crashed && c.plan.Kind == CrashFailStop {
+		return nil, ErrCrashed
+	}
 	return c.inner.Load()
 }
 
@@ -120,13 +186,14 @@ func (c *CrashStore) Append(rec []byte) error {
 		return ErrCrashed
 	}
 	c.appends++
-	if c.appends != c.plan.AtAppend {
+	if !c.armed || c.appends != c.plan.AtAppend {
 		return c.inner.Append(rec)
 	}
 	c.crashed = true
 	switch c.plan.Kind {
-	case CrashPreAppend:
-		// Nothing reached the store.
+	case CrashPreAppend, CrashFailStop:
+		// Nothing reached the store. (Fail-stop additionally takes the
+		// whole disk image with it — see Surviving.)
 	case CrashTorn:
 		// A strict prefix persists: at least one byte short, at least
 		// one byte written (a zero-byte tear is pre-append).

@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file is the fleet-level crash planner: a seeded schedule of
+// per-host crash points. Each victim host gets one CrashPlan armed on
+// its journal CrashStore; the crash then fires when that host's churn
+// traffic reaches the planned append. Fail-stop victims lose their
+// disk image and must be evacuated; every other kind leaves a
+// surviving image for core.Recover to replay.
+
+// HostCrash schedules one crash on one fleet host.
+type HostCrash struct {
+	// Host is the victim's host id (the arbiter's dense 0..Hosts-1 ids).
+	Host int
+	// Plan is the crash point to arm on that host's journal store.
+	Plan CrashPlan
+}
+
+// HostCrashPlan is a seeded storm: a set of distinct victim hosts,
+// each with one planned crash.
+type HostCrashPlan struct {
+	// Seed reproduces the storm (recorded for provenance; the draws are
+	// already baked into Crashes).
+	Seed int64
+	// Crashes lists the victims in ascending host order.
+	Crashes []HostCrash
+}
+
+// Validate checks the storm shape against a fleet of the given size.
+func (p HostCrashPlan) Validate(hosts int) error {
+	seen := make(map[int]bool, len(p.Crashes))
+	for _, c := range p.Crashes {
+		if c.Host < 0 || c.Host >= hosts {
+			return fmt.Errorf("faults: host crash victim %d out of range [0,%d)", c.Host, hosts)
+		}
+		if seen[c.Host] {
+			return fmt.Errorf("faults: host %d crashed twice in one storm", c.Host)
+		}
+		seen[c.Host] = true
+		if err := c.Plan.Validate(); err != nil {
+			return fmt.Errorf("faults: host %d: %w", c.Host, err)
+		}
+	}
+	return nil
+}
+
+// GenerateHostCrashPlan draws a seeded storm: victims distinct hosts
+// out of hosts, each with a crash kind (failStopPct percent fail-stop,
+// the rest drawn uniformly from the recoverable CrashKinds) at an
+// append boundary in [1, maxAppend]. The same arguments always yield
+// the same storm.
+func GenerateHostCrashPlan(seed int64, hosts, victims, failStopPct, maxAppend int) (HostCrashPlan, error) {
+	if hosts < 1 {
+		return HostCrashPlan{}, fmt.Errorf("faults: storm over %d hosts", hosts)
+	}
+	if victims < 0 || victims > hosts {
+		return HostCrashPlan{}, fmt.Errorf("faults: %d victims out of %d hosts", victims, hosts)
+	}
+	if failStopPct < 0 || failStopPct > 100 {
+		return HostCrashPlan{}, fmt.Errorf("faults: fail-stop percentage %d out of [0,100]", failStopPct)
+	}
+	if maxAppend < 1 {
+		return HostCrashPlan{}, fmt.Errorf("faults: max crash append %d (counting is 1-based)", maxAppend)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(hosts)[:victims]
+	sort.Ints(perm)
+	plan := HostCrashPlan{Seed: seed, Crashes: make([]HostCrash, 0, victims)}
+	for _, host := range perm {
+		kind := CrashFailStop
+		if rng.Intn(100) >= failStopPct {
+			kind = CrashKinds[rng.Intn(len(CrashKinds))]
+		}
+		plan.Crashes = append(plan.Crashes, HostCrash{
+			Host: host,
+			Plan: CrashPlan{
+				AtAppend: 1 + rng.Intn(maxAppend),
+				Kind:     kind,
+				Seed:     rng.Int63(),
+			},
+		})
+	}
+	return plan, nil
+}

@@ -1,0 +1,161 @@
+package faults
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"tableau/internal/journal"
+)
+
+// TestCrashFailStop pins the permanent-failure semantics: the crashing
+// append persists nothing, every later operation fails, and — unlike
+// the recoverable kinds — the surviving image is gone too.
+func TestCrashFailStop(t *testing.T) {
+	cs, err := NewCrashStore(journal.NewMemStore(), CrashPlan{AtAppend: 2, Kind: CrashFailStop, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.Append(crashRecord(1)); err != nil {
+		t.Fatalf("append 1: %v", err)
+	}
+	if err := cs.Append(crashRecord(2)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("append 2: err = %v, want ErrCrashed", err)
+	}
+	if !cs.Crashed() {
+		t.Fatal("fail-stop did not mark the store crashed")
+	}
+	if _, err := cs.Surviving(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("fail-stop Surviving err = %v, want ErrCrashed (the disk died)", err)
+	}
+	if err := cs.Append(crashRecord(3)); !errors.Is(err, ErrCrashed) {
+		t.Fatal("post-crash append accepted")
+	}
+}
+
+// TestIdleCrashStoreArm covers the fleet's arming lifecycle: an idle
+// store is a pass-through, Arm counts appends from the arming, and a
+// dead store refuses to be re-armed.
+func TestIdleCrashStoreArm(t *testing.T) {
+	cs := NewIdleCrashStore(journal.NewMemStore())
+	if cs.Armed() || cs.Kind() != "" {
+		t.Fatal("idle store claims to be armed")
+	}
+	for v := uint64(1); v <= 3; v++ {
+		if err := cs.Append(crashRecord(v)); err != nil {
+			t.Fatalf("idle append %d: %v", v, err)
+		}
+	}
+	if cs.Crashed() {
+		t.Fatal("idle store crashed")
+	}
+
+	// Arm at append 2 *from now*: the three idle appends must not count.
+	if err := cs.Arm(CrashPlan{AtAppend: 2, Kind: CrashTorn, Seed: 9}); err != nil {
+		t.Fatalf("Arm: %v", err)
+	}
+	if !cs.Armed() || cs.Kind() != CrashTorn {
+		t.Fatalf("Armed=%v Kind=%q after arming", cs.Armed(), cs.Kind())
+	}
+	if err := cs.Append(crashRecord(4)); err != nil {
+		t.Fatalf("armed append 1: %v", err)
+	}
+	if err := cs.Append(crashRecord(5)); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("armed append 2: err = %v, want ErrCrashed", err)
+	}
+	if cs.Armed() {
+		t.Fatal("a fired store still reports armed")
+	}
+	if err := cs.Arm(CrashPlan{AtAppend: 1, Kind: CrashTorn, Seed: 1}); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("re-arming a dead store: err = %v, want ErrCrashed", err)
+	}
+
+	// The surviving image holds the 4 durable records (the torn 5th is
+	// cut by the framing CRC).
+	img, err := cs.Surviving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := journal.DecodeAll(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Records) != 4 {
+		t.Fatalf("%d intact records survive, want 4", len(rep.Records))
+	}
+}
+
+func TestArmValidates(t *testing.T) {
+	cs := NewIdleCrashStore(journal.NewMemStore())
+	if err := cs.Arm(CrashPlan{AtAppend: 0, Kind: CrashTorn}); err == nil {
+		t.Fatal("invalid plan armed")
+	}
+	if cs.Armed() {
+		t.Fatal("failed Arm left the store armed")
+	}
+}
+
+func TestGenerateHostCrashPlan(t *testing.T) {
+	plan, err := GenerateHostCrashPlan(7, 100, 12, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.Validate(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Crashes) != 12 {
+		t.Fatalf("%d victims, want 12", len(plan.Crashes))
+	}
+	for i, c := range plan.Crashes {
+		if i > 0 && plan.Crashes[i-1].Host >= c.Host {
+			t.Fatal("victims not in ascending host order")
+		}
+		if c.Plan.AtAppend < 1 || c.Plan.AtAppend > 9 {
+			t.Fatalf("AtAppend %d out of [1,9]", c.Plan.AtAppend)
+		}
+	}
+
+	again, err := GenerateHostCrashPlan(7, 100, 12, 50, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plan, again) {
+		t.Fatal("same seed produced a different storm")
+	}
+
+	// The fail-stop percentage is exact at the extremes.
+	all, _ := GenerateHostCrashPlan(3, 50, 10, 100, 5)
+	for _, c := range all.Crashes {
+		if c.Plan.Kind != CrashFailStop {
+			t.Fatalf("failStopPct=100 drew %s", c.Plan.Kind)
+		}
+	}
+	none, _ := GenerateHostCrashPlan(3, 50, 10, 0, 5)
+	for _, c := range none.Crashes {
+		if c.Plan.Kind == CrashFailStop {
+			t.Fatal("failStopPct=0 drew a fail-stop")
+		}
+	}
+}
+
+func TestGenerateHostCrashPlanRejects(t *testing.T) {
+	if _, err := GenerateHostCrashPlan(1, 0, 0, 0, 1); err == nil {
+		t.Fatal("0-host storm accepted")
+	}
+	if _, err := GenerateHostCrashPlan(1, 10, 11, 0, 1); err == nil {
+		t.Fatal("more victims than hosts accepted")
+	}
+	if _, err := GenerateHostCrashPlan(1, 10, 2, 101, 1); err == nil {
+		t.Fatal("fail-stop percentage over 100 accepted")
+	}
+	if _, err := GenerateHostCrashPlan(1, 10, 2, 0, 0); err == nil {
+		t.Fatal("0-based max append accepted")
+	}
+	bad := HostCrashPlan{Crashes: []HostCrash{
+		{Host: 1, Plan: CrashPlan{AtAppend: 1, Kind: CrashTorn}},
+		{Host: 1, Plan: CrashPlan{AtAppend: 2, Kind: CrashTorn}},
+	}}
+	if err := bad.Validate(10); err == nil {
+		t.Fatal("duplicate victim accepted")
+	}
+}

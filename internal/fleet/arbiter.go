@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"tableau/internal/core"
+	"tableau/internal/faults"
 	"tableau/internal/planner"
 )
 
@@ -27,6 +28,7 @@ type Config struct {
 	// SpareHosts reserves that many hosts at the tail of the id space
 	// as a spare pool: placers only consider them for VMs that have
 	// already been rejected somewhere (the fleet-level shed-retry).
+	// When a regular host dies, a spare is promoted to replace it.
 	SpareHosts int
 	// Cache, when set, is shared by every host's planner — the paper's
 	// central table cache at fleet scale.
@@ -36,6 +38,11 @@ type Config struct {
 	// only relies on per-cell isolation, never on execution order, so
 	// any such runner keeps batch placement deterministic.
 	ForEach func(n int, fn func(i int) error) error
+	// Journal attaches a durable epoch journal (behind an armable crash
+	// store) to every host, making each Controller.Flush a journaled
+	// commit — the substrate of ArmCrashes/Failover. Off by default:
+	// fault-free experiments keep their memory profile.
+	Journal bool
 }
 
 func (c *Config) setDefaults() error {
@@ -64,11 +71,12 @@ func (c *Config) setDefaults() error {
 // registry of which host holds which VM, and the optimistic
 // snapshot/commit/retry protocol placers run against the hosts.
 type Arbiter struct {
-	cfg     Config
-	hosts   []*Host
-	seqCtr  atomic.Uint64
+	cfg    Config
+	hosts  []*Host
+	seqCtr atomic.Uint64
 
 	mu       sync.Mutex
+	closed   bool
 	vmHost   map[string]int
 	order    []string // live VM names, deterministic under deterministic traffic
 	orderPos map[string]int
@@ -79,6 +87,11 @@ type Arbiter struct {
 	// behind the registry's back. The cross-host continuity oracle must
 	// catch the VM live on two hosts. Never set outside tests.
 	UnsafeDoublePlace bool
+	// UnsafeEvacuateBEFirst is a mutation-smoke defect switch: Failover
+	// evacuates the best-effort wave before the latency-sensitive one,
+	// inverting the LS-first displacement guarantee. The cross-seam
+	// oracle must convict it. Never set outside tests.
+	UnsafeEvacuateBEFirst bool
 }
 
 // New builds the fleet: Hosts hosts, each planned and wrapped in its
@@ -95,7 +108,8 @@ func New(cfg Config) (*Arbiter, error) {
 		orderPos: make(map[string]int),
 	}
 	err := a.forEach(cfg.Hosts, func(i int) error {
-		h, err := newHost(i, cfg.Cores, cfg.SlotsPerHost, cfg.Cache, a.nextSeq)
+		h, err := newHost(i, cfg.Cores, cfg.SlotsPerHost, cfg.Cache, a.nextSeq,
+			i >= cfg.Hosts-cfg.SpareHosts, cfg.Journal)
 		if err != nil {
 			return err
 		}
@@ -122,8 +136,11 @@ func (a *Arbiter) forEach(n int, fn func(i int) error) error {
 	return nil
 }
 
-// regularHosts returns the number of non-spare hosts.
-func (a *Arbiter) regularHosts() int { return a.cfg.Hosts - a.cfg.SpareHosts }
+func (a *Arbiter) isClosed() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.closed
+}
 
 // Hosts returns the fleet's hosts in id order.
 func (a *Arbiter) Hosts() []*Host { return append([]*Host(nil), a.hosts...) }
@@ -170,8 +187,19 @@ func (a *Arbiter) ControllerTotals() core.Stats {
 	return t
 }
 
-// Close shuts every host down.
+// Close shuts every host down. Idempotent, and safe against concurrent
+// Place/Depart/PlaceBatch: in-flight commits serialize against each
+// host's lock, and operations arriving after the close observe
+// ErrClosed (or a per-VM controller-closed reject they retry into
+// Unplaced).
 func (a *Arbiter) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
 	var first error
 	for _, h := range a.hosts {
 		if err := h.Close(); err != nil && first == nil {
@@ -179,6 +207,29 @@ func (a *Arbiter) Close() error {
 		}
 	}
 	return first
+}
+
+// ArmCrashes arms a seeded crash storm: each victim host's journal
+// store gets its crash plan. Hosts that are not Up (killed by an
+// earlier storm and not yet recovered) are skipped; the count of hosts
+// actually armed is returned.
+func (a *Arbiter) ArmCrashes(plan faults.HostCrashPlan) (int, error) {
+	if err := plan.Validate(len(a.hosts)); err != nil {
+		return 0, err
+	}
+	armed := 0
+	for _, c := range plan.Crashes {
+		err := a.hosts[c.Host].Arm(c.Plan)
+		switch {
+		case err == nil:
+			armed++
+		case errors.Is(err, ErrHostDown) || errors.Is(err, faults.ErrCrashed):
+			// Already down or dead: the storm passes it by.
+		default:
+			return armed, err
+		}
+	}
+	return armed, nil
 }
 
 func (a *Arbiter) snapshotAll() []Snapshot {
@@ -194,12 +245,17 @@ func (a *Arbiter) snapshotAll() []Snapshot {
 type hostView struct {
 	freeSlots int
 	freePPM   int64
+	up        bool
+	spare     bool
 }
 
 func viewsOf(snaps []Snapshot) []hostView {
 	views := make([]hostView, len(snaps))
 	for i, s := range snaps {
-		views[i] = hostView{freeSlots: s.FreeSlots, freePPM: s.FreePPM}
+		views[i] = hostView{
+			freeSlots: s.FreeSlots, freePPM: s.FreePPM,
+			up: s.State == HostUp, spare: s.Spare,
+		}
 	}
 	return views
 }
@@ -210,7 +266,10 @@ type pend struct {
 	attempts int
 	spareOK  bool // rejected somewhere: eligible for the spare pool
 	banned   map[int]bool
+	host     int // placed host (-1 until placed)
 }
+
+func newPend(vm VM) *pend { return &pend{vm: vm, host: -1} }
 
 func (p *pend) ban(host int) {
 	if p.banned == nil {
@@ -222,7 +281,7 @@ func (p *pend) ban(host int) {
 
 // pickHost chooses a target host from the placer's view, worst-fit
 // (most free reserved headroom, ties to the lowest id) so load spreads:
-//  1. home-partition hosts the headroom says fit,
+//  1. home-partition regular hosts the headroom says fit,
 //  2. any regular host that fits (the cross-partition fallback — where
 //     placers meet and conflicts happen),
 //  3. the spare pool, for VMs already rejected somewhere,
@@ -231,15 +290,15 @@ func (p *pend) ban(host int) {
 //     is the authoritative gate, and near-full fleets must probe it
 //     rather than give up on an estimate.
 //
+// Only Up hosts are eligible; down and dead hosts take no traffic.
 // Returns -1 when no unbanned host has a free slot.
 func (a *Arbiter) pickHost(views []hostView, pd *pend, placer int) int {
 	need := pd.vm.ppm()
-	nReg := a.regularHosts()
-	pick := func(lo, hi int, homeOnly, mustFit bool) int {
+	pick := func(spare, homeOnly, mustFit bool) int {
 		best, bestFree := -1, int64(-1)
-		for h := lo; h < hi; h++ {
+		for h := range views {
 			v := &views[h]
-			if v.freeSlots <= 0 || pd.banned[h] {
+			if !v.up || v.spare != spare || v.freeSlots <= 0 || pd.banned[h] {
 				continue
 			}
 			if homeOnly && h%a.cfg.Placers != placer {
@@ -254,47 +313,36 @@ func (a *Arbiter) pickHost(views []hostView, pd *pend, placer int) int {
 		}
 		return best
 	}
-	if h := pick(0, nReg, true, true); h >= 0 {
+	if h := pick(false, true, true); h >= 0 {
 		return h
 	}
-	if h := pick(0, nReg, false, true); h >= 0 {
+	if h := pick(false, false, true); h >= 0 {
 		return h
 	}
 	if pd.spareOK {
-		if h := pick(nReg, len(views), false, true); h >= 0 {
+		if h := pick(true, false, true); h >= 0 {
 			return h
 		}
 	}
-	if h := pick(0, nReg, false, false); h >= 0 {
+	if h := pick(false, false, false); h >= 0 {
 		return h
 	}
 	if pd.spareOK {
-		if h := pick(nReg, len(views), false, false); h >= 0 {
+		if h := pick(true, false, false); h >= 0 {
 			return h
 		}
 	}
 	return -1
 }
 
-// PlaceBatch places a batch of VMs through the optimistic protocol,
-// deterministically at any parallelism. Each round freezes one
-// snapshot of every host, partitions the still-unplaced VMs across the
-// placers (fanned out via Config.ForEach), and lets every placer pick
-// targets against its own virtually-decremented view; then the chosen
-// placements commit per host, placer-ordered. The first committer on a
-// host wins; later placers' batches named the round-start version, so
-// they lose with ErrConflict and retry next round against a fresh
-// snapshot — the same protocol concurrent placers run, with the race
-// made reproducible. Rejected VMs ban the host, gain spare-pool
-// eligibility, and retry; MaxAttempts bounds every retry path.
-func (a *Arbiter) PlaceBatch(vms []VM) (Stats, error) {
-	work := make([]*pend, len(vms))
-	for i, vm := range vms {
-		work[i] = &pend{vm: vm}
-	}
+// placeWork drives pends through the optimistic placement protocol
+// until each is placed, unplaced, or out of attempts. It returns the
+// batch's counters without folding them into the cumulative stats —
+// that is the caller's job (PlaceBatch adds them directly; Failover
+// merges them with the failover accounting first). Placed pends carry
+// their host in pd.host.
+func (a *Arbiter) placeWork(work []*pend) (Stats, error) {
 	var bs Stats
-	var firstPlaced *pend
-	firstHost := -1
 	for len(work) > 0 {
 		snaps := a.snapshotAll()
 		base := viewsOf(snaps)
@@ -329,6 +377,7 @@ func (a *Arbiter) PlaceBatch(vms []VM) (Stats, error) {
 			pends    []*pend
 			result   CommitResult
 			conflict bool
+			down     bool
 			err      error
 		}
 		byHost := make([][]*hostBatch, len(a.hosts))
@@ -365,6 +414,8 @@ func (a *Arbiter) PlaceBatch(vms []VM) (Stats, error) {
 				switch {
 				case errors.Is(err, ErrConflict):
 					b.conflict = true
+				case errors.Is(err, ErrHostDown):
+					b.down = true
 				case err != nil:
 					b.err = err
 				default:
@@ -393,9 +444,16 @@ func (a *Arbiter) PlaceBatch(vms []VM) (Stats, error) {
 					a.mu.Unlock()
 					return bs, b.err
 				}
-				if b.conflict {
+				if b.conflict || b.down {
+					// A down host resolves in-flight commits exactly like a
+					// conflict: nothing placed (even a journal-durable ghost
+					// is deactivated before the host rejoins), so the placer
+					// refreshes and retries elsewhere.
 					for _, pd := range b.pends {
 						bs.Conflicts++
+						if b.down {
+							pd.ban(h)
+						}
 						retry(pd)
 					}
 					continue
@@ -411,13 +469,11 @@ func (a *Arbiter) PlaceBatch(vms []VM) (Stats, error) {
 				for _, pd := range b.pends {
 					if placed[pd.vm.Name] {
 						bs.Placed++
-						if h >= a.regularHosts() {
+						if snaps[h].Spare {
 							bs.SparePlacements++
 						}
+						pd.host = h
 						a.recordPlacedLocked(pd.vm.Name, h)
-						if firstPlaced == nil {
-							firstPlaced, firstHost = pd, h
-						}
 						continue
 					}
 					if rejects[pd.vm.Name].NoSlot {
@@ -443,11 +499,42 @@ func (a *Arbiter) PlaceBatch(vms []VM) (Stats, error) {
 		bs.Unplaced += int64(len(noHost))
 		work = next
 	}
+	return bs, nil
+}
+
+// PlaceBatch places a batch of VMs through the optimistic protocol,
+// deterministically at any parallelism. Each round freezes one
+// snapshot of every host, partitions the still-unplaced VMs across the
+// placers (fanned out via Config.ForEach), and lets every placer pick
+// targets against its own virtually-decremented view; then the chosen
+// placements commit per host, placer-ordered. The first committer on a
+// host wins; later placers' batches named the round-start version, so
+// they lose with ErrConflict and retry next round against a fresh
+// snapshot — the same protocol concurrent placers run, with the race
+// made reproducible. Rejected VMs ban the host, gain spare-pool
+// eligibility, and retry; MaxAttempts bounds every retry path.
+func (a *Arbiter) PlaceBatch(vms []VM) (Stats, error) {
+	if a.isClosed() {
+		return Stats{}, ErrClosed
+	}
+	work := make([]*pend, len(vms))
+	for i, vm := range vms {
+		work[i] = newPend(vm)
+	}
+	bs, err := a.placeWork(work)
+	if err != nil {
+		return bs, err
+	}
 	a.mu.Lock()
 	a.stats.add(bs)
 	a.mu.Unlock()
-	if a.UnsafeDoublePlace && firstPlaced != nil {
-		a.doublePlace(firstPlaced.vm, firstHost)
+	if a.UnsafeDoublePlace {
+		for _, pd := range work {
+			if pd.host >= 0 {
+				a.doublePlace(pd.vm, pd.host)
+				break
+			}
+		}
 	}
 	return bs, nil
 }
@@ -460,7 +547,7 @@ func (a *Arbiter) doublePlace(vm VM, not int) {
 			continue
 		}
 		snap := a.hosts[h].Snapshot()
-		if snap.FreeSlots == 0 {
+		if snap.State != HostUp || snap.FreeSlots == 0 {
 			continue
 		}
 		if res, err := a.hosts[h].CommitPlacements(snap.Version, []VM{vm}); err == nil && len(res.Placed) == 1 {
@@ -474,7 +561,13 @@ func (a *Arbiter) doublePlace(vm VM, not int) {
 // each host's group commits with a refresh-on-conflict loop (conflicts
 // cannot occur from DepartBatch itself — one committer per host — but
 // the loop keeps the protocol uniform). Every name must be live.
+// Departures whose owning host is down are deferred: the VMs stay
+// registered (removing them without a host commit would fork the
+// ledger from the registry) until Failover resolves the host.
 func (a *Arbiter) DepartBatch(names []string) (Stats, error) {
+	if a.isClosed() {
+		return Stats{}, ErrClosed
+	}
 	var bs Stats
 	a.mu.Lock()
 	byHost := make(map[int][]string)
@@ -493,14 +586,23 @@ func (a *Arbiter) DepartBatch(names []string) (Stats, error) {
 	a.mu.Unlock()
 
 	conflicts := make([]int64, len(touched))
+	deferred := make([]bool, len(touched))
 	err := a.forEach(len(touched), func(i int) error {
 		h := touched[i]
 		for attempt := 0; ; attempt++ {
 			snap := a.hosts[h].Snapshot()
+			if snap.State != HostUp {
+				deferred[i] = true
+				return nil
+			}
 			_, err := a.hosts[h].CommitDepartures(snap.Version, byHost[h])
 			if errors.Is(err, ErrConflict) && attempt < 8 {
 				conflicts[i]++
 				continue
+			}
+			if errors.Is(err, ErrHostDown) {
+				deferred[i] = true
+				return nil
 			}
 			return err
 		}
@@ -512,6 +614,10 @@ func (a *Arbiter) DepartBatch(names []string) (Stats, error) {
 	for i, h := range touched {
 		bs.Conflicts += conflicts[i]
 		bs.Retries += conflicts[i]
+		if deferred[i] {
+			bs.DepartsDeferred += int64(len(byHost[h]))
+			continue
+		}
 		for _, name := range byHost[h] {
 			a.removePlacedLocked(name)
 			bs.Departed++
@@ -522,13 +628,151 @@ func (a *Arbiter) DepartBatch(names []string) (Stats, error) {
 	return bs, nil
 }
 
+// Failover sweeps the fleet for down hosts and resolves each one:
+// recover — replay the surviving journal image via core.Recover,
+// reconcile the crash seam (ghost deactivations, journal-committed
+// departures), and rejoin with a bumped version — or, when no image
+// survived (fail-stop) or the replay failed, declare the host dead and
+// evacuate. Evacuation re-places the displaced guests through the
+// normal protocol in LS-first waves (every latency-sensitive evacuee
+// is offered a slot before any best-effort one), with immediate
+// spare-pool eligibility, spare promotion to backfill dead regular
+// hosts, and best-effort sheds allowed under pressure; evacuees no
+// host can take are recorded as Lost on the dead host's evacuation
+// seam — every displaced VM ends live on exactly one host, explicitly
+// shed, or explicitly lost. The sweep loops until no host is down, so
+// hosts crashed by the evacuation traffic itself are resolved too.
+func (a *Arbiter) Failover() (Stats, error) {
+	if a.isClosed() {
+		return Stats{}, ErrClosed
+	}
+	var bs Stats
+	for {
+		var downs []*Host
+		for _, h := range a.hosts {
+			if h.State() == HostDown {
+				downs = append(downs, h)
+			}
+		}
+		if len(downs) == 0 {
+			break
+		}
+		type evacuation struct {
+			host   *Host
+			seq    uint64
+			ls, be []*pend
+		}
+		var evacs []*evacuation
+		for _, h := range downs {
+			bs.HostsDown++
+			guests := h.LiveGuests()
+			bs.Displaced += int64(len(guests))
+			if freed, err := h.Recover(); err == nil {
+				bs.Recovered++
+				a.mu.Lock()
+				for _, name := range freed {
+					// The journal proves the departure committed before the
+					// crash; the crash just swallowed the ack.
+					a.removePlacedLocked(name)
+					bs.Departed++
+				}
+				a.mu.Unlock()
+				continue
+			}
+			// No surviving image, or the replay failed: dead. A regular
+			// host's death promotes the lowest-id healthy spare.
+			wasSpare := h.Spare()
+			if err := h.markDead(); err != nil {
+				return bs, err
+			}
+			if !wasSpare {
+				a.promoteSpare()
+			}
+			ev := &evacuation{host: h, seq: a.nextSeq()}
+			a.mu.Lock()
+			for _, vm := range guests {
+				a.removePlacedLocked(vm.Name)
+				pd := newPend(vm)
+				pd.spareOK = true
+				if vm.Class == planner.BE {
+					ev.be = append(ev.be, pd)
+				} else {
+					ev.ls = append(ev.ls, pd)
+				}
+			}
+			a.mu.Unlock()
+			evacs = append(evacs, ev)
+		}
+
+		// Two strict waves across all of this pass's dead hosts: every
+		// LS evacuee is placed (or exhausted) before any BE evacuee is
+		// offered a slot, so the displacement order is part of the
+		// fleet's guarantee, not an accident of traversal.
+		var first, second []*pend
+		for _, ev := range evacs {
+			first = append(first, ev.ls...)
+			second = append(second, ev.be...)
+		}
+		if a.UnsafeEvacuateBEFirst {
+			first, second = second, first
+		}
+		for _, wave := range [][]*pend{first, second} {
+			if len(wave) == 0 {
+				continue
+			}
+			ws, err := a.placeWork(wave)
+			if err != nil {
+				return bs, err
+			}
+			bs.add(ws)
+			bs.Evacuated += ws.Placed
+			bs.EvacSheds += ws.Shed
+		}
+		for _, ev := range evacs {
+			var evacLS, evacBE, lost []string
+			for _, pd := range ev.ls {
+				evacLS = append(evacLS, pd.vm.Name)
+				if pd.host < 0 {
+					lost = append(lost, pd.vm.Name)
+				}
+			}
+			for _, pd := range ev.be {
+				evacBE = append(evacBE, pd.vm.Name)
+				if pd.host < 0 {
+					lost = append(lost, pd.vm.Name)
+				}
+			}
+			bs.Lost += int64(len(lost))
+			ev.host.finishEvacuate(ev.seq, evacLS, evacBE, lost)
+		}
+	}
+	a.mu.Lock()
+	a.stats.add(bs)
+	a.mu.Unlock()
+	return bs, nil
+}
+
+// promoteSpare moves the lowest-id healthy spare into the regular
+// pool, replacing a dead regular host.
+func (a *Arbiter) promoteSpare() {
+	for _, h := range a.hosts {
+		if h.Spare() && h.State() == HostUp {
+			h.promote()
+			return
+		}
+	}
+}
+
 // Place runs one VM through the live optimistic protocol: snapshot,
 // pick, commit, and on conflict or reject refresh and retry, up to
 // MaxAttempts. Unlike PlaceBatch this races genuinely against other
 // goroutines — it is the arbiter's concurrent API (and what the -race
 // stress tests hammer). Returns the placed host.
 func (a *Arbiter) Place(vm VM) (int, error) {
-	pd := &pend{vm: vm}
+	if a.isClosed() {
+		return -1, ErrClosed
+	}
+	pd := newPend(vm)
 	p := partition(vm.Name, a.cfg.Placers)
 	var bs Stats
 	defer func() {
@@ -543,8 +787,11 @@ func (a *Arbiter) Place(vm VM) (int, error) {
 			break
 		}
 		res, err := a.hosts[h].CommitPlacements(snaps[h].Version, []VM{vm})
-		if errors.Is(err, ErrConflict) {
+		if errors.Is(err, ErrConflict) || errors.Is(err, ErrHostDown) {
 			bs.Conflicts++
+			if errors.Is(err, ErrHostDown) {
+				pd.ban(h)
+			}
 			pd.attempts++
 			if pd.attempts < a.cfg.MaxAttempts {
 				bs.Retries++
@@ -556,7 +803,7 @@ func (a *Arbiter) Place(vm VM) (int, error) {
 		}
 		if len(res.Placed) == 1 {
 			bs.Placed++
-			if h >= a.regularHosts() {
+			if snaps[h].Spare {
 				bs.SparePlacements++
 			}
 			a.mu.Lock()
@@ -584,8 +831,13 @@ func (a *Arbiter) Place(vm VM) (int, error) {
 }
 
 // Depart tears one VM down through the live protocol, retrying commits
-// that lose to concurrent placements on the same host.
+// that lose to concurrent placements on the same host. A departure
+// whose owning host is down is deferred (counted, ErrHostDown): the VM
+// stays registered until Failover resolves the host.
 func (a *Arbiter) Depart(name string) error {
+	if a.isClosed() {
+		return ErrClosed
+	}
 	a.mu.Lock()
 	h, ok := a.vmHost[name]
 	a.mu.Unlock()
@@ -594,6 +846,12 @@ func (a *Arbiter) Depart(name string) error {
 	}
 	for attempt := 0; ; attempt++ {
 		snap := a.hosts[h].Snapshot()
+		if snap.State != HostUp {
+			a.mu.Lock()
+			a.stats.DepartsDeferred++
+			a.mu.Unlock()
+			return ErrHostDown
+		}
 		_, err := a.hosts[h].CommitDepartures(snap.Version, []string{name})
 		if errors.Is(err, ErrConflict) {
 			if attempt >= 64 {
@@ -604,6 +862,12 @@ func (a *Arbiter) Depart(name string) error {
 			a.stats.Retries++
 			a.mu.Unlock()
 			continue
+		}
+		if errors.Is(err, ErrHostDown) {
+			a.mu.Lock()
+			a.stats.DepartsDeferred++
+			a.mu.Unlock()
+			return ErrHostDown
 		}
 		if err != nil {
 			return err

@@ -1,44 +1,149 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
+	"tableau/internal/faults"
 	"tableau/internal/planner"
 )
 
 // BenchmarkFleetPlace measures steady-state placement throughput
 // through the live optimistic protocol (ns/op is the inverse
 // placements/sec), with the conflict-retry rate reported alongside:
-// each iteration places one eighth-core VM and departs the one placed
-// 200 iterations ago, so the fleet sits at a realistic occupancy while
+// each iteration places one eighth-core VM and departs the oldest of
+// the 200 in flight, so the fleet sits at a realistic occupancy while
 // snapshots, commits, and the occasional shed-retry all stay on the
-// hot path.
+// hot path. Host ledgers grow with every commit, so a single
+// long-lived fleet would make B/op drift with b.N; the fleet is
+// rebuilt outside the timer every few thousand iterations to keep the
+// measurement stationary.
 func BenchmarkFleetPlace(b *testing.B) {
-	a, err := New(Config{
-		Hosts: 32, Cores: 8, Placers: 8, SpareHosts: 2, MaxAttempts: 4,
-		Cache: planner.NewCache(4096),
-	})
-	if err != nil {
-		b.Fatal(err)
+	cache := planner.NewCache(4096)
+	vm := func(name string) VM {
+		return VM{Name: name, Util: planner.Util{Num: 1, Den: 8}, LatencyGoal: 20_000_000}
 	}
-	defer a.Close()
-	vm := func(i int) VM {
-		return VM{Name: fmt.Sprintf("b%d", i), Util: planner.Util{Num: 1, Den: 8}, LatencyGoal: 20_000_000}
+	var (
+		a         *Arbiter
+		live      []string // FIFO of in-flight names
+		conflicts int64
+	)
+	rebuild := func(gen int) {
+		if a != nil {
+			st := a.Stats()
+			conflicts += st.Conflicts + st.Retries
+			_ = a.Close()
+		}
+		var err error
+		a, err = New(Config{
+			Hosts: 32, Cores: 8, Placers: 8, SpareHosts: 2, MaxAttempts: 4,
+			Cache: cache,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = live[:0]
+		for j := 0; j < 200; j++ {
+			name := fmt.Sprintf("w%d-%d", gen, j)
+			if _, err := a.Place(vm(name)); err != nil {
+				b.Fatal(err)
+			}
+			live = append(live, name)
+		}
 	}
+	rebuild(0)
+	defer func() { _ = a.Close() }()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := a.Place(vm(i)); err != nil {
+		if i > 0 && i%1024 == 0 {
+			b.StopTimer()
+			rebuild(i)
+			b.StartTimer()
+		}
+		name := fmt.Sprintf("b%d", i)
+		if _, err := a.Place(vm(name)); err != nil {
 			b.Fatal(err)
 		}
-		if i >= 200 {
-			if err := a.Depart(fmt.Sprintf("b%d", i-200)); err != nil {
-				b.Fatal(err)
-			}
+		live = append(live, name)
+		if err := a.Depart(live[0]); err != nil {
+			b.Fatal(err)
 		}
+		live = live[1:]
 	}
 	b.StopTimer()
 	st := a.Stats()
-	b.ReportMetric(float64(st.Conflicts+st.Retries)/float64(b.N), "conflict-retries/op")
+	conflicts += st.Conflicts + st.Retries
+	b.ReportMetric(float64(conflicts)/float64(b.N), "conflict-retries/op")
+}
+
+// BenchmarkFailover measures the cost of a steady fleet absorbing one
+// host crash: each iteration arms a recoverable torn-write crash on a
+// rotating victim, fires it with a doomed commit, and runs the
+// arbiter's Failover sweep (crash seam, journal replay, rejoin flush).
+// displaced-vms/op is the guests riding through each recovery. Each
+// crash/recover cycle appends to the victim's journal and recovery
+// replays it whole, so a single long-lived fleet would make allocs/op
+// grow with b.N; the fleet is rebuilt outside the timer every few
+// dozen iterations to keep the measurement stationary.
+func BenchmarkFailover(b *testing.B) {
+	cache := planner.NewCache(4096)
+	var vms []VM
+	for i := 0; i < 56; i++ {
+		vm := VM{Name: fmt.Sprintf("f%d", i), Util: planner.Util{Num: 1, Den: 8}, LatencyGoal: 20_000_000}
+		if i%3 == 0 {
+			vm.Class = planner.BE
+		}
+		vms = append(vms, vm)
+	}
+	var a *Arbiter
+	rebuild := func() {
+		if a != nil {
+			_ = a.Close()
+		}
+		var err error
+		a, err = New(Config{
+			Hosts: 8, Cores: 8, SlotsPerHost: 20, Placers: 4, SpareHosts: 1,
+			MaxAttempts: 6, Cache: cache, Journal: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if bs, err := a.PlaceBatch(vms); err != nil || bs.Placed != int64(len(vms)) {
+			b.Fatalf("fill: %+v %v", bs, err)
+		}
+	}
+	rebuild()
+	defer func() { _ = a.Close() }()
+	doomed := func(i int) VM {
+		return VM{Name: fmt.Sprintf("doom%d", i), Util: planner.Util{Num: 1, Den: 8}, LatencyGoal: 20_000_000}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var displaced int64
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%64 == 0 {
+			b.StopTimer()
+			rebuild()
+			b.StartTimer()
+		}
+		h := a.hosts[i%7] // regular hosts; the spare backfills nobody here
+		if err := h.Arm(faults.CrashPlan{Kind: faults.CrashTorn, AtAppend: 1, Seed: int64(i) + 1}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := h.CommitPlacements(h.Snapshot().Version, []VM{doomed(i)}); !errors.Is(err, ErrHostDown) {
+			b.Fatalf("doomed commit: %v", err)
+		}
+		st, err := a.Failover()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Recovered != 1 {
+			b.Fatalf("iteration %d: recovered %d hosts, want 1", i, st.Recovered)
+		}
+		displaced += st.Displaced
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(displaced)/float64(b.N), "displaced-vms/op")
 }

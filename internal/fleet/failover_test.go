@@ -1,0 +1,399 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"tableau/internal/faults"
+	"tableau/internal/planner"
+)
+
+func eighth() planner.Util { return planner.Util{Num: 1, Den: 8} }
+
+func beVM(name string, u planner.Util) VM {
+	vm := testVM(name, u)
+	vm.Class = planner.BE
+	return vm
+}
+
+// crashHost arms a crash plan on host h and fires it with a throwaway
+// direct commit (which must come back ErrHostDown). The throwaway VM
+// never enters the registry.
+func crashHost(t *testing.T, h *Host, kind string, seed int64) {
+	t.Helper()
+	if err := h.Arm(faults.CrashPlan{Kind: kind, AtAppend: 1, Seed: seed}); err != nil {
+		t.Fatalf("Arm host %d: %v", h.ID(), err)
+	}
+	snap := h.Snapshot()
+	_, err := h.CommitPlacements(snap.Version, []VM{testVM(fmt.Sprintf("boom-h%d", h.ID()), eighth())})
+	if !errors.Is(err, ErrHostDown) {
+		t.Fatalf("crashing commit on host %d: err = %v, want ErrHostDown", h.ID(), err)
+	}
+	if h.State() != HostDown {
+		t.Fatalf("host %d state = %s after crash, want down", h.ID(), h.State())
+	}
+}
+
+func TestHostCrashRecover(t *testing.T) {
+	a := testArbiter(t, Config{Hosts: 2, Cores: 4, SlotsPerHost: 10, Placers: 1, Journal: true})
+	var vms []VM
+	for i := 0; i < 8; i++ {
+		vms = append(vms, testVM(fmt.Sprintf("vm%d", i), eighth()))
+	}
+	if bs, err := a.PlaceBatch(vms); err != nil || bs.Placed != 8 {
+		t.Fatalf("fill: placed %d err %v", bs.Placed, err)
+	}
+	h := a.Hosts()[0]
+	preGuests := h.VMs()
+	preVersion := h.Snapshot().Version
+	if preGuests == 0 {
+		t.Fatal("worst-fit left host 0 empty; test needs displaced guests")
+	}
+
+	crashHost(t, h, faults.CrashTorn, 7)
+
+	// While down: no placements, departures deferred.
+	if _, err := h.CommitPlacements(h.Snapshot().Version, []VM{testVM("late", eighth())}); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("commit on down host: %v, want ErrHostDown", err)
+	}
+	var downName string
+	for name, hh := range a.Assignments() {
+		if hh == 0 {
+			downName = name
+			break
+		}
+	}
+	if err := a.Depart(downName); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("Depart on down host: %v, want ErrHostDown", err)
+	}
+	if _, ok := a.Assignments()[downName]; !ok {
+		t.Fatal("deferred departure removed the VM from the registry")
+	}
+
+	st, err := a.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.HostsDown != 1 || st.Recovered != 1 || st.Evacuated != 0 || st.Lost != 0 {
+		t.Fatalf("failover stats %+v, want 1 down, 1 recovered, nothing evacuated", st)
+	}
+	if st.Displaced != int64(preGuests) {
+		t.Fatalf("displaced %d, want the host's %d guests", st.Displaced, preGuests)
+	}
+	if h.State() != HostUp {
+		t.Fatalf("host state %s after recovery, want up", h.State())
+	}
+	if h.VMs() != preGuests {
+		t.Fatalf("host holds %d guests after recovery, want %d", h.VMs(), preGuests)
+	}
+	// The rejoin version must strictly exceed everything a pre-crash
+	// snapshot saw, so stale in-flight commits conflict instead of
+	// double-applying.
+	if v := h.Snapshot().Version; v <= preVersion {
+		t.Fatalf("rejoin version %d <= pre-crash %d", v, preVersion)
+	}
+	if _, err := h.CommitPlacements(preVersion, []VM{testVM("stale", eighth())}); !errors.Is(err, ErrConflict) {
+		t.Fatalf("stale pre-crash commit: %v, want ErrConflict", err)
+	}
+	// The deferred departure resolves through the normal path now.
+	if err := a.Depart(downName); err != nil {
+		t.Fatalf("Depart after recovery: %v", err)
+	}
+	if a.Stats().DepartsDeferred != 1 {
+		t.Fatalf("DepartsDeferred = %d, want 1", a.Stats().DepartsDeferred)
+	}
+}
+
+// TestHostCrashGhostSlot drives a post-append crash on a placement: the
+// journal record is durable but the flush died before the ack, so the
+// in-memory rollback leaves a ghost slot the rejoin must deactivate —
+// the no-double-placement guarantee across the crash seam.
+func TestHostCrashGhostSlot(t *testing.T) {
+	a := testArbiter(t, Config{Hosts: 1, Cores: 4, SlotsPerHost: 8, Placers: 1, Journal: true})
+	h := a.Hosts()[0]
+	if _, err := a.PlaceBatch([]VM{testVM("keep", eighth())}); err != nil {
+		t.Fatal(err)
+	}
+	crashHost(t, h, faults.CrashPostAppend, 11)
+
+	st, err := a.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovered != 1 {
+		t.Fatalf("recovered %d, want 1", st.Recovered)
+	}
+	// The ghost (the crashing "boom" placement's durable record) must be
+	// reconciled on the recover seam, and the host must not hold it.
+	ledger := h.Ledger()
+	var seam *Commit
+	for i := range ledger {
+		if ledger[i].Event == "recover" {
+			seam = &ledger[i]
+		}
+	}
+	if seam == nil {
+		t.Fatal("no recover seam in the ledger")
+	}
+	if len(seam.GhostSlots) != 1 {
+		t.Fatalf("recover seam reconciled %d ghost slots, want 1", len(seam.GhostSlots))
+	}
+	if h.VMs() != 1 {
+		t.Fatalf("host holds %d guests, want just %q", h.VMs(), "keep")
+	}
+	// The ghost's slot is free again: a fresh placement may reuse it.
+	if res, err := h.CommitPlacements(h.Snapshot().Version, []VM{testVM("next", eighth())}); err != nil || len(res.Placed) != 1 {
+		t.Fatalf("placement after ghost reconciliation: %v %+v", err, res)
+	}
+}
+
+// TestHostCrashFreedSlot drives a post-append crash on a departure: the
+// departure committed durably but the ack was lost, so recovery must
+// resolve the guest as departed and Failover must drop it from the
+// registry.
+func TestHostCrashFreedSlot(t *testing.T) {
+	a := testArbiter(t, Config{Hosts: 1, Cores: 4, SlotsPerHost: 8, Placers: 1, Journal: true})
+	h := a.Hosts()[0]
+	if _, err := a.PlaceBatch([]VM{testVM("keep", eighth()), testVM("gone", eighth())}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Arm(faults.CrashPlan{Kind: faults.CrashPostAppend, AtAppend: 1, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Depart("gone"); !errors.Is(err, ErrHostDown) {
+		t.Fatalf("crashing departure: %v, want ErrHostDown", err)
+	}
+	if _, ok := a.Assignments()["gone"]; !ok {
+		t.Fatal("unacked departure already left the registry")
+	}
+
+	st, err := a.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Recovered != 1 || st.Departed != 1 {
+		t.Fatalf("stats %+v, want 1 recovered with 1 journal-resolved departure", st)
+	}
+	if _, ok := a.Assignments()["gone"]; ok {
+		t.Fatal("journal-committed departure still registered after recovery")
+	}
+	if _, ok := a.Assignments()["keep"]; !ok {
+		t.Fatal("surviving guest fell out of the registry")
+	}
+	if h.VMs() != 1 {
+		t.Fatalf("host holds %d guests, want 1", h.VMs())
+	}
+}
+
+// TestFailStopEvacuatesLSFirst kills a host permanently (no surviving
+// journal image) and checks the whole evacuation contract: a spare is
+// promoted to backfill, every latency-sensitive evacuee re-places
+// strictly before any best-effort one, and the registry ends with each
+// displaced VM live on exactly one Up host or recorded as lost.
+func TestFailStopEvacuatesLSFirst(t *testing.T) {
+	a := testArbiter(t, Config{
+		Hosts: 3, Cores: 4, SlotsPerHost: 12, Placers: 1, SpareHosts: 1, Journal: true,
+	})
+	var vms []VM
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("vm%d", i)
+		// Worst-fit alternates equal-size VMs across the two regular
+		// hosts, so stripe the classes at twice that period to land both
+		// classes on host 0.
+		if i%4 >= 2 {
+			vms = append(vms, beVM(name, eighth()))
+		} else {
+			vms = append(vms, testVM(name, eighth()))
+		}
+	}
+	if bs, err := a.PlaceBatch(vms); err != nil || bs.Placed != 10 {
+		t.Fatalf("fill: %+v %v", bs, err)
+	}
+	h0 := a.Hosts()[0]
+	displaced := h0.LiveGuests()
+	var haveLS, haveBE bool
+	for _, vm := range displaced {
+		if vm.Class == planner.BE {
+			haveBE = true
+		} else {
+			haveLS = true
+		}
+	}
+	if !haveLS || !haveBE {
+		t.Fatalf("host 0 guests %v lack a class; the wave order would be vacuous", displaced)
+	}
+
+	crashHost(t, h0, faults.CrashFailStop, 5)
+	st, err := a.Failover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h0.State() != HostDead {
+		t.Fatalf("host 0 state %s, want dead", h0.State())
+	}
+	if st.Recovered != 0 || st.HostsDown != 1 {
+		t.Fatalf("stats %+v, want 1 down and 0 recovered", st)
+	}
+	if st.Displaced != int64(len(displaced)) || st.Evacuated+st.Lost != st.Displaced {
+		t.Fatalf("displaced %d evacuated %d lost %d: accounting is untruthful", st.Displaced, st.Evacuated, st.Lost)
+	}
+	// Spare promoted to backfill the dead regular host.
+	if a.Hosts()[2].Spare() {
+		t.Fatal("spare host not promoted after a regular host died")
+	}
+
+	// Every displaced VM: live on exactly one Up host, or on the seam's
+	// Lost list.
+	var seam *Commit
+	for _, c := range h0.Ledger() {
+		if c.Event == "evacuate" {
+			cc := c
+			seam = &cc
+		}
+	}
+	if seam == nil {
+		t.Fatal("dead host has no evacuate seam")
+	}
+	if len(seam.EvacLS)+len(seam.EvacBE) != len(displaced) {
+		t.Fatalf("seam lists %d+%d evacuees, want %d", len(seam.EvacLS), len(seam.EvacBE), len(displaced))
+	}
+	lost := make(map[string]bool)
+	for _, name := range seam.Lost {
+		lost[name] = true
+	}
+	asg := a.Assignments()
+	for _, vm := range displaced {
+		h, live := asg[vm.Name]
+		switch {
+		case live && lost[vm.Name]:
+			t.Fatalf("%q both live on host %d and lost", vm.Name, h)
+		case live && a.Hosts()[h].State() != HostUp:
+			t.Fatalf("%q registered on host %d in state %s", vm.Name, h, a.Hosts()[h].State())
+		case !live && !lost[vm.Name]:
+			t.Fatalf("%q neither live nor recorded lost", vm.Name)
+		}
+	}
+
+	// LS strictly first: across the surviving hosts' ledgers, every
+	// placement Seq of an LS evacuee precedes every BE evacuee's.
+	evacClass := make(map[string]planner.Class)
+	for _, vm := range displaced {
+		evacClass[vm.Name] = vm.Class
+	}
+	var maxLS, minBE uint64
+	minBE = ^uint64(0)
+	for _, h := range a.Hosts() {
+		for _, c := range h.Ledger() {
+			if c.Event != "" || c.Seq < seam.Seq {
+				// Only re-placements: the evacuees' original placements
+				// predate the seam.
+				continue
+			}
+			for _, name := range c.Placed {
+				cls, isEvac := evacClass[name]
+				if !isEvac {
+					continue
+				}
+				if cls == planner.BE {
+					if c.Seq < minBE {
+						minBE = c.Seq
+					}
+				} else if c.Seq > maxLS {
+					maxLS = c.Seq
+				}
+			}
+		}
+	}
+	if maxLS != 0 && minBE != ^uint64(0) && maxLS > minBE {
+		t.Fatalf("a BE evacuee placed (seq %d) before the last LS evacuee (seq %d)", minBE, maxLS)
+	}
+	// And the seam's Seq precedes every re-placement.
+	if minBE != ^uint64(0) && seam.Seq > minBE {
+		t.Fatal("evacuation seam sequenced after a re-placement")
+	}
+}
+
+// TestArbiterCloseIdempotent checks the close contract under fire:
+// concurrent Place/Depart/PlaceBatch against concurrent double Close,
+// no panics (run under -race), every Close nil, and ErrClosed
+// afterward.
+func TestArbiterCloseIdempotent(t *testing.T) {
+	a, err := New(Config{
+		Hosts: 4, Cores: 4, SlotsPerHost: 12, Placers: 2, MaxAttempts: 4,
+		Cache: planner.NewCache(256), Journal: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 25; i++ {
+				name := fmt.Sprintf("c%d-%d", g, i)
+				// Errors are expected once the close lands (closed arbiter,
+				// closed controllers surfacing as rejects); the invariant
+				// under test is no corruption, not success.
+				if _, err := a.Place(testVM(name, eighth())); err == nil {
+					_ = a.Depart(name)
+				}
+				if i == 10 {
+					_, _ = a.PlaceBatch([]VM{testVM(fmt.Sprintf("b%d-%d", g, i), eighth())})
+				}
+			}
+		}(g)
+	}
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			if err := a.Close(); err != nil {
+				t.Errorf("concurrent Close: %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	if err := a.Close(); err != nil {
+		t.Fatalf("Close after Close: %v", err)
+	}
+	if _, err := a.Place(testVM("late", eighth())); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Place after close: %v, want ErrClosed", err)
+	}
+	if _, err := a.PlaceBatch([]VM{testVM("late2", eighth())}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("PlaceBatch after close: %v, want ErrClosed", err)
+	}
+	if _, err := a.DepartBatch(nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("DepartBatch after close: %v, want ErrClosed", err)
+	}
+	if _, err := a.Failover(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Failover after close: %v, want ErrClosed", err)
+	}
+}
+
+// TestArmCrashesSkipsDeadHosts: a storm plan naming an already-dead
+// host arms everyone else and reports the count.
+func TestArmCrashesSkipsDeadHosts(t *testing.T) {
+	a := testArbiter(t, Config{Hosts: 3, Cores: 4, SlotsPerHost: 8, Placers: 1, Journal: true})
+	crashHost(t, a.Hosts()[0], faults.CrashFailStop, 9)
+	if _, err := a.Failover(); err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.HostCrashPlan{Crashes: []faults.HostCrash{
+		{Host: 0, Plan: faults.CrashPlan{Kind: faults.CrashTorn, AtAppend: 1, Seed: 1}},
+		{Host: 1, Plan: faults.CrashPlan{Kind: faults.CrashTorn, AtAppend: 1, Seed: 2}},
+	}}
+	armed, err := a.ArmCrashes(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if armed != 1 {
+		t.Fatalf("armed %d hosts, want 1 (host 0 is dead)", armed)
+	}
+}

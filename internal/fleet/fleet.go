@@ -29,6 +29,7 @@ package fleet
 
 import (
 	"errors"
+	"fmt"
 	"hash/fnv"
 
 	"tableau/internal/core"
@@ -63,6 +64,34 @@ func (v VM) ppm() int64 {
 	return v.Util.Num * 1_000_000 / v.Util.Den
 }
 
+// HostState is a host's position in the fleet failure lifecycle:
+// Up → Down → (Recovering → Up | Dead). Down means a commit hit the
+// host's crashed journal; the arbiter's Failover either replays the
+// surviving journal image back to Up or declares the host Dead and
+// evacuates its guests.
+type HostState int
+
+const (
+	HostUp HostState = iota
+	HostDown
+	HostRecovering
+	HostDead
+)
+
+func (s HostState) String() string {
+	switch s {
+	case HostUp:
+		return "up"
+	case HostDown:
+		return "down"
+	case HostRecovering:
+		return "recovering"
+	case HostDead:
+		return "dead"
+	}
+	return fmt.Sprintf("state-%d", int(s))
+}
+
 // Snapshot is one placer's view of a host: the committed epoch version
 // plus advisory headroom. A commit against the host names the version
 // it read; if the host has moved on, the commit loses with ErrConflict.
@@ -75,6 +104,13 @@ type Snapshot struct {
 	// over the host's cores. Advisory: the host's admission check is
 	// the authoritative gate.
 	FreePPM int64
+	// State is the host's failure-lifecycle state; placers only target
+	// Up hosts.
+	State HostState
+	// Spare marks a spare-pool host (only eligible for VMs already
+	// rejected somewhere). Spares are promoted to regular when a regular
+	// host dies.
+	Spare bool
 }
 
 // ErrConflict reports that a commit named a stale snapshot version:
@@ -85,6 +121,17 @@ var ErrConflict = errors.New("fleet: stale snapshot: host epoch moved")
 // ErrUnplaced reports that a VM exhausted its placement attempts (or no
 // host had a free slot at all).
 var ErrUnplaced = errors.New("fleet: no host could place the VM")
+
+// ErrHostDown reports a commit against a host whose journal has
+// crashed (either this commit hit the crash point or the host was
+// already down). Placers treat it like a conflict: ban the host,
+// refresh, retry elsewhere — the batch rolled back in memory, so
+// nothing was placed (even if the crashing record proves durable,
+// recovery deactivates the ghost before the host rejoins).
+var ErrHostDown = errors.New("fleet: host is down")
+
+// ErrClosed reports an operation on a closed arbiter.
+var ErrClosed = errors.New("fleet: arbiter closed")
 
 // Stats are the arbiter's cumulative placement counters.
 type Stats struct {
@@ -105,6 +152,19 @@ type Stats struct {
 	// Shed counts best-effort VMs a host deactivated to admit a
 	// latency-sensitive placement.
 	Shed int64
+	// HostsDown counts hosts Failover found down; Recovered counts the
+	// ones it replayed back to Up from their surviving journal image.
+	HostsDown, Recovered int64
+	// Displaced counts guest VMs resident on a down host at failover
+	// (recovered-in-place included); Evacuated counts displaced VMs
+	// re-placed off a dead host; EvacSheds counts best-effort guests
+	// shed elsewhere to make room for evacuees; Lost counts evacuees no
+	// host could take.
+	Displaced, Evacuated, EvacSheds, Lost int64
+	// DepartsDeferred counts departures skipped because the owning host
+	// was down — the VM stays registered until recovery or evacuation
+	// resolves it.
+	DepartsDeferred int64
 }
 
 // add accumulates o into s.
@@ -118,6 +178,13 @@ func (s *Stats) add(o Stats) {
 	s.SparePlacements += o.SparePlacements
 	s.Unplaced += o.Unplaced
 	s.Shed += o.Shed
+	s.HostsDown += o.HostsDown
+	s.Recovered += o.Recovered
+	s.Displaced += o.Displaced
+	s.Evacuated += o.Evacuated
+	s.EvacSheds += o.EvacSheds
+	s.Lost += o.Lost
+	s.DepartsDeferred += o.DepartsDeferred
 }
 
 // Commit is one committed host transition in the fleet's ledger: the
@@ -127,6 +194,13 @@ func (s *Stats) add(o Stats) {
 // commits by Seq yields a total order consistent with both per-host
 // commit order and real-time order — the replay order of the
 // cross-host continuity oracle.
+//
+// Failure-seam entries carry Event: "crash" freezes the surviving
+// journal image at the moment the host went down, "recover" is the
+// rejoin commit (its Ops deactivate adopted ghost slots and its
+// Departed resolve journal-committed departures the crash swallowed),
+// and "evacuate" is a dead host's displacement record. Seam entries
+// participate in the same Seq total order.
 type Commit struct {
 	Seq     uint64
 	Version uint64 // installed epoch (0: every op was rejected)
@@ -137,6 +211,28 @@ type Commit struct {
 	// Shed-marked deactivations in Ops.
 	Shed []string
 	Ops  []core.Op
+
+	// Event marks a failure-seam entry: "crash", "recover" or
+	// "evacuate" ("" for a normal commit).
+	Event string
+	// Image is the surviving journal image frozen at the crash (nil for
+	// a fail-stop crash, whose disk died with the host). The oracle
+	// independently replays it and demands the recovered state match
+	// bit-for-bit.
+	Image []byte
+	// Recovered names the guests still live after a recover seam;
+	// GhostSlots are journal-active slots the crash's in-memory rollback
+	// never acked (deactivated by this commit's Ops); FreedSlots are
+	// occupied slots the journal says were already freed (their guests
+	// resolve as Departed).
+	Recovered  []string
+	GhostSlots []int
+	FreedSlots []int
+	// EvacLS and EvacBE name a dead host's displaced guests by class;
+	// Lost names the evacuees no host could take (gone from the fleet,
+	// truthfully accounted). The seam's Seq is drawn before any evacuee
+	// re-places, so re-placements order strictly after it.
+	EvacLS, EvacBE, Lost []string
 }
 
 // partition returns the placer partition a VM name hashes to.

@@ -1,11 +1,14 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
 	"tableau/internal/core"
 	"tableau/internal/dispatch"
+	"tableau/internal/faults"
+	"tableau/internal/journal"
 	"tableau/internal/planner"
 	"tableau/internal/table"
 )
@@ -37,24 +40,34 @@ func (nullSink) PushTable(*table.Table) error { return nil }
 // maps here, because slots are recycled across guest generations.
 // Slot names are the generic "s1".."sN" on every host, so two hosts
 // whose populations coincide share planner.Cache entries.
+//
+// With Config.Journal set, every host's Controller commits through a
+// durable epoch journal wrapped in an armable faults.CrashStore: a
+// fired crash point makes the flush fail with ErrCrashed, the host
+// goes Down, and the arbiter's Failover recovers it from the surviving
+// image (or evacuates it when there is none).
 type Host struct {
 	id    int
 	cores int
 	seq   func() uint64
+	cache *planner.Cache
 
-	mu      sync.Mutex
-	sys     *core.System
-	ctrl    *core.Controller
-	version uint64
-	usedPPM int64
-	free    []int // LIFO stack of unoccupied slots
-	slotVM  []string
-	slotPPM []int64
-	vmSlot  map[string]int
-	ledger  []Commit
+	mu        sync.Mutex
+	sys       *core.System
+	ctrl      *core.Controller
+	journal   *faults.CrashStore // nil when journaling is disabled
+	state     HostState
+	spare     bool
+	downImage []byte // surviving journal image at crash (nil: unrecoverable)
+	version   uint64
+	usedPPM   int64
+	free      []int // LIFO stack of unoccupied slots
+	slotGuest []VM  // per-slot guest (zero Name: unoccupied)
+	ledger    []Commit
+	vmSlot    map[string]int
 }
 
-func newHost(id, cores, slots int, cache *planner.Cache, seq func() uint64) (*Host, error) {
+func newHost(id, cores, slots int, cache *planner.Cache, seq func() uint64, spare, journaled bool) (*Host, error) {
 	if slots < 2 {
 		return nil, fmt.Errorf("fleet: host %d needs at least 2 slots (1 resident + 1 guest), got %d", id, slots)
 	}
@@ -84,16 +97,26 @@ func newHost(id, cores, slots int, cache *planner.Cache, seq func() uint64) (*Ho
 		return nil, err
 	}
 	h := &Host{
-		id:      id,
-		cores:   cores,
-		seq:     seq,
-		sys:     sys,
-		ctrl:    ctrl,
-		version: ctrl.Epoch().Version,
-		usedPPM: VM{Util: residentUtil}.ppm(),
-		slotVM:  make([]string, slots),
-		slotPPM: make([]int64, slots),
-		vmSlot:  make(map[string]int),
+		id:        id,
+		cores:     cores,
+		seq:       seq,
+		cache:     cache,
+		sys:       sys,
+		ctrl:      ctrl,
+		spare:     spare,
+		version:   ctrl.Epoch().Version,
+		usedPPM:   VM{Util: residentUtil}.ppm(),
+		slotGuest: make([]VM, slots),
+		vmSlot:    make(map[string]int),
+	}
+	if journaled {
+		// The journal is the host's commit point from here on; the idle
+		// crash store passes every append through until a storm arms it.
+		cs := faults.NewIdleCrashStore(journal.NewMemStore())
+		if err := ctrl.AttachJournal(journal.NewWriter(cs)); err != nil {
+			return nil, fmt.Errorf("fleet: host %d journal baseline: %w", id, err)
+		}
+		h.journal = cs
 	}
 	// Push free slots in descending order so the pop order (and with it
 	// slot reuse, table shape, and cache keys) ascends deterministically.
@@ -106,6 +129,42 @@ func newHost(id, cores, slots int, cache *planner.Cache, seq func() uint64) (*Ho
 // ID returns the host's fleet-wide id.
 func (h *Host) ID() int { return h.id }
 
+// State returns the host's failure-lifecycle state.
+func (h *Host) State() HostState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// Spare reports whether the host is in the spare pool.
+func (h *Host) Spare() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.spare
+}
+
+// promote moves a spare host into the regular pool (a dead regular
+// host's replacement).
+func (h *Host) promote() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.spare = false
+}
+
+// Arm installs a crash plan on the host's journal store. The crash
+// fires when the host's commit traffic reaches the planned append.
+func (h *Host) Arm(plan faults.CrashPlan) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.journal == nil {
+		return fmt.Errorf("fleet: host %d has no journal to crash (Config.Journal off)", h.id)
+	}
+	if h.state != HostUp {
+		return fmt.Errorf("fleet: host %d is %s: %w", h.id, h.state, ErrHostDown)
+	}
+	return h.journal.Arm(plan)
+}
+
 // Snapshot returns the host's committed version and advisory headroom.
 func (h *Host) Snapshot() Snapshot {
 	h.mu.Lock()
@@ -115,7 +174,23 @@ func (h *Host) Snapshot() Snapshot {
 		Version:   h.version,
 		FreeSlots: len(h.free),
 		FreePPM:   int64(h.cores)*1_000_000 - h.usedPPM,
+		State:     h.state,
+		Spare:     h.spare,
 	}
+}
+
+// LiveGuests returns the host's guest VMs in ascending slot order (the
+// resident excluded) — the displacement set when the host dies.
+func (h *Host) LiveGuests() []VM {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []VM
+	for s := 1; s < len(h.slotGuest); s++ {
+		if h.slotGuest[s].Name != "" {
+			out = append(out, h.slotGuest[s])
+		}
+	}
+	return out
 }
 
 // Reject is one VM a commit could not place, with the reason. NoSlot
@@ -138,6 +213,30 @@ type CommitResult struct {
 	Rejects []Reject
 }
 
+// markDownLocked transitions the host to Down after a flush died on
+// its crashed journal: freeze the surviving image (nil when the disk
+// died too) and append the crash seam to the ledger. The in-memory
+// batch already rolled back, so the host's maps describe exactly the
+// acked commits — the delta against the frozen image is what recovery
+// reconciles.
+func (h *Host) markDownLocked() {
+	h.state = HostDown
+	img, err := h.journal.Surviving()
+	if err != nil {
+		img = nil
+	}
+	h.downImage = img
+	h.ledger = append(h.ledger, Commit{
+		Seq:     h.seq(),
+		Version: h.version,
+		Event:   "crash",
+		Image:   append([]byte(nil), img...),
+	})
+	// The dead process's controller accepts nothing more; ignore the
+	// close error (syncing a crashed journal reports the crash).
+	_ = h.ctrl.Close()
+}
+
 // CommitPlacements atomically places vms on the host, provided the
 // host's committed version still equals expect — otherwise the commit
 // loses with ErrConflict and changes nothing. A winning commit assigns
@@ -146,10 +245,14 @@ type CommitResult struct {
 // planner's admission check inside the flush is the authoritative
 // gate, so individual VMs can come back rejected even though the
 // caller's snapshot predicted a fit. Placed and rejected VMs are
-// reported per name; only a stale version is an error.
+// reported per name; only a stale version (ErrConflict) or a crashed
+// host (ErrHostDown) is an error.
 func (h *Host) CommitPlacements(expect uint64, vms []VM) (CommitResult, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.state != HostUp {
+		return CommitResult{Version: h.version}, ErrHostDown
+	}
 	if h.version != expect {
 		return CommitResult{Version: h.version}, ErrConflict
 	}
@@ -189,10 +292,15 @@ func (h *Host) CommitPlacements(expect uint64, vms []VM) (CommitResult, error) {
 	tr, err := h.ctrl.Flush()
 	if err != nil {
 		// The whole batch rolled back: the population is unchanged, so
-		// hand the slots back (restoring pop order) and report every
-		// attempted VM rejected with the rollback error.
+		// hand the slots back (restoring pop order). A crashed journal
+		// takes the host down — the caller retries elsewhere; any other
+		// rollback reports every attempted VM rejected.
 		for i := len(taken) - 1; i >= 0; i-- {
 			h.free = append(h.free, taken[i])
+		}
+		if errors.Is(err, faults.ErrCrashed) {
+			h.markDownLocked()
+			return CommitResult{Version: h.version}, ErrHostDown
 		}
 		for _, slot := range taken {
 			res.Rejects = append(res.Rejects, Reject{VM: slotVM[slot], Err: err})
@@ -216,8 +324,7 @@ func (h *Host) CommitPlacements(expect uint64, vms []VM) (CommitResult, error) {
 			continue
 		}
 		h.vmSlot[vm.Name] = slot
-		h.slotVM[slot] = vm.Name
-		h.slotPPM[slot] = vm.ppm()
+		h.slotGuest[slot] = vm
 		h.usedPPM += vm.ppm()
 		res.Placed = append(res.Placed, vm.Name)
 	}
@@ -231,14 +338,13 @@ func (h *Host) CommitPlacements(expect uint64, vms []VM) (CommitResult, error) {
 		if !op.Shed {
 			continue
 		}
-		name := h.slotVM[op.Slot]
+		name := h.slotGuest[op.Slot].Name
 		if name == "" {
 			continue
 		}
 		delete(h.vmSlot, name)
-		h.slotVM[op.Slot] = ""
-		h.usedPPM -= h.slotPPM[op.Slot]
-		h.slotPPM[op.Slot] = 0
+		h.usedPPM -= h.slotGuest[op.Slot].ppm()
+		h.slotGuest[op.Slot] = VM{}
 		h.free = append(h.free, op.Slot)
 		res.Shed = append(res.Shed, name)
 	}
@@ -259,10 +365,15 @@ func (h *Host) CommitPlacements(expect uint64, vms []VM) (CommitResult, error) {
 // CommitDepartures atomically tears the named VMs down, under the same
 // versioned-commit rule as CommitPlacements. Every name must be live
 // on this host. Departures shed no utilization, so the flush cannot
-// reject them; any flush failure is returned as a real error.
+// reject them; a crashed journal takes the host down (ErrHostDown, the
+// VMs stay live for recovery to resolve), and any other flush failure
+// is returned as a real error.
 func (h *Host) CommitDepartures(expect uint64, names []string) (CommitResult, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
+	if h.state != HostUp {
+		return CommitResult{Version: h.version}, ErrHostDown
+	}
 	if h.version != expect {
 		return CommitResult{Version: h.version}, ErrConflict
 	}
@@ -281,14 +392,17 @@ func (h *Host) CommitDepartures(expect uint64, names []string) (CommitResult, er
 	h.ctrl.SubmitBatch(ops)
 	tr, err := h.ctrl.Flush()
 	if err != nil {
+		if errors.Is(err, faults.ErrCrashed) {
+			h.markDownLocked()
+			return CommitResult{Version: h.version}, ErrHostDown
+		}
 		return res, fmt.Errorf("fleet: host %d departure flush: %w", h.id, err)
 	}
 	for _, name := range names {
 		slot := h.vmSlot[name]
 		delete(h.vmSlot, name)
-		h.slotVM[slot] = ""
-		h.usedPPM -= h.slotPPM[slot]
-		h.slotPPM[slot] = 0
+		h.usedPPM -= h.slotGuest[slot].ppm()
+		h.slotGuest[slot] = VM{}
 		h.free = append(h.free, slot)
 	}
 	if tr.Version != 0 {
@@ -304,6 +418,170 @@ func (h *Host) CommitDepartures(expect uint64, names []string) (CommitResult, er
 	return res, nil
 }
 
+// Recover replays the host's surviving journal image and rejoins the
+// fleet: Down → Recovering → Up. The journal is the ground truth —
+// the in-memory maps describe only acked commits, so the seam between
+// them is reconciled toward the journal:
+//
+//   - a ghost slot (journal-active, maps-unoccupied) is the crashing
+//     placement whose record proved durable after the flush rolled
+//     back; the arbiter already retried that VM elsewhere, so the
+//     rejoin flush deactivates the ghost before the host takes
+//     traffic — the no-double-placement guarantee across the seam.
+//   - a freed slot (journal-inactive, maps-occupied) is the crashing
+//     departure or shed whose record proved durable; the guest is
+//     resolved as departed and its names are returned for the caller
+//     to drop from the registry.
+//
+// The rejoin flush always commits a fresh epoch (ghost deactivations,
+// or an identity reconfigure of the resident slot when there are
+// none), and the recovered System resumes version numbering past the
+// journal's maximum — so the rejoin version strictly exceeds every
+// pre-crash version and any still-in-flight commit loses with
+// ErrConflict, never a silent double-apply.
+//
+// On failure the host stays Down with its image intact (the caller
+// falls back to evacuation).
+func (h *Host) Recover() ([]string, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != HostDown {
+		return nil, fmt.Errorf("fleet: host %d is %s, not down", h.id, h.state)
+	}
+	if h.downImage == nil {
+		return nil, fmt.Errorf("fleet: host %d has no surviving journal image", h.id)
+	}
+	h.state = HostRecovering
+	freed, err := h.recoverLocked()
+	if err != nil {
+		h.state = HostDown
+		return nil, err
+	}
+	h.state = HostUp
+	h.downImage = nil
+	return freed, nil
+}
+
+func (h *Host) recoverLocked() ([]string, error) {
+	store := faults.NewIdleCrashStore(journal.NewMemStoreFrom(h.downImage))
+	ctrl, _, _, err := core.Recover(store, core.RecoverOptions{
+		Planner:  planner.Options{},
+		Dispatch: dispatch.Options{},
+		Sink:     nullSink{},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("fleet: host %d recovery: %w", h.id, err)
+	}
+	sys := ctrl.System()
+	sys.Cache = h.cache
+
+	// The recovered epoch's slot activation set, independent of the
+	// in-memory maps: decode and fold the image exactly as Recover did.
+	rep, err := journal.DecodeAll(h.downImage)
+	if err != nil || len(rep.Records) == 0 {
+		return nil, fmt.Errorf("fleet: host %d image replay: %w", h.id, err)
+	}
+	folded := journal.FoldEpochs(rep.Records)
+	last := folded[len(folded)-1]
+	if len(last.Slots) != len(h.slotGuest) {
+		return nil, fmt.Errorf("fleet: host %d journal has %d slots, host has %d", h.id, len(last.Slots), len(h.slotGuest))
+	}
+
+	var ghosts, freedSlots []int
+	var freedNames, recovered []string
+	for s := 1; s < len(last.Slots); s++ {
+		occupied := h.slotGuest[s].Name != ""
+		switch {
+		case last.Slots[s].Active && !occupied:
+			ghosts = append(ghosts, s)
+		case !last.Slots[s].Active && occupied:
+			freedSlots = append(freedSlots, s)
+			freedNames = append(freedNames, h.slotGuest[s].Name)
+		case occupied:
+			recovered = append(recovered, h.slotGuest[s].Name)
+		}
+	}
+
+	// Rejoin flush: deactivate the ghosts, or touch the resident slot
+	// when there are none — either way a fresh epoch commits and the
+	// host's version moves past everything a pre-crash snapshot saw.
+	ops := make([]core.Op, 0, len(ghosts))
+	for _, s := range ghosts {
+		ops = append(ops, core.Op{Kind: core.OpDeactivate, Slot: s})
+	}
+	if len(ops) == 0 {
+		ops = append(ops, core.Op{Kind: core.OpReconfigure, Slot: 0, Util: residentUtil, LatencyGoal: residentGoal})
+	}
+	ctrl.SubmitBatch(ops)
+	tr, err := ctrl.Flush()
+	if err != nil {
+		return nil, fmt.Errorf("fleet: host %d rejoin flush: %w", h.id, err)
+	}
+	if len(tr.Rejected) > 0 || tr.Version == 0 {
+		return nil, fmt.Errorf("fleet: host %d rejoin flush rejected %d ops", h.id, len(tr.Rejected))
+	}
+
+	// Swap in the recovered control plane and rebuild the occupancy
+	// bookkeeping from the reconciled maps.
+	for _, s := range freedSlots {
+		delete(h.vmSlot, h.slotGuest[s].Name)
+		h.slotGuest[s] = VM{}
+	}
+	h.sys = sys
+	h.ctrl = ctrl
+	h.journal = store
+	h.version = tr.Version
+	h.usedPPM = VM{Util: residentUtil}.ppm()
+	h.free = h.free[:0]
+	for s := len(h.slotGuest) - 1; s >= 1; s-- {
+		if h.slotGuest[s].Name == "" {
+			h.free = append(h.free, s)
+		} else {
+			h.usedPPM += h.slotGuest[s].ppm()
+		}
+	}
+	h.ledger = append(h.ledger, Commit{
+		Seq:        h.seq(),
+		Version:    tr.Version,
+		Event:      "recover",
+		Departed:   freedNames,
+		Recovered:  recovered,
+		GhostSlots: ghosts,
+		FreedSlots: freedSlots,
+		Ops:        append([]core.Op(nil), tr.Committed...),
+	})
+	return freedNames, nil
+}
+
+// markDead declares a Down host permanently failed: Down → Dead. Its
+// guests are the caller's to evacuate; the evacuation seam is recorded
+// via finishEvacuate.
+func (h *Host) markDead() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.state != HostDown {
+		return fmt.Errorf("fleet: host %d is %s, not down", h.id, h.state)
+	}
+	h.state = HostDead
+	h.downImage = nil
+	return nil
+}
+
+// finishEvacuate appends the dead host's evacuation seam. seq was
+// drawn before any evacuee re-placed, so every re-placement orders
+// strictly after the seam in the fleet's total commit order.
+func (h *Host) finishEvacuate(seq uint64, evacLS, evacBE, lost []string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ledger = append(h.ledger, Commit{
+		Seq:    seq,
+		Event:  "evacuate",
+		EvacLS: evacLS,
+		EvacBE: evacBE,
+		Lost:   lost,
+	})
+}
+
 // Ledger returns a copy of the host's committed transitions in commit
 // order.
 func (h *Host) Ledger() []Commit {
@@ -312,7 +590,9 @@ func (h *Host) Ledger() []Commit {
 	return append([]Commit(nil), h.ledger...)
 }
 
-// History returns the host's committed epoch history.
+// History returns the host's committed epoch history. After a
+// recovery it is the recovered history: the folded journal epochs plus
+// everything committed since the rejoin.
 func (h *Host) History() []core.Epoch {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -333,9 +613,14 @@ func (h *Host) VMs() int {
 	return len(h.vmSlot)
 }
 
-// Close shuts the host's controller down.
+// Close shuts the host's controller down. A crashed journal's sync
+// failure is not an error — the host is already dead.
 func (h *Host) Close() error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	return h.ctrl.Close()
+	err := h.ctrl.Close()
+	if errors.Is(err, faults.ErrCrashed) {
+		return nil
+	}
+	return err
 }

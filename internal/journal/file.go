@@ -36,6 +36,14 @@ type FileStore struct {
 	policy SyncPolicy
 }
 
+// fileSync and dirSync are the fsync seams, swappable in tests to
+// inject the failures a real disk can produce (so the error paths in
+// Truncate are actually exercised, not just written).
+var (
+	fileSync = func(f *os.File) error { return f.Sync() }
+	dirSync  = func(d *os.File) error { return d.Sync() }
+)
+
 // OpenFile opens (or creates) a journal file. A new or empty file gets
 // the journal header; an existing one must start with it.
 func OpenFile(path string, policy SyncPolicy) (*FileStore, error) {
@@ -154,7 +162,7 @@ func (s *FileStore) Truncate(n int64) error {
 		os.Remove(tmpPath)
 		return fmt.Errorf("journal: write %s: %w", tmpPath, err)
 	}
-	if err := tmp.Sync(); err != nil {
+	if err := fileSync(tmp); err != nil {
 		tmp.Close()
 		os.Remove(tmpPath)
 		return fmt.Errorf("journal: sync %s: %w", tmpPath, err)
@@ -164,17 +172,29 @@ func (s *FileStore) Truncate(n int64) error {
 		os.Remove(tmpPath)
 		return fmt.Errorf("journal: rename %s: %w", tmpPath, err)
 	}
-	// The rename is only durable once the directory entry is; best
-	// effort on platforms where directories cannot be fsynced.
-	if dir, derr := os.Open(filepath.Dir(s.path)); derr == nil {
-		_ = dir.Sync()
-		dir.Close()
-	}
+	// The store now reads and appends through the renamed file whatever
+	// happens below — the rename is done — but durability of the rename
+	// itself needs the directory entry synced, and a journal whose
+	// truncation can silently un-happen across a power cut is exactly
+	// the kind of quiet corruption this store exists to prevent: fail
+	// loudly so the caller knows the cut is not yet durable.
 	old := s.f
 	s.f = tmp
 	old.Close()
 	if _, err := s.f.Seek(0, io.SeekEnd); err != nil {
 		return fmt.Errorf("journal: seeking %s: %w", s.path, err)
+	}
+	dir, err := os.Open(filepath.Dir(s.path))
+	if err != nil {
+		return fmt.Errorf("journal: open dir of %s for sync: %w", s.path, err)
+	}
+	serr := dirSync(dir)
+	cerr := dir.Close()
+	if serr != nil {
+		return fmt.Errorf("journal: sync dir of %s: %w", s.path, serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("journal: close dir of %s: %w", s.path, cerr)
 	}
 	return nil
 }

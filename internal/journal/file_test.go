@@ -2,6 +2,7 @@ package journal
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -156,6 +157,94 @@ func TestFileStoreClosedOps(t *testing.T) {
 	}
 	if err := st.Truncate(0); err == nil {
 		t.Fatal("truncate on closed store accepted")
+	}
+}
+
+// TestFileStoreTruncateFsyncFails injects fsync failures into both
+// sync points of Truncate's temp+rename dance and demands a loud error
+// from each — a journal whose cut silently fails to reach the disk is
+// corruption waiting for the next power cut.
+func TestFileStoreTruncateFsyncFails(t *testing.T) {
+	errDisk := errors.New("disk on fire")
+	setup := func(t *testing.T) (*FileStore, int64, []byte) {
+		t.Helper()
+		path := filepath.Join(t.TempDir(), "epochs.journal")
+		st, err := OpenFile(path, SyncOnDemand)
+		if err != nil {
+			t.Fatalf("OpenFile: %v", err)
+		}
+		t.Cleanup(func() { st.Close() })
+		keep := appendRecords(t, testRecord(t, 1))
+		if err := st.Append(mustEncode(t, testRecord(t, 1))); err != nil {
+			t.Fatal(err)
+		}
+		torn := mustEncode(t, testRecord(t, 2))
+		if err := st.Append(torn[:len(torn)/2]); err != nil {
+			t.Fatal(err)
+		}
+		return st, int64(len(keep)), keep
+	}
+
+	t.Run("file", func(t *testing.T) {
+		st, n, _ := setup(t)
+		before := mustLoad(t, st)
+		orig := fileSync
+		fileSync = func(*os.File) error { return errDisk }
+		defer func() { fileSync = orig }()
+		if err := st.Truncate(n); !errors.Is(err, errDisk) {
+			t.Fatalf("Truncate err = %v, want the injected fsync failure", err)
+		}
+		// The failed cut must not have touched the journal, and the temp
+		// file must be cleaned up.
+		if !bytes.Equal(mustLoad(t, st), before) {
+			t.Fatal("failed truncate changed the image")
+		}
+		if _, err := os.Stat(st.path + ".tmp"); !os.IsNotExist(err) {
+			t.Fatalf("temp file left behind: %v", err)
+		}
+	})
+
+	t.Run("dir", func(t *testing.T) {
+		st, n, keep := setup(t)
+		orig := dirSync
+		dirSync = func(*os.File) error { return errDisk }
+		defer func() { dirSync = orig }()
+		if err := st.Truncate(n); !errors.Is(err, errDisk) {
+			t.Fatalf("Truncate err = %v, want the injected directory fsync failure", err)
+		}
+		// The rename itself happened: the store reads the cut image and
+		// stays appendable (the caller decides whether to retry the sync
+		// or abandon the store — but it was told).
+		if !bytes.Equal(mustLoad(t, st), keep) {
+			t.Fatal("store does not read the renamed file")
+		}
+		if err := st.Append(mustEncode(t, testRecord(t, 2))); err != nil {
+			t.Fatalf("append after reported dir-sync failure: %v", err)
+		}
+	})
+}
+
+// faultySyncStore wraps a Store and fails Sync on demand: the Writer
+// and its callers must propagate the failure, not swallow it.
+type faultySyncStore struct {
+	Store
+	err error
+}
+
+func (f *faultySyncStore) Sync() error { return f.err }
+
+func TestWriterPropagatesSyncFailure(t *testing.T) {
+	errDisk := errors.New("no sync today")
+	fs := &faultySyncStore{Store: NewMemStore(), err: errDisk}
+	w := NewWriter(fs)
+	if err := w.Append(testRecord(t, 1)); err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	if err := w.Sync(); !errors.Is(err, errDisk) {
+		t.Fatalf("Sync err = %v, want the injected failure", err)
+	}
+	if err := w.Close(); !errors.Is(err, errDisk) {
+		t.Fatalf("Close err = %v, want the injected failure (Close syncs first)", err)
 	}
 }
 

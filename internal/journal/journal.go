@@ -215,6 +215,22 @@ func DecodeAll(data []byte) (*Replay, error) {
 	return rep, nil
 }
 
+// FoldEpochs folds a replayed record sequence into the epoch sequence
+// the live controller held. An emergency rollback re-commits the
+// reverted-to epoch verbatim, so a record whose version does not exceed
+// the current top is a revert: pop back to below it, then append. The
+// result is strictly increasing in version; the input is not modified.
+func FoldEpochs(recs []EpochRecord) []EpochRecord {
+	folded := make([]EpochRecord, 0, len(recs))
+	for _, rec := range recs {
+		for len(folded) > 0 && folded[len(folded)-1].Version >= rec.Version {
+			folded = folded[:len(folded)-1]
+		}
+		folded = append(folded, rec)
+	}
+	return folded
+}
+
 // decodeRecord decodes the framed record at off, returning it and the
 // offset of the next record. Any shortfall or mismatch is an error the
 // caller treats as the torn/corrupt tail.

@@ -289,3 +289,34 @@ func TestSlotNameTooLong(t *testing.T) {
 		t.Fatal("oversized slot name accepted")
 	}
 }
+
+// TestFoldEpochs pins the rollback-fold semantics: a record whose
+// version does not exceed the current top pops everything it
+// supersedes, so the fold is always strictly increasing.
+func TestFoldEpochs(t *testing.T) {
+	rec := func(v uint64) EpochRecord { return EpochRecord{Version: v} }
+	versions := func(recs []EpochRecord) []uint64 {
+		out := make([]uint64, len(recs))
+		for i, r := range recs {
+			out[i] = r.Version
+		}
+		return out
+	}
+	got := versions(FoldEpochs([]EpochRecord{rec(1), rec(2), rec(3), rec(2), rec(4)}))
+	want := []uint64{1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("folded to %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("folded to %v, want %v", got, want)
+		}
+	}
+	if out := FoldEpochs(nil); len(out) != 0 {
+		t.Fatalf("folding nothing yielded %d records", len(out))
+	}
+	// A full revert to the first epoch leaves exactly that epoch.
+	if got := versions(FoldEpochs([]EpochRecord{rec(5), rec(6), rec(7), rec(5)})); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("full revert folded to %v, want [5]", got)
+	}
+}
